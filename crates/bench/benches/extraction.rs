@@ -1,0 +1,66 @@
+//! Criterion benches for configuration model identification (Algorithm 1).
+
+use cmfuzz_config_model::extract::{
+    extract_cli, extract_json, extract_key_value, extract_xml, extract_yaml,
+};
+use cmfuzz_config_model::extract_model;
+use cmfuzz_protocols::all_specs;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_extractors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extractors");
+
+    let cli_lines: Vec<String> = (0..64)
+        .map(|i| format!("  --option-{i} <num>   Option number {i} (default: {i})"))
+        .collect();
+    group.bench_function("cli_64_options", |b| b.iter(|| extract_cli(&cli_lines)));
+
+    let ini: String = (0..64)
+        .map(|i| format!("key_{i} = value_{i}\n"))
+        .collect();
+    group.bench_function("keyvalue_64_keys", |b| {
+        b.iter(|| extract_key_value("bench.conf", &ini));
+    });
+
+    let json = format!(
+        "{{{}}}",
+        (0..64)
+            .map(|i| format!("\"section{i}\": {{\"key\": {i}, \"flag\": true}}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    group.bench_function("json_64_sections", |b| {
+        b.iter(|| extract_json("bench.json", &json));
+    });
+
+    let xml = format!(
+        "<Root>{}</Root>",
+        (0..64)
+            .map(|i| format!("<Item{i} attr=\"{i}\"><Depth>{i}</Depth></Item{i}>"))
+            .collect::<String>()
+    );
+    group.bench_function("xml_64_elements", |b| {
+        b.iter(|| extract_xml("bench.xml", &xml));
+    });
+
+    let yaml: String = (0..64)
+        .map(|i| format!("section{i}:\n  key: {i}\n  flag: true\n"))
+        .collect();
+    group.bench_function("yaml_64_sections", |b| {
+        b.iter(|| extract_yaml("bench.yaml", &yaml));
+    });
+
+    group.finish();
+}
+
+fn bench_protocol_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_model");
+    for spec in all_specs() {
+        let space = (spec.build)().config_space();
+        group.bench_function(spec.name, |b| b.iter(|| extract_model(&space)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extractors, bench_protocol_models);
+criterion_main!(benches);

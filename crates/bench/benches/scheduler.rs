@@ -1,0 +1,66 @@
+//! Criterion benches for the scheduling pipeline: relation quantification
+//! and Algorithm 2 allocation.
+
+use cmfuzz::allocation::{allocate, AllocationOptions};
+use cmfuzz::graph::RelationGraph;
+use cmfuzz::relation::{quantify_target, RelationOptions, WeightMode};
+use cmfuzz::schedule::{build_schedule, ScheduleOptions};
+use cmfuzz_config_model::extract_model;
+use cmfuzz_protocols::spec_by_name;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_quantify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_quantify");
+    for name in ["mosquitto", "dnsmasq"] {
+        group.bench_function(name, |b| {
+            let spec = spec_by_name(name).expect("subject exists");
+            let mut target = (spec.build)();
+            let model = extract_model(&target.config_space());
+            let options = RelationOptions {
+                values_per_entity: 3,
+                mode: WeightMode::Interaction,
+            };
+            b.iter(|| quantify_target(&mut *target, &model, &options));
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for &(nodes, edges) in &[(20usize, 60usize), (100, 600), (400, 4000)] {
+        group.bench_function(format!("{nodes}n_{edges}e"), |b| {
+            // Deterministic synthetic graph.
+            let mut graph = RelationGraph::new();
+            let names: Vec<String> = (0..nodes).map(|i| format!("cfg{i}")).collect();
+            for name in &names {
+                graph.add_node(name);
+            }
+            let mut state = 0x1234_5678_u64;
+            for _ in 0..edges {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = (state >> 16) as usize % nodes;
+                let b2 = (state >> 40) as usize % nodes;
+                let w = ((state >> 8) & 0xFFFF) as f64 / 65535.0;
+                graph.add_edge(&names[a], &names[b2], w);
+            }
+            graph.normalize_weights();
+            b.iter(|| allocate(&graph, 4, &AllocationOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_schedule(c: &mut Criterion) {
+    c.bench_function("build_schedule/libcoap", |b| {
+        let spec = spec_by_name("libcoap").expect("subject exists");
+        b.iter_batched(
+            || (spec.build)(),
+            |mut target| build_schedule(&mut *target, 4, &ScheduleOptions::default()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_quantify, bench_allocate, bench_full_schedule);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Runs the design-choice ablations DESIGN.md calls out.
+
+use cmfuzz_bench::{ablation, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running ablations at scale {scale:?} ...");
+    let rows = ablation(&scale);
+    print!("{}", cmfuzz_bench::report::render_ablation(&rows));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 4 coverage-over-time series.
+
+use cmfuzz_bench::{figure4, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running Figure 4 at scale {scale:?} ...");
+    let series = figure4(&scale);
+    print!("{}", cmfuzz_bench::report::render_figure4(&series));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table I. `CMFUZZ_SCALE=paper` for the full run.
+
+use cmfuzz_bench::{table1, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running Table I at scale {scale:?} ...");
+    let rows = table1(&scale);
+    print!("{}", cmfuzz_bench::report::render_table1(&rows));
+}

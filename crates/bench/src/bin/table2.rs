@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table II vulnerability summary.
+
+use cmfuzz_bench::{table2, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running Table II at scale {scale:?} ...");
+    let rows = table2(&scale);
+    print!("{}", cmfuzz_bench::report::render_table2(&rows));
+}

@@ -1,0 +1,282 @@
+//! Pattern-matching extraction of CLI option declarations.
+
+use crate::{ConfigItem, ItemSource};
+
+/// Extracts configuration items from CLI option declarations.
+///
+/// Accepts the patterns the paper names (`--option=value`, `-flag`) plus the
+/// common variants found in real `--help` output:
+///
+/// * `--option=value` — option with inline default.
+/// * `--option value` — option with the default as the next token.
+/// * `--option <placeholder>` — valued option, default unknown; a trailing
+///   `(default: X)` annotation supplies the default.
+/// * `--option {a,b,c}` — enumerated option; alternatives become candidate
+///   values.
+/// * `--option <LO-HI>` — numeric range; endpoints and midpoint become
+///   candidates.
+/// * `--flag` / `-f` — bare boolean flags.
+///
+/// Lines that contain no option token are ignored, so whole help screens can
+/// be fed in unfiltered.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::extract_cli;
+///
+/// let items = extract_cli(&[
+///     "--max-connections=100".to_owned(),
+///     "  --qos {0,1,2}   Quality of service (default: 0)".to_owned(),
+///     "-v".to_owned(),
+/// ]);
+/// assert_eq!(items.len(), 3);
+/// assert_eq!(items[0].name(), "max-connections");
+/// assert_eq!(items[0].raw_value(), "100");
+/// assert_eq!(items[1].candidates(), &["0", "1", "2"]);
+/// assert_eq!(items[2].name(), "v");
+/// ```
+#[must_use]
+pub fn extract_cli(lines: &[String]) -> Vec<ConfigItem> {
+    lines.iter().filter_map(|line| parse_line(line)).collect()
+}
+
+fn parse_line(line: &str) -> Option<ConfigItem> {
+    let mut tokens = line.split_whitespace().peekable();
+    // Find the first option token on the line.
+    let option = loop {
+        let token = tokens.next()?;
+        if let Some(stripped) = token.strip_prefix("--") {
+            if !stripped.is_empty() {
+                break stripped;
+            }
+        } else if token.len() >= 2 && token.starts_with('-') && !token.starts_with("--") {
+            // Short flag: strip one dash; trailing comma from "-v, --verbose"
+            // style help lines is dropped.
+            break token[1..].trim_end_matches(',');
+        }
+    };
+
+    let default_annotation = extract_default_annotation(line);
+
+    // `--name=value`
+    if let Some((name, value)) = option.split_once('=') {
+        if !is_option_name(name) {
+            return None;
+        }
+        return Some(ConfigItem::new(
+            name,
+            value.trim_matches(|c| c == '"' || c == '\''),
+            ItemSource::Cli,
+        ));
+    }
+
+    let name = option.trim_end_matches(',');
+    if !is_option_name(name) {
+        return None;
+    }
+    match tokens.peek().copied() {
+        // `--name {a,b,c}` — enumerated alternatives.
+        Some(next) if next.starts_with('{') && next.ends_with('}') => {
+            let inner = &next[1..next.len() - 1];
+            let candidates: Vec<String> = inner
+                .split(',')
+                .map(|c| c.trim().to_owned())
+                .filter(|c| !c.is_empty())
+                .collect();
+            let default = default_annotation
+                .or_else(|| candidates.first().cloned())
+                .unwrap_or_default();
+            Some(ConfigItem::new(name, &default, ItemSource::Cli).with_candidates(candidates))
+        }
+        // `--name <LO-HI>` or `--name <placeholder>` — valued option.
+        Some(next) if next.starts_with('<') && next.ends_with('>') => {
+            let inner = &next[1..next.len() - 1];
+            if let Some((lo, hi)) = parse_range(inner) {
+                let default = default_annotation.unwrap_or_else(|| lo.to_string());
+                let mid = lo + (hi - lo) / 2;
+                Some(
+                    ConfigItem::new(name, &default, ItemSource::Cli).with_candidates([
+                        lo.to_string(),
+                        mid.to_string(),
+                        hi.to_string(),
+                    ]),
+                )
+            } else {
+                Some(ConfigItem::new(
+                    name,
+                    &default_annotation.unwrap_or_default(),
+                    ItemSource::Cli,
+                ))
+            }
+        }
+        // `--name value` — the next token is the default unless it reads
+        // like prose (help text) or another option.
+        Some(next)
+            if !next.starts_with('-')
+                && !next.contains(' ')
+                && looks_like_value(next)
+                && default_annotation.is_none() =>
+        {
+            Some(ConfigItem::new(name, next, ItemSource::Cli))
+        }
+        // Bare flag (possibly with a default annotation in the help text).
+        _ => Some(ConfigItem::new(
+            name,
+            &default_annotation.unwrap_or_default(),
+            ItemSource::Cli,
+        )),
+    }
+}
+
+/// A plausible option name: non-empty, starts alphanumeric, and contains
+/// only identifier-ish characters.
+fn is_option_name(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_alphanumeric())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Parses `(default: X)` annotations from help text.
+fn extract_default_annotation(line: &str) -> Option<String> {
+    let lower = line.to_ascii_lowercase();
+    let start = lower.find("(default:")?;
+    let rest = &line[start + "(default:".len()..];
+    let end = rest.find(')')?;
+    let value = rest[..end].trim();
+    (!value.is_empty()).then(|| value.to_owned())
+}
+
+fn parse_range(inner: &str) -> Option<(i64, i64)> {
+    let (lo, hi) = inner.split_once('-')?;
+    let lo: i64 = lo.trim().parse().ok()?;
+    let hi: i64 = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Distinguishes a default value token from the start of prose help text:
+/// values are numbers, booleans, or short identifier-like words.
+fn looks_like_value(token: &str) -> bool {
+    if token.parse::<f64>().is_ok() {
+        return true;
+    }
+    matches!(
+        token.to_ascii_lowercase().as_str(),
+        "true" | "false" | "yes" | "no" | "on" | "off"
+    ) || (token.len() <= 16
+        && token
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '/' || c == '.')
+        && token.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> ConfigItem {
+        let items = extract_cli(&[line.to_owned()]);
+        assert_eq!(items.len(), 1, "expected one item from {line:?}");
+        items.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn equals_form() {
+        let item = one("--max-connections=100");
+        assert_eq!(item.name(), "max-connections");
+        assert_eq!(item.raw_value(), "100");
+    }
+
+    #[test]
+    fn equals_form_strips_quotes() {
+        let item = one("--mode=\"bridge\"");
+        assert_eq!(item.raw_value(), "bridge");
+    }
+
+    #[test]
+    fn space_separated_value() {
+        let item = one("--log-level debug");
+        assert_eq!(item.name(), "log-level");
+        assert_eq!(item.raw_value(), "debug");
+    }
+
+    #[test]
+    fn bare_long_flag() {
+        let item = one("--verbose");
+        assert_eq!(item.name(), "verbose");
+        assert_eq!(item.raw_value(), "");
+    }
+
+    #[test]
+    fn short_flag() {
+        let item = one("-d");
+        assert_eq!(item.name(), "d");
+        assert_eq!(item.raw_value(), "");
+    }
+
+    #[test]
+    fn enumerated_candidates() {
+        let item = one("--qos {0,1,2}");
+        assert_eq!(item.candidates(), &["0", "1", "2"]);
+        assert_eq!(item.raw_value(), "0", "first alternative is the default");
+    }
+
+    #[test]
+    fn enumeration_with_default_annotation() {
+        let item = one("--block-mode {none,block1,qblock1}  Block transfer mode (default: none)");
+        assert_eq!(item.raw_value(), "none");
+        assert_eq!(item.candidates().len(), 3);
+    }
+
+    #[test]
+    fn numeric_range() {
+        let item = one("--ttl <1-255>");
+        assert_eq!(item.raw_value(), "1");
+        assert_eq!(item.candidates(), &["1", "128", "255"]);
+    }
+
+    #[test]
+    fn placeholder_with_default_annotation() {
+        let item = one("  --port <num>   Port to listen on (default: 1883)");
+        assert_eq!(item.name(), "port");
+        assert_eq!(item.raw_value(), "1883");
+    }
+
+    #[test]
+    fn placeholder_without_default() {
+        let item = one("--name <string>");
+        assert_eq!(item.raw_value(), "");
+    }
+
+    #[test]
+    fn help_prose_is_not_a_value() {
+        let item = one("--daemon    Run the broker as a daemon");
+        assert_eq!(item.name(), "daemon");
+        assert_eq!(item.raw_value(), "", "prose 'Run' must not become a value");
+    }
+
+    #[test]
+    fn non_option_lines_ignored() {
+        assert!(extract_cli(&["Usage: broker [OPTIONS]".to_owned()]).is_empty());
+        assert!(extract_cli(&[String::new()]).is_empty());
+    }
+
+    #[test]
+    fn combined_short_long_help_line() {
+        let item = one("-v, --verbose   Increase verbosity");
+        // First option token wins; the short alias names the item.
+        assert_eq!(item.name(), "v");
+    }
+
+    #[test]
+    fn multiple_lines_extracted_in_order() {
+        let items = extract_cli(&[
+            "--a=1".to_owned(),
+            "not an option".to_owned(),
+            "--b=2".to_owned(),
+        ]);
+        let names: Vec<_> = items.iter().map(|i| i.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Heuristic extraction for unstandardized configuration formats.
+
+use crate::{ConfigItem, ItemSource};
+
+/// Configurable parsing rules for custom formats (paper §III-A1: "CMFuzz
+/// uses heuristics and configurable parsing rules to identify adjustable
+/// parameters based on keywords and contextual clues").
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::{extract_custom, ParseRules};
+///
+/// let rules = ParseRules::new()
+///     .with_directive("set")
+///     .with_comment_marker("//");
+/// let items = extract_custom(
+///     "target.cfg",
+///     "// custom format\nset timeout 30\nretries=5\n",
+///     &rules,
+/// );
+/// assert_eq!(items.len(), 2);
+/// assert_eq!(items[0].name(), "timeout");
+/// assert_eq!(items[1].name(), "retries");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParseRules {
+    directives: Vec<String>,
+    comment_markers: Vec<String>,
+    separators: Vec<char>,
+}
+
+impl ParseRules {
+    /// Default rules: `=`/`:`/whitespace separators, `#` and `;` comments,
+    /// no directive keywords.
+    #[must_use]
+    pub fn new() -> Self {
+        ParseRules {
+            directives: Vec::new(),
+            comment_markers: vec!["#".to_owned(), ";".to_owned()],
+            separators: vec!['=', ':'],
+        }
+    }
+
+    /// Adds a directive keyword: lines of the form `keyword name value`
+    /// extract `name=value`.
+    #[must_use]
+    pub fn with_directive(mut self, keyword: &str) -> Self {
+        self.directives.push(keyword.to_owned());
+        self
+    }
+
+    /// Adds a comment-line marker.
+    #[must_use]
+    pub fn with_comment_marker(mut self, marker: &str) -> Self {
+        self.comment_markers.push(marker.to_owned());
+        self
+    }
+
+    /// Adds an explicit key/value separator character.
+    #[must_use]
+    pub fn with_separator(mut self, separator: char) -> Self {
+        self.separators.push(separator);
+        self
+    }
+}
+
+impl Default for ParseRules {
+    fn default() -> Self {
+        ParseRules::new()
+    }
+}
+
+/// Extracts items from a custom-format configuration file using heuristics
+/// and `rules` (Algorithm 1's `ExtractCustom`).
+///
+/// Per line, in order:
+/// 1. comment lines (per `rules`) are skipped;
+/// 2. `directive name value` lines extract `name=value`;
+/// 3. `name<sep>value` with an explicit separator extracts directly;
+/// 4. `name value` extracts when `name` is identifier-like;
+/// 5. a lone identifier-like token extracts as a flag.
+///
+/// # Examples
+///
+/// See [`ParseRules`].
+#[must_use]
+pub fn extract_custom(file_name: &str, content: &str, rules: &ParseRules) -> Vec<ConfigItem> {
+    let source = ItemSource::File {
+        name: file_name.to_owned(),
+    };
+    let mut items = Vec::new();
+    for raw_line in content.lines() {
+        let line = raw_line.trim();
+        if line.is_empty()
+            || rules
+                .comment_markers
+                .iter()
+                .any(|m| line.starts_with(m.as_str()))
+        {
+            continue;
+        }
+
+        // Directive form: `set name value`.
+        if let Some(rest) = rules.directives.iter().find_map(|d| {
+            line.strip_prefix(d.as_str())
+                .filter(|r| r.starts_with(char::is_whitespace))
+        }) {
+            let mut parts = rest.split_whitespace();
+            if let Some(name) = parts.next() {
+                if is_identifier_like(name) {
+                    let value = parts.collect::<Vec<_>>().join(" ");
+                    items.push(ConfigItem::new(name, &value, source.clone()));
+                    continue;
+                }
+            }
+        }
+
+        // Explicit separator form.
+        if let Some((key, value)) = rules
+            .separators
+            .iter()
+            .find_map(|&sep| line.split_once(sep))
+        {
+            let key = key.trim();
+            if is_identifier_like(key) {
+                items.push(ConfigItem::new(key, value.trim(), source.clone()));
+            }
+            continue;
+        }
+
+        // Whitespace form or bare flag.
+        let mut parts = line.split_whitespace();
+        let key = parts.next().unwrap_or_default();
+        if !is_identifier_like(key) {
+            continue;
+        }
+        let rest: Vec<&str> = parts.collect();
+        match rest.len() {
+            0 => items.push(ConfigItem::new(key, "", source.clone())),
+            1 => items.push(ConfigItem::new(key, rest[0], source.clone())),
+            // Multi-word remainders are prose unless the key carries config
+            // punctuation.
+            _ if key.contains(['_', '-', '.']) => {
+                items.push(ConfigItem::new(key, &rest.join(" "), source.clone()));
+            }
+            _ => {}
+        }
+    }
+    items
+}
+
+fn is_identifier_like(token: &str) -> bool {
+    !token.is_empty()
+        && token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && token
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(content: &str, rules: &ParseRules) -> Vec<(String, String)> {
+        extract_custom("t.cfg", content, rules)
+            .iter()
+            .map(|i| (i.name().to_owned(), i.raw_value().to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn default_rules_extract_separators_and_flags() {
+        let rules = ParseRules::new();
+        assert_eq!(
+            pairs("a=1\nb: 2\nc 3\nflag-only\n", &rules),
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "2".to_owned()),
+                ("c".to_owned(), "3".to_owned()),
+                ("flag-only".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn directive_form() {
+        let rules = ParseRules::new().with_directive("set");
+        assert_eq!(
+            pairs("set window 8\n", &rules),
+            vec![("window".to_owned(), "8".to_owned())]
+        );
+    }
+
+    #[test]
+    fn custom_comment_marker() {
+        let rules = ParseRules::new().with_comment_marker("//");
+        assert_eq!(pairs("// note\nx=1\n", &rules).len(), 1);
+    }
+
+    #[test]
+    fn custom_separator() {
+        let rules = ParseRules::new().with_separator('>');
+        assert_eq!(
+            pairs("depth > 4\n", &rules),
+            vec![("depth".to_owned(), "4".to_owned())]
+        );
+    }
+
+    #[test]
+    fn prose_is_rejected() {
+        let rules = ParseRules::new();
+        assert!(pairs("this is a readme sentence\n", &rules).is_empty());
+        assert!(pairs("123 starts with digit\n", &rules).is_empty());
+    }
+
+    #[test]
+    fn config_punctuated_keys_keep_multiword_values() {
+        let rules = ParseRules::new();
+        assert_eq!(
+            pairs("log_dest file stdout\n", &rules),
+            vec![("log_dest".to_owned(), "file stdout".to_owned())]
+        );
+    }
+
+    #[test]
+    fn directive_with_prose_name_falls_through() {
+        let rules = ParseRules::new().with_directive("set");
+        // "set 123 x" has a non-identifier name; the whole line is then
+        // re-examined and rejected as prose.
+        assert!(pairs("set 123 x\n", &rules).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Configuration file format detection (Algorithm 1, line 13).
+
+/// Configuration file formats CMFuzz can extract from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileFormat {
+    /// INI-style key-value pairs, possibly with `[sections]`.
+    KeyValue,
+    /// JSON documents.
+    Json,
+    /// XML documents.
+    Xml,
+    /// YAML documents (indentation-nested subset).
+    Yaml,
+    /// TOML documents (tables + key-value subset).
+    Toml,
+    /// Anything else: handled by heuristic [`extract_custom`](super::extract_custom).
+    Custom,
+}
+
+/// Detects a configuration file's format from its name and content
+/// (`DetectFileFormat` in Algorithm 1).
+///
+/// Extension is consulted first; ambiguous or unknown extensions fall back
+/// to content sniffing (leading `{`/`[` → JSON, leading `<` → XML, an
+/// indented `key: value` shape → YAML, `key = value` or `key value` lines →
+/// key-value, otherwise custom).
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::{detect_format, FileFormat};
+///
+/// assert_eq!(detect_format("broker.json", "{}"), FileFormat::Json);
+/// assert_eq!(detect_format("cyclonedds.xml", "<C/>"), FileFormat::Xml);
+/// assert_eq!(detect_format("app.conf", "port = 1\n"), FileFormat::KeyValue);
+/// assert_eq!(detect_format("notes.txt", "free text"), FileFormat::Custom);
+/// ```
+#[must_use]
+pub fn detect_format(file_name: &str, content: &str) -> FileFormat {
+    if let Some(ext) = file_name.rsplit_once('.').map(|(_, e)| e.to_ascii_lowercase()) {
+        match ext.as_str() {
+            "json" => return FileFormat::Json,
+            "xml" | "pit" => return FileFormat::Xml,
+            "yaml" | "yml" => return FileFormat::Yaml,
+            "toml" => return FileFormat::Toml,
+            "ini" => return FileFormat::KeyValue,
+            _ => {}
+        }
+    }
+    sniff_content(content)
+}
+
+fn sniff_content(content: &str) -> FileFormat {
+    let trimmed = content.trim_start();
+    if trimmed.starts_with('{') || trimmed.starts_with('[') && trimmed.contains(':') {
+        return FileFormat::Json;
+    }
+    if trimmed.starts_with('<') {
+        return FileFormat::Xml;
+    }
+
+    let mut kv_lines = 0usize;
+    let mut yaml_hints = 0usize;
+    let mut other_lines = 0usize;
+    for raw_line in content.lines().take(64) {
+        let line = raw_line.trim_end();
+        let body = line.trim_start();
+        if body.is_empty() || body.starts_with('#') || body.starts_with(';') {
+            continue;
+        }
+        let indented = line.len() != body.len();
+        if body.starts_with("- ") {
+            yaml_hints += 1;
+        } else if let Some((key, value)) = body.split_once(':') {
+            if !key.trim().contains(char::is_whitespace)
+                && (indented || value.is_empty() || value.starts_with(' '))
+            {
+                yaml_hints += 1;
+            } else {
+                kv_lines += 1;
+            }
+        } else if body.contains('=')
+            || body.starts_with('[') && body.ends_with(']')
+            || looks_like_bare_kv(body)
+        {
+            kv_lines += 1;
+        } else {
+            other_lines += 1;
+        }
+    }
+    if yaml_hints > kv_lines && yaml_hints > 0 {
+        FileFormat::Yaml
+    } else if kv_lines > 0 && kv_lines >= other_lines {
+        FileFormat::KeyValue
+    } else {
+        FileFormat::Custom
+    }
+}
+
+fn looks_like_bare_kv(body: &str) -> bool {
+    let mut parts = body.split_whitespace();
+    let key_ok = parts.next().is_some_and(|k| {
+        k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+            && k.contains(['_', '-'])
+    });
+    key_ok && parts.clone().count() <= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_wins() {
+        assert_eq!(detect_format("a.json", "<xml/>"), FileFormat::Json);
+        assert_eq!(detect_format("a.yml", "x=1"), FileFormat::Yaml);
+        assert_eq!(detect_format("a.ini", "{}"), FileFormat::KeyValue);
+        assert_eq!(detect_format("model.pit", "<Peach/>"), FileFormat::Xml);
+    }
+
+    #[test]
+    fn json_sniffed_from_brace() {
+        assert_eq!(detect_format("cfg", " {\"a\":1}"), FileFormat::Json);
+    }
+
+    #[test]
+    fn xml_sniffed_from_angle_bracket() {
+        assert_eq!(detect_format("cfg", "<?xml?><a/>"), FileFormat::Xml);
+    }
+
+    #[test]
+    fn yaml_sniffed_from_structure() {
+        let yaml = "top:\n  nested: 1\nitems:\n  - a\n";
+        assert_eq!(detect_format("cfg", yaml), FileFormat::Yaml);
+    }
+
+    #[test]
+    fn keyvalue_sniffed_from_equals_lines() {
+        assert_eq!(
+            detect_format("dnsmasq.conf", "cache-size=150\nno-resolv\n"),
+            FileFormat::KeyValue
+        );
+    }
+
+    #[test]
+    fn mosquitto_style_space_kv() {
+        assert_eq!(
+            detect_format("mosquitto.conf", "max_inflight_messages 20\npersistence true\n"),
+            FileFormat::KeyValue
+        );
+    }
+
+    #[test]
+    fn prose_falls_back_to_custom() {
+        assert_eq!(
+            detect_format("readme", "This file explains the setup.\nNothing here.\n"),
+            FileFormat::Custom
+        );
+        assert_eq!(detect_format("empty", ""), FileFormat::Custom);
+    }
+}

@@ -1,0 +1,175 @@
+//! Key-value (INI-style) configuration file extraction.
+
+use crate::{ConfigItem, ItemSource};
+
+/// Extracts items from key-value configuration files (Algorithm 1's
+/// `ExtractKeyValue`): INI files with optional `[sections]`, plus the
+/// bare `key value` dialect used by daemons such as Mosquitto.
+///
+/// Recognized separators, in order of precedence: `=`, `:`, whitespace.
+/// Comment lines start with `#` or `;`. Keys inside a section are prefixed
+/// `section.key`.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::extract_key_value;
+///
+/// let items = extract_key_value(
+///     "broker.conf",
+///     "# broker config\n[listener]\nport = 1883\npersistence true\n",
+/// );
+/// assert_eq!(items.len(), 2);
+/// assert_eq!(items[0].name(), "listener.port");
+/// assert_eq!(items[0].raw_value(), "1883");
+/// assert_eq!(items[1].name(), "listener.persistence");
+/// ```
+#[must_use]
+pub fn extract_key_value(file_name: &str, content: &str) -> Vec<ConfigItem> {
+    let source = ItemSource::File {
+        name: file_name.to_owned(),
+    };
+    let mut items = Vec::new();
+    let mut section = String::new();
+
+    for raw_line in content.lines() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = inner.trim().to_owned();
+            continue;
+        }
+        let (key, value, separator) = split_key_value(line);
+        if key.is_empty() || !is_key_like(key) {
+            continue;
+        }
+        // The whitespace-separated dialect is ambiguous with prose; accept
+        // it only when the key looks like a config identifier (contains
+        // `_`/`-`/`.`) or the value is a single token.
+        if separator == Separator::Whitespace
+            && !key.contains(['_', '-', '.'])
+            && value.split_whitespace().count() > 1
+        {
+            continue;
+        }
+        let name = if section.is_empty() {
+            key.to_owned()
+        } else {
+            format!("{section}.{key}")
+        };
+        items.push(ConfigItem::new(
+            &name,
+            value.trim_matches(|c| c == '"' || c == '\''),
+            source.clone(),
+        ));
+    }
+    items
+}
+
+fn strip_comment(line: &str) -> &str {
+    for marker in ['#', ';'] {
+        if let Some(pos) = line.find(marker) {
+            return &line[..pos];
+        }
+    }
+    line
+}
+
+#[derive(PartialEq, Eq)]
+enum Separator {
+    Explicit,
+    Whitespace,
+}
+
+fn split_key_value(line: &str) -> (&str, &str, Separator) {
+    for sep in ['=', ':'] {
+        if let Some((k, v)) = line.split_once(sep) {
+            return (k.trim(), v.trim(), Separator::Explicit);
+        }
+    }
+    match line.split_once(char::is_whitespace) {
+        Some((k, v)) => (k.trim(), v.trim(), Separator::Whitespace),
+        None => (line, "", Separator::Whitespace),
+    }
+}
+
+fn is_key_like(key: &str) -> bool {
+    !key.contains(char::is_whitespace)
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equals_and_colon_and_space_separators() {
+        let items = extract_key_value("f.conf", "a = 1\nb: 2\nc 3\n");
+        let pairs: Vec<_> = items
+            .iter()
+            .map(|i| (i.name().to_owned(), i.raw_value().to_owned()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "2".to_owned()),
+                ("c".to_owned(), "3".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sections_prefix_keys() {
+        let items = extract_key_value("f.ini", "[tls]\ncert = x\n[net]\nport = 1\n");
+        assert_eq!(items[0].name(), "tls.cert");
+        assert_eq!(items[1].name(), "net.port");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let items = extract_key_value("f.conf", "# comment\n; also\n\nkey = v # trailing\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].raw_value(), "v");
+    }
+
+    #[test]
+    fn bare_key_is_flag() {
+        let items = extract_key_value("f.conf", "allow_anonymous\n");
+        assert_eq!(items[0].name(), "allow_anonymous");
+        assert_eq!(items[0].raw_value(), "");
+    }
+
+    #[test]
+    fn quoted_values_unquoted() {
+        let items = extract_key_value("f.conf", "motd = \"hello\"\n");
+        assert_eq!(items[0].raw_value(), "hello");
+    }
+
+    #[test]
+    fn prose_lines_rejected() {
+        let items = extract_key_value("f.conf", "this is not a config line at all\n");
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn source_carries_file_name() {
+        let items = extract_key_value("dnsmasq.conf", "cache-size=150\n");
+        assert_eq!(
+            items[0].source(),
+            &ItemSource::File {
+                name: "dnsmasq.conf".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn value_with_spaces_preserved() {
+        let items = extract_key_value("f.conf", "greeting = hello world\n");
+        assert_eq!(items[0].raw_value(), "hello world");
+    }
+}

@@ -1,0 +1,26 @@
+//! Format-specific configuration item extractors (Algorithm 1's
+//! `ExtractCliOptions`, `ExtractKeyValue`, `ExtractHierarchical` and
+//! `ExtractCustom` procedures).
+//!
+//! Each extractor consumes source text and yields raw
+//! [`ConfigItem`](crate::ConfigItem)s; interpretation (typing, mutability,
+//! typical values) happens later in
+//! [`ConfigEntity::from_item`](crate::ConfigEntity::from_item).
+
+mod cli;
+mod custom;
+mod detect;
+mod json;
+mod keyvalue;
+mod toml;
+mod xml;
+mod yaml;
+
+pub use cli::extract_cli;
+pub use custom::{extract_custom, ParseRules};
+pub use detect::{detect_format, FileFormat};
+pub use json::extract_json;
+pub use keyvalue::extract_key_value;
+pub use toml::extract_toml;
+pub use xml::extract_xml;
+pub use yaml::extract_yaml;

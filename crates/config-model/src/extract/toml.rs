@@ -1,0 +1,181 @@
+//! TOML configuration file extraction (hierarchical format, subset).
+
+use crate::{ConfigItem, ItemSource};
+
+/// Extracts items from a TOML configuration file.
+///
+/// Supports the subset common in deployment configs: `[table]` and
+/// `[table.subtable]` headers, `key = value` pairs with strings, numbers,
+/// booleans and flat arrays, and `#` comments. Multi-line strings, inline
+/// tables and arrays-of-tables are out of scope; lines using them are
+/// skipped.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::extract_toml;
+///
+/// let items = extract_toml(
+///     "broker.toml",
+///     "[network]\nport = 1883\n[auth]\nmethods = [\"plain\", \"scram\"]\n",
+/// );
+/// let pairs: Vec<_> = items.iter().map(|i| (i.name(), i.raw_value())).collect();
+/// assert_eq!(
+///     pairs,
+///     vec![
+///         ("network.port", "1883"),
+///         ("auth.methods[0]", "plain"),
+///         ("auth.methods[1]", "scram"),
+///     ]
+/// );
+/// ```
+#[must_use]
+pub fn extract_toml(file_name: &str, content: &str) -> Vec<ConfigItem> {
+    let source = ItemSource::File {
+        name: file_name.to_owned(),
+    };
+    let mut items = Vec::new();
+    let mut table = String::new();
+
+    for raw_line in content.lines() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            // `[[array.of.tables]]` is unsupported; skip its header.
+            if inner.starts_with('[') {
+                table.clear();
+                continue;
+            }
+            table = inner.trim().to_owned();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            continue;
+        }
+        let name = if table.is_empty() {
+            key.to_owned()
+        } else {
+            format!("{table}.{key}")
+        };
+        let value = value.trim();
+        if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+            for (i, element) in inner.split(',').enumerate() {
+                let element = unquote(element.trim());
+                if element.is_empty() {
+                    continue;
+                }
+                items.push(ConfigItem::new(
+                    &format!("{name}[{i}]"),
+                    &element,
+                    source.clone(),
+                ));
+            }
+        } else if !value.starts_with('{') && !value.starts_with("\"\"\"") {
+            items.push(ConfigItem::new(&name, &unquote(value), source.clone()));
+        }
+    }
+    items
+}
+
+fn strip_comment(line: &str) -> &str {
+    // '#' inside quotes is rare in config defaults; honour the common case.
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(value: &str) -> String {
+    let v = value.trim();
+    if v.len() >= 2
+        && ((v.starts_with('"') && v.ends_with('"')) || (v.starts_with('\'') && v.ends_with('\'')))
+    {
+        v[1..v.len() - 1].to_owned()
+    } else {
+        v.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(content: &str) -> Vec<(String, String)> {
+        extract_toml("t.toml", content)
+            .iter()
+            .map(|i| (i.name().to_owned(), i.raw_value().to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn bare_and_tabled_keys() {
+        assert_eq!(
+            pairs("top = 1\n[net]\nport = 53\n[net.tls]\nenabled = false\n"),
+            vec![
+                ("top".to_owned(), "1".to_owned()),
+                ("net.port".to_owned(), "53".to_owned()),
+                ("net.tls.enabled".to_owned(), "false".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_unquoted() {
+        assert_eq!(
+            pairs("name = \"gateway\"\nmode = 'fast'\n"),
+            vec![
+                ("name".to_owned(), "gateway".to_owned()),
+                ("mode".to_owned(), "fast".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn arrays_are_indexed() {
+        assert_eq!(
+            pairs("ports = [1883, 8883]\n"),
+            vec![
+                ("ports[0]".to_owned(), "1883".to_owned()),
+                ("ports[1]".to_owned(), "8883".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_stripped_outside_strings() {
+        assert_eq!(
+            pairs("a = 1 # trailing\nb = \"x # y\"\n"),
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "x # y".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unsupported_constructs_skipped() {
+        assert!(pairs("[[servers]]\nx = { a = 1 }\n").is_empty());
+        assert!(pairs("").is_empty());
+        assert!(pairs("not a toml line\n").is_empty());
+    }
+
+    #[test]
+    fn quoted_keys_accepted() {
+        assert_eq!(
+            pairs("\"odd key\" = 1\n\"plain\" = 2\n"),
+            vec![("plain".to_owned(), "2".to_owned())],
+            "keys with whitespace rejected, quoted simple keys kept"
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! XML configuration file extraction (hierarchical format).
+
+use crate::{ConfigItem, ItemSource};
+
+/// Extracts items from an XML configuration file (Algorithm 1's
+/// `ExtractHierarchical` for XML), as used by DDS deployments
+/// (`cyclonedds.xml`) and Peach Pit files.
+///
+/// Elements containing only text become items at their dotted element path;
+/// attributes become items at `path@attribute`. The document root element is
+/// part of the path. Repeated sibling elements of the same name get
+/// `[index]` suffixes starting from the second occurrence.
+///
+/// The parser handles declarations (`<?xml ...?>`), comments and
+/// self-closing tags, and is forgiving about malformed input (it extracts
+/// what it can).
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::extract_xml;
+///
+/// let items = extract_xml(
+///     "dds.xml",
+///     "<CycloneDDS><Domain id=\"0\"><Threads>4</Threads></Domain></CycloneDDS>",
+/// );
+/// let names: Vec<_> = items.iter().map(|i| i.name()).collect();
+/// assert_eq!(names, vec!["CycloneDDS.Domain@id", "CycloneDDS.Domain.Threads"]);
+/// ```
+#[must_use]
+pub fn extract_xml(file_name: &str, content: &str) -> Vec<ConfigItem> {
+    let source = ItemSource::File {
+        name: file_name.to_owned(),
+    };
+    let mut items = Vec::new();
+    let mut lexer = Lexer {
+        bytes: content.as_bytes(),
+        pos: 0,
+    };
+    // path stack; sibling-name occurrence counts per depth for indexing
+    let mut path: Vec<String> = Vec::new();
+    let mut sibling_counts: Vec<std::collections::HashMap<String, usize>> = vec![Default::default()];
+    let mut pending_text = String::new();
+
+    while let Some(event) = lexer.next_event() {
+        match event {
+            Event::Open { name, attrs, self_closing } => {
+                let counts = sibling_counts.last_mut().expect("depth tracked");
+                let seen = counts.entry(name.clone()).or_insert(0);
+                let indexed = if *seen == 0 {
+                    name.clone()
+                } else {
+                    format!("{name}[{seen}]")
+                };
+                *seen += 1;
+                path.push(indexed);
+                let elem_path = path.join(".");
+                for (attr, value) in attrs {
+                    items.push(ConfigItem::new(
+                        &format!("{elem_path}@{attr}"),
+                        &value,
+                        source.clone(),
+                    ));
+                }
+                if self_closing {
+                    path.pop();
+                } else {
+                    sibling_counts.push(Default::default());
+                    pending_text.clear();
+                }
+            }
+            Event::Text(text) => {
+                pending_text.push_str(&text);
+            }
+            Event::Close => {
+                let text = pending_text.trim();
+                if !text.is_empty() && !path.is_empty() {
+                    items.push(ConfigItem::new(&path.join("."), text, source.clone()));
+                }
+                pending_text.clear();
+                path.pop();
+                if sibling_counts.len() > 1 {
+                    sibling_counts.pop();
+                }
+            }
+        }
+    }
+    items
+}
+
+enum Event {
+    Open {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    Text(String),
+    Close,
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Lexer<'_> {
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            if self.pos >= self.bytes.len() {
+                return None;
+            }
+            if self.bytes[self.pos] == b'<' {
+                let rest = &self.bytes[self.pos..];
+                if rest.starts_with(b"<!--") {
+                    self.skip_until(b"-->");
+                    continue;
+                }
+                if rest.starts_with(b"<?") {
+                    self.skip_until(b"?>");
+                    continue;
+                }
+                if rest.starts_with(b"<!") {
+                    self.skip_until(b">");
+                    continue;
+                }
+                if rest.starts_with(b"</") {
+                    self.skip_until(b">");
+                    return Some(Event::Close);
+                }
+                return self.read_open_tag();
+            }
+            // Text run until the next '<'.
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            if !text.trim().is_empty() {
+                return Some(Event::Text(decode_entities(text.trim())));
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &[u8]) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(terminator) {
+                self.pos += terminator.len();
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn read_open_tag(&mut self) -> Option<Event> {
+        self.pos += 1; // consume '<'
+        let name = self.read_name();
+        if name.is_empty() {
+            self.skip_until(b">");
+            return self.next_event();
+        }
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos)? {
+                b'>' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'/' => {
+                    self_closing = true;
+                    self.pos += 1;
+                }
+                _ => {
+                    let attr = self.read_name();
+                    if attr.is_empty() {
+                        self.pos += 1;
+                        continue;
+                    }
+                    self.skip_ws();
+                    let mut value = String::new();
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        self.skip_ws();
+                        if let Some(&quote @ (b'"' | b'\'')) = self.bytes.get(self.pos) {
+                            self.pos += 1;
+                            let start = self.pos;
+                            while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                                self.pos += 1;
+                            }
+                            value =
+                                String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                            self.pos += 1; // closing quote
+                        }
+                    }
+                    attrs.push((attr, decode_entities(&value)));
+                }
+            }
+        }
+        Some(Event::Open {
+            name,
+            attrs,
+            self_closing,
+        })
+    }
+
+    fn read_name(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.'))
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+fn decode_entities(text: &str) -> String {
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names_values(content: &str) -> Vec<(String, String)> {
+        extract_xml("t.xml", content)
+            .iter()
+            .map(|i| (i.name().to_owned(), i.raw_value().to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn leaf_text_becomes_item() {
+        assert_eq!(
+            names_values("<Config><Port>1883</Port></Config>"),
+            vec![("Config.Port".to_owned(), "1883".to_owned())]
+        );
+    }
+
+    #[test]
+    fn attributes_use_at_paths() {
+        assert_eq!(
+            names_values("<C><Listener port=\"1\" tls='on'/></C>"),
+            vec![
+                ("C.Listener@port".to_owned(), "1".to_owned()),
+                ("C.Listener@tls".to_owned(), "on".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_siblings_are_indexed() {
+        assert_eq!(
+            names_values("<C><Peer>a</Peer><Peer>b</Peer></C>"),
+            vec![
+                ("C.Peer".to_owned(), "a".to_owned()),
+                ("C.Peer[1]".to_owned(), "b".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        assert_eq!(
+            names_values("<?xml version=\"1.0\"?><!-- c --><C><X>1</X></C>"),
+            vec![("C.X".to_owned(), "1".to_owned())]
+        );
+    }
+
+    #[test]
+    fn entities_decoded() {
+        assert_eq!(
+            names_values("<C><M>a&amp;b &lt;x&gt;</M></C>"),
+            vec![("C.M".to_owned(), "a&b <x>".to_owned())]
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        assert_eq!(
+            names_values("<A><B><C>1</C><D>2</D></B><E>3</E></A>"),
+            vec![
+                ("A.B.C".to_owned(), "1".to_owned()),
+                ("A.B.D".to_owned(), "2".to_owned()),
+                ("A.E".to_owned(), "3".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn container_text_is_not_extracted_for_parent() {
+        // Only leaf-ish text runs are attributed; whitespace between child
+        // elements is ignored.
+        assert_eq!(
+            names_values("<A>\n  <B>1</B>\n</A>"),
+            vec![("A.B".to_owned(), "1".to_owned())]
+        );
+    }
+
+    #[test]
+    fn malformed_is_forgiving() {
+        assert!(names_values("").is_empty());
+        assert!(names_values("<unclosed").is_empty());
+        let items = names_values("<A><B>1</B>");
+        assert_eq!(items, vec![("A.B".to_owned(), "1".to_owned())]);
+    }
+}

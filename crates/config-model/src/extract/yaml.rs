@@ -1,0 +1,253 @@
+//! YAML configuration file extraction (hierarchical format, subset).
+
+use std::collections::HashMap;
+
+use crate::{ConfigItem, ItemSource};
+
+/// Extracts items from a YAML configuration file (Algorithm 1's
+/// `ExtractHierarchical` for YAML).
+///
+/// Supports the subset used by real-world protocol configurations:
+/// indentation-nested mappings, scalar values, `- ` sequences of scalars or
+/// single-key mappings, quoted strings, and `#` comments. Anchors, aliases,
+/// multi-line scalars and flow collections are out of scope; lines using
+/// them are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_config_model::extract::extract_yaml;
+///
+/// let items = extract_yaml(
+///     "qpid.yaml",
+///     "broker:\n  frame_max: 65535\n  sasl:\n    - PLAIN\n    - ANONYMOUS\n",
+/// );
+/// let pairs: Vec<_> = items.iter().map(|i| (i.name(), i.raw_value())).collect();
+/// assert_eq!(
+///     pairs,
+///     vec![
+///         ("broker.frame_max", "65535"),
+///         ("broker.sasl[0]", "PLAIN"),
+///         ("broker.sasl[1]", "ANONYMOUS"),
+///     ]
+/// );
+/// ```
+#[must_use]
+pub fn extract_yaml(file_name: &str, content: &str) -> Vec<ConfigItem> {
+    let source = ItemSource::File {
+        name: file_name.to_owned(),
+    };
+    let mut items = Vec::new();
+    // Stack of (indent, path component) for open mapping levels.
+    let mut stack: Vec<(usize, String)> = Vec::new();
+    // Sequence counters per container path.
+    let mut seq_counters: HashMap<String, usize> = HashMap::new();
+
+    for raw_line in content.lines() {
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() || line.trim() == "---" {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        let body = line.trim();
+
+        // Close mapping levels that this line's indentation exits.
+        while stack.last().is_some_and(|(i, _)| *i >= indent) {
+            stack.pop();
+        }
+        let parent_path = || -> String {
+            stack
+                .iter()
+                .map(|(_, p)| p.as_str())
+                .collect::<Vec<_>>()
+                .join(".")
+        };
+
+        if let Some(element) = body.strip_prefix("- ") {
+            let container = parent_path();
+            let index = seq_counters.entry(container.clone()).or_insert(0);
+            let indexed = if container.is_empty() {
+                format!("[{index}]")
+            } else {
+                format!("{container}[{index}]")
+            };
+            *index += 1;
+            if let Some((key, value)) = split_mapping(element) {
+                if value.is_empty() {
+                    // `- key:` opening a nested mapping inside a sequence is
+                    // rare in protocol configs; treat as a flag.
+                    items.push(ConfigItem::new(
+                        &format!("{indexed}.{key}"),
+                        "",
+                        source.clone(),
+                    ));
+                } else {
+                    items.push(ConfigItem::new(
+                        &format!("{indexed}.{key}"),
+                        &unquote(value),
+                        source.clone(),
+                    ));
+                }
+            } else {
+                items.push(ConfigItem::new(&indexed, &unquote(element), source.clone()));
+            }
+            continue;
+        }
+
+        let Some((key, value)) = split_mapping(body) else {
+            continue; // Unsupported construct (anchor, flow, etc.).
+        };
+        if value.is_empty() {
+            // Opens a nested mapping (or sequence) level.
+            stack.push((indent, key.to_owned()));
+        } else {
+            let path = if stack.is_empty() {
+                key.to_owned()
+            } else {
+                format!("{}.{}", parent_path(), key)
+            };
+            items.push(ConfigItem::new(&path, &unquote(value), source.clone()));
+        }
+    }
+    items
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' starts a comment when at line start or preceded by whitespace
+    // (so URLs like `http://x#y` inside values survive).
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'#' && (i == 0 || bytes[i - 1].is_ascii_whitespace()) {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+fn split_mapping(body: &str) -> Option<(&str, &str)> {
+    let (key, value) = body.split_once(':')?;
+    let key = key.trim();
+    if key.is_empty() || key.contains(char::is_whitespace) {
+        return None;
+    }
+    Some((key, value.trim()))
+}
+
+fn unquote(value: &str) -> String {
+    let v = value.trim();
+    if v.len() >= 2
+        && ((v.starts_with('"') && v.ends_with('"')) || (v.starts_with('\'') && v.ends_with('\'')))
+    {
+        v[1..v.len() - 1].to_owned()
+    } else {
+        v.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(content: &str) -> Vec<(String, String)> {
+        extract_yaml("t.yaml", content)
+            .iter()
+            .map(|i| (i.name().to_owned(), i.raw_value().to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn flat_mapping() {
+        assert_eq!(
+            pairs("port: 5672\nheartbeat: 30\n"),
+            vec![
+                ("port".to_owned(), "5672".to_owned()),
+                ("heartbeat".to_owned(), "30".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_mappings_use_dotted_paths() {
+        assert_eq!(
+            pairs("a:\n  b:\n    c: 1\n  d: 2\ne: 3\n"),
+            vec![
+                ("a.b.c".to_owned(), "1".to_owned()),
+                ("a.d".to_owned(), "2".to_owned()),
+                ("e".to_owned(), "3".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequences_are_indexed() {
+        assert_eq!(
+            pairs("mechs:\n  - PLAIN\n  - EXTERNAL\n"),
+            vec![
+                ("mechs[0]".to_owned(), "PLAIN".to_owned()),
+                ("mechs[1]".to_owned(), "EXTERNAL".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn sequence_of_single_key_mappings() {
+        assert_eq!(
+            pairs("listeners:\n  - port: 1\n  - port: 2\n"),
+            vec![
+                ("listeners[0].port".to_owned(), "1".to_owned()),
+                ("listeners[1].port".to_owned(), "2".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_document_marker_skipped() {
+        assert_eq!(
+            pairs("---\n# top\nkey: v # inline\n"),
+            vec![("key".to_owned(), "v".to_owned())]
+        );
+    }
+
+    #[test]
+    fn quoted_values_unquoted() {
+        assert_eq!(
+            pairs("a: \"x y\"\nb: 'z'\n"),
+            vec![
+                ("a".to_owned(), "x y".to_owned()),
+                ("b".to_owned(), "z".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn url_hash_survives() {
+        assert_eq!(
+            pairs("u: http://h/p#frag\n"),
+            vec![("u".to_owned(), "http://h/p#frag".to_owned())]
+        );
+    }
+
+    #[test]
+    fn dedent_closes_levels() {
+        assert_eq!(
+            pairs("a:\n  b: 1\nc:\n  d: 2\n"),
+            vec![
+                ("a.b".to_owned(), "1".to_owned()),
+                ("c.d".to_owned(), "2".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unsupported_lines_are_skipped() {
+        assert!(pairs("&anchor\n*alias\n").is_empty());
+        assert!(pairs("").is_empty());
+    }
+
+    #[test]
+    fn prose_keys_rejected() {
+        assert!(pairs("note: this is fine\nthis is: not a key\n")
+            .iter()
+            .all(|(k, _)| k == "note"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Protocol configuration model identification (CMFuzz paper §III-A).
+//!
+//! IoT protocols expose their configuration surface through command-line
+//! options and configuration files in many formats. This crate implements
+//! the *Configuration Model Identification* module of CMFuzz:
+//!
+//! 1. **Extraction** ([`extract_model`], Algorithm 1 in the paper) — parse
+//!    CLI option declarations and configuration files (key-value, JSON, XML,
+//!    YAML, and unstandardized custom formats) into raw [`ConfigItem`]s.
+//! 2. **Generalized model construction** (Figure 2) — normalize each item
+//!    into a [`ConfigEntity`], the 4-tuple of *Name*, *Type*
+//!    ([`ValueType`]), *Flag* ([`Mutability`]) and *Values* (typical
+//!    mutation values), collected into a [`ConfigModel`].
+//! 3. **Reassembly** ([`Assembler`]) — render a group of entities with
+//!    chosen values back into runtime-ready CLI argv or config-file text for
+//!    a parallel fuzzing instance (paper §III-B2).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmfuzz_config_model::{extract_model, ConfigSpace, ConfigFile, ValueType};
+//!
+//! let space = ConfigSpace {
+//!     cli: vec!["--max-connections=100".to_owned(), "--verbose".to_owned()],
+//!     files: vec![ConfigFile::named(
+//!         "broker.conf",
+//!         "persistence true\nmax_inflight_messages 20\n",
+//!     )],
+//! };
+//! let model = extract_model(&space);
+//! assert_eq!(model.len(), 4);
+//! let entity = model.entity("max-connections").expect("extracted");
+//! assert_eq!(entity.value_type(), ValueType::Number);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assemble;
+mod entity;
+pub mod extract;
+mod item;
+mod model;
+mod value;
+
+pub use assemble::{Assembler, ResolvedConfig};
+pub use entity::{ConfigEntity, Mutability};
+pub use item::{ConfigItem, ItemSource};
+pub use model::{extract_model, ConfigFile, ConfigModel, ConfigSpace};
+pub use value::{ConfigValue, ValueType};

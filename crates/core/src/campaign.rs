@@ -1,0 +1,406 @@
+//! The parallel campaign runner.
+
+use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
+use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
+use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, Target};
+use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::{CampaignResult, ConfigMutationEvent, CoverageCurve};
+
+/// Options shared by every campaign (CMFuzz and baselines run under
+/// identical budgets — the paper's fairness requirement).
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Parallel fuzzing instances (the paper uses 4).
+    pub instances: usize,
+    /// Virtual-time budget per instance; stands in for the 24-hour wall
+    /// clock (one tick = one fuzzing session).
+    pub budget: Ticks,
+    /// Coverage-curve sampling interval (also the round length).
+    pub sample_interval: Ticks,
+    /// Stagnation window before adaptive configuration mutation fires.
+    pub saturation_window: Ticks,
+    /// Campaign RNG seed; repetitions use different seeds.
+    pub seed: u64,
+    /// Share retained seeds across instances every N rounds (SPFuzz-style
+    /// synchronization); `None` disables sharing.
+    pub seed_sync_every_rounds: Option<u32>,
+    /// Base engine tunables (per-instance seeds are derived from `seed`).
+    pub engine: EngineConfig,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            instances: 4,
+            budget: Ticks::new(20_000),
+            sample_interval: Ticks::new(100),
+            saturation_window: Ticks::new(600),
+            seed: 0,
+            seed_sync_every_rounds: None,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// What one parallel instance is told to do — the output of a scheduler,
+/// consumed by [`run_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct InstanceSetup {
+    /// Startup configuration (empty = target defaults, the baselines'
+    /// behaviour).
+    pub initial_config: ResolvedConfig,
+    /// Entities this instance may mutate adaptively on saturation, with
+    /// their typical values (paper §III-B2). Empty disables adaptive
+    /// configuration mutation.
+    pub adaptive_entities: Vec<(String, Vec<ConfigValue>)>,
+    /// Fixed session plans (SPFuzz path partitioning); empty = random
+    /// state-model walks.
+    pub session_plans: Vec<Vec<String>>,
+}
+
+struct Instance {
+    engine: FuzzEngine<NetworkedTarget<Box<dyn Target + Send>>>,
+    config: ResolvedConfig,
+    adaptive: Vec<(String, Vec<ConfigValue>)>,
+    saturation: SaturationDetector,
+    rng: StdRng,
+}
+
+/// Runs one parallel fuzzing campaign: `setups.len()` isolated instances
+/// over the shared Pit models of `spec`, each in its own network
+/// namespace, with per-round coverage sampling, optional seed
+/// synchronization, and adaptive configuration mutation for instances that
+/// declare adaptive entities.
+///
+/// Instances execute their rounds on real threads (the "parallel" in
+/// parallel fuzzing) but the result is deterministic for a given options
+/// struct because instances share nothing except the round barrier.
+///
+/// # Panics
+///
+/// Panics if `spec`'s Pit document does not parse (a programming error in
+/// the registry) or `setups` is empty.
+#[must_use]
+pub fn run_campaign(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+) -> CampaignResult {
+    assert!(!setups.is_empty(), "campaign needs at least one instance");
+    let pit = pit::parse(spec.pit_document).expect("registry pit documents parse");
+
+    let mut instances: Vec<Instance> = setups
+        .iter()
+        .enumerate()
+        .map(|(i, setup)| {
+            let target = NetworkedTarget::new(
+                (spec.build)(),
+                &format!("{fuzzer}-{}-{i}", spec.name),
+            );
+            let engine_config = EngineConfig {
+                seed: options
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+                ..options.engine.clone()
+            };
+            let mut engine = FuzzEngine::new(target, pit.clone(), engine_config);
+            let config = if engine.start(&setup.initial_config).is_ok() {
+                setup.initial_config.clone()
+            } else {
+                // A scheduler should never hand out a conflicting startup
+                // configuration, but a campaign must not die if one slips
+                // through: fall back to target defaults.
+                let defaults = ResolvedConfig::new();
+                engine
+                    .start(&defaults)
+                    .expect("targets boot under defaults");
+                defaults
+            };
+            engine.set_session_plans(setup.session_plans.clone());
+            Instance {
+                engine,
+                config,
+                adaptive: setup.adaptive_entities.clone(),
+                saturation: SaturationDetector::new(options.saturation_window),
+                rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
+            }
+        })
+        .collect();
+
+    let clock = VirtualClock::new();
+    let mut curve = CoverageCurve::new();
+    let mut config_mutations: Vec<ConfigMutationEvent> = Vec::new();
+    curve.push(Ticks::ZERO, union_coverage(&instances).covered_count());
+
+    let iterations_per_round = options.sample_interval.get().max(1);
+    let rounds = options.budget.get() / iterations_per_round;
+    for round in 0..rounds {
+        // The parallel part: each instance runs its round on its own
+        // thread, fully isolated (own namespace, own engine state).
+        std::thread::scope(|scope| {
+            for instance in &mut instances {
+                scope.spawn(|| {
+                    for _ in 0..iterations_per_round {
+                        instance.engine.run_iteration();
+                    }
+                });
+            }
+        });
+        let now = clock.advance(options.sample_interval);
+
+        // SPFuzz-style seed synchronization between rounds.
+        if let Some(every) = options.seed_sync_every_rounds {
+            if every > 0 && (round + 1) % u64::from(every) == 0 {
+                sync_seeds(&mut instances);
+            }
+        }
+
+        // Adaptive configuration mutation on saturation (paper §III-B2).
+        for (index, instance) in instances.iter_mut().enumerate() {
+            let covered = instance.engine.covered_count();
+            if !instance.adaptive.is_empty() && instance.saturation.observe(now, covered) {
+                if let Some((entity, value)) = mutate_instance_config(instance) {
+                    config_mutations.push(ConfigMutationEvent {
+                        time: now,
+                        instance: index,
+                        entity,
+                        value,
+                    });
+                }
+                instance.saturation.reset_window(now);
+            }
+        }
+
+        curve.push(now, union_coverage(&instances).covered_count());
+    }
+
+    let mut faults = FaultLog::new();
+    let mut stats = crate::metrics::CampaignStats::default();
+    for instance in &instances {
+        faults.merge(instance.engine.fault_log());
+        let engine_stats = instance.engine.stats();
+        stats.sessions += engine_stats.sessions;
+        stats.messages += engine_stats.messages;
+        stats.crashes_observed += engine_stats.crashes_observed;
+    }
+
+    CampaignResult {
+        fuzzer: fuzzer.to_owned(),
+        target: spec.name.to_owned(),
+        instances: setups.len(),
+        budget: options.budget,
+        curve,
+        faults,
+        config_mutations,
+        stats,
+    }
+}
+
+fn union_coverage(instances: &[Instance]) -> CoverageSnapshot {
+    let mut union = instances[0].engine.coverage().clone();
+    for instance in &instances[1..] {
+        union.union_with(instance.engine.coverage());
+    }
+    union
+}
+
+fn sync_seeds(instances: &mut [Instance]) {
+    let outboxes: Vec<Vec<Seed>> = instances
+        .iter_mut()
+        .map(|i| i.engine.export_new_seeds())
+        .collect();
+    for (i, instance) in instances.iter_mut().enumerate() {
+        for (j, outbox) in outboxes.iter().enumerate() {
+            if i != j {
+                // Cap what is shared per round so one lucky instance cannot
+                // flood everyone's corpus.
+                let shared = &outbox[..outbox.len().min(16)];
+                instance.engine.import_seeds(shared);
+            }
+        }
+    }
+}
+
+/// Picks one adaptive entity and one of its typical values, restarting the
+/// instance's target under the mutated configuration. Conflicting picks
+/// (failed starts) are retried a few times and abandoned otherwise — the
+/// previous configuration keeps running. Returns the applied mutation.
+fn mutate_instance_config(instance: &mut Instance) -> Option<(String, ConfigValue)> {
+    for _attempt in 0..4 {
+        let (name, values) = &instance.adaptive[instance.rng.random_range(0..instance.adaptive.len())];
+        if values.is_empty() {
+            continue;
+        }
+        let value = values[instance.rng.random_range(0..values.len())].clone();
+        if instance.config.get(name) == Some(&value) {
+            continue;
+        }
+        let mut candidate = instance.config.clone();
+        candidate.set(name, value.clone());
+        if instance.engine.start(&candidate).is_ok() {
+            instance.config = candidate;
+            return Some((name.clone(), value));
+        }
+        // Failed start: the engine is left unstarted; restore the running
+        // configuration before trying another value.
+        instance
+            .engine
+            .start(&instance.config)
+            .expect("previous configuration boots");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_protocols::spec_by_name;
+
+    fn small_options(seed: u64) -> CampaignOptions {
+        CampaignOptions {
+            instances: 2,
+            budget: Ticks::new(600),
+            sample_interval: Ticks::new(100),
+            saturation_window: Ticks::new(200),
+            seed,
+            ..CampaignOptions::default()
+        }
+    }
+
+    #[test]
+    fn default_setup_campaign_produces_monotone_curve() {
+        let spec = spec_by_name("dnsmasq").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let result = run_campaign(&spec, "peach", &setups, &small_options(1));
+        assert_eq!(result.fuzzer, "peach");
+        assert_eq!(result.target, "dnsmasq");
+        assert_eq!(result.curve.points().len(), 7, "initial + 6 rounds");
+        let mut last = 0;
+        for &(_, branches) in result.curve.points() {
+            assert!(branches >= last, "union coverage is monotone");
+            last = branches;
+        }
+        assert!(result.final_branches() > 10);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_per_seed() {
+        let spec = spec_by_name("libcoap").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let a = run_campaign(&spec, "peach", &setups, &small_options(9));
+        let b = run_campaign(&spec, "peach", &setups, &small_options(9));
+        assert_eq!(a.curve, b.curve);
+        assert_eq!(
+            a.faults.unique_count(),
+            b.faults.unique_count()
+        );
+        let c = run_campaign(&spec, "peach", &setups, &small_options(10));
+        // Different seed virtually always walks a different curve.
+        assert!(a.curve != c.curve || a.final_branches() == c.final_branches());
+    }
+
+    #[test]
+    fn config_mutations_are_logged_with_their_instance() {
+        let spec = spec_by_name("libcoap").unwrap();
+        let model = cmfuzz_config_model::extract_model(&{
+            let target = (spec.build)();
+            target.config_space()
+        });
+        let setups = vec![InstanceSetup {
+            adaptive_entities: model
+                .mutable_entities()
+                .map(|e| (e.name().to_owned(), e.values().to_vec()))
+                .collect(),
+            ..InstanceSetup::default()
+        }];
+        let options = CampaignOptions {
+            instances: 1,
+            budget: Ticks::new(2000),
+            sample_interval: Ticks::new(100),
+            saturation_window: Ticks::new(200),
+            seed: 4,
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign(&spec, "cmfuzz", &setups, &options);
+        assert!(
+            !result.config_mutations.is_empty(),
+            "saturation must have fired at least once"
+        );
+        for event in &result.config_mutations {
+            assert_eq!(event.instance, 0);
+            assert!(model.entity(&event.entity).is_some());
+            assert!(event.time > Ticks::ZERO);
+        }
+    }
+
+    #[test]
+    fn adaptive_mutation_unlocks_config_branches() {
+        let spec = spec_by_name("mosquitto").unwrap();
+        let model = cmfuzz_config_model::extract_model(&{
+            let target = (spec.build)();
+            target.config_space()
+        });
+        let adaptive: Vec<(String, Vec<ConfigValue>)> = model
+            .mutable_entities()
+            .map(|e| (e.name().to_owned(), e.values().to_vec()))
+            .collect();
+        let with_adaptive = vec![InstanceSetup {
+            adaptive_entities: adaptive,
+            ..InstanceSetup::default()
+        }];
+        let without = vec![InstanceSetup::default()];
+        let options = CampaignOptions {
+            instances: 1,
+            budget: Ticks::new(3000),
+            sample_interval: Ticks::new(100),
+            saturation_window: Ticks::new(200),
+            seed: 3,
+            ..CampaignOptions::default()
+        };
+        let adaptive_result = run_campaign(&spec, "cmfuzz", &with_adaptive, &options);
+        let static_result = run_campaign(&spec, "peach", &without, &options);
+        assert!(
+            adaptive_result.final_branches() > static_result.final_branches(),
+            "adaptive {} <= static {}",
+            adaptive_result.final_branches(),
+            static_result.final_branches()
+        );
+    }
+
+    #[test]
+    fn conflicting_initial_config_falls_back_to_defaults() {
+        let spec = spec_by_name("mosquitto").unwrap();
+        let mut bad = ResolvedConfig::new();
+        bad.set("auth-method", ConfigValue::Str("tls".into()));
+        bad.set("tls_enabled", ConfigValue::Bool(false));
+        let setups = vec![InstanceSetup {
+            initial_config: bad,
+            ..InstanceSetup::default()
+        }];
+        let result = run_campaign(&spec, "cmfuzz", &setups, &small_options(2));
+        assert!(result.final_branches() > 0, "campaign survived the conflict");
+    }
+
+    #[test]
+    fn session_plans_are_honoured() {
+        let spec = spec_by_name("mosquitto").unwrap();
+        // A plan that only ever sends Connect: the Publish path is absent.
+        let connect_only = vec![InstanceSetup {
+            session_plans: vec![vec!["Connect".to_owned()]],
+            ..InstanceSetup::default()
+        }];
+        let free = vec![InstanceSetup::default()];
+        let options = small_options(5);
+        let constrained = run_campaign(&spec, "spfuzz", &connect_only, &options);
+        let unconstrained = run_campaign(&spec, "peach", &free, &options);
+        assert!(
+            constrained.final_branches() < unconstrained.final_branches(),
+            "restricting sessions must cost coverage"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Weighted undirected relation graph (the networkx substitute).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One weighted edge between two configuration entities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// First endpoint (entity name index).
+    pub a: usize,
+    /// Second endpoint (entity name index).
+    pub b: usize,
+    /// Relation weight; normalized to `[0, 1]` after
+    /// [`RelationGraph::normalize_weights`].
+    pub weight: f64,
+}
+
+/// The relation-aware configuration model's graph: nodes are configuration
+/// entities, weighted edges quantify pairwise relations (paper Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz::graph::RelationGraph;
+///
+/// let mut graph = RelationGraph::new();
+/// graph.add_node("qos");
+/// graph.add_node("persistence");
+/// graph.add_edge("qos", "persistence", 42.0);
+/// graph.normalize_weights();
+/// assert_eq!(graph.edges()[0].weight, 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RelationGraph {
+    nodes: Vec<String>,
+    by_name: HashMap<String, usize>,
+    edges: Vec<Edge>,
+}
+
+impl RelationGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node (idempotent), returning its index.
+    pub fn add_node(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        let index = self.nodes.len();
+        self.nodes.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), index);
+        index
+    }
+
+    /// Adds an undirected edge between two nodes, creating them if needed.
+    /// A repeated pair keeps the larger weight.
+    pub fn add_edge(&mut self, a: &str, b: &str, weight: f64) {
+        let (ia, ib) = (self.add_node(a), self.add_node(b));
+        if ia == ib {
+            return; // self-relations are meaningless
+        }
+        let (lo, hi) = (ia.min(ib), ia.max(ib));
+        if let Some(edge) = self
+            .edges
+            .iter_mut()
+            .find(|e| e.a == lo && e.b == hi)
+        {
+            edge.weight = edge.weight.max(weight);
+        } else {
+            self.edges.push(Edge {
+                a: lo,
+                b: hi,
+                weight,
+            });
+        }
+    }
+
+    /// Node names in insertion order.
+    #[must_use]
+    pub fn node_names(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The name of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn name_of(&self, index: usize) -> &str {
+        &self.nodes[index]
+    }
+
+    /// Index of the named node, if present.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All edges, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edges sorted by descending weight (Algorithm 2 line 3,
+    /// `SortByWeight`). Ties break on endpoint indices so the order is
+    /// deterministic.
+    #[must_use]
+    pub fn edges_sorted_desc(&self) -> Vec<Edge> {
+        let mut sorted = self.edges.clone();
+        sorted.sort_by(|x, y| {
+            y.weight
+                .partial_cmp(&x.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+        sorted
+    }
+
+    /// Weight between two named nodes, if an edge exists.
+    #[must_use]
+    pub fn weight_between(&self, a: &str, b: &str) -> Option<f64> {
+        let (ia, ib) = (self.index_of(a)?, self.index_of(b)?);
+        let (lo, hi) = (ia.min(ib), ia.max(ib));
+        self.edges
+            .iter()
+            .find(|e| e.a == lo && e.b == hi)
+            .map(|e| e.weight)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Min-max normalizes edge weights into `[0, 1]` (paper §III-B1: "to
+    /// ensure consistency and comparability across all relation weights").
+    /// With a single distinct weight every edge becomes `1.0`.
+    pub fn normalize_weights(&mut self) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &self.edges {
+            lo = lo.min(e.weight);
+            hi = hi.max(e.weight);
+        }
+        if self.edges.is_empty() {
+            return;
+        }
+        let span = hi - lo;
+        for e in &mut self.edges {
+            e.weight = if span <= f64::EPSILON {
+                1.0
+            } else {
+                (e.weight - lo) / span
+            };
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT format, for visualizing the
+    /// relation-aware configuration model (the paper's Figure 3).
+    ///
+    /// Edge weights appear as labels and scale pen width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmfuzz::graph::RelationGraph;
+    ///
+    /// let mut graph = RelationGraph::new();
+    /// graph.add_edge("qos", "persistence", 1.0);
+    /// let dot = graph.to_dot("mosquitto");
+    /// assert!(dot.contains("graph mosquitto"));
+    /// assert!(dot.contains("\"qos\" -- \"persistence\""));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("graph {name} {{\n");
+        for node in &self.nodes {
+            out.push_str(&format!("  \"{node}\";\n"));
+        }
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  \"{}\" -- \"{}\" [label=\"{:.2}\", penwidth={:.1}];\n",
+                self.nodes[e.a],
+                self.nodes[e.b],
+                e.weight,
+                1.0 + 3.0 * e.weight
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Nodes with no incident edge — entities whose every probed
+    /// combination failed to start or added nothing.
+    #[must_use]
+    pub fn isolated_nodes(&self) -> Vec<String> {
+        let mut connected = vec![false; self.nodes.len()];
+        for e in &self.edges {
+            connected[e.a] = true;
+            connected[e.b] = true;
+        }
+        self.nodes
+            .iter()
+            .zip(&connected)
+            .filter(|(_, &c)| !c)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for RelationGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RelationGraph ({} nodes, {} edges)",
+            self.nodes.len(),
+            self.edges.len()
+        )?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -- {} : {:.3}",
+                self.nodes[e.a], self.nodes[e.b], e.weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_deduplicated() {
+        let mut g = RelationGraph::new();
+        assert_eq!(g.add_node("a"), 0);
+        assert_eq!(g.add_node("b"), 1);
+        assert_eq!(g.add_node("a"), 0);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn edges_keep_max_weight_on_repeat() {
+        let mut g = RelationGraph::new();
+        g.add_edge("a", "b", 1.0);
+        g.add_edge("b", "a", 3.0);
+        g.add_edge("a", "b", 2.0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight_between("a", "b"), Some(3.0));
+    }
+
+    #[test]
+    fn self_edges_rejected() {
+        let mut g = RelationGraph::new();
+        g.add_edge("a", "a", 5.0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn sorted_desc_is_deterministic() {
+        let mut g = RelationGraph::new();
+        g.add_edge("a", "b", 1.0);
+        g.add_edge("c", "d", 3.0);
+        g.add_edge("e", "f", 3.0);
+        let sorted = g.edges_sorted_desc();
+        assert_eq!(sorted[0].weight, 3.0);
+        assert!(sorted[0].a < sorted[1].a, "ties break on indices");
+        assert_eq!(sorted[2].weight, 1.0);
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let mut g = RelationGraph::new();
+        g.add_edge("a", "b", 10.0);
+        g.add_edge("c", "d", 20.0);
+        g.add_edge("e", "f", 30.0);
+        g.normalize_weights();
+        let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+        assert_eq!(weights, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_single_weight_becomes_one() {
+        let mut g = RelationGraph::new();
+        g.add_edge("a", "b", 7.0);
+        g.add_edge("c", "d", 7.0);
+        g.normalize_weights();
+        assert!(g.edges().iter().all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn normalize_empty_graph_is_noop() {
+        let mut g = RelationGraph::new();
+        g.normalize_weights();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_found() {
+        let mut g = RelationGraph::new();
+        g.add_node("lonely");
+        g.add_edge("a", "b", 1.0);
+        assert_eq!(g.isolated_nodes(), vec!["lonely".to_owned()]);
+    }
+
+    #[test]
+    fn dot_export_escapes_and_lists_everything() {
+        let mut g = RelationGraph::new();
+        g.add_node("isolated");
+        g.add_edge("a", "b", 0.5);
+        let dot = g.to_dot("test");
+        assert!(dot.starts_with("graph test {"));
+        assert!(dot.contains("\"isolated\";"));
+        assert!(dot.contains("label=\"0.50\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut g = RelationGraph::new();
+        g.add_edge("x", "y", 0.5);
+        let rendered = g.to_string();
+        assert!(rendered.contains("x -- y"));
+        assert!(rendered.contains("0.500"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The live coverage map and the probe handle targets hit it through.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::snapshot::CoverageSnapshot;
+use crate::BranchId;
+
+/// Shared per-target hit-count map, the analogue of the SanitizerCoverage
+/// guard array.
+///
+/// The map is created once per fuzzing instance with the target's branch
+/// count and shared with the target through [`CoverageProbe`] handles.
+/// Recording a hit is a single relaxed atomic increment, so instrumentation
+/// stays cheap even on hot parsing paths.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_coverage::{BranchId, CoverageMap};
+///
+/// let map = CoverageMap::new(4);
+/// let probe = map.probe();
+/// probe.hit(BranchId::from_index(2));
+/// assert_eq!(map.hit_count(BranchId::from_index(2)), 1);
+/// assert_eq!(map.covered_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageMap {
+    cells: Arc<[AtomicU32]>,
+}
+
+impl CoverageMap {
+    /// Creates a map with `capacity` branch slots, all unhit.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cells: Vec<AtomicU32> = (0..capacity).map(|_| AtomicU32::new(0)).collect();
+        CoverageMap {
+            cells: cells.into(),
+        }
+    }
+
+    /// Returns a cheap cloneable handle targets use to record hits.
+    #[must_use]
+    pub fn probe(&self) -> CoverageProbe {
+        CoverageProbe {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
+    /// Number of branch slots in this map.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Hit count recorded for `id`; zero for out-of-range IDs.
+    #[must_use]
+    pub fn hit_count(&self, id: BranchId) -> u32 {
+        self.cells
+            .get(id.index() as usize)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Number of branches hit at least once.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.load(Ordering::Relaxed) > 0)
+            .count()
+    }
+
+    /// Captures an immutable snapshot of which branches are covered.
+    #[must_use]
+    pub fn snapshot(&self) -> CoverageSnapshot {
+        CoverageSnapshot::from_hits(
+            self.cells.len(),
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.load(Ordering::Relaxed) > 0)
+                .map(|(i, _)| i),
+        )
+    }
+
+    /// Clears all hit counts back to zero.
+    pub fn reset(&self) {
+        for cell in self.cells.iter() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Cloneable handle through which instrumented code records branch hits.
+///
+/// This is the value handed to a protocol target when it starts; the target
+/// calls [`CoverageProbe::hit`] at every instrumented branch, mirroring the
+/// `trace-pc-guard` callback the paper inserts with Clang.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_coverage::{BranchId, CoverageMap};
+///
+/// let map = CoverageMap::new(2);
+/// let probe = map.probe();
+/// let clone = probe.clone(); // handles share the same map
+/// clone.hit(BranchId::from_index(0));
+/// assert_eq!(map.covered_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageProbe {
+    cells: Arc<[AtomicU32]>,
+}
+
+impl CoverageProbe {
+    /// Creates a probe backed by a throwaway map of `capacity` slots.
+    ///
+    /// Useful in tests and in targets run outside a campaign; hits are
+    /// recorded but observable only through probes cloned from this one.
+    #[must_use]
+    pub fn detached(capacity: usize) -> Self {
+        CoverageMap::new(capacity).probe()
+    }
+
+    /// Records one execution of branch `id`.
+    ///
+    /// Out-of-range IDs are ignored rather than panicking: a mis-sized map
+    /// should degrade to lost coverage, not a crashed campaign.
+    pub fn hit(&self, id: BranchId) {
+        if let Some(cell) = self.cells.get(id.index() as usize) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_map_is_empty() {
+        let map = CoverageMap::new(8);
+        assert_eq!(map.capacity(), 8);
+        assert_eq!(map.covered_count(), 0);
+        assert_eq!(map.snapshot().covered_count(), 0);
+    }
+
+    #[test]
+    fn hits_accumulate_per_branch() {
+        let map = CoverageMap::new(3);
+        let probe = map.probe();
+        probe.hit(BranchId::from_index(1));
+        probe.hit(BranchId::from_index(1));
+        probe.hit(BranchId::from_index(2));
+        assert_eq!(map.hit_count(BranchId::from_index(0)), 0);
+        assert_eq!(map.hit_count(BranchId::from_index(1)), 2);
+        assert_eq!(map.hit_count(BranchId::from_index(2)), 1);
+        assert_eq!(map.covered_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_hits_are_ignored() {
+        let map = CoverageMap::new(1);
+        let probe = map.probe();
+        probe.hit(BranchId::from_index(5));
+        assert_eq!(map.covered_count(), 0);
+        assert_eq!(map.hit_count(BranchId::from_index(5)), 0);
+    }
+
+    #[test]
+    fn probes_share_one_map() {
+        let map = CoverageMap::new(2);
+        let p1 = map.probe();
+        let p2 = p1.clone();
+        p1.hit(BranchId::from_index(0));
+        p2.hit(BranchId::from_index(0));
+        assert_eq!(map.hit_count(BranchId::from_index(0)), 2);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let map = CoverageMap::new(2);
+        map.probe().hit(BranchId::from_index(0));
+        assert_eq!(map.covered_count(), 1);
+        map.reset();
+        assert_eq!(map.covered_count(), 0);
+        assert_eq!(map.hit_count(BranchId::from_index(0)), 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_covered_set() {
+        let map = CoverageMap::new(4);
+        let probe = map.probe();
+        probe.hit(BranchId::from_index(0));
+        probe.hit(BranchId::from_index(3));
+        let snap = map.snapshot();
+        assert!(snap.is_covered(BranchId::from_index(0)));
+        assert!(!snap.is_covered(BranchId::from_index(1)));
+        assert!(snap.is_covered(BranchId::from_index(3)));
+        assert_eq!(snap.covered_count(), 2);
+    }
+
+    #[test]
+    fn hits_from_threads_are_all_counted() {
+        let map = CoverageMap::new(1);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let probe = map.probe();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        probe.hit(BranchId::from_index(0));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        assert_eq!(map.hit_count(BranchId::from_index(0)), 4000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Coverage saturation detection.
+
+use crate::Ticks;
+
+/// Detects that an instance's coverage "has not increased over a set
+/// duration" (paper §III-B2), the trigger for CMFuzz's adaptive mutation of
+/// configuration values.
+///
+/// Feed the detector `(now, covered_count)` observations; it reports
+/// saturation once the covered count has failed to grow for at least the
+/// configured window of virtual time. Any growth resets the window.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_coverage::{SaturationDetector, Ticks};
+///
+/// let mut detector = SaturationDetector::new(Ticks::new(100));
+/// assert!(!detector.observe(Ticks::new(0), 10));
+/// assert!(!detector.observe(Ticks::new(50), 10));
+/// assert!(detector.observe(Ticks::new(100), 10), "flat for a full window");
+/// assert!(!detector.observe(Ticks::new(150), 11), "progress resets it");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaturationDetector {
+    window: Ticks,
+    best_count: usize,
+    last_progress: Ticks,
+    primed: bool,
+}
+
+impl SaturationDetector {
+    /// Creates a detector that declares saturation after `window` ticks
+    /// without coverage growth.
+    #[must_use]
+    pub fn new(window: Ticks) -> Self {
+        SaturationDetector {
+            window,
+            best_count: 0,
+            last_progress: Ticks::ZERO,
+            primed: false,
+        }
+    }
+
+    /// The configured stagnation window.
+    #[must_use]
+    pub fn window(&self) -> Ticks {
+        self.window
+    }
+
+    /// Records an observation and returns whether coverage is saturated.
+    ///
+    /// The first observation primes the detector and never reports
+    /// saturation. Non-monotonic `covered_count` values (e.g. after a map
+    /// reset) re-prime the progress marker rather than panicking.
+    pub fn observe(&mut self, now: Ticks, covered_count: usize) -> bool {
+        if !self.primed || covered_count > self.best_count {
+            self.primed = true;
+            self.best_count = covered_count;
+            self.last_progress = now;
+            return false;
+        }
+        now.saturating_sub(self.last_progress) >= self.window
+    }
+
+    /// Resets the stagnation window, as after the instance mutated its
+    /// configuration and should be given a fresh chance to progress.
+    pub fn reset_window(&mut self, now: Ticks) {
+        self.last_progress = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_never_saturates() {
+        let mut d = SaturationDetector::new(Ticks::new(0));
+        assert!(!d.observe(Ticks::new(0), 0));
+        // Zero window: the very next flat observation saturates.
+        assert!(d.observe(Ticks::new(0), 0));
+    }
+
+    #[test]
+    fn growth_postpones_saturation() {
+        let mut d = SaturationDetector::new(Ticks::new(10));
+        assert!(!d.observe(Ticks::new(0), 1));
+        assert!(!d.observe(Ticks::new(9), 2));
+        assert!(!d.observe(Ticks::new(18), 2));
+        assert!(d.observe(Ticks::new(19), 2));
+    }
+
+    #[test]
+    fn reset_window_gives_fresh_chance() {
+        let mut d = SaturationDetector::new(Ticks::new(5));
+        assert!(!d.observe(Ticks::new(0), 3));
+        assert!(d.observe(Ticks::new(5), 3));
+        d.reset_window(Ticks::new(5));
+        assert!(!d.observe(Ticks::new(9), 3));
+        assert!(d.observe(Ticks::new(10), 3));
+    }
+
+    #[test]
+    fn count_decrease_reprimes() {
+        let mut d = SaturationDetector::new(Ticks::new(5));
+        assert!(!d.observe(Ticks::new(0), 10));
+        // A lower count (map reset) is flat relative to best; stays armed.
+        assert!(d.observe(Ticks::new(5), 4));
+        // New growth beyond the best resets.
+        assert!(!d.observe(Ticks::new(6), 11));
+    }
+
+    #[test]
+    fn window_accessor() {
+        assert_eq!(SaturationDetector::new(Ticks::new(7)).window(), Ticks::new(7));
+    }
+}

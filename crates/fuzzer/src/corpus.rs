@@ -1,0 +1,151 @@
+//! Coverage-guided seed corpus.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One retained input: the bytes and the data model that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Seed {
+    /// Wire bytes of the retained input.
+    pub bytes: Vec<u8>,
+    /// Name of the data model the input was generated from.
+    pub model: String,
+}
+
+impl Seed {
+    /// Creates a seed.
+    #[must_use]
+    pub fn new(bytes: Vec<u8>, model: &str) -> Self {
+        Seed {
+            bytes,
+            model: model.to_owned(),
+        }
+    }
+}
+
+/// Bounded seed pool with coverage-guided retention: inputs that reached new
+/// branches are kept and later re-mutated, the feedback loop shared by every
+/// fuzzer in the experiment.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{Corpus, Seed};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut corpus = Corpus::new(2);
+/// corpus.add(Seed::new(vec![1], "m"));
+/// corpus.add(Seed::new(vec![2], "m"));
+/// corpus.add(Seed::new(vec![3], "m")); // evicts the oldest
+/// assert_eq!(corpus.len(), 2);
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert!(corpus.pick(&mut rng).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    seeds: Vec<Seed>,
+    capacity: usize,
+}
+
+impl Corpus {
+    /// Creates a corpus bounded at `capacity` seeds (0 means unbounded).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Corpus {
+            seeds: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Adds a seed, evicting the oldest when at capacity.
+    pub fn add(&mut self, seed: Seed) {
+        if self.capacity > 0 && self.seeds.len() >= self.capacity {
+            self.seeds.remove(0);
+        }
+        self.seeds.push(seed);
+    }
+
+    /// Picks a uniformly random seed, if any.
+    pub fn pick(&self, rng: &mut StdRng) -> Option<&Seed> {
+        if self.seeds.is_empty() {
+            None
+        } else {
+            Some(&self.seeds[rng.random_range(0..self.seeds.len())])
+        }
+    }
+
+    /// Picks a random seed generated from the named data model, if any.
+    pub fn pick_for_model(&self, rng: &mut StdRng, model: &str) -> Option<&Seed> {
+        let matching: Vec<&Seed> = self.seeds.iter().filter(|s| s.model == model).collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(matching[rng.random_range(0..matching.len())])
+        }
+    }
+
+    /// Number of retained seeds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the corpus holds no seeds.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Iterates over retained seeds, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Seed> {
+        self.seeds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = Corpus::new(2);
+        c.add(Seed::new(vec![1], "a"));
+        c.add(Seed::new(vec![2], "a"));
+        c.add(Seed::new(vec![3], "a"));
+        let bytes: Vec<_> = c.iter().map(|s| s.bytes.clone()).collect();
+        assert_eq!(bytes, vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut c = Corpus::new(0);
+        for i in 0..100u8 {
+            c.add(Seed::new(vec![i], "a"));
+        }
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn pick_from_empty_is_none() {
+        let c = Corpus::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c.pick(&mut rng).is_none());
+        assert!(c.pick_for_model(&mut rng, "a").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pick_for_model_filters() {
+        let mut c = Corpus::new(10);
+        c.add(Seed::new(vec![1], "connect"));
+        c.add(Seed::new(vec![2], "publish"));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let s = c.pick_for_model(&mut rng, "publish").unwrap();
+            assert_eq!(s.model, "publish");
+        }
+        assert!(c.pick_for_model(&mut rng, "subscribe").is_none());
+    }
+}

@@ -1,0 +1,562 @@
+//! The fuzzing engine: one generation-based fuzzing instance.
+
+use cmfuzz_config_model::ResolvedConfig;
+use cmfuzz_coverage::{CoverageMap, CoverageSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::pit::PitDefinition;
+use crate::{
+    Corpus, DataModel, FaultLog, Generator, Mutator, Seed, StartError, StateWalker, Target,
+};
+
+/// Tunables of a fuzzing instance.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::EngineConfig;
+///
+/// let config = EngineConfig { seed: 7, ..EngineConfig::default() };
+/// assert_eq!(config.max_session_len, 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// RNG seed; two engines with the same seed, target and Pit behave
+    /// identically.
+    pub seed: u64,
+    /// Maximum transitions walked per session.
+    pub max_session_len: usize,
+    /// Maximum stacked byte-level mutation operators per message.
+    pub mutation_stack: u32,
+    /// Seed-corpus capacity (0 = unbounded).
+    pub corpus_capacity: usize,
+    /// Probability of perturbing data-model field values before a session.
+    pub model_mutation_rate: f64,
+    /// Probability of re-mutating a retained corpus seed instead of
+    /// generating fresh bytes from the model.
+    pub seed_reuse_rate: f64,
+    /// Probability of applying byte-level havoc to a generated message.
+    pub byte_mutation_rate: f64,
+    /// Optional token dictionary spliced into havoc stacks (AFL-style);
+    /// empty by default, leaving mutation behaviour unchanged.
+    pub dictionary: Vec<Vec<u8>>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0,
+            max_session_len: 6,
+            mutation_stack: 4,
+            corpus_capacity: 256,
+            model_mutation_rate: 0.3,
+            seed_reuse_rate: 0.5,
+            byte_mutation_rate: 0.6,
+            dictionary: Vec::new(),
+        }
+    }
+}
+
+/// Cumulative execution statistics of one fuzzing instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Sessions executed (= iterations).
+    pub sessions: u64,
+    /// Protocol messages sent.
+    pub messages: u64,
+    /// Messages generated from a field-mutated model copy.
+    pub model_mutations: u64,
+    /// Messages taken from a retained corpus seed.
+    pub seed_reuses: u64,
+    /// Messages that additionally went through byte-level havoc.
+    pub byte_mutations: u64,
+    /// Fault events observed, duplicates included.
+    pub crashes_observed: u64,
+}
+
+/// What one fuzzing iteration (one protocol session) produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterationOutcome {
+    /// Branches covered for the first time by this instance.
+    pub new_branches: usize,
+    /// Previously unseen unique faults triggered.
+    pub new_faults: usize,
+    /// Protocol messages sent during the session.
+    pub messages_sent: usize,
+}
+
+/// One fuzzing instance: a target, the shared Pit models, a coverage map
+/// and the mutation/corpus machinery (the paper's per-instance Peach
+/// process).
+///
+/// # Examples
+///
+/// See the `cmfuzz-protocols` crate tests and the repository examples; the
+/// engine needs a [`Target`] implementation to run.
+#[derive(Debug)]
+pub struct FuzzEngine<T: Target> {
+    target: T,
+    pit: PitDefinition,
+    config: EngineConfig,
+    map: CoverageMap,
+    accumulated: CoverageSnapshot,
+    working_models: Vec<DataModel>,
+    corpus: Corpus,
+    mutator: Mutator,
+    faults: FaultLog,
+    rng: StdRng,
+    iterations: u64,
+    started: bool,
+    /// Fixed session plans (SPFuzz-style path partitioning); when
+    /// non-empty they replace random state walks, cycling in order.
+    session_plans: Vec<Vec<String>>,
+    next_plan: usize,
+    stats: EngineStats,
+    /// Seeds retained since the last [`FuzzEngine::export_new_seeds`]
+    /// drain, for cross-instance synchronization.
+    outbox: Vec<Seed>,
+}
+
+impl<T: Target> FuzzEngine<T> {
+    /// Creates an engine for `target` driven by the models in `pit`.
+    #[must_use]
+    pub fn new(target: T, pit: PitDefinition, config: EngineConfig) -> Self {
+        let map = CoverageMap::new(target.branch_count());
+        let accumulated = CoverageSnapshot::empty(target.branch_count());
+        let working_models = pit.data_models().to_vec();
+        let mutator = Mutator::new(config.seed ^ 0x006d_7574_6174_6f72)
+            .with_dictionary(config.dictionary.clone());
+        let rng = StdRng::seed_from_u64(config.seed);
+        FuzzEngine {
+            target,
+            pit,
+            config,
+            map,
+            accumulated,
+            working_models,
+            corpus: Corpus::new(256),
+            mutator,
+            faults: FaultLog::new(),
+            rng,
+            iterations: 0,
+            started: false,
+            session_plans: Vec::new(),
+            next_plan: 0,
+            stats: EngineStats::default(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Cumulative execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Pins the engine to fixed session plans (sequences of data-model
+    /// names), cycling through them instead of walking the state model
+    /// randomly. This is how SPFuzz-style schedulers partition the state
+    /// path space across instances. An empty list restores random walks.
+    pub fn set_session_plans(&mut self, plans: Vec<Vec<String>>) {
+        self.session_plans = plans;
+        self.next_plan = 0;
+    }
+
+    /// Drains the seeds retained since the last call, for synchronization
+    /// with sibling instances.
+    pub fn export_new_seeds(&mut self) -> Vec<Seed> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Imports seeds shared by sibling instances (they do not re-enter the
+    /// outbox, so synchronization does not echo).
+    pub fn import_seeds(&mut self, seeds: &[Seed]) {
+        for seed in seeds {
+            self.corpus.add(seed.clone());
+        }
+    }
+
+    /// Boots (or reboots) the target under `config`, returning the startup
+    /// coverage snapshot. Coverage accumulates across restarts, matching
+    /// how the paper counts an instance's branches over its whole 24 hours
+    /// even as configuration values are mutated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the target's [`StartError`] for conflicting
+    /// configurations; the engine stays unstarted.
+    pub fn start(&mut self, config: &ResolvedConfig) -> Result<CoverageSnapshot, StartError> {
+        let before = self.map.snapshot();
+        self.target.start(config, self.map.probe())?;
+        self.started = true;
+        let after = self.map.snapshot();
+        self.accumulated.union_with(&after);
+        // Startup coverage is what the boot added beyond what was there.
+        Ok(CoverageSnapshot::from_hits(
+            after.capacity(),
+            after
+                .covered_ids()
+                .filter(|id| !before.is_covered(*id))
+                .map(|id| id.index() as usize),
+        ))
+    }
+
+    /// Runs one fuzzing iteration: walks a session through the state model,
+    /// generating/mutating one message per transition, and feeds back
+    /// coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was never successfully [`start`](Self::start)ed.
+    pub fn run_iteration(&mut self) -> IterationOutcome {
+        assert!(self.started, "run_iteration before successful start");
+        self.target.begin_session();
+
+        // Plan the session: transition data-model names, in order.
+        let plan: Vec<String> = if !self.session_plans.is_empty() {
+            let plan = self.session_plans[self.next_plan % self.session_plans.len()].clone();
+            self.next_plan = self.next_plan.wrapping_add(1);
+            plan
+        } else {
+            self.plan_random_session()
+        };
+
+        let mut outcome = IterationOutcome::default();
+        let mut sent: Vec<(String, Vec<u8>)> = Vec::new();
+        for model_name in &plan {
+            // Generation-side mutation perturbs a throwaway copy of the
+            // model, so the pristine structure survives — interesting
+            // variants persist through the corpus instead.
+            let mutate_fields = self.rng.random::<f64>() < self.config.model_mutation_rate;
+
+            let mut bytes = if !mutate_fields
+                && self.rng.random::<f64>() < self.config.seed_reuse_rate
+            {
+                match self.corpus.pick_for_model(&mut self.rng, model_name) {
+                    Some(seed) => {
+                        self.stats.seed_reuses += 1;
+                        seed.bytes.clone()
+                    }
+                    None => self.render(model_name),
+                }
+            } else if mutate_fields {
+                self.stats.model_mutations += 1;
+                match self
+                    .working_models
+                    .iter()
+                    .find(|m| m.name() == model_name)
+                {
+                    Some(model) => {
+                        let mut copy = model.clone();
+                        self.mutator.mutate_model(&mut copy);
+                        Generator::render(&copy)
+                    }
+                    None => Vec::new(),
+                }
+            } else {
+                self.render(model_name)
+            };
+
+            if self.rng.random::<f64>() < self.config.byte_mutation_rate {
+                self.stats.byte_mutations += 1;
+                self.mutator.mutate(&mut bytes, self.config.mutation_stack);
+            }
+
+            let response = self.target.handle(&bytes);
+            outcome.messages_sent += 1;
+            self.stats.messages += 1;
+            sent.push((model_name.clone(), bytes));
+            if let Some(fault) = response.fault {
+                self.stats.crashes_observed += 1;
+                if self.faults.record(fault) {
+                    outcome.new_faults += 1;
+                }
+            }
+        }
+
+        // Coverage feedback: retain the whole session's inputs if anything
+        // new was reached.
+        let snapshot = self.map.snapshot();
+        outcome.new_branches = snapshot.newly_covered(&self.accumulated);
+        if outcome.new_branches > 0 {
+            self.accumulated.union_with(&snapshot);
+            for (model, bytes) in sent {
+                let seed = Seed::new(bytes, &model);
+                self.outbox.push(seed.clone());
+                self.corpus.add(seed);
+            }
+        }
+        self.iterations += 1;
+        self.stats.sessions += 1;
+        outcome
+    }
+
+    fn plan_random_session(&mut self) -> Vec<String> {
+        match self.pit.state_model() {
+            Some(state_model) => {
+                let mut walker = StateWalker::new(state_model);
+                walker
+                    .session(&mut self.rng, self.config.max_session_len)
+                    .iter()
+                    .map(|t| t.input_model.clone())
+                    .collect()
+            }
+            None => {
+                // No state model: single random message.
+                if self.working_models.is_empty() {
+                    Vec::new()
+                } else {
+                    let i = self.rng.random_range(0..self.working_models.len());
+                    vec![self.working_models[i].name().to_owned()]
+                }
+            }
+        }
+    }
+
+    fn render(&self, model_name: &str) -> Vec<u8> {
+        self.working_models
+            .iter()
+            .find(|m| m.name() == model_name)
+            .map(Generator::render)
+            .unwrap_or_default()
+    }
+
+    /// Number of branches this instance has covered so far.
+    #[must_use]
+    pub fn covered_count(&self) -> usize {
+        self.accumulated.covered_count()
+    }
+
+    /// Snapshot of everything covered so far.
+    #[must_use]
+    pub fn coverage(&self) -> &CoverageSnapshot {
+        &self.accumulated
+    }
+
+    /// The instance's deduplicated fault log.
+    #[must_use]
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.faults
+    }
+
+    /// Iterations executed so far.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Seeds currently retained.
+    #[must_use]
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// The target, for inspection.
+    #[must_use]
+    pub fn target(&self) -> &T {
+        &self.target
+    }
+
+    /// Whether a successful start has happened.
+    #[must_use]
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pit;
+    use crate::{Fault, FaultKind, TargetResponse};
+    use cmfuzz_config_model::ConfigSpace;
+    use cmfuzz_coverage::{BranchId, CoverageProbe};
+
+    /// A tiny deterministic target: covers branch 0 at startup, branch 1
+    /// on any input, branch 2 on inputs starting with 0xFF (and crashes).
+    struct ToyTarget {
+        probe: Option<CoverageProbe>,
+        require_flag: bool,
+    }
+
+    impl ToyTarget {
+        fn new() -> Self {
+            ToyTarget {
+                probe: None,
+                require_flag: false,
+            }
+        }
+    }
+
+    impl Target for ToyTarget {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn branch_count(&self) -> usize {
+            3
+        }
+        fn config_space(&self) -> ConfigSpace {
+            ConfigSpace {
+                cli: vec!["--flag".to_owned()],
+                files: vec![],
+            }
+        }
+        fn start(
+            &mut self,
+            config: &ResolvedConfig,
+            probe: CoverageProbe,
+        ) -> Result<(), StartError> {
+            if self.require_flag && !config.bool_or("flag", false) {
+                return Err(StartError::new("flag required"));
+            }
+            probe.hit(BranchId::from_index(0));
+            self.probe = Some(probe);
+            Ok(())
+        }
+        fn begin_session(&mut self) {}
+        fn handle(&mut self, input: &[u8]) -> TargetResponse {
+            let probe = self.probe.as_ref().expect("started");
+            probe.hit(BranchId::from_index(1));
+            if input.first() == Some(&0xFF) {
+                probe.hit(BranchId::from_index(2));
+                return TargetResponse::crash(Fault::new(FaultKind::Segv, "toy_handle"));
+            }
+            TargetResponse::reply(vec![0x01])
+        }
+    }
+
+    fn toy_pit() -> PitDefinition {
+        pit::parse(
+            r#"<Peach>
+              <DataModel name="Msg"><Number name="op" size="8" value="0"/></DataModel>
+              <StateModel name="S" initialState="I">
+                <State name="I"><Action dataModel="Msg" next="I"/></State>
+              </StateModel>
+            </Peach>"#,
+        )
+        .expect("toy pit parses")
+    }
+
+    #[test]
+    fn start_reports_startup_coverage() {
+        let mut engine = FuzzEngine::new(ToyTarget::new(), toy_pit(), EngineConfig::default());
+        let startup = engine
+            .start(&ResolvedConfig::new())
+            .expect("starts under defaults");
+        assert_eq!(startup.covered_count(), 1);
+        assert!(startup.is_covered(BranchId::from_index(0)));
+        assert!(engine.is_started());
+    }
+
+    #[test]
+    fn start_error_propagates() {
+        let mut target = ToyTarget::new();
+        target.require_flag = true;
+        let mut engine = FuzzEngine::new(target, toy_pit(), EngineConfig::default());
+        assert!(engine.start(&ResolvedConfig::new()).is_err());
+        assert!(!engine.is_started());
+    }
+
+    #[test]
+    #[should_panic(expected = "before successful start")]
+    fn iteration_without_start_panics() {
+        let mut engine = FuzzEngine::new(ToyTarget::new(), toy_pit(), EngineConfig::default());
+        let _ = engine.run_iteration();
+    }
+
+    #[test]
+    fn iterations_find_coverage_and_faults() {
+        let mut engine = FuzzEngine::new(
+            ToyTarget::new(),
+            toy_pit(),
+            EngineConfig {
+                seed: 3,
+                ..EngineConfig::default()
+            },
+        );
+        engine.start(&ResolvedConfig::new()).unwrap();
+        let mut total_new = 0;
+        for _ in 0..300 {
+            let outcome = engine.run_iteration();
+            total_new += outcome.new_branches;
+        }
+        // Branch 1 always; branch 2 (0xFF head) should be found by havoc.
+        assert_eq!(engine.covered_count(), 3, "all branches reached");
+        assert!(total_new >= 2);
+        assert_eq!(engine.fault_log().unique_count(), 1);
+        assert!(engine.fault_log().contains(FaultKind::Segv, "toy_handle"));
+        assert_eq!(engine.iterations(), 300);
+        assert!(engine.corpus_len() > 0, "interesting inputs retained");
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let run = |seed: u64| {
+            let mut engine = FuzzEngine::new(
+                ToyTarget::new(),
+                toy_pit(),
+                EngineConfig {
+                    seed,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.start(&ResolvedConfig::new()).unwrap();
+            let mut news = Vec::new();
+            for _ in 0..100 {
+                news.push(engine.run_iteration().new_branches);
+            }
+            (news, engine.covered_count(), engine.fault_log().unique_count())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn restart_accumulates_coverage() {
+        let mut engine = FuzzEngine::new(ToyTarget::new(), toy_pit(), EngineConfig::default());
+        engine.start(&ResolvedConfig::new()).unwrap();
+        let first = engine.covered_count();
+        // Restart under the same config: startup coverage is no longer new.
+        let startup = engine.start(&ResolvedConfig::new()).unwrap();
+        assert_eq!(startup.covered_count(), 0, "no new startup branches");
+        assert_eq!(engine.covered_count(), first);
+    }
+
+    #[test]
+    fn stats_track_execution_composition() {
+        let mut engine = FuzzEngine::new(
+            ToyTarget::new(),
+            toy_pit(),
+            EngineConfig {
+                seed: 5,
+                ..EngineConfig::default()
+            },
+        );
+        engine.start(&ResolvedConfig::new()).unwrap();
+        for _ in 0..100 {
+            engine.run_iteration();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sessions, 100);
+        assert!(stats.messages >= 100, "at least one message per session");
+        assert!(stats.byte_mutations > 0);
+        assert!(stats.model_mutations > 0);
+        assert!(
+            stats.byte_mutations <= stats.messages,
+            "mutated subset of messages"
+        );
+        assert!(stats.crashes_observed >= 1, "toy target crashes on 0xFF");
+    }
+
+    #[test]
+    fn engine_without_state_model_sends_single_messages() {
+        let pit = pit::parse(
+            r#"<Peach><DataModel name="Msg"><Number name="op" size="8" value="0"/></DataModel></Peach>"#,
+        )
+        .unwrap();
+        let mut engine = FuzzEngine::new(ToyTarget::new(), pit, EngineConfig::default());
+        engine.start(&ResolvedConfig::new()).unwrap();
+        let outcome = engine.run_iteration();
+        assert_eq!(outcome.messages_sent, 1);
+    }
+}

@@ -1,0 +1,411 @@
+//! Byte-level and field-aware mutation strategies.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{DataModel, FieldKind, FieldValue};
+
+/// The byte-level mutation operators, the standard repertoire of
+/// mutation-based fuzzers (paper §II-B: "bit flipping, field truncation,
+/// or inserting unexpected values").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Flip one random bit.
+    BitFlip,
+    /// Replace one byte with a random value.
+    ByteReplace,
+    /// Write an "interesting" 8-bit value (0, 1, 0x7f, 0x80, 0xff).
+    Interesting8,
+    /// Write an "interesting" 16-bit value at a random offset.
+    Interesting16,
+    /// Write an "interesting" 32-bit value at a random offset.
+    Interesting32,
+    /// Add or subtract a small delta from one byte.
+    Arith,
+    /// Truncate the buffer at a random point.
+    Truncate,
+    /// Append random bytes.
+    Extend,
+    /// Duplicate a random chunk in place.
+    DuplicateChunk,
+    /// Remove a random chunk.
+    RemoveChunk,
+}
+
+impl MutationOp {
+    /// All operators, for uniform selection.
+    pub const ALL: [MutationOp; 10] = [
+        MutationOp::BitFlip,
+        MutationOp::ByteReplace,
+        MutationOp::Interesting8,
+        MutationOp::Interesting16,
+        MutationOp::Interesting32,
+        MutationOp::Arith,
+        MutationOp::Truncate,
+        MutationOp::Extend,
+        MutationOp::DuplicateChunk,
+        MutationOp::RemoveChunk,
+    ];
+}
+
+const INTERESTING8: [u8; 5] = [0x00, 0x01, 0x7f, 0x80, 0xff];
+const INTERESTING16: [u16; 6] = [0x0000, 0x0001, 0x7fff, 0x8000, 0xffff, 0x0100];
+const INTERESTING32: [u32; 5] = [0x0000_0000, 0x0000_0001, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff];
+
+/// Seeded mutation engine: havoc-style byte mutation plus field-aware data
+/// model mutation, with an optional token dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::Mutator;
+///
+/// let mut mutator = Mutator::new(42);
+/// let mut data = b"CONNECT".to_vec();
+/// mutator.mutate(&mut data, 4);
+/// // Deterministic for a given seed; almost always differs from the input.
+/// assert!(!data.is_empty() || data.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Mutator {
+    rng: StdRng,
+    dictionary: Vec<Vec<u8>>,
+}
+
+impl Mutator {
+    /// Creates a mutator with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            rng: StdRng::seed_from_u64(seed),
+            dictionary: Vec::new(),
+        }
+    }
+
+    /// Attaches a token dictionary (AFL-style): when non-empty, havoc
+    /// stacks occasionally overwrite or insert a whole token — the standard
+    /// aid for multi-byte magic values. Empty tokens are dropped.
+    #[must_use]
+    pub fn with_dictionary<I, T>(mut self, tokens: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Vec<u8>>,
+    {
+        self.dictionary = tokens
+            .into_iter()
+            .map(Into::into)
+            .filter(|t| !t.is_empty())
+            .collect();
+        self
+    }
+
+    /// Applies between 1 and `max_stack` randomly chosen byte-level
+    /// operators to `data` (AFL-style havoc stacking). With a dictionary
+    /// attached, each slot has a 1-in-8 chance of splicing a token instead.
+    pub fn mutate(&mut self, data: &mut Vec<u8>, max_stack: u32) {
+        let stack = self.rng.random_range(1..=max_stack.max(1));
+        for _ in 0..stack {
+            if !self.dictionary.is_empty() && self.rng.random_range(0..8u8) == 0 {
+                self.splice_token(data);
+                continue;
+            }
+            let op = *MutationOp::ALL.choose(&mut self.rng).expect("non-empty");
+            self.apply(op, data);
+        }
+    }
+
+    /// Overwrites (or, at the end, appends) a random dictionary token at a
+    /// random position.
+    fn splice_token(&mut self, data: &mut Vec<u8>) {
+        let token = self.dictionary[self.rng.random_range(0..self.dictionary.len())].clone();
+        let at = self.rng.random_range(0..=data.len());
+        let end = (at + token.len()).min(data.len());
+        data.splice(at..end, token);
+    }
+
+    /// Applies one specific operator to `data`.
+    pub fn apply(&mut self, op: MutationOp, data: &mut Vec<u8>) {
+        match op {
+            MutationOp::BitFlip => {
+                if let Some(i) = self.offset(data) {
+                    data[i] ^= 1 << self.rng.random_range(0..8);
+                }
+            }
+            MutationOp::ByteReplace => {
+                if let Some(i) = self.offset(data) {
+                    data[i] = self.rng.random();
+                }
+            }
+            MutationOp::Interesting8 => {
+                if let Some(i) = self.offset(data) {
+                    data[i] = *INTERESTING8.choose(&mut self.rng).expect("non-empty");
+                }
+            }
+            MutationOp::Interesting16 => {
+                if data.len() >= 2 {
+                    let i = self.rng.random_range(0..=data.len() - 2);
+                    let v = *INTERESTING16.choose(&mut self.rng).expect("non-empty");
+                    data[i..i + 2].copy_from_slice(&v.to_be_bytes());
+                }
+            }
+            MutationOp::Interesting32 => {
+                if data.len() >= 4 {
+                    let i = self.rng.random_range(0..=data.len() - 4);
+                    let v = *INTERESTING32.choose(&mut self.rng).expect("non-empty");
+                    data[i..i + 4].copy_from_slice(&v.to_be_bytes());
+                }
+            }
+            MutationOp::Arith => {
+                if let Some(i) = self.offset(data) {
+                    let delta = self.rng.random_range(1..=16u8);
+                    data[i] = if self.rng.random() {
+                        data[i].wrapping_add(delta)
+                    } else {
+                        data[i].wrapping_sub(delta)
+                    };
+                }
+            }
+            MutationOp::Truncate => {
+                if data.len() > 1 {
+                    let keep = self.rng.random_range(1..data.len());
+                    data.truncate(keep);
+                }
+            }
+            MutationOp::Extend => {
+                let extra = self.rng.random_range(1..=16usize);
+                for _ in 0..extra {
+                    data.push(self.rng.random());
+                }
+            }
+            MutationOp::DuplicateChunk => {
+                if !data.is_empty() {
+                    let start = self.rng.random_range(0..data.len());
+                    let len = self
+                        .rng
+                        .random_range(1..=(data.len() - start).min(8));
+                    let chunk: Vec<u8> = data[start..start + len].to_vec();
+                    let at = self.rng.random_range(0..=data.len());
+                    data.splice(at..at, chunk);
+                }
+            }
+            MutationOp::RemoveChunk => {
+                if data.len() > 1 {
+                    let start = self.rng.random_range(0..data.len() - 1);
+                    let len = self
+                        .rng
+                        .random_range(1..=(data.len() - 1 - start).clamp(1, 8));
+                    data.drain(start..start + len);
+                }
+            }
+        }
+    }
+
+    /// Field-aware mutation: perturbs one mutable field of `model` in a
+    /// type-directed way (integers get boundary values, length fields get
+    /// lying adjustments, choices flip alternatives, strings and blobs get
+    /// byte-level havoc). Returns the name of the mutated field, or `None`
+    /// if the model has no mutable fields.
+    pub fn mutate_model(&mut self, model: &mut DataModel) -> Option<String> {
+        let mut sites = model.collect_mutable();
+        if sites.is_empty() {
+            return None;
+        }
+        let index = self.rng.random_range(0..sites.len());
+        let field = &mut sites[index];
+        let name = field.name().to_owned();
+        // Read what we need from the immutable view first.
+        let kind_snapshot = field.kind().clone();
+        match kind_snapshot {
+            FieldKind::UInt { bits, .. } => {
+                let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let new = match self.rng.random_range(0..4u8) {
+                    0 => 0,
+                    1 => max,
+                    2 => max / 2,
+                    _ => self.rng.random::<u64>() & max,
+                };
+                *field.value_mut() = FieldValue::Int(new);
+            }
+            FieldKind::LengthOf { .. } => {
+                if let FieldKind::LengthOf { adjust, .. } = field.kind_mut() {
+                    *adjust = self.rng.random_range(-64..=64);
+                }
+            }
+            FieldKind::Choice { options, .. } => {
+                if let FieldKind::Choice { selected, .. } = field.kind_mut() {
+                    *selected = self.rng.random_range(0..options.len());
+                }
+            }
+            FieldKind::Bytes => {
+                if let FieldValue::Bytes(b) = field.value_mut() {
+                    let mut copy = std::mem::take(b);
+                    self.mutate(&mut copy, 4);
+                    *b = copy;
+                }
+            }
+            FieldKind::Str => {
+                if let FieldValue::Str(s) = field.value_mut() {
+                    let mut bytes = s.clone().into_bytes();
+                    self.mutate(&mut bytes, 4);
+                    *s = String::from_utf8_lossy(&bytes).into_owned();
+                }
+            }
+            FieldKind::Block(_) => {}
+        }
+        Some(name)
+    }
+
+    fn offset(&mut self, data: &[u8]) -> Option<usize> {
+        (!data.is_empty()).then(|| self.rng.random_range(0..data.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataModel, Endian, Field, Generator};
+
+    #[test]
+    fn same_seed_same_mutations() {
+        let run = |seed: u64| {
+            let mut m = Mutator::new(seed);
+            let mut data = b"The quick brown fox".to_vec();
+            for _ in 0..32 {
+                m.mutate(&mut data, 6);
+            }
+            data
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn every_op_handles_empty_and_tiny_buffers() {
+        let mut m = Mutator::new(3);
+        for op in MutationOp::ALL {
+            let mut empty: Vec<u8> = Vec::new();
+            m.apply(op, &mut empty);
+            let mut one = vec![0u8];
+            m.apply(op, &mut one);
+            let mut two = vec![0u8, 1];
+            m.apply(op, &mut two);
+        }
+    }
+
+    #[test]
+    fn truncate_shrinks_extend_grows() {
+        let mut m = Mutator::new(9);
+        let mut data = vec![0u8; 64];
+        m.apply(MutationOp::Truncate, &mut data);
+        assert!(data.len() < 64);
+        let before = data.len();
+        m.apply(MutationOp::Extend, &mut data);
+        assert!(data.len() > before);
+    }
+
+    #[test]
+    fn mutate_usually_changes_data() {
+        let mut m = Mutator::new(7);
+        let original = vec![0x55u8; 32];
+        let mut changed = 0;
+        for _ in 0..20 {
+            let mut data = original.clone();
+            m.mutate(&mut data, 4);
+            if data != original {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 18, "only {changed}/20 runs changed the buffer");
+    }
+
+    #[test]
+    fn mutate_model_touches_exactly_one_field() {
+        let mut m = Mutator::new(11);
+        let mut model = DataModel::new("t")
+            .field(Field::uint("a", 16, 100))
+            .field(Field::length_of("len", "p", 8, Endian::Big))
+            .field(Field::bytes("p", b"xyz"));
+        let name = m.mutate_model(&mut model).expect("mutable fields exist");
+        assert!(["a", "len", "p"].contains(&name.as_str()));
+    }
+
+    #[test]
+    fn mutate_model_none_when_all_immutable() {
+        let mut m = Mutator::new(13);
+        let mut model = DataModel::new("t").field(Field::uint("a", 8, 1).immutable());
+        assert_eq!(m.mutate_model(&mut model), None);
+    }
+
+    #[test]
+    fn mutated_model_still_renders() {
+        let mut m = Mutator::new(17);
+        let mut model = DataModel::new("t")
+            .field(Field::length_of("len", "body", 16, Endian::Big))
+            .field(Field::block(
+                "body",
+                vec![Field::str("s", "hello"), Field::uint("n", 32, 5)],
+            ))
+            .field(Field::choice(
+                "tail",
+                vec![Field::uint("t0", 8, 0), Field::uint("t1", 8, 1)],
+            ));
+        for _ in 0..100 {
+            m.mutate_model(&mut model);
+            let _ = Generator::render(&model); // must not panic
+        }
+    }
+
+    #[test]
+    fn dictionary_tokens_get_spliced_in() {
+        let mut m = Mutator::new(21).with_dictionary([b"$SYS".to_vec()]);
+        let mut seen_token = false;
+        for _ in 0..200 {
+            let mut data = vec![b'x'; 16];
+            m.mutate(&mut data, 4);
+            if data.windows(4).any(|w| w == b"$SYS") {
+                seen_token = true;
+                break;
+            }
+        }
+        assert!(seen_token, "token never spliced in 200 runs");
+    }
+
+    #[test]
+    fn empty_dictionary_changes_nothing() {
+        let run = |dict: bool| {
+            let mut m = if dict {
+                Mutator::new(5).with_dictionary(Vec::<Vec<u8>>::new())
+            } else {
+                Mutator::new(5)
+            };
+            let mut data = vec![7u8; 32];
+            for _ in 0..16 {
+                m.mutate(&mut data, 4);
+            }
+            data
+        };
+        assert_eq!(run(false), run(true), "empty dictionary must be inert");
+    }
+
+    #[test]
+    fn dictionary_splice_handles_empty_buffer() {
+        let mut m = Mutator::new(9).with_dictionary([b"tok".to_vec(), Vec::new()]);
+        let mut data: Vec<u8> = Vec::new();
+        for _ in 0..64 {
+            m.mutate(&mut data, 2);
+        }
+        // Must not panic; empty tokens were filtered.
+    }
+
+    #[test]
+    fn uint_mutation_respects_width() {
+        let mut m = Mutator::new(19);
+        let mut model = DataModel::new("t").field(Field::uint("a", 8, 1));
+        for _ in 0..50 {
+            m.mutate_model(&mut model);
+            let rendered = Generator::render(&model);
+            assert_eq!(rendered.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! Pit files: a textual format describing data and state models.
+//!
+//! Peach configures its fuzzing runs from XML "Pit" files. This module
+//! implements the subset needed to describe the six IoT protocol targets,
+//! so that every fuzzer in an experiment consumes "the same Pit files"
+//! (paper §IV-A). A Pit document looks like:
+//!
+//! ```xml
+//! <Peach>
+//!   <DataModel name="Connect">
+//!     <Number name="type" size="8" value="16" mutable="false"/>
+//!     <LengthOf name="len" of="payload" size="8"/>
+//!     <Block name="payload">
+//!       <String name="client_id" value="cmfuzz"/>
+//!     </Block>
+//!   </DataModel>
+//!   <StateModel name="Session" initialState="Init">
+//!     <State name="Init">
+//!       <Action dataModel="Connect" next="Done" expect="nonempty"/>
+//!     </State>
+//!     <State name="Done"/>
+//!   </StateModel>
+//! </Peach>
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use cmfuzz_fuzzer::pit;
+//!
+//! let doc = r#"<Peach>
+//!   <DataModel name="Ping"><Number name="op" size="8" value="1"/></DataModel>
+//!   <StateModel name="S" initialState="I">
+//!     <State name="I"><Action dataModel="Ping" next="I"/></State>
+//!   </StateModel>
+//! </Peach>"#;
+//! let pit = pit::parse(doc)?;
+//! assert_eq!(pit.data_models().len(), 1);
+//! assert!(pit.state_model().is_some());
+//! # Ok::<(), pit::ParsePitError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{
+    DataModel, Endian, Field, ResponseClass, State, StateModel, Transition,
+};
+
+/// A parsed Pit definition: the data models and optional state model all
+/// fuzzers of an experiment share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PitDefinition {
+    data_models: Vec<DataModel>,
+    state_model: Option<StateModel>,
+}
+
+impl PitDefinition {
+    /// Builds a definition programmatically (targets may ship built-in
+    /// models instead of XML).
+    #[must_use]
+    pub fn new(data_models: Vec<DataModel>, state_model: Option<StateModel>) -> Self {
+        PitDefinition {
+            data_models,
+            state_model,
+        }
+    }
+
+    /// The data models in declaration order.
+    #[must_use]
+    pub fn data_models(&self) -> &[DataModel] {
+        &self.data_models
+    }
+
+    /// Looks up a data model by name.
+    #[must_use]
+    pub fn data_model(&self, name: &str) -> Option<&DataModel> {
+        self.data_models.iter().find(|m| m.name() == name)
+    }
+
+    /// The state model, if the Pit declares one.
+    #[must_use]
+    pub fn state_model(&self) -> Option<&StateModel> {
+        self.state_model.as_ref()
+    }
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePitError {
+    /// The document is not well-formed XML.
+    Malformed(String),
+    /// A required attribute is missing.
+    MissingAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// An attribute value could not be interpreted.
+    BadAttribute {
+        /// Element name.
+        element: String,
+        /// Attribute name.
+        attribute: String,
+        /// Offending value.
+        value: String,
+    },
+    /// An element is not recognized in its position.
+    UnknownElement(String),
+}
+
+impl fmt::Display for ParsePitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePitError::Malformed(what) => write!(f, "malformed pit document: {what}"),
+            ParsePitError::MissingAttribute { element, attribute } => {
+                write!(f, "element <{element}> missing attribute {attribute}")
+            }
+            ParsePitError::BadAttribute {
+                element,
+                attribute,
+                value,
+            } => write!(
+                f,
+                "element <{element}> has invalid {attribute}: {value:?}"
+            ),
+            ParsePitError::UnknownElement(name) => write!(f, "unknown element <{name}>"),
+        }
+    }
+}
+
+impl Error for ParsePitError {}
+
+/// Parses a Pit document into its data and state models.
+///
+/// # Errors
+///
+/// Returns [`ParsePitError`] for malformed XML, unknown elements, or
+/// missing/invalid attributes.
+pub fn parse(document: &str) -> Result<PitDefinition, ParsePitError> {
+    let root = parse_element_tree(document)?;
+    if root.name != "Peach" {
+        return Err(ParsePitError::Malformed(format!(
+            "root element must be <Peach>, found <{}>",
+            root.name
+        )));
+    }
+    let mut data_models = Vec::new();
+    let mut state_model = None;
+    for child in &root.children {
+        match child.name.as_str() {
+            "DataModel" => data_models.push(convert_data_model(child)?),
+            "StateModel" => state_model = Some(convert_state_model(child)?),
+            other => return Err(ParsePitError::UnknownElement(other.to_owned())),
+        }
+    }
+    Ok(PitDefinition {
+        data_models,
+        state_model,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Element tree
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Element>,
+}
+
+impl Element {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, ParsePitError> {
+        self.attr(name).ok_or_else(|| ParsePitError::MissingAttribute {
+            element: self.name.clone(),
+            attribute: name.to_owned(),
+        })
+    }
+}
+
+fn parse_element_tree(text: &str) -> Result<Element, ParsePitError> {
+    let mut parser = XmlParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_misc();
+    let root = parser
+        .parse_element()?
+        .ok_or_else(|| ParsePitError::Malformed("no root element".to_owned()))?;
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn skip_misc(&mut self) {
+        loop {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(u8::is_ascii_whitespace)
+            {
+                self.pos += 1;
+            }
+            let rest = &self.bytes[self.pos.min(self.bytes.len())..];
+            if rest.starts_with(b"<!--") {
+                self.skip_past(b"-->");
+            } else if rest.starts_with(b"<?") {
+                self.skip_past(b"?>");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_past(&mut self, terminator: &[u8]) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(terminator) {
+                self.pos += terminator.len();
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses one element if the cursor is at `<name`; returns `Ok(None)`
+    /// at a closing tag or end of input.
+    fn parse_element(&mut self) -> Result<Option<Element>, ParsePitError> {
+        self.skip_misc();
+        if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'<' {
+            return Ok(None);
+        }
+        if self.bytes[self.pos..].starts_with(b"</") {
+            return Ok(None);
+        }
+        self.pos += 1; // '<'
+        let name = self.read_name();
+        if name.is_empty() {
+            return Err(ParsePitError::Malformed("empty tag name".to_owned()));
+        }
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                        return Ok(Some(Element {
+                            name,
+                            attrs,
+                            children: Vec::new(),
+                        }));
+                    }
+                    return Err(ParsePitError::Malformed("dangling '/'".to_owned()));
+                }
+                Some(_) => {
+                    let attr = self.read_name();
+                    if attr.is_empty() {
+                        return Err(ParsePitError::Malformed(format!(
+                            "bad attribute in <{name}>"
+                        )));
+                    }
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(ParsePitError::Malformed(format!(
+                            "attribute {attr} missing '='"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let Some(&quote @ (b'"' | b'\'')) = self.bytes.get(self.pos) else {
+                        return Err(ParsePitError::Malformed(format!(
+                            "attribute {attr} missing quote"
+                        )));
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((attr, decode_entities(&value)));
+                }
+                None => {
+                    return Err(ParsePitError::Malformed(format!(
+                        "unterminated tag <{name}>"
+                    )))
+                }
+            }
+        }
+        // Parse children until the matching close tag.
+        let mut children = Vec::new();
+        loop {
+            self.skip_misc();
+            // Skip interleaved text content (not used by Pit).
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            if self.bytes[self.pos..].starts_with(b"</") {
+                self.skip_past(b">");
+                return Ok(Some(Element {
+                    name,
+                    attrs,
+                    children,
+                }));
+            }
+            match self.parse_element()? {
+                Some(child) => children.push(child),
+                None => {
+                    return Err(ParsePitError::Malformed(format!(
+                        "unterminated element <{name}>"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.'))
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+fn decode_entities(text: &str) -> String {
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+// ---------------------------------------------------------------------------
+// Conversion to models
+// ---------------------------------------------------------------------------
+
+fn convert_data_model(element: &Element) -> Result<DataModel, ParsePitError> {
+    let name = element.require("name")?;
+    let mut model = DataModel::new(name);
+    for child in &element.children {
+        model = model.field(convert_field(child)?);
+    }
+    Ok(model)
+}
+
+fn convert_field(element: &Element) -> Result<Field, ParsePitError> {
+    let name = element.require("name")?;
+    let field = match element.name.as_str() {
+        "Number" => {
+            let bits = parse_bits(element)?;
+            let value = element
+                .attr("value")
+                .map(|v| parse_u64(element, "value", v))
+                .transpose()?
+                .unwrap_or(0);
+            Field::uint_endian(name, bits, value, parse_endian(element)?)
+        }
+        "String" => Field::str(name, element.attr("value").unwrap_or("")),
+        "Blob" => {
+            let value = if let Some(hex) = element.attr("valueHex") {
+                decode_hex(hex).ok_or_else(|| ParsePitError::BadAttribute {
+                    element: element.name.clone(),
+                    attribute: "valueHex".to_owned(),
+                    value: hex.to_owned(),
+                })?
+            } else {
+                element.attr("value").unwrap_or("").as_bytes().to_vec()
+            };
+            Field::bytes(name, &value)
+        }
+        "LengthOf" => {
+            let of = element.require("of")?;
+            let bits = parse_bits(element)?;
+            Field::length_of(name, of, bits, parse_endian(element)?)
+        }
+        "Block" => {
+            let mut children = Vec::new();
+            for child in &element.children {
+                children.push(convert_field(child)?);
+            }
+            Field::block(name, children)
+        }
+        "Choice" => {
+            let mut options = Vec::new();
+            for child in &element.children {
+                options.push(convert_field(child)?);
+            }
+            if options.is_empty() {
+                return Err(ParsePitError::Malformed(format!(
+                    "choice {name} has no options"
+                )));
+            }
+            Field::choice(name, options)
+        }
+        other => return Err(ParsePitError::UnknownElement(other.to_owned())),
+    };
+    Ok(match element.attr("mutable") {
+        Some("false" | "no" | "0") => field.immutable(),
+        _ => field,
+    })
+}
+
+fn convert_state_model(element: &Element) -> Result<StateModel, ParsePitError> {
+    let name = element.require("name")?;
+    let initial = element.require("initialState")?;
+    let mut model = StateModel::new(name, initial);
+    for child in &element.children {
+        if child.name != "State" {
+            return Err(ParsePitError::UnknownElement(child.name.clone()));
+        }
+        let mut state = State::new(child.require("name")?);
+        for action in &child.children {
+            if action.name != "Action" {
+                return Err(ParsePitError::UnknownElement(action.name.clone()));
+            }
+            let data_model = action.require("dataModel")?;
+            let next = action.require("next")?;
+            let expect = match action.attr("expect") {
+                None | Some("any") => ResponseClass::Any,
+                Some("nonempty") => ResponseClass::NonEmpty,
+                Some("empty") => ResponseClass::Empty,
+                Some(other) => {
+                    return Err(ParsePitError::BadAttribute {
+                        element: "Action".to_owned(),
+                        attribute: "expect".to_owned(),
+                        value: other.to_owned(),
+                    })
+                }
+            };
+            state = state.transition(Transition::new(data_model, next).expecting(expect));
+        }
+        model = model.state(state);
+    }
+    model
+        .validate()
+        .map_err(|e| ParsePitError::Malformed(e.to_string()))?;
+    Ok(model)
+}
+
+fn parse_bits(element: &Element) -> Result<u8, ParsePitError> {
+    let raw = element.attr("size").unwrap_or("8");
+    let bits: u8 = raw.parse().map_err(|_| ParsePitError::BadAttribute {
+        element: element.name.clone(),
+        attribute: "size".to_owned(),
+        value: raw.to_owned(),
+    })?;
+    if matches!(bits, 8 | 16 | 24 | 32 | 64) {
+        Ok(bits)
+    } else {
+        Err(ParsePitError::BadAttribute {
+            element: element.name.clone(),
+            attribute: "size".to_owned(),
+            value: raw.to_owned(),
+        })
+    }
+}
+
+fn parse_endian(element: &Element) -> Result<Endian, ParsePitError> {
+    match element.attr("endian") {
+        None | Some("big") => Ok(Endian::Big),
+        Some("little") => Ok(Endian::Little),
+        Some(other) => Err(ParsePitError::BadAttribute {
+            element: element.name.clone(),
+            attribute: "endian".to_owned(),
+            value: other.to_owned(),
+        }),
+    }
+}
+
+fn parse_u64(element: &Element, attribute: &str, raw: &str) -> Result<u64, ParsePitError> {
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    parsed.map_err(|_| ParsePitError::BadAttribute {
+        element: element.name.clone(),
+        attribute: attribute.to_owned(),
+        value: raw.to_owned(),
+    })
+}
+
+fn decode_hex(hex: &str) -> Option<Vec<u8>> {
+    let clean: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+    if !clean.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..clean.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&clean[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldKind, Generator};
+
+    const DOC: &str = r#"
+<?xml version="1.0"?>
+<Peach>
+  <!-- shared pit for tests -->
+  <DataModel name="Connect">
+    <Number name="type" size="8" value="0x10" mutable="false"/>
+    <LengthOf name="len" of="body" size="16"/>
+    <Block name="body">
+      <String name="client" value="cm"/>
+      <Blob name="cookie" valueHex="dead beef"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Publish">
+    <Number name="type" size="8" value="0x30"/>
+    <Choice name="qos">
+      <Number name="q0" size="8" value="0"/>
+      <Number name="q1" size="8" value="1"/>
+    </Choice>
+  </DataModel>
+  <StateModel name="Session" initialState="Init">
+    <State name="Init">
+      <Action dataModel="Connect" next="Up" expect="nonempty"/>
+    </State>
+    <State name="Up">
+      <Action dataModel="Publish" next="Up"/>
+    </State>
+  </StateModel>
+</Peach>
+"#;
+
+    #[test]
+    fn full_document_parses() {
+        let pit = parse(DOC).expect("parses");
+        assert_eq!(pit.data_models().len(), 2);
+        let connect = pit.data_model("Connect").unwrap();
+        let bytes = Generator::render(connect);
+        // type, len(2), "cm", de ad be ef
+        assert_eq!(bytes, vec![0x10, 0, 6, b'c', b'm', 0xde, 0xad, 0xbe, 0xef]);
+        let sm = pit.state_model().unwrap();
+        assert_eq!(sm.initial(), "Init");
+        assert_eq!(sm.states().len(), 2);
+    }
+
+    #[test]
+    fn mutable_attribute_respected() {
+        let pit = parse(DOC).unwrap();
+        let connect = pit.data_model("Connect").unwrap();
+        assert!(!connect.fields()[0].is_mutable());
+        assert!(connect.fields()[1].is_mutable());
+    }
+
+    #[test]
+    fn choice_parses_with_options() {
+        let pit = parse(DOC).unwrap();
+        let publish = pit.data_model("Publish").unwrap();
+        match publish.fields()[1].kind() {
+            FieldKind::Choice { options, selected } => {
+                assert_eq!(options.len(), 2);
+                assert_eq!(*selected, 0);
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_name_is_error() {
+        let doc = "<Peach><DataModel><Number name=\"x\" size=\"8\"/></DataModel></Peach>";
+        assert!(matches!(
+            parse(doc).unwrap_err(),
+            ParsePitError::MissingAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_size_is_error() {
+        let doc =
+            "<Peach><DataModel name=\"m\"><Number name=\"x\" size=\"12\"/></DataModel></Peach>";
+        assert!(matches!(
+            parse(doc).unwrap_err(),
+            ParsePitError::BadAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_element_is_error() {
+        let doc = "<Peach><Nope name=\"x\"/></Peach>";
+        assert_eq!(
+            parse(doc).unwrap_err(),
+            ParsePitError::UnknownElement("Nope".to_owned())
+        );
+    }
+
+    #[test]
+    fn wrong_root_is_error() {
+        assert!(matches!(
+            parse("<NotPeach/>").unwrap_err(),
+            ParsePitError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_state_model_is_error() {
+        let doc = r#"<Peach>
+          <DataModel name="M"><Number name="x" size="8"/></DataModel>
+          <StateModel name="S" initialState="Ghost">
+            <State name="A"/>
+          </StateModel>
+        </Peach>"#;
+        assert!(matches!(
+            parse(doc).unwrap_err(),
+            ParsePitError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn unterminated_document_is_error() {
+        assert!(parse("<Peach><DataModel name=\"m\">").is_err());
+    }
+
+    #[test]
+    fn hex_and_decimal_values() {
+        let doc = r#"<Peach><DataModel name="m">
+          <Number name="a" size="16" value="0x1234"/>
+          <Number name="b" size="8" value="7"/>
+        </DataModel></Peach>"#;
+        let pit = parse(doc).unwrap();
+        let bytes = Generator::render(pit.data_model("m").unwrap());
+        assert_eq!(bytes, vec![0x12, 0x34, 7]);
+    }
+
+    #[test]
+    fn little_endian_numbers() {
+        let doc = r#"<Peach><DataModel name="m">
+          <Number name="a" size="16" value="0x1234" endian="little"/>
+        </DataModel></Peach>"#;
+        let pit = parse(doc).unwrap();
+        assert_eq!(
+            Generator::render(pit.data_model("m").unwrap()),
+            vec![0x34, 0x12]
+        );
+    }
+
+    #[test]
+    fn bad_expect_is_error() {
+        let doc = r#"<Peach>
+          <StateModel name="S" initialState="A">
+            <State name="A"><Action dataModel="m" next="A" expect="maybe"/></State>
+          </StateModel>
+        </Peach>"#;
+        assert!(matches!(
+            parse(doc).unwrap_err(),
+            ParsePitError::BadAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = ParsePitError::MissingAttribute {
+            element: "Number".into(),
+            attribute: "name".into(),
+        };
+        assert!(e.to_string().contains("Number"));
+        assert!(ParsePitError::Malformed("x".into()).to_string().contains('x'));
+        assert!(ParsePitError::UnknownElement("E".into())
+            .to_string()
+            .contains('E'));
+    }
+
+    #[test]
+    fn odd_hex_is_error() {
+        let doc = r#"<Peach><DataModel name="m">
+          <Blob name="b" valueHex="abc"/>
+        </DataModel></Peach>"#;
+        assert!(matches!(
+            parse(doc).unwrap_err(),
+            ParsePitError::BadAttribute { .. }
+        ));
+    }
+}

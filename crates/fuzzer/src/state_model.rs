@@ -1,0 +1,432 @@
+//! The state model: protocol states and message-exchange transitions.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What a transition expects back from the target, used by session logic to
+/// decide whether the protocol advanced (the paper's state model "describes
+/// the sequential flow of states that the protocol follows").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseClass {
+    /// Anything, including silence.
+    #[default]
+    Any,
+    /// A non-empty reply is expected (e.g. CONNACK after CONNECT).
+    NonEmpty,
+    /// No reply is expected (e.g. after DISCONNECT).
+    Empty,
+}
+
+/// One transition: send a message built from `input_model`, expect a
+/// `expect`-class response, move to `next_state`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Name of the [`DataModel`](crate::DataModel) used to generate the
+    /// message.
+    pub input_model: String,
+    /// Name of the state entered after the exchange.
+    pub next_state: String,
+    /// Expected response class.
+    pub expect: ResponseClass,
+}
+
+impl Transition {
+    /// Creates a transition expecting any response.
+    #[must_use]
+    pub fn new(input_model: &str, next_state: &str) -> Self {
+        Transition {
+            input_model: input_model.to_owned(),
+            next_state: next_state.to_owned(),
+            expect: ResponseClass::Any,
+        }
+    }
+
+    /// Sets the expected response class.
+    #[must_use]
+    pub fn expecting(mut self, expect: ResponseClass) -> Self {
+        self.expect = expect;
+        self
+    }
+}
+
+/// A named protocol state with its outgoing transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// State name.
+    pub name: String,
+    /// Outgoing transitions (empty for terminal states).
+    pub transitions: Vec<Transition>,
+}
+
+impl State {
+    /// Creates a state with no transitions.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        State {
+            name: name.to_owned(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds an outgoing transition (builder style).
+    #[must_use]
+    pub fn transition(mut self, transition: Transition) -> Self {
+        self.transitions.push(transition);
+        self
+    }
+}
+
+/// Error from [`StateModel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateModelError {
+    /// The declared initial state does not exist.
+    MissingInitial(String),
+    /// A transition references an undefined state.
+    DanglingTransition {
+        /// State holding the bad transition.
+        from: String,
+        /// The undefined target state.
+        to: String,
+    },
+}
+
+impl fmt::Display for ValidateModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateModelError::MissingInitial(name) => {
+                write!(f, "initial state not defined: {name}")
+            }
+            ValidateModelError::DanglingTransition { from, to } => {
+                write!(f, "transition from {from} targets undefined state {to}")
+            }
+        }
+    }
+}
+
+impl Error for ValidateModelError {}
+
+/// A protocol's state machine (the paper's *state model*).
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{State, StateModel, Transition};
+///
+/// let model = StateModel::new("mqtt", "Init")
+///     .state(State::new("Init").transition(Transition::new("Connect", "Connected")))
+///     .state(State::new("Connected").transition(Transition::new("Publish", "Connected")));
+/// model.validate().expect("well-formed");
+/// assert_eq!(model.initial(), "Init");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateModel {
+    name: String,
+    initial: String,
+    states: Vec<State>,
+}
+
+impl StateModel {
+    /// Creates a model with the given name and initial-state name.
+    #[must_use]
+    pub fn new(name: &str, initial: &str) -> Self {
+        StateModel {
+            name: name.to_owned(),
+            initial: initial.to_owned(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Adds a state (builder style).
+    #[must_use]
+    pub fn state(mut self, state: State) -> Self {
+        self.states.push(state);
+        self
+    }
+
+    /// Model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Initial state name.
+    #[must_use]
+    pub fn initial(&self) -> &str {
+        &self.initial
+    }
+
+    /// All states.
+    #[must_use]
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Looks up a state by name.
+    #[must_use]
+    pub fn state_by_name(&self, name: &str) -> Option<&State> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Checks referential integrity: the initial state exists and every
+    /// transition targets a defined state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first integrity violation found.
+    pub fn validate(&self) -> Result<(), ValidateModelError> {
+        let names: HashMap<&str, ()> = self.states.iter().map(|s| (s.name.as_str(), ())).collect();
+        if !names.contains_key(self.initial.as_str()) {
+            return Err(ValidateModelError::MissingInitial(self.initial.clone()));
+        }
+        for state in &self.states {
+            for t in &state.transitions {
+                if !names.contains_key(t.next_state.as_str()) {
+                    return Err(ValidateModelError::DanglingTransition {
+                        from: state.name.clone(),
+                        to: t.next_state.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerates all simple paths (no repeated state) from the initial
+    /// state, up to `max_depth` transitions. This is the path inventory
+    /// SPFuzz-style state-aware scheduling partitions across instances.
+    #[must_use]
+    pub fn enumerate_paths(&self, max_depth: usize) -> Vec<Vec<&Transition>> {
+        let mut paths = Vec::new();
+        let mut current: Vec<&Transition> = Vec::new();
+        let mut visited = vec![self.initial.clone()];
+        self.walk_paths(&self.initial, max_depth, &mut current, &mut visited, &mut paths);
+        paths
+    }
+
+    fn walk_paths<'a>(
+        &'a self,
+        at: &str,
+        remaining: usize,
+        current: &mut Vec<&'a Transition>,
+        visited: &mut Vec<String>,
+        paths: &mut Vec<Vec<&'a Transition>>,
+    ) {
+        if !current.is_empty() {
+            paths.push(current.clone());
+        }
+        if remaining == 0 {
+            return;
+        }
+        let Some(state) = self.state_by_name(at) else {
+            return;
+        };
+        for t in &state.transitions {
+            let revisit = visited.iter().any(|v| v == &t.next_state);
+            current.push(t);
+            if revisit {
+                // Allow the self-loop step itself but do not recurse further
+                // into an already-visited state.
+                paths.push(current.clone());
+            } else {
+                visited.push(t.next_state.clone());
+                self.walk_paths(&t.next_state, remaining - 1, current, visited, paths);
+                visited.pop();
+            }
+            current.pop();
+        }
+    }
+}
+
+/// Drives random sessions over a [`StateModel`].
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{State, StateModel, StateWalker, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = StateModel::new("m", "Init")
+///     .state(State::new("Init").transition(Transition::new("Hello", "Done")))
+///     .state(State::new("Done"));
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut walker = StateWalker::new(&model);
+/// let step = walker.step(&mut rng).expect("transition available");
+/// assert_eq!(step.input_model, "Hello");
+/// assert!(walker.step(&mut rng).is_none(), "Done is terminal");
+/// ```
+#[derive(Debug)]
+pub struct StateWalker<'a> {
+    model: &'a StateModel,
+    current: String,
+}
+
+impl<'a> StateWalker<'a> {
+    /// Creates a walker positioned at the initial state.
+    #[must_use]
+    pub fn new(model: &'a StateModel) -> Self {
+        StateWalker {
+            model,
+            current: model.initial().to_owned(),
+        }
+    }
+
+    /// The current state name.
+    #[must_use]
+    pub fn current(&self) -> &str {
+        &self.current
+    }
+
+    /// Returns to the initial state (new session).
+    pub fn reset(&mut self) {
+        self.current = self.model.initial().to_owned();
+    }
+
+    /// Takes one uniformly random outgoing transition, advancing the
+    /// walker; `None` in a terminal state.
+    pub fn step(&mut self, rng: &mut StdRng) -> Option<&'a Transition> {
+        let state = self.model.state_by_name(&self.current)?;
+        if state.transitions.is_empty() {
+            return None;
+        }
+        let t = &state.transitions[rng.random_range(0..state.transitions.len())];
+        self.current = t.next_state.clone();
+        Some(t)
+    }
+
+    /// Walks a whole session of at most `max_len` transitions from the
+    /// initial state, returning the transitions taken.
+    pub fn session(&mut self, rng: &mut StdRng, max_len: usize) -> Vec<&'a Transition> {
+        self.reset();
+        let mut path = Vec::new();
+        for _ in 0..max_len {
+            match self.step(rng) {
+                Some(t) => path.push(t),
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mqtt_like() -> StateModel {
+        StateModel::new("mqtt", "Init")
+            .state(State::new("Init").transition(
+                Transition::new("Connect", "Connected").expecting(ResponseClass::NonEmpty),
+            ))
+            .state(
+                State::new("Connected")
+                    .transition(Transition::new("Publish", "Connected"))
+                    .transition(Transition::new("Subscribe", "Connected"))
+                    .transition(Transition::new("Disconnect", "Closed").expecting(ResponseClass::Empty)),
+            )
+            .state(State::new("Closed"))
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        mqtt_like().validate().expect("valid");
+    }
+
+    #[test]
+    fn validate_rejects_missing_initial() {
+        let model = StateModel::new("m", "Ghost").state(State::new("A"));
+        assert_eq!(
+            model.validate().unwrap_err(),
+            ValidateModelError::MissingInitial("Ghost".to_owned())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_dangling_transition() {
+        let model = StateModel::new("m", "A")
+            .state(State::new("A").transition(Transition::new("X", "Nowhere")));
+        assert!(matches!(
+            model.validate().unwrap_err(),
+            ValidateModelError::DanglingTransition { .. }
+        ));
+    }
+
+    #[test]
+    fn walker_sessions_start_with_connect() {
+        let model = mqtt_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut walker = StateWalker::new(&model);
+        for _ in 0..10 {
+            let session = walker.session(&mut rng, 6);
+            assert!(!session.is_empty());
+            assert_eq!(session[0].input_model, "Connect");
+            assert!(session.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn walker_stops_at_terminal_state() {
+        let model = mqtt_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut walker = StateWalker::new(&model);
+        let session = walker.session(&mut rng, 100);
+        // Either capped at 100 or ended in Closed.
+        if session.len() < 100 {
+            assert_eq!(session.last().unwrap().next_state, "Closed");
+        }
+    }
+
+    #[test]
+    fn walker_reset_returns_to_initial() {
+        let model = mqtt_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut walker = StateWalker::new(&model);
+        walker.step(&mut rng);
+        assert_ne!(walker.current(), "Init");
+        walker.reset();
+        assert_eq!(walker.current(), "Init");
+    }
+
+    #[test]
+    fn enumerate_paths_lists_prefixes() {
+        let model = mqtt_like();
+        let paths = model.enumerate_paths(3);
+        assert!(!paths.is_empty());
+        // Every path starts from Init's only transition.
+        for path in &paths {
+            assert_eq!(path[0].input_model, "Connect");
+        }
+        // Includes the length-1 path and at least one length-2 path.
+        assert!(paths.iter().any(|p| p.len() == 1));
+        assert!(paths.iter().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn enumerate_paths_zero_depth_is_empty() {
+        assert!(mqtt_like().enumerate_paths(0).is_empty());
+    }
+
+    #[test]
+    fn transition_builder() {
+        let t = Transition::new("m", "s").expecting(ResponseClass::Empty);
+        assert_eq!(t.expect, ResponseClass::Empty);
+        assert_eq!(ResponseClass::default(), ResponseClass::Any);
+    }
+
+    #[test]
+    fn display_of_validate_errors() {
+        assert!(ValidateModelError::MissingInitial("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(ValidateModelError::DanglingTransition {
+            from: "A".into(),
+            to: "B".into()
+        }
+        .to_string()
+        .contains("undefined state B"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The interface between fuzzing instances and protocol targets.
+
+use std::error::Error;
+use std::fmt;
+
+use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
+use cmfuzz_coverage::CoverageProbe;
+
+use crate::Fault;
+
+/// Error returned when a target fails to start under a configuration.
+///
+/// Startup failures are first-class data for CMFuzz: a configuration pair
+/// whose every value combination fails to start yields zero startup
+/// coverage and therefore no relation edge (paper §III-B1).
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::StartError;
+///
+/// let err = StartError::new("tls enabled but no cipher available");
+/// assert_eq!(err.to_string(), "target failed to start: tls enabled but no cipher available");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartError {
+    reason: String,
+}
+
+impl StartError {
+    /// Creates a startup error with a human-readable reason.
+    #[must_use]
+    pub fn new(reason: &str) -> Self {
+        StartError {
+            reason: reason.to_owned(),
+        }
+    }
+
+    /// The failure reason.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target failed to start: {}", self.reason)
+    }
+}
+
+impl Error for StartError {}
+
+/// A target's reaction to one fuzz input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TargetResponse {
+    /// Bytes the target sent back (empty for silently dropped inputs).
+    pub bytes: Vec<u8>,
+    /// A crash triggered by the input, if any.
+    pub fault: Option<Fault>,
+}
+
+impl TargetResponse {
+    /// A response with neither payload nor fault.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A normal response carrying `bytes`.
+    #[must_use]
+    pub fn reply(bytes: Vec<u8>) -> Self {
+        TargetResponse { bytes, fault: None }
+    }
+
+    /// A crash response.
+    #[must_use]
+    pub fn crash(fault: Fault) -> Self {
+        TargetResponse {
+            bytes: Vec::new(),
+            fault: Some(fault),
+        }
+    }
+
+    /// Whether the input triggered a fault.
+    #[must_use]
+    pub fn is_crash(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+/// A fuzzable protocol server.
+///
+/// The lifecycle mirrors how the paper drives its C/C++ daemons:
+///
+/// 1. [`Target::start`] boots the server under a [`ResolvedConfig`],
+///    exercising configuration-gated initialization paths (this is where
+///    *startup coverage* is measured). Conflicting configurations return
+///    [`StartError`].
+/// 2. [`Target::begin_session`] resets per-connection protocol state, like
+///    a client reconnecting.
+/// 3. [`Target::handle`] feeds one protocol message and observes the
+///    response or crash.
+///
+/// Implementations record branch coverage through the probe passed to
+/// `start` and report seeded vulnerabilities as [`Fault`]s.
+pub trait Target {
+    /// Target name (e.g. `"mosquitto"`), used to key experiment results.
+    fn name(&self) -> &str;
+
+    /// Size of the target's branch ID space, for sizing coverage maps.
+    fn branch_count(&self) -> usize;
+
+    /// The configuration surface CMFuzz extracts the model from: CLI
+    /// declarations and shipped configuration files.
+    fn config_space(&self) -> ConfigSpace;
+
+    /// Boots the target under `config`, recording startup coverage through
+    /// `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StartError`] when the configuration is inconsistent (the
+    /// paper's "conflicting relations ... may cause startup failures").
+    fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError>;
+
+    /// Resets per-session protocol state (new client connection).
+    fn begin_session(&mut self);
+
+    /// Processes one protocol message.
+    fn handle(&mut self, input: &[u8]) -> TargetResponse;
+}
+
+impl<T: Target + ?Sized> Target for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn branch_count(&self) -> usize {
+        (**self).branch_count()
+    }
+    fn config_space(&self) -> ConfigSpace {
+        (**self).config_space()
+    }
+    fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
+        (**self).start(config, probe)
+    }
+    fn begin_session(&mut self) {
+        (**self).begin_session()
+    }
+    fn handle(&mut self, input: &[u8]) -> TargetResponse {
+        (**self).handle(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    #[test]
+    fn start_error_accessors() {
+        let e = StartError::new("conflict");
+        assert_eq!(e.reason(), "conflict");
+        assert!(e.to_string().contains("conflict"));
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert!(!TargetResponse::empty().is_crash());
+        let r = TargetResponse::reply(vec![1, 2]);
+        assert_eq!(r.bytes, vec![1, 2]);
+        assert!(!r.is_crash());
+        let c = TargetResponse::crash(Fault::new(FaultKind::Segv, "f"));
+        assert!(c.is_crash());
+        assert!(c.bytes.is_empty());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_t: &mut dyn Target) {}
+    }
+}

@@ -1,0 +1,102 @@
+//! Addresses within a simulated network.
+
+use std::fmt;
+
+/// Address of a socket inside one [`Network`](crate::Network): a host number
+/// and a port.
+///
+/// Hosts are plain integers; the `Display` form renders them in a
+/// `10.77.<host>` dotted style purely for readable logs. Addresses are only
+/// meaningful within the network they were bound on — the same `Addr` on two
+/// different networks names two unrelated sockets, exactly as the same IP
+/// does in two Linux network namespaces.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_netsim::Addr;
+///
+/// let addr = Addr::new(3, 1883);
+/// assert_eq!(addr.host(), 3);
+/// assert_eq!(addr.port(), 1883);
+/// assert_eq!(addr.to_string(), "10.77.0.3:1883");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    host: u32,
+    port: u16,
+}
+
+impl Addr {
+    /// Creates an address from a host number and port.
+    #[must_use]
+    pub const fn new(host: u32, port: u16) -> Self {
+        Addr { host, port }
+    }
+
+    /// Host number.
+    #[must_use]
+    pub const fn host(self) -> u32 {
+        self.host
+    }
+
+    /// Port number.
+    #[must_use]
+    pub const fn port(self) -> u16 {
+        self.port
+    }
+
+    /// Same host, different port.
+    #[must_use]
+    pub const fn with_port(self, port: u16) -> Self {
+        Addr {
+            host: self.host,
+            port,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "10.77.{}.{}:{}",
+            (self.host >> 8) & 0xff,
+            self.host & 0xff,
+            self.port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Addr::new(7, 53);
+        assert_eq!(a.host(), 7);
+        assert_eq!(a.port(), 53);
+    }
+
+    #[test]
+    fn with_port_keeps_host() {
+        let a = Addr::new(7, 53).with_port(5353);
+        assert_eq!(a, Addr::new(7, 5353));
+    }
+
+    #[test]
+    fn display_is_dotted() {
+        assert_eq!(Addr::new(258, 80).to_string(), "10.77.1.2:80");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut addrs = vec![Addr::new(2, 1), Addr::new(1, 9), Addr::new(1, 2)];
+        addrs.sort();
+        assert_eq!(
+            addrs,
+            vec![Addr::new(1, 2), Addr::new(1, 9), Addr::new(2, 1)]
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Seeded link-impairment model.
+
+/// Probabilistic link impairments applied to datagram delivery.
+///
+/// Experiments run with [`LinkConditions::perfect`] links so campaigns are
+/// deterministic; robustness tests enable loss, duplication and reordering
+/// driven by the network's seeded RNG.
+///
+/// Probabilities are clamped to `[0, 1]` at construction.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_netsim::LinkConditions;
+///
+/// let lossy = LinkConditions::new(0.1, 0.0, 0.05);
+/// assert_eq!(lossy.loss(), 0.1);
+/// assert_eq!(lossy.reorder(), 0.05);
+/// assert!(!lossy.is_perfect());
+/// assert!(LinkConditions::perfect().is_perfect());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConditions {
+    loss: f64,
+    duplicate: f64,
+    reorder: f64,
+}
+
+impl LinkConditions {
+    /// Creates impairments with the given probabilities, clamping each to
+    /// `[0, 1]`. NaN clamps to `0`.
+    #[must_use]
+    pub fn new(loss: f64, duplicate: f64, reorder: f64) -> Self {
+        fn clamp(p: f64) -> f64 {
+            if p.is_nan() {
+                0.0
+            } else {
+                p.clamp(0.0, 1.0)
+            }
+        }
+        LinkConditions {
+            loss: clamp(loss),
+            duplicate: clamp(duplicate),
+            reorder: clamp(reorder),
+        }
+    }
+
+    /// A link that delivers every datagram once, in order.
+    #[must_use]
+    pub const fn perfect() -> Self {
+        LinkConditions {
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+        }
+    }
+
+    /// Probability a datagram is dropped.
+    #[must_use]
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Probability a datagram is delivered twice.
+    #[must_use]
+    pub fn duplicate(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// Probability a datagram is held back and swapped with the next one.
+    #[must_use]
+    pub fn reorder(&self) -> f64 {
+        self.reorder
+    }
+
+    /// Whether no impairment is configured.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.loss == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+}
+
+impl Default for LinkConditions {
+    fn default() -> Self {
+        LinkConditions::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let c = LinkConditions::new(-0.5, 2.0, f64::NAN);
+        assert_eq!(c.loss(), 0.0);
+        assert_eq!(c.duplicate(), 1.0);
+        assert_eq!(c.reorder(), 0.0);
+    }
+
+    #[test]
+    fn perfect_is_default() {
+        assert_eq!(LinkConditions::default(), LinkConditions::perfect());
+        assert!(LinkConditions::default().is_perfect());
+    }
+
+    #[test]
+    fn impaired_is_not_perfect() {
+        assert!(!LinkConditions::new(0.0, 0.1, 0.0).is_perfect());
+    }
+}

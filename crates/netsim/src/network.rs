@@ -1,0 +1,402 @@
+//! The network namespace and datagram transport.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::{self, StreamConn, StreamListener};
+use crate::{Addr, LinkConditions, NetError};
+
+/// A datagram in flight: source, destination and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Address of the sending socket.
+    pub src: Addr,
+    /// Address of the receiving socket.
+    pub dst: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+struct LinkState {
+    conditions: LinkConditions,
+    rng: StdRng,
+    /// A datagram held back by the reordering model, delivered after the
+    /// next transmission to the same destination.
+    held: Option<Datagram>,
+}
+
+pub(crate) struct Inner {
+    name: String,
+    datagram_bindings: Mutex<HashMap<Addr, Sender<Datagram>>>,
+    pub(crate) listeners: Mutex<HashMap<Addr, Sender<StreamConn>>>,
+    link: Mutex<LinkState>,
+}
+
+impl Inner {
+    fn deliver(&self, datagram: Datagram) -> Result<(), NetError> {
+        let bindings = self.datagram_bindings.lock();
+        let sender = bindings
+            .get(&datagram.dst)
+            .ok_or(NetError::Unreachable(datagram.dst))?;
+        sender
+            .send(datagram)
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    fn transmit(&self, datagram: Datagram) -> Result<(), NetError> {
+        let mut link = self.link.lock();
+        if link.conditions.is_perfect() {
+            drop(link);
+            return self.deliver(datagram);
+        }
+        let mut to_deliver = Vec::with_capacity(2);
+        let loss = link.conditions.loss();
+        let dup = link.conditions.duplicate();
+        let reorder = link.conditions.reorder();
+        if loss > 0.0 && link.rng.random::<f64>() < loss {
+            // Dropped; still release any held datagram so it is not stuck
+            // behind a lost packet forever.
+            if let Some(held) = link.held.take() {
+                to_deliver.push(held);
+            }
+        } else if reorder > 0.0 && link.held.is_none() && link.rng.random::<f64>() < reorder {
+            link.held = Some(datagram);
+        } else {
+            let duplicated = dup > 0.0 && link.rng.random::<f64>() < dup;
+            if duplicated {
+                to_deliver.push(datagram.clone());
+            }
+            to_deliver.push(datagram);
+            if let Some(held) = link.held.take() {
+                to_deliver.push(held);
+            }
+        }
+        drop(link);
+        for d in to_deliver {
+            // Best-effort: an unreachable duplicate must not fail the send.
+            let _ = self.deliver(d);
+        }
+        Ok(())
+    }
+}
+
+/// One isolated network namespace.
+///
+/// Sockets bound on the same `Network` can exchange traffic; sockets on
+/// different `Network`s cannot, by construction — there is no global routing
+/// table. Each parallel fuzzing instance in a CMFuzz campaign owns one
+/// `Network`, mirroring the paper's per-instance `ip netns`.
+///
+/// Cloning a `Network` yields another handle onto the same namespace.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_netsim::{Addr, Network};
+///
+/// # fn main() -> Result<(), cmfuzz_netsim::NetError> {
+/// let ns_a = Network::new("a");
+/// let ns_b = Network::new("b");
+/// let server = ns_a.bind_datagram(Addr::new(1, 53))?;
+/// let stranger = ns_b.bind_datagram(Addr::new(2, 9))?;
+///
+/// // Same address space, different namespace: unreachable.
+/// assert!(stranger.send_to(Addr::new(1, 53), b"x").is_err());
+/// assert!(server.try_recv().is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Network {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Network {
+    /// Creates a namespace with perfect links and a fixed RNG seed.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Network::with_conditions(name, LinkConditions::perfect(), 0)
+    }
+
+    /// Creates a namespace with link impairments driven by `seed`.
+    #[must_use]
+    pub fn with_conditions(name: &str, conditions: LinkConditions, seed: u64) -> Self {
+        Network {
+            inner: Arc::new(Inner {
+                name: name.to_owned(),
+                datagram_bindings: Mutex::new(HashMap::new()),
+                listeners: Mutex::new(HashMap::new()),
+                link: Mutex::new(LinkState {
+                    conditions,
+                    rng: StdRng::seed_from_u64(seed),
+                    held: None,
+                }),
+            }),
+        }
+    }
+
+    /// Namespace name, for logs.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Binds a datagram socket at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::AddrInUse`] if another datagram socket is already
+    /// bound at `addr` on this network.
+    pub fn bind_datagram(&self, addr: Addr) -> Result<DatagramSocket, NetError> {
+        let mut bindings = self.inner.datagram_bindings.lock();
+        if bindings.contains_key(&addr) {
+            return Err(NetError::AddrInUse(addr));
+        }
+        let (tx, rx) = unbounded();
+        bindings.insert(addr, tx);
+        Ok(DatagramSocket {
+            addr,
+            rx,
+            net: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Starts a stream listener at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::AddrInUse`] if a listener is already bound at
+    /// `addr` on this network.
+    pub fn listen_stream(&self, addr: Addr) -> Result<StreamListener, NetError> {
+        stream::listen(self, addr)
+    }
+
+    /// Opens a stream connection from `local` to a listener at `remote`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnectionRefused`] if nothing is listening at
+    /// `remote` on this network.
+    pub fn connect_stream(&self, local: Addr, remote: Addr) -> Result<StreamConn, NetError> {
+        stream::connect(self, local, remote)
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("name", &self.inner.name)
+            .field(
+                "datagram_bindings",
+                &self.inner.datagram_bindings.lock().len(),
+            )
+            .field("listeners", &self.inner.listeners.lock().len())
+            .finish()
+    }
+}
+
+/// UDP-like socket bound on one [`Network`].
+///
+/// Receiving is non-blocking ([`DatagramSocket::try_recv`]): fuzzing
+/// campaigns are single-threaded per instance and poll sockets in their run
+/// loop.
+///
+/// Dropping the socket releases its address.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_netsim::{Addr, Network};
+///
+/// # fn main() -> Result<(), cmfuzz_netsim::NetError> {
+/// let net = Network::new("ns");
+/// let a = net.bind_datagram(Addr::new(1, 1000))?;
+/// let b = net.bind_datagram(Addr::new(2, 2000))?;
+/// a.send_to(b.addr(), b"ping")?;
+/// assert_eq!(b.try_recv().expect("delivered").payload, b"ping");
+/// # Ok(())
+/// # }
+/// ```
+pub struct DatagramSocket {
+    addr: Addr,
+    rx: Receiver<Datagram>,
+    net: Arc<Inner>,
+}
+
+impl DatagramSocket {
+    /// Address this socket is bound at.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sends `payload` to `dst` on this socket's network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unreachable`] if no socket is bound at `dst`.
+    pub fn send_to(&self, dst: Addr, payload: &[u8]) -> Result<(), NetError> {
+        self.net.transmit(Datagram {
+            src: self.addr,
+            dst,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Receives the next pending datagram, if any.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of datagrams waiting in the receive queue.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for DatagramSocket {
+    fn drop(&mut self) {
+        self.net.datagram_bindings.lock().remove(&self.addr);
+    }
+}
+
+impl fmt::Debug for DatagramSocket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DatagramSocket")
+            .field("addr", &self.addr)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_between_two_sockets() {
+        let net = Network::new("t");
+        let a = net.bind_datagram(Addr::new(1, 10)).unwrap();
+        let b = net.bind_datagram(Addr::new(2, 20)).unwrap();
+        a.send_to(b.addr(), b"one").unwrap();
+        a.send_to(b.addr(), b"two").unwrap();
+        assert_eq!(b.pending(), 2);
+        assert_eq!(b.try_recv().unwrap().payload, b"one");
+        let d = b.try_recv().unwrap();
+        assert_eq!(d.payload, b"two");
+        assert_eq!(d.src, Addr::new(1, 10));
+        assert_eq!(d.dst, Addr::new(2, 20));
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn double_bind_fails() {
+        let net = Network::new("t");
+        let _a = net.bind_datagram(Addr::new(1, 10)).unwrap();
+        assert_eq!(
+            net.bind_datagram(Addr::new(1, 10)).unwrap_err(),
+            NetError::AddrInUse(Addr::new(1, 10))
+        );
+    }
+
+    #[test]
+    fn drop_releases_address() {
+        let net = Network::new("t");
+        {
+            let _a = net.bind_datagram(Addr::new(1, 10)).unwrap();
+        }
+        assert!(net.bind_datagram(Addr::new(1, 10)).is_ok());
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        let ns_a = Network::new("a");
+        let ns_b = Network::new("b");
+        let _server = ns_a.bind_datagram(Addr::new(1, 53)).unwrap();
+        let client = ns_b.bind_datagram(Addr::new(9, 9)).unwrap();
+        assert_eq!(
+            client.send_to(Addr::new(1, 53), b"x").unwrap_err(),
+            NetError::Unreachable(Addr::new(1, 53))
+        );
+    }
+
+    #[test]
+    fn send_to_unbound_is_unreachable() {
+        let net = Network::new("t");
+        let a = net.bind_datagram(Addr::new(1, 10)).unwrap();
+        assert!(matches!(
+            a.send_to(Addr::new(5, 5), b"x"),
+            Err(NetError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let net = Network::with_conditions("t", LinkConditions::new(1.0, 0.0, 0.0), 42);
+        let a = net.bind_datagram(Addr::new(1, 1)).unwrap();
+        let b = net.bind_datagram(Addr::new(2, 2)).unwrap();
+        for _ in 0..32 {
+            a.send_to(b.addr(), b"x").unwrap();
+        }
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn total_duplication_doubles_everything() {
+        let net = Network::with_conditions("t", LinkConditions::new(0.0, 1.0, 0.0), 42);
+        let a = net.bind_datagram(Addr::new(1, 1)).unwrap();
+        let b = net.bind_datagram(Addr::new(2, 2)).unwrap();
+        for _ in 0..8 {
+            a.send_to(b.addr(), b"x").unwrap();
+        }
+        assert_eq!(b.pending(), 16);
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_datagrams() {
+        // reorder=1.0: the first datagram is always held back, the second
+        // send releases it after itself, and so on.
+        let net = Network::with_conditions("t", LinkConditions::new(0.0, 0.0, 1.0), 42);
+        let a = net.bind_datagram(Addr::new(1, 1)).unwrap();
+        let b = net.bind_datagram(Addr::new(2, 2)).unwrap();
+        a.send_to(b.addr(), b"1").unwrap();
+        a.send_to(b.addr(), b"2").unwrap();
+        // With p=1 the model holds "1", then cannot hold "2" (slot taken),
+        // so delivery order is 2, 1.
+        assert_eq!(b.try_recv().unwrap().payload, b"2");
+        assert_eq!(b.try_recv().unwrap().payload, b"1");
+    }
+
+    #[test]
+    fn same_seed_same_impairment_pattern() {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = Network::with_conditions("t", LinkConditions::new(0.5, 0.0, 0.0), seed);
+            let a = net.bind_datagram(Addr::new(1, 1)).unwrap();
+            let b = net.bind_datagram(Addr::new(2, 2)).unwrap();
+            (0..64)
+                .map(|_| {
+                    a.send_to(b.addr(), b"x").unwrap();
+                    b.try_recv().is_some()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let net = Network::new("dbg");
+        let sock = net.bind_datagram(Addr::new(1, 1)).unwrap();
+        assert!(format!("{net:?}").contains("dbg"));
+        assert!(format!("{sock:?}").contains("DatagramSocket"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared plumbing for the simulated protocol servers.
+
+use cmfuzz_coverage::{BranchId, CoverageProbe};
+
+/// Per-target coverage hook: a detachable probe the server hits with its
+/// branch enum discriminants.
+///
+/// Servers keep one `Cov` and call [`Cov::hit`] at every instrumented
+/// branch; before `start` attaches a probe, hits are silently dropped
+/// (the server is "uninstrumented").
+#[derive(Debug, Default)]
+pub(crate) struct Cov {
+    probe: Option<CoverageProbe>,
+}
+
+impl Cov {
+    /// Attaches the campaign's probe (called from `Target::start`).
+    pub(crate) fn attach(&mut self, probe: CoverageProbe) {
+        self.probe = Some(probe);
+    }
+
+    /// Records a hit on branch `index`.
+    pub(crate) fn hit(&self, index: u32) {
+        if let Some(probe) = &self.probe {
+            probe.hit(BranchId::from_index(index));
+        }
+    }
+}
+
+/// Hits one branch per matched prefix byte of `target` in `value`,
+/// starting at branch index `base`.
+///
+/// This models how compiled string comparisons look under branch coverage:
+/// each loop iteration of the `memcmp`/`strcmp` is its own edge, which is
+/// precisely what lets coverage-guided fuzzers solve multi-byte magic
+/// values one byte at a time while blind generation cannot.
+pub(crate) fn prefix_ladder(cov: &Cov, base: u32, target: &[u8], value: &[u8]) {
+    for (k, &expected) in target.iter().enumerate() {
+        if value.get(k) == Some(&expected) {
+            cov.hit(base + k as u32);
+        } else {
+            break;
+        }
+    }
+}
+
+/// Reads a big-endian u16 at `offset`.
+pub(crate) fn be16(data: &[u8], offset: usize) -> Option<u16> {
+    Some(u16::from_be_bytes([
+        *data.get(offset)?,
+        *data.get(offset + 1)?,
+    ]))
+}
+
+/// Reads a big-endian u32 at `offset`.
+pub(crate) fn be32(data: &[u8], offset: usize) -> Option<u32> {
+    Some(u32::from_be_bytes([
+        *data.get(offset)?,
+        *data.get(offset + 1)?,
+        *data.get(offset + 2)?,
+        *data.get(offset + 3)?,
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_coverage::CoverageMap;
+
+    #[test]
+    fn unattached_cov_drops_hits() {
+        let cov = Cov::default();
+        cov.hit(0); // must not panic
+    }
+
+    #[test]
+    fn attached_cov_records() {
+        let map = CoverageMap::new(4);
+        let mut cov = Cov::default();
+        cov.attach(map.probe());
+        cov.hit(2);
+        assert_eq!(map.hit_count(BranchId::from_index(2)), 1);
+    }
+
+    #[test]
+    fn be_readers_bounds_checked() {
+        let data = [1u8, 2, 3, 4, 5];
+        assert_eq!(be16(&data, 0), Some(0x0102));
+        assert_eq!(be16(&data, 3), Some(0x0405));
+        assert_eq!(be16(&data, 4), None);
+        assert_eq!(be32(&data, 1), Some(0x0203_0405));
+        assert_eq!(be32(&data, 2), None);
+    }
+}

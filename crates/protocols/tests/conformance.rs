@@ -1,0 +1,166 @@
+//! Uniform conformance tests every protocol target must pass: lifecycle
+//! rules, instrumentation sanity, robustness, and determinism.
+
+use cmfuzz_config_model::{extract_model, ResolvedConfig};
+use cmfuzz_coverage::CoverageMap;
+use cmfuzz_fuzzer::Target;
+use cmfuzz_protocols::all_specs;
+
+#[test]
+fn handle_before_start_is_inert() {
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let response = target.handle(&[0u8; 32]);
+        assert!(
+            response.bytes.is_empty() && !response.is_crash(),
+            "{}: unstarted target must stay inert",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn startup_coverage_is_deterministic() {
+    for spec in all_specs() {
+        let boot = || {
+            let mut target = (spec.build)();
+            let map = CoverageMap::new(target.branch_count());
+            target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+            map.snapshot()
+        };
+        assert_eq!(boot(), boot(), "{}: startup must be deterministic", spec.name);
+    }
+}
+
+#[test]
+fn restart_is_idempotent() {
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let map = CoverageMap::new(target.branch_count());
+        target.start(&ResolvedConfig::new(), map.probe()).expect("first boot");
+        let first = map.snapshot();
+        // Restart on a fresh map: same configuration, same coverage set
+        // (lifetime counters excepted — none fire at boot).
+        let map2 = CoverageMap::new(target.branch_count());
+        target.start(&ResolvedConfig::new(), map2.probe()).expect("reboot");
+        assert_eq!(first, map2.snapshot(), "{}: restart differs", spec.name);
+    }
+}
+
+#[test]
+fn all_hits_stay_within_declared_branch_space() {
+    // CoverageMap drops out-of-range hits silently; detect mis-sized
+    // branch spaces by checking a generous oversized map records nothing
+    // past `branch_count`.
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let declared = target.branch_count();
+        let map = CoverageMap::new(declared + 512);
+        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        target.begin_session();
+        for len in 0..128usize {
+            let input: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let _ = target.handle(&input);
+        }
+        let snapshot = map.snapshot();
+        let out_of_range = snapshot
+            .covered_ids()
+            .filter(|id| (id.index() as usize) >= declared)
+            .count();
+        assert_eq!(
+            out_of_range, 0,
+            "{}: {} hits beyond branch_count()",
+            spec.name, out_of_range
+        );
+    }
+}
+
+#[test]
+fn long_random_input_storm_never_crashes_under_defaults_except_known() {
+    // Everything default-reachable must be crash-free except the one bug
+    // the paper's narrative makes default-reachable (DNS get16bits).
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let map = CoverageMap::new(target.branch_count());
+        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        let mut state = 0x9E37_79B9u64;
+        for round in 0..2_000usize {
+            if round % 50 == 0 {
+                target.begin_session();
+            }
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let len = (state >> 33) as usize % 64;
+            let input: Vec<u8> = (0..len)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> (24 + (i % 8))) as u8
+                })
+                .collect();
+            let response = target.handle(&input);
+            if let Some(fault) = &response.fault {
+                assert_eq!(
+                    (spec.name, fault.function.as_str()),
+                    ("dnsmasq", "get16bits"),
+                    "{}: unexpected default-reachable crash {fault}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_inputs_are_handled() {
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let map = CoverageMap::new(target.branch_count());
+        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        let huge = vec![0x55u8; 64 * 1024];
+        let response = target.handle(&huge);
+        assert!(!response.is_crash(), "{}: 64 KiB input crashed", spec.name);
+    }
+}
+
+#[test]
+fn immutable_entities_never_enter_the_mutable_set() {
+    for spec in all_specs() {
+        let target = (spec.build)();
+        let model = extract_model(&target.config_space());
+        for entity in model.entities() {
+            if !entity.is_mutable() {
+                assert_eq!(
+                    entity.values().len(),
+                    1,
+                    "{}: immutable {} carries mutation values",
+                    spec.name,
+                    entity.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn default_config_equals_empty_config() {
+    // Binding every entity to its extracted default must behave like the
+    // stock boot: extraction faithfully captured the shipped defaults.
+    for spec in all_specs() {
+        let mut target = (spec.build)();
+        let model = extract_model(&target.config_space());
+        let explicit = ResolvedConfig::defaults_of(&model);
+        let boot = |target: &mut Box<dyn Target + Send>, config: &ResolvedConfig| {
+            let map = CoverageMap::new(target.branch_count());
+            target.start(config, map.probe()).expect("boots");
+            map.snapshot()
+        };
+        let stock = boot(&mut target, &ResolvedConfig::new());
+        let explicit_snapshot = boot(&mut target, &explicit);
+        assert_eq!(
+            stock, explicit_snapshot,
+            "{}: extracted defaults disagree with stock behaviour",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's case study (Bug #8, Figure 5): a SEGV in libcoap's
+//! `coap_handle_request_put_block` that only exists under the non-default
+//! Q-Block1 configuration.
+//!
+//! ```sh
+//! cargo run --release --example coap_blockwise
+//! ```
+//!
+//! Demonstrates the two halves of the claim:
+//! 1. under the default configuration the triggering input is harmless;
+//! 2. with `--block-mode qblock1` the same input dereferences the NULL
+//!    `body_data` and crashes — and a CMFuzz campaign finds it, while a
+//!    default-configuration Peach campaign cannot.
+
+use cmfuzz::baseline::{run_cmfuzz, run_peach};
+use cmfuzz::campaign::CampaignOptions;
+use cmfuzz::schedule::ScheduleOptions;
+use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
+use cmfuzz_coverage::{CoverageMap, Ticks};
+use cmfuzz_fuzzer::{FaultKind, Target};
+use cmfuzz_protocols::{spec_by_name, Coap};
+
+/// A PUT whose final Q-Block1 block claims the transfer is complete, but no
+/// earlier block ever arrived: `lg_srcv->body_data` is still NULL.
+fn lonely_final_block() -> Vec<u8> {
+    let block_num3_final = 3u8 << 4; // NUM=3, M=0, SZX=0
+    vec![
+        0x40, 0x03, 0x12, 0x34, // CON, PUT, message id
+        0xD1, 0x06, block_num3_final, // option 19 (Q-Block1)
+        0xFF, b't', b'a', b'i', b'l', // payload marker + final chunk
+    ]
+}
+
+fn main() {
+    let input = lonely_final_block();
+
+    // Part 1: direct demonstration against the server.
+    let mut server = Coap::new();
+    let map = CoverageMap::new(server.branch_count());
+    server
+        .start(&ResolvedConfig::new(), map.probe())
+        .expect("default boot");
+    let response = server.handle(&input);
+    println!(
+        "default configuration: crash = {} (block options are ignored)",
+        response.is_crash()
+    );
+
+    let mut config = ResolvedConfig::new();
+    config.set("block-mode", ConfigValue::Str("qblock1".into()));
+    let map = CoverageMap::new(server.branch_count());
+    server.start(&config, map.probe()).expect("qblock1 boot");
+    let response = server.handle(&input);
+    match &response.fault {
+        Some(fault) => println!("--block-mode qblock1:  crash = true ({fault})"),
+        None => println!("--block-mode qblock1:  crash = false (unexpected!)"),
+    }
+
+    // Part 2: the fuzzing comparison.
+    let spec = spec_by_name("libcoap").expect("registered subject");
+    let options = CampaignOptions {
+        instances: 4,
+        budget: Ticks::new(6_000),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(400),
+        seed: 7,
+        ..CampaignOptions::default()
+    };
+    let cm = run_cmfuzz(&spec, &ScheduleOptions::default(), &options);
+    let peach = run_peach(&spec, &options);
+
+    let bug8 = |r: &cmfuzz::metrics::CampaignResult| {
+        r.faults
+            .contains(FaultKind::Segv, "coap_handle_request_put_block")
+    };
+    println!("\nfuzzing for {} ticks x {} instances:", options.budget, options.instances);
+    println!(
+        "  cmfuzz: {} branches, bug #8 found = {}",
+        cm.final_branches(),
+        bug8(&cm)
+    );
+    println!(
+        "  peach:  {} branches, bug #8 found = {}",
+        peach.final_branches(),
+        bug8(&peach)
+    );
+}

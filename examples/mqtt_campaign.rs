@@ -1,0 +1,68 @@
+//! Three-way fuzzer comparison on the simulated Mosquitto broker — a
+//! single-subject slice of the paper's Table I / Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example mqtt_campaign
+//! ```
+
+use cmfuzz::baseline::{run_cmfuzz, run_peach, run_spfuzz};
+use cmfuzz::campaign::CampaignOptions;
+use cmfuzz::metrics::{improvement_pct, speedup};
+use cmfuzz::schedule::ScheduleOptions;
+use cmfuzz_coverage::Ticks;
+use cmfuzz_protocols::spec_by_name;
+
+fn main() {
+    let spec = spec_by_name("mosquitto").expect("registered subject");
+    let options = CampaignOptions {
+        instances: 4,
+        budget: Ticks::new(8_000),
+        sample_interval: Ticks::new(200),
+        saturation_window: Ticks::new(600),
+        seed: 11,
+        ..CampaignOptions::default()
+    };
+
+    println!("fuzzing mosquitto: 4 instances x {} ticks each", options.budget);
+    let cm = run_cmfuzz(&spec, &ScheduleOptions::default(), &options);
+    let peach = run_peach(&spec, &options);
+    let spfuzz = run_spfuzz(&spec, &options);
+
+    println!("\nfinal branches:");
+    for result in [&cm, &peach, &spfuzz] {
+        println!(
+            "  {:<8} {:>4} branches, {} unique faults",
+            result.fuzzer,
+            result.final_branches(),
+            result.faults.unique_count()
+        );
+    }
+
+    println!(
+        "\ncmfuzz vs peach:  {:+.1}% branches, speedup {:.1}x",
+        improvement_pct(cm.final_branches(), peach.final_branches()),
+        speedup(&cm.curve, &peach.curve).unwrap_or(f64::NAN),
+    );
+    println!(
+        "cmfuzz vs spfuzz: {:+.1}% branches, speedup {:.1}x",
+        improvement_pct(cm.final_branches(), spfuzz.final_branches()),
+        speedup(&cm.curve, &spfuzz.curve).unwrap_or(f64::NAN),
+    );
+
+    println!("\ncoverage over time (every 4th sample):");
+    println!("{:>8} {:>8} {:>8} {:>8}", "tick", "cmfuzz", "peach", "spfuzz");
+    for (i, &(t, cm_b)) in cm.curve.points().iter().enumerate().step_by(4) {
+        let peach_b = peach.curve.points().get(i).map_or(0, |&(_, b)| b);
+        let spfuzz_b = spfuzz.curve.points().get(i).map_or(0, |&(_, b)| b);
+        println!("{:>8} {:>8} {:>8} {:>8}", t.get(), cm_b, peach_b, spfuzz_b);
+    }
+
+    println!("\nfaults only cmfuzz found:");
+    for fault in cm.faults.faults() {
+        if !peach.faults.contains(fault.kind, &fault.function)
+            && !spfuzz.faults.contains(fault.kind, &fault.function)
+        {
+            println!("  - {fault}");
+        }
+    }
+}

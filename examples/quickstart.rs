@@ -1,0 +1,57 @@
+//! Quickstart: run CMFuzz end-to-end on one IoT protocol target.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole pipeline on the simulated Dnsmasq target: extract the
+//! configuration model, quantify pairwise relations, allocate groups with
+//! Algorithm 2, then run a short parallel campaign and print what it found.
+
+use cmfuzz::baseline::run_cmfuzz;
+use cmfuzz::campaign::CampaignOptions;
+use cmfuzz::schedule::{build_schedule, ScheduleOptions};
+use cmfuzz_coverage::Ticks;
+use cmfuzz_protocols::spec_by_name;
+
+fn main() {
+    let spec = spec_by_name("dnsmasq").expect("dnsmasq is a registered subject");
+
+    // 1. Scheduling: configuration model -> relation graph -> groups.
+    let mut scratch = (spec.build)();
+    let schedule = build_schedule(&mut *scratch, 4, &ScheduleOptions::default());
+    println!("configuration model: {} entities", schedule.model.len());
+    println!(
+        "relation graph: {} nodes, {} edges",
+        schedule.graph.node_count(),
+        schedule.graph.edge_count()
+    );
+    for plan in &schedule.plans {
+        println!(
+            "  instance {}: {:?}\n    starts with {}",
+            plan.index, plan.entities, plan.initial_config
+        );
+    }
+
+    // 2. The parallel campaign (a small budget for the demo).
+    let options = CampaignOptions {
+        instances: 4,
+        budget: Ticks::new(5_000),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(400),
+        seed: 42,
+        ..CampaignOptions::default()
+    };
+    let result = run_cmfuzz(&spec, &ScheduleOptions::default(), &options);
+
+    println!(
+        "\ncampaign: {} instances x {} ticks -> {} branches",
+        result.instances,
+        result.budget,
+        result.final_branches()
+    );
+    println!("faults found ({}):", result.faults.unique_count());
+    for fault in result.faults.faults() {
+        println!("  - {fault}");
+    }
+}

@@ -1,0 +1,26 @@
+//! Integration suite for the CMFuzz reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout; the implementation lives in
+//! the `crates/` workspace members:
+//!
+//! * [`cmfuzz`] — the paper's contribution: configuration model scheduling
+//!   and parallel campaign orchestration.
+//! * [`cmfuzz_config_model`] — configuration model identification.
+//! * [`cmfuzz_fuzzer`] — the Peach-like generation fuzzer substrate.
+//! * [`cmfuzz_protocols`] — the six simulated IoT protocol targets.
+//! * [`cmfuzz_coverage`] / [`cmfuzz_netsim`] — instrumentation and network
+//!   isolation substrates.
+//!
+//! # Examples
+//!
+//! ```
+//! // The suite crate re-exports nothing; depend on the member crates
+//! // directly, as the repository examples do.
+//! use cmfuzz_coverage::CoverageMap;
+//! let map = CoverageMap::new(4);
+//! assert_eq!(map.covered_count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

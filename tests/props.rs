@@ -1,0 +1,185 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cmfuzz::allocation::{allocate, AllocationOptions};
+use cmfuzz::graph::RelationGraph;
+use cmfuzz_config_model::extract::{
+    detect_format, extract_cli, extract_custom, extract_json, extract_key_value, extract_xml,
+    extract_yaml, ParseRules,
+};
+use cmfuzz_config_model::{ConfigValue, ValueType};
+use cmfuzz_coverage::CoverageSnapshot;
+use cmfuzz_fuzzer::{DataModel, Endian, Field, Generator, Mutator};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Configuration values
+    // ------------------------------------------------------------------
+
+    /// parse(render(v)) is the identity for every representable value.
+    #[test]
+    fn config_value_round_trips(value in config_value_strategy()) {
+        let rendered = value.render();
+        prop_assert_eq!(ConfigValue::parse(&rendered), value);
+    }
+
+    /// Type inference matches the parsed representation's type.
+    #[test]
+    fn inference_agrees_with_parse(raw in "[ -~]{0,24}") {
+        let inferred = ValueType::infer(&raw);
+        let parsed_type = ConfigValue::parse(&raw).value_type();
+        prop_assert_eq!(inferred, parsed_type);
+    }
+
+    // ------------------------------------------------------------------
+    // Extractors: total functions over arbitrary text
+    // ------------------------------------------------------------------
+
+    /// No extractor panics on arbitrary input, and extracted names are
+    /// never empty.
+    #[test]
+    fn extractors_are_total(content in "[ -~\n\t]{0,300}") {
+        let _ = detect_format("fuzz.txt", &content);
+        for items in [
+            extract_key_value("f.conf", &content),
+            extract_json("f.json", &content),
+            extract_xml("f.xml", &content),
+            extract_yaml("f.yaml", &content),
+            extract_custom("f.cfg", &content, &ParseRules::new()),
+            extract_cli(&content.lines().map(str::to_owned).collect::<Vec<_>>()),
+        ] {
+            for item in items {
+                prop_assert!(!item.name().is_empty());
+            }
+        }
+    }
+
+    /// Well-formed key=value lines always extract completely.
+    #[test]
+    fn keyvalue_extracts_every_well_formed_line(
+        keys in proptest::collection::vec("[a-z][a-z0-9_]{0,10}", 1..8),
+        values in proptest::collection::vec("[a-z0-9]{1,8}", 8),
+    ) {
+        let mut unique = keys.clone();
+        unique.sort();
+        unique.dedup();
+        let content: String = unique
+            .iter()
+            .zip(&values)
+            .map(|(k, v)| format!("{k}={v}\n"))
+            .collect();
+        let items = extract_key_value("p.conf", &content);
+        prop_assert_eq!(items.len(), unique.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Coverage snapshots: set algebra laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn snapshot_union_laws(
+        a in proptest::collection::vec(0usize..256, 0..64),
+        b in proptest::collection::vec(0usize..256, 0..64),
+    ) {
+        let sa = CoverageSnapshot::from_hits(256, a.iter().copied());
+        let sb = CoverageSnapshot::from_hits(256, b.iter().copied());
+        let ab = sa.union(&sb);
+        let ba = sb.union(&sa);
+        prop_assert_eq!(&ab, &ba, "union commutes");
+        prop_assert!(sa.is_subset_of(&ab));
+        prop_assert!(sb.is_subset_of(&ab));
+        prop_assert_eq!(ab.newly_covered(&sa), sb.covered_count() - sb.covered_count().min(intersection_count(&sa, &sb)));
+        prop_assert_eq!(sa.union(&sa), sa.clone(), "union is idempotent");
+    }
+
+    // ------------------------------------------------------------------
+    // Generator and mutation: total, structurally sound
+    // ------------------------------------------------------------------
+
+    /// Rendering after arbitrary chains of field mutations never panics,
+    /// and LengthOf relations stay within bounds when unadjusted.
+    #[test]
+    fn mutated_models_always_render(seed in any::<u64>(), rounds in 0usize..64) {
+        let mut model = DataModel::new("m")
+            .field(Field::uint("type", 8, 0x10))
+            .field(Field::length_of("len", "body", 16, Endian::Big))
+            .field(Field::block(
+                "body",
+                vec![
+                    Field::str("name", "probe"),
+                    Field::uint("id", 32, 7),
+                    Field::bytes("payload", b"data"),
+                ],
+            ))
+            .field(Field::choice(
+                "tail",
+                vec![Field::uint("a", 8, 0), Field::bytes("b", b"xy")],
+            ));
+        let mut mutator = Mutator::new(seed);
+        for _ in 0..rounds {
+            mutator.mutate_model(&mut model);
+            let bytes = Generator::render(&model);
+            prop_assert!(bytes.len() >= 3, "header fields always render");
+        }
+    }
+
+    /// Byte-level havoc never panics and respects emptiness rules.
+    #[test]
+    fn havoc_is_total(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut mutator = Mutator::new(seed);
+        let mut buffer = data;
+        for _ in 0..8 {
+            mutator.mutate(&mut buffer, 6);
+        }
+        // No assertion beyond not panicking; length may be anything >= 0.
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation: partition invariants on random graphs
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn allocation_partitions_every_node_exactly_once(
+        edges in proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..64),
+        lonely in proptest::collection::vec(24usize..30, 0..4),
+        instances in 1usize..6,
+    ) {
+        let mut graph = RelationGraph::new();
+        for &(a, b, w) in &edges {
+            if a != b {
+                graph.add_edge(&format!("n{a}"), &format!("n{b}"), w);
+            }
+        }
+        for &l in &lonely {
+            graph.add_node(&format!("n{l}"));
+        }
+        let groups = allocate(&graph, instances, &AllocationOptions::default());
+        prop_assert!(groups.len() <= instances);
+        let mut all: Vec<String> = groups.iter().flatten().cloned().collect();
+        all.sort();
+        let before = all.len();
+        all.dedup();
+        prop_assert_eq!(all.len(), before, "no node in two groups");
+        let mut expected: Vec<String> = graph.node_names().to_vec();
+        expected.sort();
+        prop_assert_eq!(all, expected, "every node placed");
+    }
+}
+
+fn intersection_count(a: &CoverageSnapshot, b: &CoverageSnapshot) -> usize {
+    a.covered_ids().filter(|id| b.is_covered(*id)).count()
+}
+
+fn config_value_strategy() -> impl Strategy<Value = ConfigValue> {
+    prop_oneof![
+        any::<bool>().prop_map(ConfigValue::Bool),
+        any::<i64>().prop_map(ConfigValue::Int),
+        // Strings that survive the parser's normalization: no leading or
+        // trailing whitespace, not boolean/numeric-looking.
+        "[a-z][a-z_/.-]{0,12}"
+            .prop_filter("must stay a string", |s| {
+                ConfigValue::parse(s) == ConfigValue::Str(s.clone())
+            })
+            .prop_map(ConfigValue::Str),
+    ]
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the scheduling design choices DESIGN.md calls
+//! out: the interaction-weight refinement, grouping quality, and the
+//! relation graph's structure on real targets.
+
+use cmfuzz::allocation::{allocate, AllocationOptions};
+use cmfuzz::relation::{quantify_target, RelationOptions, WeightMode};
+use cmfuzz::schedule::{build_schedule, GroupingStrategy, ScheduleOptions};
+use cmfuzz_config_model::extract_model;
+use cmfuzz_protocols::spec_by_name;
+
+#[test]
+fn literal_absolute_weights_collapse_mosquitto_into_one_group() {
+    // The documented degenerate case: with the paper's literal
+    // peak-absolute-coverage weights, the heaviest edges all chain through
+    // coverage-rich entities and Algorithm 2's attach rule absorbs
+    // everything into the first group.
+    let spec = spec_by_name("mosquitto").expect("subject");
+    let mut target = (spec.build)();
+    let model = extract_model(&target.config_space());
+    let graph = quantify_target(
+        &mut *target,
+        &model,
+        &RelationOptions {
+            values_per_entity: 3,
+            mode: WeightMode::MaxAbsolute,
+        },
+    );
+    let groups = allocate(&graph, 4, &AllocationOptions::default());
+    let populated = groups.iter().filter(|g| g.len() > 1).count();
+    assert_eq!(
+        populated, 1,
+        "absolute weights should chain into a single populated group, got {groups:?}"
+    );
+}
+
+#[test]
+fn interaction_weights_produce_multiple_cohesive_groups() {
+    let spec = spec_by_name("mosquitto").expect("subject");
+    let mut target = (spec.build)();
+    let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    assert_eq!(schedule.plans.len(), 4, "four populated groups");
+    for plan in &schedule.plans {
+        assert!(
+            plan.entities.len() >= 2,
+            "group {} too small: {:?}",
+            plan.index,
+            plan.entities
+        );
+    }
+    // Known subsystem synergy lands in one group: the block-wise pair on
+    // CoAP is the canonical example.
+    let spec = spec_by_name("libcoap").expect("subject");
+    let mut target = (spec.build)();
+    let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    let block_group = schedule
+        .plans
+        .iter()
+        .find(|p| p.entities.iter().any(|e| e == "block-mode"))
+        .expect("block-mode placed");
+    assert!(
+        block_group.entities.iter().any(|e| e == "max-block-size"),
+        "block-mode and max-block-size belong together, got {:?}",
+        block_group.entities
+    );
+}
+
+#[test]
+fn relation_graphs_are_sparse_on_every_subject() {
+    for name in ["mosquitto", "libcoap", "dnsmasq", "openssl"] {
+        let spec = spec_by_name(name).expect("subject");
+        let mut target = (spec.build)();
+        let model = extract_model(&target.config_space());
+        let graph = quantify_target(&mut *target, &model, &RelationOptions::default());
+        let n = graph.node_count();
+        assert!(
+            graph.edge_count() <= n * (n - 1) / 4,
+            "{name}: graph too dense ({} edges / {n} nodes)",
+            graph.edge_count()
+        );
+        for edge in graph.edges() {
+            assert!((0.0..=1.0).contains(&edge.weight), "{name}: unnormalized");
+        }
+    }
+}
+
+#[test]
+fn random_grouping_loses_to_relation_aware_grouping_on_startup_value() {
+    // Random grouping still partitions everything, but separates
+    // synergistic pairs, so the per-group greedy value search finds less
+    // joint startup coverage in aggregate.
+    let spec = spec_by_name("libcoap").expect("subject");
+    let mut target = (spec.build)();
+    let aware = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    let random = build_schedule(
+        &mut *target,
+        4,
+        &ScheduleOptions {
+            grouping: GroupingStrategy::Random(99),
+            ..ScheduleOptions::default()
+        },
+    );
+    // Both cover all mutable entities exactly once.
+    let count = |s: &cmfuzz::schedule::Schedule| -> usize {
+        s.plans.iter().map(|p| p.entities.len()).sum()
+    };
+    assert_eq!(count(&aware), count(&random));
+    // The relation-aware grouping keeps block-mode and max-block-size
+    // together; under seed 99's shuffle they land apart (verifying the
+    // ablation is a real contrast, not a no-op).
+    let together = |s: &cmfuzz::schedule::Schedule| {
+        s.plans.iter().any(|p| {
+            p.entities.iter().any(|e| e == "block-mode")
+                && p.entities.iter().any(|e| e == "max-block-size")
+        })
+    };
+    assert!(together(&aware));
+    assert!(!together(&random), "shuffle seed 99 separates the pair");
+}

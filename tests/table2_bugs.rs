@@ -1,0 +1,243 @@
+//! Spec-level integration test for every Table II vulnerability: each of
+//! the 14 seeded bugs is reachable with its documented configuration and
+//! triggering input, and — where the paper's narrative requires it — is
+//! NOT reachable under the default configuration.
+
+use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
+use cmfuzz_coverage::CoverageMap;
+use cmfuzz_fuzzer::{FaultKind, Target, TargetResponse};
+use cmfuzz_protocols::spec_by_name;
+
+struct Bug {
+    number: u32,
+    subject: &'static str,
+    kind: FaultKind,
+    function: &'static str,
+    /// Configuration values unlocking the vulnerable path.
+    config: &'static [(&'static str, &'static str)],
+    /// Message sequence triggering the crash (sent in order; the last one
+    /// must crash).
+    inputs: &'static [&'static [u8]],
+    /// Whether the same inputs are harmless under defaults.
+    default_safe: bool,
+}
+
+fn resolved(pairs: &[(&str, &str)]) -> ResolvedConfig {
+    let mut config = ResolvedConfig::new();
+    for (key, value) in pairs {
+        config.set(key, ConfigValue::parse(value));
+    }
+    config
+}
+
+fn run(subject: &str, config: &ResolvedConfig, inputs: &[&[u8]]) -> TargetResponse {
+    let spec = spec_by_name(subject).expect("registered subject");
+    let mut target = (spec.build)();
+    let map = CoverageMap::new(target.branch_count());
+    target.start(config, map.probe()).expect("boots");
+    target.begin_session();
+    let mut last = TargetResponse::empty();
+    for input in inputs {
+        last = target.handle(input);
+    }
+    last
+}
+
+// Triggering inputs, named for readability.
+const MQTT_CONNECT: &[u8] = &[
+    0x10, 0x0E, 0x00, 0x04, b'M', b'Q', b'T', b'T', 0x04, 0x02, 0x00, 0x3C, 0x00, 0x02, b'c',
+    b'm',
+];
+const MQTT_PUB_QOS2: &[u8] = &[
+    0x34, 0x08, 0x00, 0x01, b't', 0x00, 0x2A, b'x', // topic "t", id 42
+];
+const MQTT_PUB_QOS2_DUP: &[u8] = &[0x3C, 0x08, 0x00, 0x01, b't', 0x00, 0x2A, b'x'];
+const MQTT_SUB_BRIDGE_WILDCARD: &[u8] = &[
+    0x82, 0x1C, 0x00, 0x01, 0x00, 0x17, b'$', b'b', b'r', b'i', b'd', b'g', b'e', b'/', b'd',
+    b'e', b'v', b'i', b'c', b'e', b's', b'/', b'f', b'l', b'o', b'o', b'r', b'/', b'#', 0x00,
+];
+const MQTT_DIRTY_DISCONNECT: &[u8] = &[0xE0, 0x02, 0xAA, 0xBB];
+const MQTT_RETAINED_EMPTY_TOPIC: &[u8] = &[0x31, 0x03, 0x00, 0x00, b'x'];
+
+const COAP_HUGE_OPTION: &[u8] = &[0x40, 0x01, 0x00, 0x01, 0xE0, 0x07, 0x00];
+const COAP_TRUNCATED_EXT: &[u8] = &[0x40, 0x01, 0x00, 0x02, 0xE0, 0x01];
+const COAP_LONELY_FINAL_BLOCK: &[u8] = &[0x40, 0x03, 0x12, 0x34, 0xD1, 0x06, 0x30, 0xFF, b'x'];
+
+const AMQP_CONN_OPEN: &[u8] = &[1, 0, 0, 0, 0, 0, 4, 0, 10, 0, 40, 0xCE];
+
+const DNS_POINTER_PAST_END: &[u8] = &[
+    0, 1, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 0xC0, 0xFF, 0, 1, 0, 1,
+];
+const DNS_TRUNCATED_LABEL: &[u8] = &[0, 2, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 40, b'a'];
+const DNS_QDCOUNT_BOMB: &[u8] = &[0, 3, 0x01, 0x00, 0x7F, 0xFF, 0, 0, 0, 0, 0, 0];
+const DNS_PERCENT_NAME: &[u8] = &[
+    0, 4, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 2, b'a', b'%', 0, 0, 1, 0, 1,
+];
+const DNS_ANY_QUERY: &[u8] = &[
+    0, 5, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 1, b'x', 0, 0, 1, 0, 1,
+];
+
+const TABLE2: &[Bug] = &[
+    Bug {
+        number: 1,
+        subject: "mosquitto",
+        kind: FaultKind::HeapUseAfterFree,
+        function: "Connection::newMessage",
+        config: &[("qos-max", "2")],
+        inputs: &[MQTT_CONNECT, MQTT_PUB_QOS2, MQTT_PUB_QOS2_DUP],
+        default_safe: true,
+    },
+    Bug {
+        number: 2,
+        subject: "mosquitto",
+        kind: FaultKind::HeapUseAfterFree,
+        function: "neu_node_manager_get_addrs_all",
+        config: &[("bridge-mode", "both")],
+        inputs: &[MQTT_CONNECT, MQTT_SUB_BRIDGE_WILDCARD],
+        default_safe: true,
+    },
+    Bug {
+        number: 3,
+        subject: "mosquitto",
+        kind: FaultKind::HeapUseAfterFree,
+        function: "mqtt_packet_destroy",
+        config: &[("persistence", "true")],
+        inputs: &[MQTT_CONNECT, MQTT_DIRTY_DISCONNECT],
+        default_safe: true,
+    },
+    Bug {
+        number: 4,
+        subject: "mosquitto",
+        kind: FaultKind::Segv,
+        function: "loop_accepted",
+        config: &[("max_connections", "0")],
+        inputs: &[MQTT_CONNECT],
+        default_safe: true,
+    },
+    Bug {
+        number: 5,
+        subject: "mosquitto",
+        kind: FaultKind::MemoryLeak,
+        function: "multiple functions",
+        config: &[("persistence", "true")],
+        inputs: &[MQTT_CONNECT, MQTT_RETAINED_EMPTY_TOPIC],
+        default_safe: true,
+    },
+    Bug {
+        number: 6,
+        subject: "libcoap",
+        kind: FaultKind::Segv,
+        function: "coap_clean_options",
+        config: &[("observe", "true")],
+        inputs: &[COAP_HUGE_OPTION],
+        default_safe: true,
+    },
+    Bug {
+        number: 7,
+        subject: "libcoap",
+        kind: FaultKind::StackBufferOverflow,
+        function: "CoapPDU::getOptionDelta",
+        config: &[("block-mode", "block1"), ("max-block-size", "1024")],
+        inputs: &[COAP_TRUNCATED_EXT],
+        default_safe: true,
+    },
+    Bug {
+        number: 8,
+        subject: "libcoap",
+        kind: FaultKind::Segv,
+        function: "coap_handle_request_put_block",
+        config: &[("block-mode", "qblock1")],
+        inputs: &[COAP_LONELY_FINAL_BLOCK],
+        default_safe: true,
+    },
+    Bug {
+        number: 9,
+        subject: "qpid",
+        kind: FaultKind::StackBufferOverflow,
+        function: "pthread_create",
+        config: &[("threads", "128")],
+        inputs: &[AMQP_CONN_OPEN],
+        default_safe: true,
+    },
+    Bug {
+        number: 10,
+        subject: "dnsmasq",
+        kind: FaultKind::StackBufferOverflow,
+        function: "get16bits",
+        config: &[],
+        inputs: &[DNS_POINTER_PAST_END],
+        default_safe: false, // reachable under defaults by design
+    },
+    Bug {
+        number: 11,
+        subject: "dnsmasq",
+        kind: FaultKind::HeapBufferOverflow,
+        function: "dns_question_parse, dns_request_parse",
+        config: &[("edns-packet-max", "65535")],
+        inputs: &[DNS_TRUNCATED_LABEL],
+        default_safe: true,
+    },
+    Bug {
+        number: 12,
+        subject: "dnsmasq",
+        kind: FaultKind::AllocationSizeTooBig,
+        function: "dns_request_parse",
+        config: &[("cache-size", "65535")],
+        inputs: &[DNS_QDCOUNT_BOMB],
+        default_safe: true,
+    },
+    Bug {
+        number: 13,
+        subject: "dnsmasq",
+        kind: FaultKind::HeapBufferOverflow,
+        function: "printf_common",
+        config: &[("log-queries", "true")],
+        inputs: &[DNS_PERCENT_NAME],
+        default_safe: true,
+    },
+    Bug {
+        number: 14,
+        subject: "dnsmasq",
+        kind: FaultKind::HeapBufferOverflow,
+        function: "config_parse",
+        config: &[("dnssec", "true"), ("cache-size", "0")],
+        inputs: &[DNS_ANY_QUERY],
+        default_safe: true,
+    },
+];
+
+#[test]
+fn all_fourteen_bugs_trigger_under_their_configuration() {
+    for bug in TABLE2 {
+        let response = run(bug.subject, &resolved(bug.config), bug.inputs);
+        let fault = response.fault.unwrap_or_else(|| {
+            panic!("bug #{} ({}) did not fire", bug.number, bug.function)
+        });
+        assert_eq!(fault.kind, bug.kind, "bug #{} kind", bug.number);
+        assert_eq!(fault.function, bug.function, "bug #{} function", bug.number);
+    }
+}
+
+#[test]
+fn config_gated_bugs_are_safe_under_defaults() {
+    for bug in TABLE2.iter().filter(|b| b.default_safe) {
+        let response = run(bug.subject, &ResolvedConfig::new(), bug.inputs);
+        assert!(
+            !response.is_crash(),
+            "bug #{} must not fire under the default configuration",
+            bug.number
+        );
+    }
+}
+
+#[test]
+fn table2_inventory_matches_the_paper() {
+    assert_eq!(TABLE2.len(), 14, "the paper reports 14 bugs");
+    let by_kind = |k: FaultKind| TABLE2.iter().filter(|b| b.kind == k).count();
+    assert_eq!(by_kind(FaultKind::HeapUseAfterFree), 3);
+    assert_eq!(by_kind(FaultKind::Segv), 3);
+    assert_eq!(by_kind(FaultKind::MemoryLeak), 1);
+    assert_eq!(by_kind(FaultKind::AllocationSizeTooBig), 1);
+    assert_eq!(by_kind(FaultKind::StackBufferOverflow), 3);
+    assert_eq!(by_kind(FaultKind::HeapBufferOverflow), 3);
+}
