@@ -1,10 +1,10 @@
 //! Runs the design-choice ablations DESIGN.md calls out.
 
-use cmfuzz_bench::{ablation, ExperimentScale};
+use cmfuzz_bench::{ablation_with, cli};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    eprintln!("running ablations at scale {scale:?} ...");
-    let rows = ablation(&scale);
+    let args = cli::parse_args("ablation");
+    let rows = ablation_with(&args.scale, &args.telemetry);
+    args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_ablation(&rows));
 }

@@ -1,10 +1,10 @@
 //! Regenerates the paper's Figure 4 coverage-over-time series.
 
-use cmfuzz_bench::{figure4, ExperimentScale};
+use cmfuzz_bench::{cli, figure4_with};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    eprintln!("running Figure 4 at scale {scale:?} ...");
-    let series = figure4(&scale);
+    let args = cli::parse_args("figure4");
+    let series = figure4_with(&args.scale, &args.telemetry);
+    args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_figure4(&series));
 }

@@ -1,10 +1,10 @@
-//! Regenerates the paper's Table I. `CMFUZZ_SCALE=paper` for the full run.
+//! Regenerates the paper's Table I. `--scale paper` for the full run.
 
-use cmfuzz_bench::{table1, ExperimentScale};
+use cmfuzz_bench::{cli, table1_with};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    eprintln!("running Table I at scale {scale:?} ...");
-    let rows = table1(&scale);
+    let args = cli::parse_args("table1");
+    let rows = table1_with(&args.scale, &args.telemetry);
+    args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_table1(&rows));
 }

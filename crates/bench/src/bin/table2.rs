@@ -1,10 +1,10 @@
 //! Regenerates the paper's Table II vulnerability summary.
 
-use cmfuzz_bench::{table2, ExperimentScale};
+use cmfuzz_bench::{cli, table2_with};
 
 fn main() {
-    let scale = ExperimentScale::from_env();
-    eprintln!("running Table II at scale {scale:?} ...");
-    let rows = table2(&scale);
+    let args = cli::parse_args("table2");
+    let rows = table2_with(&args.scale, &args.telemetry);
+    args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_table2(&rows));
 }

@@ -1,0 +1,94 @@
+//! Shared command-line handling for the report binaries.
+//!
+//! Every binary accepts the same two flags:
+//!
+//! * `--scale quick|paper` — experiment scale (overrides the
+//!   `CMFUZZ_SCALE` environment variable);
+//! * `--telemetry <path>` — stream the campaign's structured events to
+//!   `<path>` as JSON Lines, one event per line.
+//!
+//! Progress reporting always goes through the telemetry pipeline's
+//! [`ProgressSink`], so a run with no flags still prints `[cmfuzz]`
+//! status lines to stderr.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use cmfuzz_coverage::VirtualClock;
+use cmfuzz_telemetry::{JsonlSink, ProgressSink, Telemetry};
+
+use crate::experiments::ExperimentScale;
+
+/// Parsed command line of a report binary.
+#[derive(Debug)]
+pub struct Cli {
+    /// Experiment scale to run at.
+    pub scale: ExperimentScale,
+    /// Event pipeline: a progress sink always, a JSONL sink when
+    /// `--telemetry` was given.
+    pub telemetry: Telemetry,
+}
+
+/// Parses `std::env::args`, exiting with a usage message on bad input.
+///
+/// `experiment` names the binary in `--help` output.
+#[must_use]
+pub fn parse_args(experiment: &str) -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: Option<ExperimentScale> = None;
+    let mut jsonl_path: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().map(String::as_str) {
+                Some("quick") => scale = Some(ExperimentScale::quick()),
+                Some("paper") => scale = Some(ExperimentScale::paper()),
+                other => usage_error(
+                    experiment,
+                    &format!("--scale expects quick|paper, got {other:?}"),
+                ),
+            },
+            "--telemetry" => match iter.next() {
+                Some(path) => jsonl_path = Some(PathBuf::from(path)),
+                None => usage_error(experiment, "--telemetry expects a file path"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage(experiment));
+                exit(0);
+            }
+            other => usage_error(experiment, &format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut builder = Telemetry::builder(VirtualClock::new())
+        .sink(Box::new(ProgressSink::default()));
+    if let Some(path) = jsonl_path {
+        match JsonlSink::create(&path) {
+            Ok(sink) => builder = builder.sink(Box::new(sink)),
+            Err(err) => {
+                eprintln!("cannot open telemetry file {}: {err}", path.display());
+                exit(2);
+            }
+        }
+    }
+
+    Cli {
+        scale: scale.unwrap_or_else(ExperimentScale::from_env),
+        telemetry: builder.build(),
+    }
+}
+
+fn usage(experiment: &str) -> String {
+    format!(
+        "usage: {experiment} [--scale quick|paper] [--telemetry <path>]\n\
+         \n\
+         --scale      experiment scale (default: $CMFUZZ_SCALE or quick)\n\
+         --telemetry  write structured events to <path> as JSON Lines"
+    )
+}
+
+fn usage_error(experiment: &str, message: &str) -> ! {
+    eprintln!("{message}\n{}", usage(experiment));
+    exit(2);
+}

@@ -1,6 +1,6 @@
 //! Experiment definitions: one function per table/figure.
 
-use cmfuzz::baseline::{run_cmfuzz, run_peach, run_spfuzz};
+use cmfuzz::baseline::{run_cmfuzz_with, run_peach_with, run_spfuzz_with};
 use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::metrics::{improvement_pct, speedup, CampaignResult, CoverageCurve};
 use cmfuzz::relation::{RelationOptions, WeightMode};
@@ -8,6 +8,7 @@ use cmfuzz::schedule::{GroupingStrategy, ScheduleOptions};
 use cmfuzz_coverage::Ticks;
 use cmfuzz_fuzzer::FaultKind;
 use cmfuzz_protocols::{all_specs, ProtocolSpec};
+use cmfuzz_telemetry::Telemetry;
 
 /// Experiment scale: budget, repetitions and instance count.
 ///
@@ -75,6 +76,13 @@ impl ExperimentScale {
     }
 }
 
+/// Emits a human-oriented progress note and drains it immediately so the
+/// progress sink prints it before the (long) work it announces starts.
+fn progress(telemetry: &Telemetry, message: String) {
+    telemetry.progress(message);
+    telemetry.drain();
+}
+
 /// Runs a fuzzer over all repetitions and returns the per-repetition
 /// results.
 fn repeat<F>(scale: &ExperimentScale, mut run: F) -> Vec<CampaignResult>
@@ -109,7 +117,8 @@ fn mean_curve(results: &[CampaignResult]) -> CoverageCurve {
             .map(|r| r.curve.points()[i].1)
             .sum::<usize>()
             / results.len();
-        mean.push(time, avg);
+        mean.push(time, avg)
+            .expect("repetitions sample identical, ordered times");
     }
     mean
 }
@@ -162,9 +171,15 @@ pub struct Table1Row {
 /// improvement percentages and speedups, one row per subject.
 #[must_use]
 pub fn table1(scale: &ExperimentScale) -> Vec<Table1Row> {
+    table1_with(scale, &Telemetry::disabled())
+}
+
+/// [`table1`] with an observability pipeline attached.
+#[must_use]
+pub fn table1_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table1Row> {
     all_specs()
         .iter()
-        .map(|spec| table1_row(spec, scale))
+        .map(|spec| table1_row_with(spec, scale, telemetry))
         .collect()
 }
 
@@ -172,9 +187,22 @@ pub fn table1(scale: &ExperimentScale) -> Vec<Table1Row> {
 /// benches and tests, which don't need the whole grid).
 #[must_use]
 pub fn table1_row(spec: &ProtocolSpec, scale: &ExperimentScale) -> Table1Row {
-    let cm = repeat(scale, |o| run_cmfuzz(spec, &ScheduleOptions::default(), o));
-    let peach = repeat(scale, |o| run_peach(spec, o));
-    let spfuzz = repeat(scale, |o| run_spfuzz(spec, o));
+    table1_row_with(spec, scale, &Telemetry::disabled())
+}
+
+/// [`table1_row`] with an observability pipeline attached.
+#[must_use]
+pub fn table1_row_with(
+    spec: &ProtocolSpec,
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+) -> Table1Row {
+    progress(telemetry, format!("table1: {}", spec.name));
+    let cm = repeat(scale, |o| {
+        run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
+    });
+    let peach = repeat(scale, |o| run_peach_with(spec, o, telemetry));
+    let spfuzz = repeat(scale, |o| run_spfuzz_with(spec, o, telemetry));
     Table1Row {
         subject: spec.name.to_owned(),
         cmfuzz: mean_branches(&cm),
@@ -211,12 +239,21 @@ pub struct Figure4Series {
 /// fuzzers over the full budget.
 #[must_use]
 pub fn figure4(scale: &ExperimentScale) -> Vec<Figure4Series> {
+    figure4_with(scale, &Telemetry::disabled())
+}
+
+/// [`figure4`] with an observability pipeline attached.
+#[must_use]
+pub fn figure4_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Figure4Series> {
     all_specs()
         .iter()
         .map(|spec| {
-            let cm = repeat(scale, |o| run_cmfuzz(spec, &ScheduleOptions::default(), o));
-            let peach = repeat(scale, |o| run_peach(spec, o));
-            let spfuzz = repeat(scale, |o| run_spfuzz(spec, o));
+            progress(telemetry, format!("figure4: {}", spec.name));
+            let cm = repeat(scale, |o| {
+                run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
+            });
+            let peach = repeat(scale, |o| run_peach_with(spec, o, telemetry));
+            let spfuzz = repeat(scale, |o| run_spfuzz_with(spec, o, telemetry));
             Figure4Series {
                 subject: spec.name.to_owned(),
                 cmfuzz: mean_curve(&cm),
@@ -248,15 +285,27 @@ pub struct Table2Row {
 /// reports the union of unique faults with which fuzzer(s) found each.
 #[must_use]
 pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
+    table2_with(scale, &Telemetry::disabled())
+}
+
+/// [`table2`] with an observability pipeline attached.
+#[must_use]
+pub fn table2_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table2Row> {
     let mut rows: Vec<Table2Row> = Vec::new();
     for spec in all_specs() {
+        progress(telemetry, format!("table2: {}", spec.name));
         let runs = [
             (
                 "cmfuzz",
-                repeat(scale, |o| run_cmfuzz(&spec, &ScheduleOptions::default(), o)),
+                repeat(scale, |o| {
+                    run_cmfuzz_with(&spec, &ScheduleOptions::default(), o, telemetry)
+                }),
             ),
-            ("peach", repeat(scale, |o| run_peach(&spec, o))),
-            ("spfuzz", repeat(scale, |o| run_spfuzz(&spec, o))),
+            ("peach", repeat(scale, |o| run_peach_with(&spec, o, telemetry))),
+            (
+                "spfuzz",
+                repeat(scale, |o| run_spfuzz_with(&spec, o, telemetry)),
+            ),
         ];
         for (fuzzer, results) in &runs {
             for result in results {
@@ -315,6 +364,12 @@ pub struct AblationRow {
 ///   (approximated by CMFuzz with an empty saturation budget).
 #[must_use]
 pub fn ablation(scale: &ExperimentScale) -> Vec<AblationRow> {
+    ablation_with(scale, &Telemetry::disabled())
+}
+
+/// [`ablation`] with an observability pipeline attached.
+#[must_use]
+pub fn ablation_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<AblationRow> {
     let subjects = ["mosquitto", "libcoap"];
     let mut rows = Vec::new();
     for name in subjects {
@@ -364,13 +419,14 @@ pub fn ablation(scale: &ExperimentScale) -> Vec<AblationRow> {
             ("no-adaptive", ScheduleOptions::default(), false),
         ];
         for (label, schedule_options, adaptive) in variants {
+            progress(telemetry, format!("ablation: {name} / {label}"));
             let results = repeat(scale, |options| {
                 let mut options = options.clone();
                 if !adaptive {
                     // A window longer than the budget never fires.
                     options.saturation_window = Ticks::new(options.budget.get() + 1);
                 }
-                run_cmfuzz(&spec, &schedule_options, &options)
+                run_cmfuzz_with(&spec, &schedule_options, &options, telemetry)
             });
             rows.push(AblationRow {
                 variant: label.to_owned(),

@@ -20,10 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    ablation, figure4, table1, table2, AblationRow, ExperimentScale, Figure4Series, Table1Row,
-    Table2Row,
+    ablation, ablation_with, figure4, figure4_with, table1, table1_with, table2, table2_with,
+    AblationRow, ExperimentScale, Figure4Series, Table1Row, Table2Row,
 };

@@ -140,8 +140,8 @@ mod tests {
     #[test]
     fn figure4_renders_csv_blocks() {
         let mut curve = CoverageCurve::new();
-        curve.push(Ticks::ZERO, 5);
-        curve.push(Ticks::new(100), 9);
+        curve.push(Ticks::ZERO, 5).unwrap();
+        curve.push(Ticks::new(100), 9).unwrap();
         let series = vec![Figure4Series {
             subject: "dnsmasq".into(),
             cmfuzz: curve.clone(),

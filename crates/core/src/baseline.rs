@@ -3,10 +3,11 @@
 use cmfuzz_config_model::ConfigValue;
 use cmfuzz_fuzzer::pit;
 use cmfuzz_protocols::ProtocolSpec;
+use cmfuzz_telemetry::Telemetry;
 
-use crate::campaign::{run_campaign, CampaignOptions, InstanceSetup};
+use crate::campaign::{run_campaign_with_telemetry, CampaignOptions, InstanceSetup};
 use crate::metrics::CampaignResult;
-use crate::schedule::{build_schedule, Schedule, ScheduleOptions};
+use crate::schedule::{build_schedule_with_telemetry, Schedule, ScheduleOptions};
 
 /// Converts a CMFuzz [`Schedule`] into instance setups: each instance gets
 /// its group's startup configuration and may adaptively mutate exactly its
@@ -131,10 +132,27 @@ pub fn run_cmfuzz(
     schedule_options: &ScheduleOptions,
     options: &CampaignOptions,
 ) -> CampaignResult {
+    run_cmfuzz_with(spec, schedule_options, options, &Telemetry::disabled())
+}
+
+/// [`run_cmfuzz`] with an observability pipeline attached to both the
+/// scheduling phase and the campaign.
+#[must_use]
+pub fn run_cmfuzz_with(
+    spec: &ProtocolSpec,
+    schedule_options: &ScheduleOptions,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> CampaignResult {
     let mut scratch = (spec.build)();
-    let schedule = build_schedule(&mut *scratch, options.instances, schedule_options);
+    let schedule = build_schedule_with_telemetry(
+        &mut *scratch,
+        options.instances,
+        schedule_options,
+        telemetry,
+    );
     let setups = cmfuzz_setups(&schedule, options.instances);
-    run_campaign(spec, "cmfuzz", &setups, options)
+    run_campaign_with_telemetry(spec, "cmfuzz", &setups, options, telemetry)
 }
 
 /// Runs the Peach-parallel baseline on one subject.
@@ -145,22 +163,42 @@ pub fn run_cmfuzz(
 /// generation, exactly as with the community edition the paper builds on).
 #[must_use]
 pub fn run_peach(spec: &ProtocolSpec, options: &CampaignOptions) -> CampaignResult {
+    run_peach_with(spec, options, &Telemetry::disabled())
+}
+
+/// [`run_peach`] with an observability pipeline attached.
+#[must_use]
+pub fn run_peach_with(
+    spec: &ProtocolSpec,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> CampaignResult {
     let setups = peach_setups(options.instances);
     let mut options = options.clone();
     options.engine.seed_reuse_rate = 0.0;
-    run_campaign(spec, "peach", &setups, &options)
+    run_campaign_with_telemetry(spec, "peach", &setups, &options, telemetry)
 }
 
 /// Runs the SPFuzz baseline on one subject (enables seed synchronization
 /// every 4 rounds unless the caller configured it).
 #[must_use]
 pub fn run_spfuzz(spec: &ProtocolSpec, options: &CampaignOptions) -> CampaignResult {
+    run_spfuzz_with(spec, options, &Telemetry::disabled())
+}
+
+/// [`run_spfuzz`] with an observability pipeline attached.
+#[must_use]
+pub fn run_spfuzz_with(
+    spec: &ProtocolSpec,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> CampaignResult {
     let setups = spfuzz_setups(spec, options.instances);
     let mut options = options.clone();
     if options.seed_sync_every_rounds.is_none() {
         options.seed_sync_every_rounds = Some(4);
     }
-    run_campaign(spec, "spfuzz", &setups, &options)
+    run_campaign_with_telemetry(spec, "spfuzz", &setups, &options, telemetry)
 }
 
 #[cfg(test)]

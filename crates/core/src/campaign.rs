@@ -4,6 +4,7 @@ use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
 use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, Target};
 use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec};
+use cmfuzz_telemetry::{EngineTelemetry, Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,6 +68,9 @@ struct Instance {
     adaptive: Vec<(String, Vec<ConfigValue>)>,
     saturation: SaturationDetector,
     rng: StdRng,
+    /// Whether an `InstanceStalled` event was already emitted (non-adaptive
+    /// instances only; adaptive ones mutate their way out instead).
+    stalled: bool,
 }
 
 /// Runs one parallel fuzzing campaign: `setups.len()` isolated instances
@@ -90,8 +94,35 @@ pub fn run_campaign(
     setups: &[InstanceSetup],
     options: &CampaignOptions,
 ) -> CampaignResult {
+    run_campaign_with_telemetry(spec, fuzzer, setups, options, &Telemetry::disabled())
+}
+
+/// [`run_campaign`] with an observability pipeline attached.
+///
+/// The runner emits the full event taxonomy (`CampaignStarted`,
+/// `RoundCompleted`, `SaturationDetected`, `ConfigMutated`, `SeedSynced`,
+/// `FaultFound`, `InstanceStalled`, `CampaignFinished`), mirrors engine
+/// execution counters into `telemetry`'s registry, and records per-instance
+/// `"fuzzing"` phase spans in virtual ticks. The event bus is drained to
+/// the sinks at every round boundary, so sink output order is as
+/// deterministic as the campaign itself. A disabled pipeline reduces to
+/// [`run_campaign`] exactly — instrumentation never perturbs the RNG
+/// sequence, so results are identical either way.
+///
+/// # Panics
+///
+/// As [`run_campaign`].
+#[must_use]
+pub fn run_campaign_with_telemetry(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> CampaignResult {
     assert!(!setups.is_empty(), "campaign needs at least one instance");
     let pit = pit::parse(spec.pit_document).expect("registry pit documents parse");
+    let engine_telemetry = EngineTelemetry::for_pipeline(telemetry);
 
     let mut instances: Vec<Instance> = setups
         .iter()
@@ -122,20 +153,37 @@ pub fn run_campaign(
                 defaults
             };
             engine.set_session_plans(setup.session_plans.clone());
+            engine.attach_telemetry(engine_telemetry.clone());
             Instance {
                 engine,
                 config,
                 adaptive: setup.adaptive_entities.clone(),
                 saturation: SaturationDetector::new(options.saturation_window),
                 rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
+                stalled: false,
             }
         })
         .collect();
 
+    telemetry.emit(Event::CampaignStarted {
+        fuzzer: fuzzer.to_owned(),
+        target: spec.name.to_owned(),
+        instances: setups.len(),
+        budget: options.budget.get(),
+    });
+    let rounds_counter = telemetry.counter("campaign.rounds");
+    let mutations_counter = telemetry.counter("campaign.config_mutations");
+    let syncs_counter = telemetry.counter("campaign.seed_syncs");
+
     let clock = VirtualClock::new();
     let mut curve = CoverageCurve::new();
     let mut config_mutations: Vec<ConfigMutationEvent> = Vec::new();
-    curve.push(Ticks::ZERO, union_coverage(&instances).covered_count());
+    // Running merge of every instance's unique faults, kept so FaultFound
+    // events fire exactly once per campaign-unique fault.
+    let mut seen_faults = FaultLog::new();
+    curve
+        .push(Ticks::ZERO, union_coverage(&instances).covered_count())
+        .expect("first sample of an empty curve");
 
     let iterations_per_round = options.sample_interval.get().max(1);
     let rounds = options.budget.get() / iterations_per_round;
@@ -152,19 +200,69 @@ pub fn run_campaign(
             }
         });
         let now = clock.advance(options.sample_interval);
+        rounds_counter.incr();
+        if telemetry.is_enabled() {
+            for (index, instance) in instances.iter().enumerate() {
+                telemetry.span_record(index, "fuzzing", options.sample_interval);
+                for fault in instance.engine.fault_log().faults() {
+                    if seen_faults.record(fault.clone()) {
+                        telemetry.emit(Event::FaultFound {
+                            time: now,
+                            instance: index,
+                            kind: fault.kind.to_string(),
+                            function: fault.function.clone(),
+                        });
+                    }
+                }
+            }
+        }
 
         // SPFuzz-style seed synchronization between rounds.
         if let Some(every) = options.seed_sync_every_rounds {
             if every > 0 && (round + 1) % u64::from(every) == 0 {
-                sync_seeds(&mut instances);
+                let shared = sync_seeds(&mut instances);
+                syncs_counter.incr();
+                telemetry.emit(Event::SeedSynced {
+                    round,
+                    time: now,
+                    seeds_shared: shared,
+                });
             }
         }
 
         // Adaptive configuration mutation on saturation (paper §III-B2).
+        // The detector is fed for every instance (its state is private and
+        // RNG-free, so this cannot perturb campaign results), but only
+        // adaptive instances act on it; non-adaptive ones report a stall
+        // once and keep running.
         for (index, instance) in instances.iter_mut().enumerate() {
             let covered = instance.engine.covered_count();
-            if !instance.adaptive.is_empty() && instance.saturation.observe(now, covered) {
+            let saturated = instance.saturation.observe(now, covered);
+            if instance.adaptive.is_empty() {
+                if saturated && !instance.stalled {
+                    instance.stalled = true;
+                    telemetry.emit(Event::InstanceStalled {
+                        time: now,
+                        instance: index,
+                        covered,
+                    });
+                }
+                continue;
+            }
+            if saturated {
+                telemetry.emit(Event::SaturationDetected {
+                    time: now,
+                    instance: index,
+                    covered,
+                });
                 if let Some((entity, value)) = mutate_instance_config(instance) {
+                    mutations_counter.incr();
+                    telemetry.emit(Event::ConfigMutated {
+                        time: now,
+                        instance: index,
+                        entity: entity.clone(),
+                        value: value.render(),
+                    });
                     config_mutations.push(ConfigMutationEvent {
                         time: now,
                         instance: index,
@@ -176,7 +274,19 @@ pub fn run_campaign(
             }
         }
 
-        curve.push(now, union_coverage(&instances).covered_count());
+        let union_branches = union_coverage(&instances).covered_count();
+        curve
+            .push(now, union_branches)
+            .expect("virtual clock is monotone");
+        if telemetry.is_enabled() {
+            telemetry.emit(Event::RoundCompleted {
+                round,
+                time: now,
+                union_branches,
+                sessions: instances.iter().map(|i| i.engine.stats().sessions).sum(),
+            });
+            telemetry.drain();
+        }
     }
 
     let mut faults = FaultLog::new();
@@ -188,6 +298,14 @@ pub fn run_campaign(
         stats.messages += engine_stats.messages;
         stats.crashes_observed += engine_stats.crashes_observed;
     }
+
+    telemetry.emit(Event::CampaignFinished {
+        time: clock.now(),
+        branches: curve.final_branches(),
+        unique_faults: faults.unique_count(),
+        config_mutations: config_mutations.len(),
+    });
+    telemetry.drain();
 
     CampaignResult {
         fuzzer: fuzzer.to_owned(),
@@ -209,11 +327,13 @@ fn union_coverage(instances: &[Instance]) -> CoverageSnapshot {
     union
 }
 
-fn sync_seeds(instances: &mut [Instance]) {
+/// Returns the number of seed copies imported across instances.
+fn sync_seeds(instances: &mut [Instance]) -> usize {
     let outboxes: Vec<Vec<Seed>> = instances
         .iter_mut()
         .map(|i| i.engine.export_new_seeds())
         .collect();
+    let mut copies = 0;
     for (i, instance) in instances.iter_mut().enumerate() {
         for (j, outbox) in outboxes.iter().enumerate() {
             if i != j {
@@ -221,9 +341,11 @@ fn sync_seeds(instances: &mut [Instance]) {
                 // flood everyone's corpus.
                 let shared = &outbox[..outbox.len().min(16)];
                 instance.engine.import_seeds(shared);
+                copies += shared.len();
             }
         }
     }
+    copies
 }
 
 /// Picks one adaptive entity and one of its typical values, restarting the
@@ -302,6 +424,45 @@ mod tests {
         let c = run_campaign(&spec, "peach", &setups, &small_options(10));
         // Different seed virtually always walks a different curve.
         assert!(a.curve != c.curve || a.final_branches() == c.final_branches());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_campaign_results() {
+        use cmfuzz_telemetry::RingBufferSink;
+
+        let spec = spec_by_name("libcoap").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let plain = run_campaign(&spec, "peach", &setups, &small_options(9));
+
+        let ring = RingBufferSink::new(4096);
+        let telemetry = Telemetry::builder(VirtualClock::new())
+            .sink(Box::new(ring.clone()))
+            .build();
+        let observed =
+            run_campaign_with_telemetry(&spec, "peach", &setups, &small_options(9), &telemetry);
+
+        assert_eq!(plain.curve, observed.curve, "instrumentation-free results");
+        assert_eq!(plain.faults.unique_count(), observed.faults.unique_count());
+        assert_eq!(plain.stats, observed.stats);
+
+        assert_eq!(ring.count_of_kind("campaign_started"), 1);
+        assert_eq!(ring.count_of_kind("campaign_finished"), 1);
+        assert_eq!(ring.count_of_kind("round_completed"), 6, "600/100 budget");
+        assert_eq!(
+            ring.count_of_kind("fault_found"),
+            observed.faults.unique_count()
+        );
+        assert_eq!(telemetry.dropped_events(), 0);
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("engine.sessions"), Some(observed.stats.sessions));
+        assert_eq!(snap.counter("campaign.rounds"), Some(6));
+        // Each instance spent the whole budget in the fuzzing phase.
+        for instance in 0..2 {
+            assert_eq!(
+                telemetry.phase_breakdown(instance),
+                vec![("fuzzing".to_owned(), Ticks::new(600))]
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,27 @@ pub struct ConfigMutationEvent {
     pub value: ConfigValue,
 }
 
+/// A sample pushed onto a [`CoverageCurve`] out of time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurveError {
+    /// Time of the rejected sample.
+    pub time: Ticks,
+    /// Time of the last accepted sample, which `time` precedes.
+    pub last: Ticks,
+}
+
+impl std::fmt::Display for CurveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coverage sample at {} precedes last sample at {}",
+            self.time, self.last
+        )
+    }
+}
+
+impl std::error::Error for CurveError {}
+
 /// Union branch coverage sampled over virtual time.
 ///
 /// # Examples
@@ -28,11 +49,13 @@ pub struct ConfigMutationEvent {
 /// use cmfuzz_coverage::Ticks;
 ///
 /// let mut curve = CoverageCurve::new();
-/// curve.push(Ticks::new(0), 10);
-/// curve.push(Ticks::new(100), 25);
-/// assert_eq!(curve.final_branches(), 25);
+/// curve.push(Ticks::new(0), 10).unwrap();
+/// curve.push(Ticks::new(100), 25).unwrap();
+/// curve.push(Ticks::new(100), 26).unwrap(); // equal timestamps are fine
+/// assert!(curve.push(Ticks::new(50), 30).is_err());
+/// assert_eq!(curve.final_branches(), 26);
 /// assert_eq!(curve.time_to_reach(20), Some(Ticks::new(100)));
-/// assert_eq!(curve.time_to_reach(26), None);
+/// assert_eq!(curve.time_to_reach(27), None);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoverageCurve {
@@ -46,16 +69,21 @@ impl CoverageCurve {
         Self::default()
     }
 
-    /// Appends a sample; time must be non-decreasing.
+    /// Appends a sample; time must be non-decreasing (equal timestamps are
+    /// accepted, e.g. two samplers sharing one clock reading).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `time` precedes the last sample.
-    pub fn push(&mut self, time: Ticks, branches: usize) {
+    /// Returns [`CurveError`] — and leaves the curve unchanged — if `time`
+    /// precedes the last sample.
+    pub fn push(&mut self, time: Ticks, branches: usize) -> Result<(), CurveError> {
         if let Some(&(last, _)) = self.points.last() {
-            assert!(time >= last, "samples must be time-ordered");
+            if time < last {
+                return Err(CurveError { time, last });
+            }
         }
         self.points.push((time, branches));
+        Ok(())
     }
 
     /// The samples, time-ordered.
@@ -208,7 +236,7 @@ mod tests {
     fn curve(points: &[(u64, usize)]) -> CoverageCurve {
         let mut c = CoverageCurve::new();
         for &(t, b) in points {
-            c.push(Ticks::new(t), b);
+            c.push(Ticks::new(t), b).unwrap();
         }
         c
     }
@@ -224,11 +252,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn out_of_order_sample_panics() {
+    fn out_of_order_sample_is_rejected_and_curve_unchanged() {
         let mut c = CoverageCurve::new();
-        c.push(Ticks::new(10), 1);
-        c.push(Ticks::new(5), 2);
+        c.push(Ticks::new(10), 1).unwrap();
+        let err = c.push(Ticks::new(5), 2).unwrap_err();
+        assert_eq!(
+            err,
+            CurveError {
+                time: Ticks::new(5),
+                last: Ticks::new(10),
+            }
+        );
+        assert!(err.to_string().contains("precedes"));
+        assert_eq!(c.points(), &[(Ticks::new(10), 1)]);
+    }
+
+    #[test]
+    fn equal_timestamp_samples_are_accepted() {
+        let mut c = CoverageCurve::new();
+        c.push(Ticks::new(10), 1).unwrap();
+        c.push(Ticks::new(10), 3).unwrap();
+        assert_eq!(c.points().len(), 2);
+        assert_eq!(c.final_branches(), 3);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! reassemble per-instance configurations.
 
 use cmfuzz_config_model::{extract_model, ConfigModel, ResolvedConfig};
-use cmfuzz_coverage::CoverageMap;
+use cmfuzz_coverage::{CoverageMap, Ticks};
 use cmfuzz_fuzzer::Target;
+use cmfuzz_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -84,6 +85,24 @@ pub fn build_schedule<T: Target + ?Sized>(
     instances: usize,
     options: &ScheduleOptions,
 ) -> Schedule {
+    build_schedule_with_telemetry(target, instances, options, &Telemetry::disabled())
+}
+
+/// [`build_schedule`] with an observability pipeline attached: counts the
+/// startup probes spent selecting each group's values (the
+/// `schedule.startup_probes` counter) and attributes them to the owning
+/// instance as a `"startup"` phase span (one virtual tick per target boot,
+/// the same cost model the campaign's fuzzing spans use).
+///
+/// # Panics
+///
+/// As [`build_schedule`].
+pub fn build_schedule_with_telemetry<T: Target + ?Sized>(
+    target: &mut T,
+    instances: usize,
+    options: &ScheduleOptions,
+    telemetry: &Telemetry,
+) -> Schedule {
     assert!(instances > 0, "need at least one fuzzing instance");
     let model = extract_model(&target.config_space());
 
@@ -110,11 +129,14 @@ pub fn build_schedule<T: Target + ?Sized>(
         }
     };
 
+    let probes_counter = telemetry.counter("schedule.startup_probes");
     let plans = groups
         .into_iter()
         .enumerate()
         .map(|(index, entities)| {
-            let initial_config = choose_group_values(target, &model, &entities);
+            let (initial_config, probes) = choose_group_values(target, &model, &entities);
+            probes_counter.add(probes);
+            telemetry.span_record(index, "startup", Ticks::new(probes));
             InstancePlan {
                 index,
                 entities,
@@ -141,8 +163,10 @@ fn choose_group_values<T: Target + ?Sized>(
     target: &mut T,
     model: &ConfigModel,
     entities: &[String],
-) -> ResolvedConfig {
-    let probe = |target: &mut T, config: &ResolvedConfig| {
+) -> (ResolvedConfig, u64) {
+    let mut probes: u64 = 0;
+    let mut probe = |target: &mut T, config: &ResolvedConfig| {
+        probes += 1;
         let map = CoverageMap::new(target.branch_count());
         target
             .start(config, map.probe())
@@ -203,9 +227,9 @@ fn choose_group_values<T: Target + ?Sized>(
                 fallback.set(name, entity.default_value().clone());
             }
         }
-        return fallback;
+        return (fallback, probes);
     }
-    config
+    (config, probes)
 }
 
 #[cfg(test)]
@@ -280,6 +304,36 @@ mod tests {
         assert_eq!(schedule.graph.node_count(), 0, "no graph built");
         let total: usize = schedule.plans.iter().map(|p| p.entities.len()).sum();
         assert_eq!(total, schedule.model.mutable_entities().count());
+    }
+
+    #[test]
+    fn scheduling_reports_startup_probe_spans() {
+        use cmfuzz_coverage::VirtualClock;
+
+        let spec = spec_by_name("mosquitto").unwrap();
+        let mut target = (spec.build)();
+        let telemetry = Telemetry::builder(VirtualClock::new()).build();
+        let schedule =
+            build_schedule_with_telemetry(&mut *target, 4, &ScheduleOptions::default(), &telemetry);
+
+        let probes = telemetry
+            .metrics_snapshot()
+            .counter("schedule.startup_probes")
+            .unwrap();
+        assert!(probes > 0, "value selection must probe the target");
+        let span_total: u64 = schedule
+            .plans
+            .iter()
+            .map(|p| {
+                telemetry
+                    .phase_breakdown(p.index)
+                    .iter()
+                    .filter(|(phase, _)| phase == "startup")
+                    .map(|(_, total)| total.get())
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(span_total, probes, "every probe attributed to a span");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use cmfuzz_config_model::ResolvedConfig;
 use cmfuzz_coverage::{CoverageMap, CoverageSnapshot};
+use cmfuzz_telemetry::EngineTelemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,6 +117,9 @@ pub struct FuzzEngine<T: Target> {
     /// Seeds retained since the last [`FuzzEngine::export_new_seeds`]
     /// drain, for cross-instance synchronization.
     outbox: Vec<Seed>,
+    /// Metric handles mirrored into on every iteration; detached (and
+    /// never read) unless [`FuzzEngine::attach_telemetry`] was called.
+    telemetry: EngineTelemetry,
 }
 
 impl<T: Target> FuzzEngine<T> {
@@ -145,6 +149,7 @@ impl<T: Target> FuzzEngine<T> {
             next_plan: 0,
             stats: EngineStats::default(),
             outbox: Vec::new(),
+            telemetry: EngineTelemetry::detached(),
         }
     }
 
@@ -152,6 +157,13 @@ impl<T: Target> FuzzEngine<T> {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Mirrors this engine's per-iteration statistics into shared metric
+    /// handles (typically [`EngineTelemetry::for_pipeline`] handles, shared
+    /// across all instances of one campaign).
+    pub fn attach_telemetry(&mut self, telemetry: EngineTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Pins the engine to fixed session plans (sequences of data-model
@@ -236,12 +248,14 @@ impl<T: Target> FuzzEngine<T> {
                 match self.corpus.pick_for_model(&mut self.rng, model_name) {
                     Some(seed) => {
                         self.stats.seed_reuses += 1;
+                        self.telemetry.seed_reuses.incr();
                         seed.bytes.clone()
                     }
                     None => self.render(model_name),
                 }
             } else if mutate_fields {
                 self.stats.model_mutations += 1;
+                self.telemetry.model_mutations.incr();
                 match self
                     .working_models
                     .iter()
@@ -260,15 +274,18 @@ impl<T: Target> FuzzEngine<T> {
 
             if self.rng.random::<f64>() < self.config.byte_mutation_rate {
                 self.stats.byte_mutations += 1;
+                self.telemetry.byte_mutations.incr();
                 self.mutator.mutate(&mut bytes, self.config.mutation_stack);
             }
 
             let response = self.target.handle(&bytes);
             outcome.messages_sent += 1;
             self.stats.messages += 1;
+            self.telemetry.messages.incr();
             sent.push((model_name.clone(), bytes));
             if let Some(fault) = response.fault {
                 self.stats.crashes_observed += 1;
+                self.telemetry.faults_observed.incr();
                 if self.faults.record(fault) {
                     outcome.new_faults += 1;
                 }
@@ -289,6 +306,10 @@ impl<T: Target> FuzzEngine<T> {
         }
         self.iterations += 1;
         self.stats.sessions += 1;
+        self.telemetry.sessions.incr();
+        self.telemetry
+            .session_messages
+            .record(outcome.messages_sent as u64);
         outcome
     }
 
@@ -546,6 +567,48 @@ mod tests {
             "mutated subset of messages"
         );
         assert!(stats.crashes_observed >= 1, "toy target crashes on 0xFF");
+    }
+
+    #[test]
+    fn telemetry_handles_mirror_engine_stats() {
+        use cmfuzz_coverage::VirtualClock;
+        use cmfuzz_telemetry::Telemetry;
+
+        let telemetry = Telemetry::builder(VirtualClock::new()).build();
+        let mut engine = FuzzEngine::new(
+            ToyTarget::new(),
+            toy_pit(),
+            EngineConfig {
+                seed: 5,
+                ..EngineConfig::default()
+            },
+        );
+        engine.attach_telemetry(EngineTelemetry::for_pipeline(&telemetry));
+        engine.start(&ResolvedConfig::new()).unwrap();
+        for _ in 0..50 {
+            engine.run_iteration();
+        }
+        let stats = engine.stats();
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("engine.sessions"), Some(stats.sessions));
+        assert_eq!(snap.counter("engine.messages"), Some(stats.messages));
+        assert_eq!(
+            snap.counter("engine.model_mutations"),
+            Some(stats.model_mutations)
+        );
+        assert_eq!(snap.counter("engine.seed_reuses"), Some(stats.seed_reuses));
+        assert_eq!(
+            snap.counter("engine.byte_mutations"),
+            Some(stats.byte_mutations)
+        );
+        assert_eq!(
+            snap.counter("engine.faults_observed"),
+            Some(stats.crashes_observed)
+        );
+        let (name, hist) = &snap.histograms[0];
+        assert_eq!(name, "engine.session_messages");
+        assert_eq!(hist.count, stats.sessions);
+        assert_eq!(hist.sum, stats.messages);
     }
 
     #[test]

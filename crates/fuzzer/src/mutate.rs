@@ -129,7 +129,7 @@ impl Mutator {
         match op {
             MutationOp::BitFlip => {
                 if let Some(i) = self.offset(data) {
-                    data[i] ^= 1 << self.rng.random_range(0..8);
+                    data[i] ^= 1u8 << self.rng.random_range(0..8u32);
                 }
             }
             MutationOp::ByteReplace => {

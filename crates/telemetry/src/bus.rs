@@ -1,0 +1,200 @@
+//! Bounded event bus with drop-counting overflow.
+//!
+//! Producers (`emit`) pay one short mutex hold; the campaign runner drains
+//! the queue at round boundaries and fans records out to sinks, so event
+//! delivery never races the fuzzing loops and output order is
+//! deterministic for a deterministic campaign.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cmfuzz_coverage::{Ticks, VirtualClock};
+
+use crate::event::{Event, EventRecord};
+
+/// Default queue capacity; generous for round-boundary draining.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct BusInner {
+    queue: Mutex<VecDeque<EventRecord>>,
+    capacity: usize,
+    /// Total events ever emitted (also the next sequence number).
+    emitted: AtomicU64,
+    /// Events discarded because the queue was full.
+    dropped: AtomicU64,
+    clock: VirtualClock,
+}
+
+/// Bounded multi-producer event queue.
+///
+/// When the queue is full the *newest* event is dropped (and counted),
+/// keeping the oldest undrained events intact — a drained-late bus loses
+/// the tail of a burst, never its beginning.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_telemetry::{Event, EventBus};
+/// use cmfuzz_coverage::VirtualClock;
+///
+/// let bus = EventBus::new(2, VirtualClock::new());
+/// for _ in 0..3 {
+///     bus.emit(Event::Progress { message: "hi".into() });
+/// }
+/// assert_eq!(bus.drain().len(), 2);
+/// assert_eq!(bus.dropped(), 1);
+/// assert_eq!(bus.emitted(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventBus {
+    inner: Arc<BusInner>,
+}
+
+impl EventBus {
+    /// Creates a bus holding at most `capacity` undrained events, stamping
+    /// records with readings from `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, clock: VirtualClock) -> Self {
+        assert!(capacity > 0, "event bus capacity must be positive");
+        EventBus {
+            inner: Arc::new(BusInner {
+                queue: Mutex::new(VecDeque::with_capacity(capacity.min(DEFAULT_CAPACITY))),
+                capacity,
+                emitted: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                clock,
+            }),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<EventRecord>> {
+        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `event`, stamping it with the next sequence number and the
+    /// current virtual time. Returns `false` if the queue was full and the
+    /// event was dropped (still counted in [`EventBus::emitted`]).
+    pub fn emit(&self, event: Event) -> bool {
+        let mut queue = self.locked();
+        // Sequence numbers are assigned under the queue lock so drained
+        // records always appear in seq order.
+        let seq = self.inner.emitted.fetch_add(1, Ordering::Relaxed);
+        if queue.len() >= self.inner.capacity {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        queue.push_back(EventRecord {
+            seq,
+            emitted_at: Ticks::new(self.inner.clock.now().get()),
+            event,
+        });
+        true
+    }
+
+    /// Removes and returns every queued record, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<EventRecord> {
+        self.locked().drain(..).collect()
+    }
+
+    /// Records currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether no records are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever emitted (delivered + dropped).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.inner.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Events discarded due to a full queue.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(n: u64) -> Event {
+        Event::Progress {
+            message: format!("event {n}"),
+        }
+    }
+
+    #[test]
+    fn drain_preserves_emission_order_and_clock_stamps() {
+        let clock = VirtualClock::new();
+        let bus = EventBus::new(16, clock.clone());
+        assert!(bus.is_empty());
+        bus.emit(progress(0));
+        clock.advance(Ticks::new(100));
+        bus.emit(progress(1));
+        let records = bus.drain();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[0].emitted_at, Ticks::ZERO);
+        assert_eq!(records[1].seq, 1);
+        assert_eq!(records[1].emitted_at, Ticks::new(100));
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_accounts_exactly() {
+        let bus = EventBus::new(3, VirtualClock::new());
+        for n in 0..10 {
+            let delivered = bus.emit(progress(n));
+            assert_eq!(delivered, n < 3);
+        }
+        assert_eq!(bus.emitted(), 10);
+        assert_eq!(bus.dropped(), 7);
+        assert_eq!(bus.len(), 3);
+
+        let kept = bus.drain();
+        // Oldest events survive; dropped ones still consumed seq numbers.
+        assert_eq!(
+            kept.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+
+        // Draining frees capacity again.
+        assert!(bus.emit(progress(99)));
+        assert_eq!(bus.drain()[0].seq, 10);
+        assert_eq!(bus.emitted() - bus.dropped(), 4); // 3 + 1 delivered
+    }
+
+    #[test]
+    fn concurrent_emitters_never_lose_accounting() {
+        let bus = EventBus::new(64, VirtualClock::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let bus = bus.clone();
+                scope.spawn(move || {
+                    for n in 0..100 {
+                        bus.emit(progress(t * 1000 + n));
+                    }
+                });
+            }
+        });
+        assert_eq!(bus.emitted(), 400);
+        let delivered = bus.drain().len() as u64;
+        assert_eq!(delivered + bus.dropped(), 400);
+        assert_eq!(delivered, 64);
+    }
+}

@@ -1,0 +1,314 @@
+//! Typed campaign events and their JSONL encoding.
+//!
+//! Events carry plain strings for domain values (config entity names,
+//! fault kinds) so this crate stays below `cmfuzz-fuzzer` and
+//! `cmfuzz-core` in the dependency graph.
+
+use cmfuzz_coverage::Ticks;
+
+use crate::json::ObjectWriter;
+
+/// One structured occurrence inside a fuzzing campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A campaign began executing.
+    CampaignStarted {
+        /// Fuzzer label (e.g. `"CMFuzz"`).
+        fuzzer: String,
+        /// Target subject name (e.g. `"mosquitto"`).
+        target: String,
+        /// Parallel instance count.
+        instances: usize,
+        /// Total budget in virtual ticks.
+        budget: u64,
+    },
+    /// One scheduling round (all instances ran their iteration quota).
+    RoundCompleted {
+        /// Zero-based round index.
+        round: u64,
+        /// Virtual time at the end of the round.
+        time: Ticks,
+        /// Branches covered by the union snapshot so far.
+        union_branches: usize,
+        /// Fuzzing sessions executed so far across all instances.
+        sessions: u64,
+    },
+    /// The runner rewrote one configuration entity of a saturated instance.
+    ConfigMutated {
+        /// Virtual time of the mutation.
+        time: Ticks,
+        /// Index of the mutated instance.
+        instance: usize,
+        /// Configuration entity that changed.
+        entity: String,
+        /// Rendered new value.
+        value: String,
+    },
+    /// An instance's coverage growth stalled past the detector window.
+    SaturationDetected {
+        /// Virtual time of detection.
+        time: Ticks,
+        /// Index of the saturated instance.
+        instance: usize,
+        /// Branches that instance had covered at detection.
+        covered: usize,
+    },
+    /// Interesting seeds were exchanged between instances.
+    SeedSynced {
+        /// Round during which the sync ran.
+        round: u64,
+        /// Virtual time of the sync.
+        time: Ticks,
+        /// Seeds copied between instances in this sync.
+        seeds_shared: usize,
+    },
+    /// A previously unseen unique fault was recorded.
+    FaultFound {
+        /// Virtual time of discovery.
+        time: Ticks,
+        /// Index of the discovering instance.
+        instance: usize,
+        /// Fault kind label (e.g. `"Crash"`).
+        kind: String,
+        /// Faulting target function.
+        function: String,
+    },
+    /// A non-adaptive instance entered a stall it cannot escape by
+    /// configuration mutation.
+    InstanceStalled {
+        /// Virtual time of the stall.
+        time: Ticks,
+        /// Index of the stalled instance.
+        instance: usize,
+        /// Branches that instance had covered when it stalled.
+        covered: usize,
+    },
+    /// A campaign finished; totals match the returned `CampaignResult`.
+    CampaignFinished {
+        /// Virtual time at campaign end.
+        time: Ticks,
+        /// Final union branch coverage.
+        branches: usize,
+        /// Unique faults across all instances.
+        unique_faults: usize,
+        /// Configuration mutations applied over the campaign.
+        config_mutations: usize,
+    },
+    /// Free-form, human-oriented progress note.
+    Progress {
+        /// The message.
+        message: String,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminator used in the JSONL `kind` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStarted { .. } => "campaign_started",
+            Event::RoundCompleted { .. } => "round_completed",
+            Event::ConfigMutated { .. } => "config_mutated",
+            Event::SaturationDetected { .. } => "saturation_detected",
+            Event::SeedSynced { .. } => "seed_synced",
+            Event::FaultFound { .. } => "fault_found",
+            Event::InstanceStalled { .. } => "instance_stalled",
+            Event::CampaignFinished { .. } => "campaign_finished",
+            Event::Progress { .. } => "progress",
+        }
+    }
+}
+
+/// An [`Event`] stamped by the bus with a sequence number and emission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Position in the bus's emission order (0-based, gap-free even when
+    /// later events are dropped).
+    pub seq: u64,
+    /// Virtual clock reading when the event was emitted.
+    pub emitted_at: Ticks,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Renders the record as one line of JSON (no trailing newline).
+    ///
+    /// Every line carries `seq`, `emitted_at`, and `kind`; the remaining
+    /// fields are event-specific (see the schema table in `DESIGN.md`).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut obj = ObjectWriter::new();
+        obj.u64_field("seq", self.seq);
+        obj.u64_field("emitted_at", self.emitted_at.get());
+        obj.str_field("kind", self.event.kind());
+        match &self.event {
+            Event::CampaignStarted {
+                fuzzer,
+                target,
+                instances,
+                budget,
+            } => {
+                obj.str_field("fuzzer", fuzzer);
+                obj.str_field("target", target);
+                obj.u64_field("instances", *instances as u64);
+                obj.u64_field("budget", *budget);
+            }
+            Event::RoundCompleted {
+                round,
+                time,
+                union_branches,
+                sessions,
+            } => {
+                obj.u64_field("round", *round);
+                obj.u64_field("time", time.get());
+                obj.u64_field("union_branches", *union_branches as u64);
+                obj.u64_field("sessions", *sessions);
+            }
+            Event::ConfigMutated {
+                time,
+                instance,
+                entity,
+                value,
+            } => {
+                obj.u64_field("time", time.get());
+                obj.u64_field("instance", *instance as u64);
+                obj.str_field("entity", entity);
+                obj.str_field("value", value);
+            }
+            Event::SaturationDetected {
+                time,
+                instance,
+                covered,
+            }
+            | Event::InstanceStalled {
+                time,
+                instance,
+                covered,
+            } => {
+                obj.u64_field("time", time.get());
+                obj.u64_field("instance", *instance as u64);
+                obj.u64_field("covered", *covered as u64);
+            }
+            Event::SeedSynced {
+                round,
+                time,
+                seeds_shared,
+            } => {
+                obj.u64_field("round", *round);
+                obj.u64_field("time", time.get());
+                obj.u64_field("seeds_shared", *seeds_shared as u64);
+            }
+            Event::FaultFound {
+                time,
+                instance,
+                kind,
+                function,
+            } => {
+                obj.u64_field("time", time.get());
+                obj.u64_field("instance", *instance as u64);
+                obj.str_field("fault_kind", kind);
+                obj.str_field("function", function);
+            }
+            Event::CampaignFinished {
+                time,
+                branches,
+                unique_faults,
+                config_mutations,
+            } => {
+                obj.u64_field("time", time.get());
+                obj.u64_field("branches", *branches as u64);
+                obj.u64_field("unique_faults", *unique_faults as u64);
+                obj.u64_field("config_mutations", *config_mutations as u64);
+            }
+            Event::Progress { message } => {
+                obj.str_field("message", message);
+            }
+        }
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::is_valid;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CampaignStarted {
+                fuzzer: "CMFuzz".into(),
+                target: "mosquitto".into(),
+                instances: 4,
+                budget: 3000,
+            },
+            Event::RoundCompleted {
+                round: 2,
+                time: Ticks::new(300),
+                union_branches: 120,
+                sessions: 64,
+            },
+            Event::ConfigMutated {
+                time: Ticks::new(350),
+                instance: 1,
+                entity: "max_qos".into(),
+                value: "2".into(),
+            },
+            Event::SaturationDetected {
+                time: Ticks::new(350),
+                instance: 1,
+                covered: 88,
+            },
+            Event::SeedSynced {
+                round: 4,
+                time: Ticks::new(500),
+                seeds_shared: 9,
+            },
+            Event::FaultFound {
+                time: Ticks::new(510),
+                instance: 0,
+                kind: "Crash".into(),
+                function: "mqtt_parse \"quoted\"".into(),
+            },
+            Event::InstanceStalled {
+                time: Ticks::new(600),
+                instance: 3,
+                covered: 91,
+            },
+            Event::CampaignFinished {
+                time: Ticks::new(3000),
+                branches: 210,
+                unique_faults: 3,
+                config_mutations: 2,
+            },
+            Event::Progress {
+                message: "line 1\nline 2".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_renders_valid_json() {
+        for (seq, event) in sample_events().into_iter().enumerate() {
+            let record = EventRecord {
+                seq: seq as u64,
+                emitted_at: Ticks::new(1000 + seq as u64),
+                event,
+            };
+            let line = record.to_json_line();
+            assert!(is_valid(&line), "invalid JSON: {line}");
+            assert!(
+                line.contains(&format!("\"kind\":\"{}\"", record.event.kind())),
+                "{line}"
+            );
+            assert!(!line.contains('\n'), "JSONL line must be single-line");
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: std::collections::HashSet<_> =
+            sample_events().iter().map(Event::kind).collect();
+        assert_eq!(kinds.len(), sample_events().len());
+    }
+}

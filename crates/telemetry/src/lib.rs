@@ -1,0 +1,376 @@
+//! Structured observability for CMFuzz campaigns.
+//!
+//! Three pillars, all deterministic-friendly:
+//!
+//! 1. **Metrics** ([`MetricsRegistry`]): named atomic counters, gauges, and
+//!    fixed-bucket histograms. Handles are cheap clones; recording is a
+//!    relaxed atomic add, so fuzzing hot loops carry them unconditionally.
+//! 2. **Events** ([`EventBus`] + [`EventSink`]): a bounded queue of typed
+//!    [`Event`]s drained at round boundaries by the campaign runner and
+//!    fanned out to pluggable sinks (in-memory [`RingBufferSink`], JSONL
+//!    file [`JsonlSink`], human-readable [`ProgressSink`]). Overflow drops
+//!    the newest events and counts every drop.
+//! 3. **Spans** ([`SpanTracker`]): per-instance phase timing measured in
+//!    virtual [`Ticks`], so breakdowns are reproducible run to run.
+//!
+//! The [`Telemetry`] facade bundles the three; [`Telemetry::disabled`] is a
+//! free no-op used as the default everywhere, so instrumented code pays
+//! nearly nothing when observability is off.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmfuzz_coverage::{Ticks, VirtualClock};
+//! use cmfuzz_telemetry::{Event, RingBufferSink, Telemetry};
+//!
+//! let clock = VirtualClock::new();
+//! let ring = RingBufferSink::new(128);
+//! let telemetry = Telemetry::builder(clock.clone())
+//!     .sink(Box::new(ring.clone()))
+//!     .build();
+//!
+//! telemetry.counter("engine.sessions").add(3);
+//! telemetry.emit(Event::Progress { message: "round 0".into() });
+//! telemetry.span_record(0, "fuzzing", Ticks::new(100));
+//! telemetry.drain();
+//!
+//! assert_eq!(ring.count_of_kind("progress"), 1);
+//! assert_eq!(telemetry.metrics_snapshot().counter("engine.sessions"), Some(3));
+//! assert_eq!(telemetry.phase_breakdown(0)[0].1, Ticks::new(100));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use bus::{EventBus, DEFAULT_CAPACITY};
+pub use event::{Event, EventRecord};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use sink::{EventSink, JsonlSink, ProgressSink, RingBufferSink};
+pub use span::SpanTracker;
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cmfuzz_coverage::{Ticks, VirtualClock};
+
+#[derive(Debug)]
+struct TelemetryInner {
+    bus: EventBus,
+    metrics: MetricsRegistry,
+    spans: SpanTracker,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+}
+
+impl std::fmt::Debug for Box<dyn EventSink> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Box<dyn EventSink>")
+    }
+}
+
+/// Configures and constructs an enabled [`Telemetry`] pipeline.
+#[derive(Debug)]
+pub struct TelemetryBuilder {
+    clock: VirtualClock,
+    capacity: usize,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl TelemetryBuilder {
+    /// Overrides the event-bus capacity (default [`DEFAULT_CAPACITY`]).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Attaches a sink; sinks receive every drained batch in order.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Builds the enabled pipeline.
+    #[must_use]
+    pub fn build(self) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                bus: EventBus::new(self.capacity, self.clock),
+                metrics: MetricsRegistry::new(),
+                spans: SpanTracker::new(),
+                sinks: Mutex::new(self.sinks),
+            })),
+        }
+    }
+}
+
+/// Facade over the metrics registry, event bus, and span tracker.
+///
+/// Clones share the pipeline. The disabled state ([`Telemetry::disabled`],
+/// also `Default`) turns every operation into a near-free no-op: events
+/// are discarded, and metric handles come back detached (recording into
+/// cells nothing ever reads).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+}
+
+impl Telemetry {
+    /// The no-op pipeline; the default in every instrumented API.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Starts building an enabled pipeline whose events are stamped from
+    /// `clock` (share the campaign's clock for meaningful timestamps).
+    #[must_use]
+    pub fn builder(clock: VirtualClock) -> TelemetryBuilder {
+        TelemetryBuilder {
+            clock,
+            capacity: DEFAULT_CAPACITY,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Whether this pipeline actually records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits `event` onto the bus (dropped silently when disabled).
+    pub fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.bus.emit(event);
+        }
+    }
+
+    /// Emits a human-oriented [`Event::Progress`] message.
+    pub fn progress(&self, message: impl Into<String>) {
+        if self.is_enabled() {
+            self.emit(Event::Progress {
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Drains queued events and fans them out to every sink.
+    pub fn drain(&self) {
+        if let Some(inner) = &self.inner {
+            let records = inner.bus.drain();
+            if records.is_empty() {
+                return;
+            }
+            let mut sinks = inner.sinks.lock().unwrap_or_else(PoisonError::into_inner);
+            for sink in sinks.iter_mut() {
+                sink.accept(&records);
+            }
+        }
+    }
+
+    /// Drains remaining events and flushes every sink (call at campaign
+    /// end so buffered JSONL output reaches disk).
+    pub fn flush(&self) {
+        self.drain();
+        if let Some(inner) = &self.inner {
+            let mut sinks = inner.sinks.lock().unwrap_or_else(PoisonError::into_inner);
+            for sink in sinks.iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Counter handle for `name` (detached and unread when disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.metrics.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// Gauge handle for `name` (detached and unread when disabled).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.metrics.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Histogram handle for `name` (detached and unread when disabled).
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.metrics.histogram(name, bounds),
+            None => Histogram::new(bounds),
+        }
+    }
+
+    /// Adds `duration` of virtual time to `phase` for `instance`.
+    pub fn span_record(&self, instance: usize, phase: &str, duration: Ticks) {
+        if let Some(inner) = &self.inner {
+            inner.spans.record(instance, phase, duration);
+        }
+    }
+
+    /// Per-phase virtual-time totals for `instance` (empty when disabled).
+    #[must_use]
+    pub fn phase_breakdown(&self, instance: usize) -> Vec<(String, Ticks)> {
+        match &self.inner {
+            Some(inner) => inner.spans.breakdown(instance),
+            None => Vec::new(),
+        }
+    }
+
+    /// Every recorded `(instance, phase, total)` span row.
+    #[must_use]
+    pub fn spans(&self) -> Vec<(usize, String, Ticks)> {
+        match &self.inner {
+            Some(inner) => inner.spans.all(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of all registered metrics (empty when disabled).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.metrics.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Events discarded by bus overflow so far.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.bus.dropped())
+    }
+
+    /// Events emitted onto the bus so far (delivered + dropped).
+    #[must_use]
+    pub fn emitted_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| inner.bus.emitted())
+    }
+}
+
+/// Default bucket bounds for the messages-per-session histogram.
+pub const SESSION_MESSAGES_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+
+/// Pre-resolved metric handles for the fuzz-engine hot loop.
+///
+/// The engine records into these on every iteration; with a disabled
+/// [`Telemetry`] the handles are detached cells nobody reads, so the cost
+/// is a handful of relaxed atomic adds either way.
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    /// Fuzzing sessions executed.
+    pub sessions: Counter,
+    /// Protocol messages sent to the target.
+    pub messages: Counter,
+    /// Model-level mutations applied.
+    pub model_mutations: Counter,
+    /// Seed reuses from the corpus.
+    pub seed_reuses: Counter,
+    /// Byte-level (havoc) mutations applied.
+    pub byte_mutations: Counter,
+    /// Faults observed (not necessarily unique).
+    pub faults_observed: Counter,
+    /// Messages-per-session distribution.
+    pub session_messages: Histogram,
+}
+
+impl EngineTelemetry {
+    /// Handles registered under `engine.*` in `telemetry`'s registry
+    /// (shared across all engines attached to the same pipeline).
+    #[must_use]
+    pub fn for_pipeline(telemetry: &Telemetry) -> Self {
+        EngineTelemetry {
+            sessions: telemetry.counter("engine.sessions"),
+            messages: telemetry.counter("engine.messages"),
+            model_mutations: telemetry.counter("engine.model_mutations"),
+            seed_reuses: telemetry.counter("engine.seed_reuses"),
+            byte_mutations: telemetry.counter("engine.byte_mutations"),
+            faults_observed: telemetry.counter("engine.faults_observed"),
+            session_messages: telemetry
+                .histogram("engine.session_messages", SESSION_MESSAGES_BOUNDS),
+        }
+    }
+
+    /// Detached handles (nothing reads them); the engine default.
+    #[must_use]
+    pub fn detached() -> Self {
+        EngineTelemetry::for_pipeline(&Telemetry::disabled())
+    }
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        EngineTelemetry::detached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_pipeline_is_inert() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.is_enabled());
+        telemetry.emit(Event::Progress {
+            message: "ignored".into(),
+        });
+        telemetry.progress("also ignored");
+        telemetry.counter("c").add(5);
+        telemetry.span_record(0, "fuzzing", Ticks::new(9));
+        telemetry.drain();
+        telemetry.flush();
+        assert_eq!(telemetry.emitted_events(), 0);
+        assert_eq!(telemetry.dropped_events(), 0);
+        assert!(telemetry.metrics_snapshot().counters.is_empty());
+        assert!(telemetry.phase_breakdown(0).is_empty());
+        assert!(telemetry.spans().is_empty());
+    }
+
+    #[test]
+    fn drain_fans_out_to_all_sinks() {
+        let ring_a = RingBufferSink::new(8);
+        let ring_b = RingBufferSink::new(8);
+        let telemetry = Telemetry::builder(VirtualClock::new())
+            .capacity(16)
+            .sink(Box::new(ring_a.clone()))
+            .sink(Box::new(ring_b.clone()))
+            .build();
+        assert!(telemetry.is_enabled());
+        telemetry.progress("one");
+        telemetry.progress("two");
+        telemetry.drain();
+        assert_eq!(ring_a.count_of_kind("progress"), 2);
+        assert_eq!(ring_b.count_of_kind("progress"), 2);
+        assert_eq!(telemetry.emitted_events(), 2);
+    }
+
+    #[test]
+    fn engine_telemetry_registers_under_engine_namespace() {
+        let telemetry = Telemetry::builder(VirtualClock::new()).build();
+        let handles = EngineTelemetry::for_pipeline(&telemetry);
+        handles.sessions.incr();
+        handles.session_messages.record(3);
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("engine.sessions"), Some(1));
+        assert_eq!(snap.histograms[0].0, "engine.session_messages");
+        assert_eq!(snap.histograms[0].1.count, 1);
+
+        // Detached handles record without panicking and stay unread.
+        let detached = EngineTelemetry::default();
+        detached.messages.add(2);
+        assert_eq!(detached.messages.get(), 2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Pluggable event sinks: ring buffer, JSONL file writer, progress printer.
+
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::event::{Event, EventRecord};
+
+/// Consumer of drained [`EventRecord`]s.
+///
+/// Sinks are handed records in emission (sequence) order, in batches, at
+/// round boundaries; they must not block for long.
+pub trait EventSink: Send {
+    /// Consumes one batch of records.
+    fn accept(&mut self, records: &[EventRecord]);
+
+    /// Flushes any buffered output (end of campaign / process).
+    fn flush(&mut self) {}
+}
+
+/// Keeps the most recent `capacity` records in memory.
+///
+/// Cloning shares the buffer, so tests can hold one handle while the
+/// telemetry pipeline owns the other.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_telemetry::{Event, EventRecord, EventSink, RingBufferSink};
+/// use cmfuzz_coverage::Ticks;
+///
+/// let sink = RingBufferSink::new(8);
+/// let mut writer = sink.clone();
+/// writer.accept(&[EventRecord {
+///     seq: 0,
+///     emitted_at: Ticks::ZERO,
+///     event: Event::Progress { message: "hello".into() },
+/// }]);
+/// assert_eq!(sink.records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buffer: Arc<Mutex<VecDeque<EventRecord>>>,
+    capacity: usize,
+}
+
+impl RingBufferSink {
+    /// Creates a ring buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferSink {
+            buffer: Arc::new(Mutex::new(VecDeque::new())),
+            capacity,
+        }
+    }
+
+    /// Copy of the retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.buffer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained events of one `kind`, oldest first.
+    #[must_use]
+    pub fn events_of_kind(&self, kind: &str) -> Vec<Event> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.event.kind() == kind)
+            .map(|r| r.event)
+            .collect()
+    }
+
+    /// Number of retained events of one `kind`.
+    #[must_use]
+    pub fn count_of_kind(&self, kind: &str) -> usize {
+        self.events_of_kind(kind).len()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn accept(&mut self, records: &[EventRecord]) {
+        let mut buffer = self.buffer.lock().unwrap_or_else(PoisonError::into_inner);
+        for record in records {
+            if buffer.len() >= self.capacity {
+                buffer.pop_front();
+            }
+            buffer.push_back(record.clone());
+        }
+    }
+}
+
+/// Writes each record as one JSON line to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<std::fs::File>,
+    /// First I/O error encountered, if any (reported once on flush).
+    error: Option<io::Error>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink {
+            writer: BufWriter::new(std::fs::File::create(path)?),
+            error: None,
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn accept(&mut self, records: &[EventRecord]) {
+        if self.error.is_some() {
+            return;
+        }
+        for record in records {
+            let mut line = record.to_json_line();
+            line.push('\n');
+            if let Err(err) = self.writer.write_all(line.as_bytes()) {
+                self.error = Some(err);
+                return;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(err) = self.writer.flush() {
+            let err = self.error.take().unwrap_or(err);
+            eprintln!("telemetry: jsonl sink error: {err}");
+        } else if let Some(err) = self.error.take() {
+            eprintln!("telemetry: jsonl sink error: {err}");
+        }
+    }
+}
+
+/// Prints human-oriented progress lines to stderr.
+///
+/// `Progress`, `CampaignStarted`, and `CampaignFinished` events always
+/// print; `RoundCompleted` prints every `round_stride`-th round so long
+/// campaigns stay readable. Other event kinds are ignored.
+#[derive(Debug)]
+pub struct ProgressSink {
+    round_stride: u64,
+}
+
+impl ProgressSink {
+    /// Creates a progress printer reporting every `round_stride`-th round
+    /// (0 silences round lines entirely).
+    #[must_use]
+    pub fn new(round_stride: u64) -> Self {
+        ProgressSink { round_stride }
+    }
+}
+
+impl Default for ProgressSink {
+    fn default() -> Self {
+        ProgressSink::new(10)
+    }
+}
+
+impl EventSink for ProgressSink {
+    fn accept(&mut self, records: &[EventRecord]) {
+        for record in records {
+            match &record.event {
+                Event::Progress { message } => eprintln!("[cmfuzz] {message}"),
+                Event::CampaignStarted {
+                    fuzzer,
+                    target,
+                    instances,
+                    budget,
+                } => eprintln!(
+                    "[cmfuzz] {fuzzer} vs {target}: {instances} instances, budget {budget}t"
+                ),
+                Event::RoundCompleted {
+                    round,
+                    time,
+                    union_branches,
+                    sessions,
+                } if self.round_stride > 0 && round % self.round_stride == 0 => eprintln!(
+                    "[cmfuzz]   round {round} @ {time}: {union_branches} branches, {sessions} sessions"
+                ),
+                Event::CampaignFinished {
+                    time,
+                    branches,
+                    unique_faults,
+                    config_mutations,
+                } => eprintln!(
+                    "[cmfuzz]   done @ {time}: {branches} branches, {unique_faults} faults, {config_mutations} config mutations"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_coverage::Ticks;
+
+    fn record(seq: u64, event: Event) -> EventRecord {
+        EventRecord {
+            seq,
+            emitted_at: Ticks::new(seq),
+            event,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let sink = RingBufferSink::new(2);
+        let mut writer = sink.clone();
+        let records: Vec<_> = (0..4)
+            .map(|n| {
+                record(
+                    n,
+                    Event::Progress {
+                        message: format!("{n}"),
+                    },
+                )
+            })
+            .collect();
+        writer.accept(&records);
+        let kept = sink.records();
+        assert_eq!(kept.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(sink.count_of_kind("progress"), 2);
+        assert_eq!(sink.count_of_kind("fault_found"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "cmfuzz-telemetry-sink-test-{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).expect("create temp jsonl");
+        sink.accept(&[
+            record(
+                0,
+                Event::Progress {
+                    message: "one \"two\"".into(),
+                },
+            ),
+            record(
+                1,
+                Event::FaultFound {
+                    time: Ticks::new(5),
+                    instance: 2,
+                    kind: "Crash".into(),
+                    function: "f".into(),
+                },
+            ),
+        ]);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(crate::json::is_valid(line), "{line}");
+        }
+        assert!(lines[1].contains("\"kind\":\"fault_found\""));
+    }
+}

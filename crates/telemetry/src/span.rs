@@ -1,0 +1,104 @@
+//! Span-style phase timing on the campaign's virtual clock.
+//!
+//! Real wall-clock spans would be nondeterministic and meaningless inside
+//! the simulated campaign, so spans here measure *virtual* ticks: the
+//! scheduler and runner record how many ticks each instance spent in each
+//! phase ("startup", "fuzzing", ...), yielding a per-instance phase-time
+//! breakdown that sums to the campaign budget.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use cmfuzz_coverage::Ticks;
+
+/// Accumulated virtual time per `(instance, phase)` pair.
+///
+/// Cloning shares the accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    totals: Arc<Mutex<BTreeMap<(usize, String), Ticks>>>,
+}
+
+impl SpanTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, BTreeMap<(usize, String), Ticks>> {
+        self.totals.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds `duration` to `phase` for `instance`.
+    pub fn record(&self, instance: usize, phase: &str, duration: Ticks) {
+        let mut totals = self.locked();
+        let slot = totals
+            .entry((instance, phase.to_owned()))
+            .or_insert(Ticks::ZERO);
+        *slot = *slot + duration;
+    }
+
+    /// Total virtual time `instance` spent in `phase`.
+    #[must_use]
+    pub fn phase_total(&self, instance: usize, phase: &str) -> Ticks {
+        self.locked()
+            .get(&(instance, phase.to_owned()))
+            .copied()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Per-phase totals for `instance`, phase-name sorted.
+    #[must_use]
+    pub fn breakdown(&self, instance: usize) -> Vec<(String, Ticks)> {
+        self.locked()
+            .iter()
+            .filter(|((i, _), _)| *i == instance)
+            .map(|((_, phase), total)| (phase.clone(), *total))
+            .collect()
+    }
+
+    /// All `(instance, phase, total)` rows, sorted by instance then phase.
+    #[must_use]
+    pub fn all(&self) -> Vec<(usize, String, Ticks)> {
+        self.locked()
+            .iter()
+            .map(|((instance, phase), total)| (*instance, phase.clone(), *total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_instance_and_phase() {
+        let tracker = SpanTracker::new();
+        tracker.record(0, "startup", Ticks::new(10));
+        tracker.record(0, "fuzzing", Ticks::new(100));
+        tracker.record(0, "fuzzing", Ticks::new(50));
+        tracker.record(1, "fuzzing", Ticks::new(7));
+
+        assert_eq!(tracker.phase_total(0, "fuzzing"), Ticks::new(150));
+        assert_eq!(tracker.phase_total(0, "startup"), Ticks::new(10));
+        assert_eq!(tracker.phase_total(1, "startup"), Ticks::ZERO);
+
+        assert_eq!(
+            tracker.breakdown(0),
+            vec![
+                ("fuzzing".to_owned(), Ticks::new(150)),
+                ("startup".to_owned(), Ticks::new(10)),
+            ]
+        );
+        assert_eq!(tracker.all().len(), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tracker = SpanTracker::new();
+        let clone = tracker.clone();
+        clone.record(2, "sync", Ticks::new(4));
+        assert_eq!(tracker.phase_total(2, "sync"), Ticks::new(4));
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the `criterion` bench API surface this workspace uses.
+//!
+//! Each `bench_function` runs a short calibration pass, then a measured
+//! pass, and prints mean wall-clock time per iteration to stdout:
+//!
+//! ```text
+//! bench fuzz_iteration/mosquitto ... 18432 ns/iter (54259 iters)
+//! ```
+//!
+//! No statistics, plotting, or saved baselines — enough to compare two
+//! numbers from the same run (which is how the telemetry-overhead bench
+//! uses it) and to keep `cargo bench` compiling offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long the measured pass of each benchmark runs.
+const MEASURE_FOR: Duration = Duration::from_millis(200);
+/// How long the calibration pass runs.
+const CALIBRATE_FOR: Duration = Duration::from_millis(50);
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Controls how `iter_batched` amortizes setup; ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measures a closure's per-iteration wall-clock time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter*` call.
+    mean_ns: u128,
+    /// Iterations executed by the last measured pass.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: how many calls fit in the calibration budget?
+        let start = Instant::now();
+        let mut calls: u64 = 0;
+        while start.elapsed() < CALIBRATE_FOR {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = CALIBRATE_FOR.as_nanos().max(1) / u128::from(calls.max(1)).max(1);
+        let target = (MEASURE_FOR.as_nanos() / per_call.max(1)).max(1) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() / u128::from(target);
+        self.iters = target;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE_FOR {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() / u128::from(iters.max(1));
+        self.iters = iters;
+    }
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    println!(
+        "bench {name} ... {} ns/iter ({} iters)",
+        bencher.mean_ns, bencher.iters
+    );
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.iters > 0);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` facade. Nothing in this workspace actually
+//! serializes through serde (JSONL output is hand-rolled in
+//! `cmfuzz-telemetry`), so `Serialize`/`Deserialize` are blanket-implemented
+//! marker traits and the derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

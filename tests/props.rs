@@ -1,4 +1,8 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Each property runs a few hundred cases drawn from a fixed-seed
+//! [`StdRng`], so failures are reproducible by construction (re-run the
+//! test; the same cases are generated) without a shrinking framework.
 
 use cmfuzz::allocation::{allocate, AllocationOptions};
 use cmfuzz::graph::RelationGraph;
@@ -9,36 +13,81 @@ use cmfuzz_config_model::extract::{
 use cmfuzz_config_model::{ConfigValue, ValueType};
 use cmfuzz_coverage::CoverageSnapshot;
 use cmfuzz_fuzzer::{DataModel, Endian, Field, Generator, Mutator};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    // ------------------------------------------------------------------
-    // Configuration values
-    // ------------------------------------------------------------------
+const CASES: usize = 200;
 
-    /// parse(render(v)) is the identity for every representable value.
-    #[test]
-    fn config_value_round_trips(value in config_value_strategy()) {
+/// Random string whose bytes are drawn from `alphabet`.
+fn random_string(rng: &mut StdRng, alphabet: &[u8], len: std::ops::Range<usize>) -> String {
+    let n = rng.random_range(len);
+    (0..n)
+        .map(|_| alphabet[rng.random_range(0..alphabet.len())] as char)
+        .collect()
+}
+
+/// Printable-ASCII alphabet (space through tilde).
+fn printable() -> Vec<u8> {
+    (b' '..=b'~').collect()
+}
+
+// ----------------------------------------------------------------------
+// Configuration values
+// ----------------------------------------------------------------------
+
+/// parse(render(v)) is the identity for every representable value.
+#[test]
+fn config_value_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x1001);
+    let mut cases = 0;
+    while cases < CASES {
+        let value = match rng.random_range(0..3u32) {
+            0 => ConfigValue::Bool(rng.random()),
+            1 => ConfigValue::Int(rng.random()),
+            _ => {
+                // Strings that survive the parser's normalization: no
+                // leading/trailing whitespace, not boolean/numeric-looking.
+                let mut s = random_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz_/.-", 1..13);
+                s.insert(0, (b'a' + rng.random_range(0..26u8)) as char);
+                if ConfigValue::parse(&s) != ConfigValue::Str(s.clone()) {
+                    continue;
+                }
+                ConfigValue::Str(s)
+            }
+        };
         let rendered = value.render();
-        prop_assert_eq!(ConfigValue::parse(&rendered), value);
+        assert_eq!(ConfigValue::parse(&rendered), value, "render: {rendered:?}");
+        cases += 1;
     }
+}
 
-    /// Type inference matches the parsed representation's type.
-    #[test]
-    fn inference_agrees_with_parse(raw in "[ -~]{0,24}") {
+/// Type inference matches the parsed representation's type.
+#[test]
+fn inference_agrees_with_parse() {
+    let mut rng = StdRng::seed_from_u64(0x1002);
+    let alphabet = printable();
+    for _ in 0..CASES {
+        let raw = random_string(&mut rng, &alphabet, 0..25);
         let inferred = ValueType::infer(&raw);
         let parsed_type = ConfigValue::parse(&raw).value_type();
-        prop_assert_eq!(inferred, parsed_type);
+        assert_eq!(inferred, parsed_type, "raw: {raw:?}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Extractors: total functions over arbitrary text
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Extractors: total functions over arbitrary text
+// ----------------------------------------------------------------------
 
-    /// No extractor panics on arbitrary input, and extracted names are
-    /// never empty.
-    #[test]
-    fn extractors_are_total(content in "[ -~\n\t]{0,300}") {
+/// No extractor panics on arbitrary input, and extracted names are never
+/// empty.
+#[test]
+fn extractors_are_total() {
+    let mut rng = StdRng::seed_from_u64(0x1003);
+    let mut alphabet = printable();
+    alphabet.push(b'\n');
+    alphabet.push(b'\t');
+    for _ in 0..CASES {
+        let content = random_string(&mut rng, &alphabet, 0..301);
         let _ = detect_format("fuzz.txt", &content);
         for items in [
             extract_key_value("f.conf", &content),
@@ -49,57 +98,83 @@ proptest! {
             extract_cli(&content.lines().map(str::to_owned).collect::<Vec<_>>()),
         ] {
             for item in items {
-                prop_assert!(!item.name().is_empty());
+                assert!(!item.name().is_empty(), "content: {content:?}");
             }
         }
     }
+}
 
-    /// Well-formed key=value lines always extract completely.
-    #[test]
-    fn keyvalue_extracts_every_well_formed_line(
-        keys in proptest::collection::vec("[a-z][a-z0-9_]{0,10}", 1..8),
-        values in proptest::collection::vec("[a-z0-9]{1,8}", 8),
-    ) {
-        let mut unique = keys.clone();
-        unique.sort();
-        unique.dedup();
-        let content: String = unique
+/// Well-formed key=value lines always extract completely.
+#[test]
+fn keyvalue_extracts_every_well_formed_line() {
+    let mut rng = StdRng::seed_from_u64(0x1004);
+    for _ in 0..CASES {
+        let key_count = rng.random_range(1..8usize);
+        let mut keys = Vec::new();
+        for _ in 0..key_count {
+            let mut key = random_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz0123456789_", 0..11);
+            key.insert(0, (b'a' + rng.random_range(0..26u8)) as char);
+            keys.push(key);
+        }
+        keys.sort();
+        keys.dedup();
+        let content: String = keys
             .iter()
-            .zip(&values)
-            .map(|(k, v)| format!("{k}={v}\n"))
+            .map(|k| {
+                let v = random_string(&mut rng, b"abcdefghijklmnopqrstuvwxyz0123456789", 1..9);
+                format!("{k}={v}\n")
+            })
             .collect();
         let items = extract_key_value("p.conf", &content);
-        prop_assert_eq!(items.len(), unique.len());
+        assert_eq!(items.len(), keys.len(), "content: {content:?}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Coverage snapshots: set algebra laws
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Coverage snapshots: set algebra laws
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn snapshot_union_laws(
-        a in proptest::collection::vec(0usize..256, 0..64),
-        b in proptest::collection::vec(0usize..256, 0..64),
-    ) {
+fn intersection_count(a: &CoverageSnapshot, b: &CoverageSnapshot) -> usize {
+    a.covered_ids().filter(|id| b.is_covered(*id)).count()
+}
+
+#[test]
+fn snapshot_union_laws() {
+    let mut rng = StdRng::seed_from_u64(0x1005);
+    for _ in 0..CASES {
+        let hits = |rng: &mut StdRng| -> Vec<usize> {
+            let n = rng.random_range(0..64usize);
+            (0..n).map(|_| rng.random_range(0..256usize)).collect()
+        };
+        let a = hits(&mut rng);
+        let b = hits(&mut rng);
         let sa = CoverageSnapshot::from_hits(256, a.iter().copied());
         let sb = CoverageSnapshot::from_hits(256, b.iter().copied());
         let ab = sa.union(&sb);
         let ba = sb.union(&sa);
-        prop_assert_eq!(&ab, &ba, "union commutes");
-        prop_assert!(sa.is_subset_of(&ab));
-        prop_assert!(sb.is_subset_of(&ab));
-        prop_assert_eq!(ab.newly_covered(&sa), sb.covered_count() - sb.covered_count().min(intersection_count(&sa, &sb)));
-        prop_assert_eq!(sa.union(&sa), sa.clone(), "union is idempotent");
+        assert_eq!(&ab, &ba, "union commutes");
+        assert!(sa.is_subset_of(&ab));
+        assert!(sb.is_subset_of(&ab));
+        assert_eq!(
+            ab.newly_covered(&sa),
+            sb.covered_count() - sb.covered_count().min(intersection_count(&sa, &sb))
+        );
+        assert_eq!(sa.union(&sa), sa.clone(), "union is idempotent");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Generator and mutation: total, structurally sound
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Generator and mutation: total, structurally sound
+// ----------------------------------------------------------------------
 
-    /// Rendering after arbitrary chains of field mutations never panics,
-    /// and LengthOf relations stay within bounds when unadjusted.
-    #[test]
-    fn mutated_models_always_render(seed in any::<u64>(), rounds in 0usize..64) {
+/// Rendering after arbitrary chains of field mutations never panics, and
+/// header fields always render.
+#[test]
+fn mutated_models_always_render() {
+    let mut rng = StdRng::seed_from_u64(0x1006);
+    for _ in 0..64 {
+        let seed: u64 = rng.random();
+        let rounds = rng.random_range(0..64usize);
         let mut model = DataModel::new("m")
             .field(Field::uint("type", 8, 0x10))
             .field(Field::length_of("len", "body", 16, Endian::Big))
@@ -119,67 +194,58 @@ proptest! {
         for _ in 0..rounds {
             mutator.mutate_model(&mut model);
             let bytes = Generator::render(&model);
-            prop_assert!(bytes.len() >= 3, "header fields always render");
+            assert!(bytes.len() >= 3, "header fields always render");
         }
     }
+}
 
-    /// Byte-level havoc never panics and respects emptiness rules.
-    #[test]
-    fn havoc_is_total(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..128)) {
+/// Byte-level havoc never panics on arbitrary buffers.
+#[test]
+fn havoc_is_total() {
+    let mut rng = StdRng::seed_from_u64(0x1007);
+    for _ in 0..CASES {
+        let seed: u64 = rng.random();
+        let len = rng.random_range(0..128usize);
+        let mut buffer: Vec<u8> = (0..len).map(|_| rng.random()).collect();
         let mut mutator = Mutator::new(seed);
-        let mut buffer = data;
         for _ in 0..8 {
             mutator.mutate(&mut buffer, 6);
         }
         // No assertion beyond not panicking; length may be anything >= 0.
     }
+}
 
-    // ------------------------------------------------------------------
-    // Allocation: partition invariants on random graphs
-    // ------------------------------------------------------------------
+// ----------------------------------------------------------------------
+// Allocation: partition invariants on random graphs
+// ----------------------------------------------------------------------
 
-    #[test]
-    fn allocation_partitions_every_node_exactly_once(
-        edges in proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..64),
-        lonely in proptest::collection::vec(24usize..30, 0..4),
-        instances in 1usize..6,
-    ) {
+#[test]
+fn allocation_partitions_every_node_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0x1008);
+    for _ in 0..CASES {
         let mut graph = RelationGraph::new();
-        for &(a, b, w) in &edges {
+        for _ in 0..rng.random_range(0..64usize) {
+            let a = rng.random_range(0..24usize);
+            let b = rng.random_range(0..24usize);
+            let w: f64 = rng.random();
             if a != b {
                 graph.add_edge(&format!("n{a}"), &format!("n{b}"), w);
             }
         }
-        for &l in &lonely {
+        for _ in 0..rng.random_range(0..4usize) {
+            let l = rng.random_range(24..30usize);
             graph.add_node(&format!("n{l}"));
         }
+        let instances = rng.random_range(1..6usize);
         let groups = allocate(&graph, instances, &AllocationOptions::default());
-        prop_assert!(groups.len() <= instances);
+        assert!(groups.len() <= instances);
         let mut all: Vec<String> = groups.iter().flatten().cloned().collect();
         all.sort();
         let before = all.len();
         all.dedup();
-        prop_assert_eq!(all.len(), before, "no node in two groups");
+        assert_eq!(all.len(), before, "no node in two groups");
         let mut expected: Vec<String> = graph.node_names().to_vec();
         expected.sort();
-        prop_assert_eq!(all, expected, "every node placed");
+        assert_eq!(all, expected, "every node placed");
     }
-}
-
-fn intersection_count(a: &CoverageSnapshot, b: &CoverageSnapshot) -> usize {
-    a.covered_ids().filter(|id| b.is_covered(*id)).count()
-}
-
-fn config_value_strategy() -> impl Strategy<Value = ConfigValue> {
-    prop_oneof![
-        any::<bool>().prop_map(ConfigValue::Bool),
-        any::<i64>().prop_map(ConfigValue::Int),
-        // Strings that survive the parser's normalization: no leading or
-        // trailing whitespace, not boolean/numeric-looking.
-        "[a-z][a-z_/.-]{0,12}"
-            .prop_filter("must stay a string", |s| {
-                ConfigValue::parse(s) == ConfigValue::Str(s.clone())
-            })
-            .prop_map(ConfigValue::Str),
-    ]
 }
