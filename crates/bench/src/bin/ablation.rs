@@ -1,10 +1,10 @@
 //! Runs the design-choice ablations DESIGN.md calls out.
 
-use cmfuzz_bench::{ablation_with, cli};
+use cmfuzz_bench::{ablation_with_jobs, cli};
 
 fn main() {
     let args = cli::parse_args("ablation");
-    let rows = ablation_with(&args.scale, &args.telemetry);
+    let rows = ablation_with_jobs(&args.scale, &args.telemetry, args.jobs);
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_ablation(&rows));
 }

@@ -1,10 +1,10 @@
 //! Regenerates the paper's Figure 4 coverage-over-time series.
 
-use cmfuzz_bench::{cli, figure4_with};
+use cmfuzz_bench::{cli, figure4_with_jobs};
 
 fn main() {
     let args = cli::parse_args("figure4");
-    let series = figure4_with(&args.scale, &args.telemetry);
+    let series = figure4_with_jobs(&args.scale, &args.telemetry, args.jobs);
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_figure4(&series));
 }

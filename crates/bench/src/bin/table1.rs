@@ -1,10 +1,10 @@
 //! Regenerates the paper's Table I. `--scale paper` for the full run.
 
-use cmfuzz_bench::{cli, table1_with};
+use cmfuzz_bench::{cli, table1_with_jobs};
 
 fn main() {
     let args = cli::parse_args("table1");
-    let rows = table1_with(&args.scale, &args.telemetry);
+    let rows = table1_with_jobs(&args.scale, &args.telemetry, args.jobs);
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_table1(&rows));
 }

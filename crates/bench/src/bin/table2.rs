@@ -1,10 +1,10 @@
 //! Regenerates the paper's Table II vulnerability summary.
 
-use cmfuzz_bench::{cli, table2_with};
+use cmfuzz_bench::{cli, table2_with_jobs};
 
 fn main() {
     let args = cli::parse_args("table2");
-    let rows = table2_with(&args.scale, &args.telemetry);
+    let rows = table2_with_jobs(&args.scale, &args.telemetry, args.jobs);
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_table2(&rows));
 }

@@ -1,9 +1,11 @@
 //! Shared command-line handling for the report binaries.
 //!
-//! Every binary accepts the same two flags:
+//! Every binary accepts the same three flags:
 //!
 //! * `--scale quick|paper` — experiment scale (overrides the
 //!   `CMFUZZ_SCALE` environment variable);
+//! * `--jobs <n>` — grid worker threads (overrides the `CMFUZZ_JOBS`
+//!   environment variable; default: available parallelism);
 //! * `--telemetry <path>` — stream the campaign's structured events to
 //!   `<path>` as JSON Lines, one event per line.
 //!
@@ -24,6 +26,8 @@ use crate::experiments::ExperimentScale;
 pub struct Cli {
     /// Experiment scale to run at.
     pub scale: ExperimentScale,
+    /// Grid worker threads for the experiment cells.
+    pub jobs: usize,
     /// Event pipeline: a progress sink always, a JSONL sink when
     /// `--telemetry` was given.
     pub telemetry: Telemetry,
@@ -36,6 +40,7 @@ pub struct Cli {
 pub fn parse_args(experiment: &str) -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale: Option<ExperimentScale> = None;
+    let mut jobs: Option<usize> = None;
     let mut jsonl_path: Option<PathBuf> = None;
 
     let mut iter = args.iter();
@@ -48,6 +53,10 @@ pub fn parse_args(experiment: &str) -> Cli {
                     experiment,
                     &format!("--scale expects quick|paper, got {other:?}"),
                 ),
+            },
+            "--jobs" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => usage_error(experiment, "--jobs expects a positive integer"),
             },
             "--telemetry" => match iter.next() {
                 Some(path) => jsonl_path = Some(PathBuf::from(path)),
@@ -75,15 +84,17 @@ pub fn parse_args(experiment: &str) -> Cli {
 
     Cli {
         scale: scale.unwrap_or_else(ExperimentScale::from_env),
+        jobs: jobs.unwrap_or_else(crate::grid::default_jobs),
         telemetry: builder.build(),
     }
 }
 
 fn usage(experiment: &str) -> String {
     format!(
-        "usage: {experiment} [--scale quick|paper] [--telemetry <path>]\n\
+        "usage: {experiment} [--scale quick|paper] [--jobs <n>] [--telemetry <path>]\n\
          \n\
          --scale      experiment scale (default: $CMFUZZ_SCALE or quick)\n\
+         --jobs       grid worker threads (default: $CMFUZZ_JOBS or available parallelism)\n\
          --telemetry  write structured events to <path> as JSON Lines"
     )
 }

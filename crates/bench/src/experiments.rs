@@ -1,14 +1,23 @@
 //! Experiment definitions: one function per table/figure.
+//!
+//! Every experiment is a grid of independent (subject, fuzzer, repetition)
+//! cells; the `*_with_jobs` variants run that grid on the [`crate::grid`]
+//! worker pool while collecting results in deterministic cell order, so
+//! the rendered output is byte-identical for every worker count.
+
+use std::collections::HashMap;
 
 use cmfuzz::baseline::{run_cmfuzz_with, run_peach_with, run_spfuzz_with};
 use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::metrics::{improvement_pct, speedup, CampaignResult, CoverageCurve};
 use cmfuzz::relation::{RelationOptions, WeightMode};
 use cmfuzz::schedule::{GroupingStrategy, ScheduleOptions};
-use cmfuzz_coverage::Ticks;
+use cmfuzz_coverage::{Ticks, VirtualClock};
 use cmfuzz_fuzzer::FaultKind;
 use cmfuzz_protocols::{all_specs, ProtocolSpec};
 use cmfuzz_telemetry::Telemetry;
+
+use crate::grid;
 
 /// Experiment scale: budget, repetitions and instance count.
 ///
@@ -94,6 +103,82 @@ where
         .collect()
 }
 
+/// The three evaluation fuzzers, in report-column order.
+const FUZZERS: [&str; 3] = ["cmfuzz", "peach", "spfuzz"];
+
+fn run_fuzzer(
+    fuzzer: &str,
+    spec: &ProtocolSpec,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> CampaignResult {
+    match fuzzer {
+        "cmfuzz" => run_cmfuzz_with(spec, &ScheduleOptions::default(), options, telemetry),
+        "peach" => run_peach_with(spec, options, telemetry),
+        "spfuzz" => run_spfuzz_with(spec, options, telemetry),
+        other => unreachable!("unknown fuzzer {other}"),
+    }
+}
+
+/// Per-subject repetition results for the three fuzzers.
+struct SubjectRuns {
+    cmfuzz: Vec<CampaignResult>,
+    peach: Vec<CampaignResult>,
+    spfuzz: Vec<CampaignResult>,
+}
+
+/// Runs the full (subject × fuzzer × repetition) grid on `jobs` workers.
+///
+/// Each cell is one deterministic campaign executing inside its own
+/// telemetry scope, so the shared sinks see one contiguous event block per
+/// cell no matter how cells interleave. Results come back regrouped in
+/// (subject, fuzzer, repetition) order — identical to a sequential run.
+fn fuzzer_grid(
+    experiment: &str,
+    specs: &[ProtocolSpec],
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Vec<SubjectRuns> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        for fuzzer in FUZZERS {
+            for rep in 0..scale.repetitions {
+                let spec = *spec;
+                let mut options = scale.options(0xCAFE + rep * 7919);
+                // One thread per cell: the grid supplies the parallelism,
+                // so the campaign's own worker pool would only
+                // oversubscribe the machine (results are identical either
+                // way; see tests/parallel_determinism.rs).
+                options.worker_pool = false;
+                let telemetry = telemetry.clone();
+                let label = format!("{experiment}: {} / {fuzzer} rep {rep}", spec.name);
+                cells.push(move || {
+                    let scope = telemetry.scoped(VirtualClock::new());
+                    scope.telemetry().progress(label);
+                    let result = run_fuzzer(fuzzer, &spec, &options, scope.telemetry());
+                    scope.commit();
+                    result
+                });
+            }
+        }
+    }
+    let mut results = grid::run_cells(jobs, cells).into_iter();
+    let mut reps = || -> Vec<CampaignResult> {
+        (0..scale.repetitions)
+            .map(|_| results.next().expect("one result per cell"))
+            .collect()
+    };
+    specs
+        .iter()
+        .map(|_| SubjectRuns {
+            cmfuzz: reps(),
+            peach: reps(),
+            spfuzz: reps(),
+        })
+        .collect()
+}
+
 fn mean_branches(results: &[CampaignResult]) -> f64 {
     results
         .iter()
@@ -174,13 +259,44 @@ pub fn table1(scale: &ExperimentScale) -> Vec<Table1Row> {
     table1_with(scale, &Telemetry::disabled())
 }
 
-/// [`table1`] with an observability pipeline attached.
+/// [`table1`] with an observability pipeline attached, run with the
+/// default worker count ([`grid::default_jobs`]).
 #[must_use]
 pub fn table1_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table1Row> {
-    all_specs()
+    table1_with_jobs(scale, telemetry, grid::default_jobs())
+}
+
+/// [`table1`] executed as a parallel cell grid on `jobs` workers; the
+/// returned rows are identical for every worker count.
+#[must_use]
+pub fn table1_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Vec<Table1Row> {
+    let specs = all_specs();
+    fuzzer_grid("table1", &specs, scale, telemetry, jobs)
         .iter()
-        .map(|spec| table1_row_with(spec, scale, telemetry))
+        .zip(&specs)
+        .map(|(runs, spec)| table1_row_from(spec.name, runs))
         .collect()
+}
+
+/// Assembles one Table I row from per-fuzzer repetition results.
+fn table1_row_from(subject: &str, runs: &SubjectRuns) -> Table1Row {
+    let cm_mean = mean_branches(&runs.cmfuzz);
+    let peach_mean = mean_branches(&runs.peach);
+    let spfuzz_mean = mean_branches(&runs.spfuzz);
+    Table1Row {
+        subject: subject.to_owned(),
+        cmfuzz: cm_mean,
+        peach: peach_mean,
+        improv_peach: improvement_pct(cm_mean as usize, peach_mean as usize),
+        speedup_peach: mean_speedup(&runs.cmfuzz, &runs.peach),
+        spfuzz: spfuzz_mean,
+        improv_spfuzz: improvement_pct(cm_mean as usize, spfuzz_mean as usize),
+        speedup_spfuzz: mean_speedup(&runs.cmfuzz, &runs.spfuzz),
+    }
 }
 
 /// One Table I cell-row for a single subject (exposed for the criterion
@@ -198,24 +314,14 @@ pub fn table1_row_with(
     telemetry: &Telemetry,
 ) -> Table1Row {
     progress(telemetry, format!("table1: {}", spec.name));
-    let cm = repeat(scale, |o| {
-        run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
-    });
-    let peach = repeat(scale, |o| run_peach_with(spec, o, telemetry));
-    let spfuzz = repeat(scale, |o| run_spfuzz_with(spec, o, telemetry));
-    Table1Row {
-        subject: spec.name.to_owned(),
-        cmfuzz: mean_branches(&cm),
-        peach: mean_branches(&peach),
-        improv_peach: improvement_pct(mean_branches(&cm) as usize, mean_branches(&peach) as usize),
-        speedup_peach: mean_speedup(&cm, &peach),
-        spfuzz: mean_branches(&spfuzz),
-        improv_spfuzz: improvement_pct(
-            mean_branches(&cm) as usize,
-            mean_branches(&spfuzz) as usize,
-        ),
-        speedup_spfuzz: mean_speedup(&cm, &spfuzz),
-    }
+    let runs = SubjectRuns {
+        cmfuzz: repeat(scale, |o| {
+            run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
+        }),
+        peach: repeat(scale, |o| run_peach_with(spec, o, telemetry)),
+        spfuzz: repeat(scale, |o| run_spfuzz_with(spec, o, telemetry)),
+    };
+    table1_row_from(spec.name, &runs)
 }
 
 // ---------------------------------------------------------------------------
@@ -242,24 +348,30 @@ pub fn figure4(scale: &ExperimentScale) -> Vec<Figure4Series> {
     figure4_with(scale, &Telemetry::disabled())
 }
 
-/// [`figure4`] with an observability pipeline attached.
+/// [`figure4`] with an observability pipeline attached, run with the
+/// default worker count ([`grid::default_jobs`]).
 #[must_use]
 pub fn figure4_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Figure4Series> {
-    all_specs()
+    figure4_with_jobs(scale, telemetry, grid::default_jobs())
+}
+
+/// [`figure4`] executed as a parallel cell grid on `jobs` workers; the
+/// returned series are identical for every worker count.
+#[must_use]
+pub fn figure4_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Vec<Figure4Series> {
+    let specs = all_specs();
+    fuzzer_grid("figure4", &specs, scale, telemetry, jobs)
         .iter()
-        .map(|spec| {
-            progress(telemetry, format!("figure4: {}", spec.name));
-            let cm = repeat(scale, |o| {
-                run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
-            });
-            let peach = repeat(scale, |o| run_peach_with(spec, o, telemetry));
-            let spfuzz = repeat(scale, |o| run_spfuzz_with(spec, o, telemetry));
-            Figure4Series {
-                subject: spec.name.to_owned(),
-                cmfuzz: mean_curve(&cm),
-                peach: mean_curve(&peach),
-                spfuzz: mean_curve(&spfuzz),
-            }
+        .zip(&specs)
+        .map(|(runs, spec)| Figure4Series {
+            subject: spec.name.to_owned(),
+            cmfuzz: mean_curve(&runs.cmfuzz),
+            peach: mean_curve(&runs.peach),
+            spfuzz: mean_curve(&runs.spfuzz),
         })
         .collect()
 }
@@ -288,45 +400,51 @@ pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
     table2_with(scale, &Telemetry::disabled())
 }
 
-/// [`table2`] with an observability pipeline attached.
+/// [`table2`] with an observability pipeline attached, run with the
+/// default worker count ([`grid::default_jobs`]).
 #[must_use]
 pub fn table2_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table2Row> {
+    table2_with_jobs(scale, telemetry, grid::default_jobs())
+}
+
+/// [`table2`] executed as a parallel cell grid on `jobs` workers; the
+/// returned rows are identical for every worker count.
+#[must_use]
+pub fn table2_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Vec<Table2Row> {
+    let specs = all_specs();
+    let grid_runs = fuzzer_grid("table2", &specs, scale, telemetry, jobs);
     let mut rows: Vec<Table2Row> = Vec::new();
-    for spec in all_specs() {
-        progress(telemetry, format!("table2: {}", spec.name));
-        let runs = [
-            (
-                "cmfuzz",
-                repeat(scale, |o| {
-                    run_cmfuzz_with(&spec, &ScheduleOptions::default(), o, telemetry)
-                }),
-            ),
-            ("peach", repeat(scale, |o| run_peach_with(&spec, o, telemetry))),
-            (
-                "spfuzz",
-                repeat(scale, |o| run_spfuzz_with(&spec, o, telemetry)),
-            ),
-        ];
-        for (fuzzer, results) in &runs {
+    // Row identity → index into `rows`: O(1) lookup per fault instead of a
+    // linear scan over every accumulated row, while rows keep their
+    // first-seen order (which is what the rendered table sorts on).
+    let mut by_identity: HashMap<(String, FaultKind, String), usize> = HashMap::new();
+    for (spec, runs) in specs.iter().zip(&grid_runs) {
+        let per_fuzzer = [&runs.cmfuzz, &runs.peach, &runs.spfuzz];
+        for (fuzzer, results) in FUZZERS.iter().zip(per_fuzzer) {
             for result in results {
                 for fault in result.faults.faults() {
-                    let existing = rows.iter_mut().find(|r| {
-                        r.protocol == spec.protocol
-                            && r.kind == fault.kind
-                            && r.function == fault.function
-                    });
-                    match existing {
-                        Some(row) => {
-                            if !row.found_by.contains(&(*fuzzer).to_owned()) {
-                                row.found_by.push((*fuzzer).to_owned());
-                            }
+                    let key = (
+                        spec.protocol.to_owned(),
+                        fault.kind,
+                        fault.function.clone(),
+                    );
+                    if let Some(&at) = by_identity.get(&key) {
+                        let row = &mut rows[at];
+                        if !row.found_by.iter().any(|f| f == fuzzer) {
+                            row.found_by.push((*fuzzer).to_owned());
                         }
-                        None => rows.push(Table2Row {
+                    } else {
+                        by_identity.insert(key, rows.len());
+                        rows.push(Table2Row {
                             protocol: spec.protocol.to_owned(),
                             kind: fault.kind,
                             function: fault.function.clone(),
                             found_by: vec![(*fuzzer).to_owned()],
-                        }),
+                        });
                     }
                 }
             }
@@ -367,71 +485,108 @@ pub fn ablation(scale: &ExperimentScale) -> Vec<AblationRow> {
     ablation_with(scale, &Telemetry::disabled())
 }
 
-/// [`ablation`] with an observability pipeline attached.
+/// [`ablation`] with an observability pipeline attached, run with the
+/// default worker count ([`grid::default_jobs`]).
 #[must_use]
 pub fn ablation_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<AblationRow> {
+    ablation_with_jobs(scale, telemetry, grid::default_jobs())
+}
+
+/// The ablation variant list: label, schedule options, adaptive mutation.
+fn ablation_variants() -> Vec<(&'static str, ScheduleOptions, bool)> {
+    vec![
+        ("cmfuzz", ScheduleOptions::default(), true),
+        (
+            "weight-absolute",
+            ScheduleOptions {
+                relation: RelationOptions {
+                    mode: WeightMode::MaxAbsolute,
+                    ..RelationOptions::default()
+                },
+                ..ScheduleOptions::default()
+            },
+            true,
+        ),
+        (
+            "weight-mean",
+            ScheduleOptions {
+                relation: RelationOptions {
+                    mode: WeightMode::Mean,
+                    ..RelationOptions::default()
+                },
+                ..ScheduleOptions::default()
+            },
+            true,
+        ),
+        (
+            "findbest-linear",
+            ScheduleOptions {
+                allocation: cmfuzz::allocation::AllocationOptions {
+                    squared_numerator: false,
+                },
+                ..ScheduleOptions::default()
+            },
+            true,
+        ),
+        (
+            "grouping-random",
+            ScheduleOptions {
+                grouping: GroupingStrategy::Random(1),
+                ..ScheduleOptions::default()
+            },
+            true,
+        ),
+        ("no-adaptive", ScheduleOptions::default(), false),
+    ]
+}
+
+/// [`ablation`] executed as a parallel cell grid on `jobs` workers; the
+/// returned rows are identical for every worker count.
+#[must_use]
+pub fn ablation_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Vec<AblationRow> {
     let subjects = ["mosquitto", "libcoap"];
-    let mut rows = Vec::new();
+    let variants = ablation_variants();
+    let mut cells = Vec::new();
     for name in subjects {
         let spec = cmfuzz_protocols::spec_by_name(name).expect("subject exists");
-        let variants: Vec<(&str, ScheduleOptions, bool)> = vec![
-            ("cmfuzz", ScheduleOptions::default(), true),
-            (
-                "weight-absolute",
-                ScheduleOptions {
-                    relation: RelationOptions {
-                        mode: WeightMode::MaxAbsolute,
-                        ..RelationOptions::default()
-                    },
-                    ..ScheduleOptions::default()
-                },
-                true,
-            ),
-            (
-                "weight-mean",
-                ScheduleOptions {
-                    relation: RelationOptions {
-                        mode: WeightMode::Mean,
-                        ..RelationOptions::default()
-                    },
-                    ..ScheduleOptions::default()
-                },
-                true,
-            ),
-            (
-                "findbest-linear",
-                ScheduleOptions {
-                    allocation: cmfuzz::allocation::AllocationOptions {
-                        squared_numerator: false,
-                    },
-                    ..ScheduleOptions::default()
-                },
-                true,
-            ),
-            (
-                "grouping-random",
-                ScheduleOptions {
-                    grouping: GroupingStrategy::Random(1),
-                    ..ScheduleOptions::default()
-                },
-                true,
-            ),
-            ("no-adaptive", ScheduleOptions::default(), false),
-        ];
-        for (label, schedule_options, adaptive) in variants {
-            progress(telemetry, format!("ablation: {name} / {label}"));
-            let results = repeat(scale, |options| {
-                let mut options = options.clone();
+        for (label, schedule_options, adaptive) in &variants {
+            for rep in 0..scale.repetitions {
+                let schedule_options = schedule_options.clone();
+                let telemetry = telemetry.clone();
+                let mut options = scale.options(0xCAFE + rep * 7919);
+                // One thread per cell, as in `fuzzer_grid`.
+                options.worker_pool = false;
                 if !adaptive {
                     // A window longer than the budget never fires.
                     options.saturation_window = Ticks::new(options.budget.get() + 1);
                 }
-                run_cmfuzz_with(&spec, &schedule_options, &options, telemetry)
-            });
+                let progress_label = format!("ablation: {name} / {label} rep {rep}");
+                cells.push(move || {
+                    let scope = telemetry.scoped(VirtualClock::new());
+                    scope.telemetry().progress(progress_label);
+                    let result =
+                        run_cmfuzz_with(&spec, &schedule_options, &options, scope.telemetry());
+                    scope.commit();
+                    result
+                });
+            }
+        }
+    }
+    let mut results = grid::run_cells(jobs, cells).into_iter();
+    let mut rows = Vec::new();
+    for name in subjects {
+        for (label, _, _) in &variants {
+            let reps: Vec<CampaignResult> = (0..scale.repetitions)
+                .map(|_| results.next().expect("one result per cell"))
+                .collect();
             rows.push(AblationRow {
-                variant: label.to_owned(),
+                variant: (*label).to_owned(),
                 subject: name.to_owned(),
-                branches: mean_branches(&results),
+                branches: mean_branches(&reps),
             });
         }
     }

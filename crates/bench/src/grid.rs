@@ -1,0 +1,178 @@
+//! Bounded work-claiming pool for experiment grid cells.
+//!
+//! The evaluation grid is embarrassingly parallel: every (subject, fuzzer,
+//! repetition) cell is an independent deterministic campaign that shares
+//! nothing with its neighbours. [`run_cells`] runs such cells on a small
+//! pool of worker threads, claiming cells from a shared atomic cursor
+//! (cheap work stealing: a worker that draws a short cell immediately
+//! claims the next one), and returns the results **in cell order** — so a
+//! table assembled from the output is byte-identical no matter how many
+//! workers ran or how they interleaved.
+//!
+//! Worker count comes from [`default_jobs`]: the `CMFUZZ_JOBS` environment
+//! variable when set, otherwise the machine's available parallelism. With
+//! `jobs <= 1` the pool is bypassed entirely and cells run inline on the
+//! caller's thread, in order — that path is the sequential reference the
+//! determinism tests compare against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Worker count for grid execution: `CMFUZZ_JOBS` if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (1 when even
+/// that is unavailable).
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(raw) = std::env::var("CMFUZZ_JOBS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("[cmfuzz] ignoring invalid CMFUZZ_JOBS={raw:?} (want a positive integer)");
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn lock<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs every cell closure and returns the results in cell order.
+///
+/// With `jobs >= 2` the cells execute on `min(jobs, cells.len())` worker
+/// threads; with `jobs <= 1` they run inline sequentially. Either way the
+/// output vector's index `i` holds cell `i`'s result, so downstream
+/// aggregation is order-independent of the actual schedule.
+///
+/// # Panics
+///
+/// Propagates a panic from any cell (the pool finishes or abandons the
+/// remaining cells, then the scope join re-raises).
+#[must_use]
+pub fn run_cells<T, F>(jobs: usize, cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    run_cells_timed(jobs, cells)
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect()
+}
+
+/// [`run_cells`], also reporting each cell's wall-clock duration.
+///
+/// Timings are measurement output only — they never feed back into cell
+/// results, so determinism of the grid output is unaffected.
+///
+/// # Panics
+///
+/// Propagates a panic from any cell, as for [`run_cells`].
+#[must_use]
+pub fn run_cells_timed<T, F>(jobs: usize, cells: Vec<F>) -> Vec<(T, Duration)>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let run_one = |cell: F| {
+        let started = Instant::now();
+        let result = cell();
+        (result, started.elapsed())
+    };
+
+    if jobs <= 1 || cells.len() <= 1 {
+        return cells.into_iter().map(run_one).collect();
+    }
+
+    let workers = jobs.min(cells.len());
+    let work: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<(T, Duration)>>> = work.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = work.get(index) else {
+                    return;
+                };
+                let cell = lock(slot).take().expect("each cell is claimed once");
+                *lock(&slots[index]) = Some(run_one(cell));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("every claimed cell stored its result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_cell_order() {
+        for jobs in [1, 2, 7] {
+            let cells: Vec<_> = (0..20)
+                .map(|n: u64| {
+                    move || {
+                        // Stagger cell durations so parallel completion
+                        // order differs from claim order.
+                        std::thread::sleep(Duration::from_micros(200 * (20 - n)));
+                        n * n
+                    }
+                })
+                .collect();
+            let results = run_cells(jobs, cells);
+            assert_eq!(
+                results,
+                (0..20).map(|n| n * n).collect::<Vec<u64>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_spawns_at_most_jobs_workers() {
+        use std::collections::HashSet;
+        let cells: Vec<_> = (0..32)
+            .map(|_| {
+                || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::current().id()
+                }
+            })
+            .collect();
+        let threads: HashSet<_> = run_cells(3, cells).into_iter().collect();
+        assert!(threads.len() <= 3, "{} worker threads", threads.len());
+    }
+
+    #[test]
+    fn timed_variant_reports_positive_durations() {
+        let cells: Vec<_> = (0..4)
+            .map(|n: u32| move || n + 1)
+            .collect();
+        let timed = run_cells_timed(2, cells);
+        assert_eq!(timed.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_single_grids_are_fine() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run_cells(8, none).is_empty());
+        assert_eq!(run_cells(8, vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -22,9 +22,12 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod grid;
 pub mod report;
 
 pub use experiments::{
-    ablation, ablation_with, figure4, figure4_with, table1, table1_with, table2, table2_with,
-    AblationRow, ExperimentScale, Figure4Series, Table1Row, Table2Row,
+    ablation, ablation_with, ablation_with_jobs, figure4, figure4_with, figure4_with_jobs, table1,
+    table1_with, table1_with_jobs, table2, table2_with, table2_with_jobs, AblationRow,
+    ExperimentScale, Figure4Series, Table1Row, Table2Row,
 };
+pub use grid::{default_jobs, run_cells, run_cells_timed};

@@ -1,5 +1,8 @@
 //! The parallel campaign runner.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+
 use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
 use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, Target};
@@ -28,6 +31,12 @@ pub struct CampaignOptions {
     /// Share retained seeds across instances every N rounds (SPFuzz-style
     /// synchronization); `None` disables sharing.
     pub seed_sync_every_rounds: Option<u32>,
+    /// Run rounds on persistent per-instance worker threads (spawned once
+    /// for the whole campaign and parked on a round barrier in between).
+    /// `false` executes every instance's round inline on the calling
+    /// thread — byte-identical results, kept as the sequential reference
+    /// for determinism tests and for single-core debugging.
+    pub worker_pool: bool,
     /// Base engine tunables (per-instance seeds are derived from `seed`).
     pub engine: EngineConfig,
 }
@@ -41,6 +50,7 @@ impl Default for CampaignOptions {
             saturation_window: Ticks::new(600),
             seed: 0,
             seed_sync_every_rounds: None,
+            worker_pool: true,
             engine: EngineConfig::default(),
         }
     }
@@ -124,7 +134,7 @@ pub fn run_campaign_with_telemetry(
     let pit = pit::parse(spec.pit_document).expect("registry pit documents parse");
     let engine_telemetry = EngineTelemetry::for_pipeline(telemetry);
 
-    let mut instances: Vec<Instance> = setups
+    let instances: Vec<Instance> = setups
         .iter()
         .enumerate()
         .map(|(i, setup)| {
@@ -187,107 +197,154 @@ pub fn run_campaign_with_telemetry(
 
     let iterations_per_round = options.sample_interval.get().max(1);
     let rounds = options.budget.get() / iterations_per_round;
-    for round in 0..rounds {
-        // The parallel part: each instance runs its round on its own
-        // thread, fully isolated (own namespace, own engine state).
-        std::thread::scope(|scope| {
-            for instance in &mut instances {
-                scope.spawn(|| {
+
+    // The parallel part: one persistent worker thread per instance for the
+    // life of the campaign, parked on a round barrier in between rounds.
+    // Instances share nothing except the barriers, so results are
+    // byte-identical to inline execution; the mutex per slot is
+    // uncontended (workers and the round bookkeeping below never hold it
+    // at the same time) and exists to hand `&mut Instance` back and forth.
+    let slots: Vec<Mutex<Instance>> = instances.into_iter().map(Mutex::new).collect();
+    let pool = options.worker_pool && slots.len() > 1 && rounds > 0;
+    let round_start = Barrier::new(slots.len() + 1);
+    let round_done = Barrier::new(slots.len() + 1);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        if pool {
+            for slot in &slots {
+                scope.spawn(|| loop {
+                    round_start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let mut instance = lock(slot);
                     for _ in 0..iterations_per_round {
                         instance.engine.run_iteration();
                     }
+                    drop(instance);
+                    round_done.wait();
                 });
             }
-        });
-        let now = clock.advance(options.sample_interval);
-        rounds_counter.incr();
-        if telemetry.is_enabled() {
-            for (index, instance) in instances.iter().enumerate() {
-                telemetry.span_record(index, "fuzzing", options.sample_interval);
-                for fault in instance.engine.fault_log().faults() {
-                    if seen_faults.record(fault.clone()) {
-                        telemetry.emit(Event::FaultFound {
-                            time: now,
-                            instance: index,
-                            kind: fault.kind.to_string(),
-                            function: fault.function.clone(),
-                        });
+        }
+
+        for round in 0..rounds {
+            if pool {
+                round_start.wait();
+                round_done.wait();
+            } else {
+                for slot in &slots {
+                    let mut instance = lock(slot);
+                    for _ in 0..iterations_per_round {
+                        instance.engine.run_iteration();
                     }
                 }
             }
-        }
 
-        // SPFuzz-style seed synchronization between rounds.
-        if let Some(every) = options.seed_sync_every_rounds {
-            if every > 0 && (round + 1) % u64::from(every) == 0 {
-                let shared = sync_seeds(&mut instances);
-                syncs_counter.incr();
-                telemetry.emit(Event::SeedSynced {
-                    round,
-                    time: now,
-                    seeds_shared: shared,
-                });
+            // Workers are parked on `round_start` now, so the round
+            // bookkeeping below has every instance to itself.
+            let mut guards: Vec<MutexGuard<'_, Instance>> = slots.iter().map(lock).collect();
+            let now = clock.advance(options.sample_interval);
+            rounds_counter.incr();
+            if telemetry.is_enabled() {
+                for (index, instance) in guards.iter().enumerate() {
+                    telemetry.span_record(index, "fuzzing", options.sample_interval);
+                    for fault in instance.engine.fault_log().faults() {
+                        if seen_faults.record(fault.clone()) {
+                            telemetry.emit(Event::FaultFound {
+                                time: now,
+                                instance: index,
+                                kind: fault.kind.to_string(),
+                                function: fault.function.clone(),
+                            });
+                        }
+                    }
+                }
             }
-        }
 
-        // Adaptive configuration mutation on saturation (paper §III-B2).
-        // The detector is fed for every instance (its state is private and
-        // RNG-free, so this cannot perturb campaign results), but only
-        // adaptive instances act on it; non-adaptive ones report a stall
-        // once and keep running.
-        for (index, instance) in instances.iter_mut().enumerate() {
-            let covered = instance.engine.covered_count();
-            let saturated = instance.saturation.observe(now, covered);
-            if instance.adaptive.is_empty() {
-                if saturated && !instance.stalled {
-                    instance.stalled = true;
-                    telemetry.emit(Event::InstanceStalled {
+            // SPFuzz-style seed synchronization between rounds.
+            if let Some(every) = options.seed_sync_every_rounds {
+                if every > 0 && (round + 1) % u64::from(every) == 0 {
+                    let shared = sync_seeds(&mut guards);
+                    syncs_counter.incr();
+                    telemetry.emit(Event::SeedSynced {
+                        round,
+                        time: now,
+                        seeds_shared: shared,
+                    });
+                }
+            }
+
+            // Adaptive configuration mutation on saturation (paper
+            // §III-B2). The detector is fed for every instance (its state
+            // is private and RNG-free, so this cannot perturb campaign
+            // results), but only adaptive instances act on it;
+            // non-adaptive ones report a stall once and keep running.
+            for (index, instance) in guards.iter_mut().enumerate() {
+                let covered = instance.engine.covered_count();
+                let saturated = instance.saturation.observe(now, covered);
+                if instance.adaptive.is_empty() {
+                    if saturated && !instance.stalled {
+                        instance.stalled = true;
+                        telemetry.emit(Event::InstanceStalled {
+                            time: now,
+                            instance: index,
+                            covered,
+                        });
+                    }
+                    continue;
+                }
+                if saturated {
+                    telemetry.emit(Event::SaturationDetected {
                         time: now,
                         instance: index,
                         covered,
                     });
+                    if let Some((entity, value)) = mutate_instance_config(instance) {
+                        mutations_counter.incr();
+                        telemetry.emit(Event::ConfigMutated {
+                            time: now,
+                            instance: index,
+                            entity: entity.clone(),
+                            value: value.render(),
+                        });
+                        config_mutations.push(ConfigMutationEvent {
+                            time: now,
+                            instance: index,
+                            entity,
+                            value,
+                        });
+                    }
+                    instance.saturation.reset_window(now);
                 }
-                continue;
             }
-            if saturated {
-                telemetry.emit(Event::SaturationDetected {
+
+            let union_branches = union_coverage(guards.iter().map(|g| &**g)).covered_count();
+            curve
+                .push(now, union_branches)
+                .expect("virtual clock is monotone");
+            if telemetry.is_enabled() {
+                telemetry.emit(Event::RoundCompleted {
+                    round,
                     time: now,
-                    instance: index,
-                    covered,
+                    union_branches,
+                    sessions: guards.iter().map(|i| i.engine.stats().sessions).sum(),
                 });
-                if let Some((entity, value)) = mutate_instance_config(instance) {
-                    mutations_counter.incr();
-                    telemetry.emit(Event::ConfigMutated {
-                        time: now,
-                        instance: index,
-                        entity: entity.clone(),
-                        value: value.render(),
-                    });
-                    config_mutations.push(ConfigMutationEvent {
-                        time: now,
-                        instance: index,
-                        entity,
-                        value,
-                    });
-                }
-                instance.saturation.reset_window(now);
+                telemetry.drain();
             }
         }
 
-        let union_branches = union_coverage(&instances).covered_count();
-        curve
-            .push(now, union_branches)
-            .expect("virtual clock is monotone");
-        if telemetry.is_enabled() {
-            telemetry.emit(Event::RoundCompleted {
-                round,
-                time: now,
-                union_branches,
-                sessions: instances.iter().map(|i| i.engine.stats().sessions).sum(),
-            });
-            telemetry.drain();
+        if pool {
+            // Release the workers one last time so they observe `stop`.
+            stop.store(true, Ordering::Release);
+            round_start.wait();
         }
-    }
+    });
+
+    let instances: Vec<Instance> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
 
     let mut faults = FaultLog::new();
     let mut stats = crate::metrics::CampaignStats::default();
@@ -319,16 +376,27 @@ pub fn run_campaign_with_telemetry(
     }
 }
 
-fn union_coverage(instances: &[Instance]) -> CoverageSnapshot {
-    let mut union = instances[0].engine.coverage().clone();
-    for instance in &instances[1..] {
+/// Locks a slot, recovering from poisoning (a panicked worker already
+/// propagates through the thread scope; the lock itself holds plain data).
+fn lock(slot: &Mutex<Instance>) -> MutexGuard<'_, Instance> {
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn union_coverage<'a, I>(instances: I) -> CoverageSnapshot
+where
+    I: IntoIterator<Item = &'a Instance>,
+{
+    let mut it = instances.into_iter();
+    let first = it.next().expect("campaign needs at least one instance");
+    let mut union = first.engine.coverage().clone();
+    for instance in it {
         union.union_with(instance.engine.coverage());
     }
     union
 }
 
 /// Returns the number of seed copies imported across instances.
-fn sync_seeds(instances: &mut [Instance]) -> usize {
+fn sync_seeds(instances: &mut [MutexGuard<'_, Instance>]) -> usize {
     let outboxes: Vec<Vec<Seed>> = instances
         .iter_mut()
         .map(|i| i.engine.export_new_seeds())

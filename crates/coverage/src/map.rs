@@ -1,18 +1,50 @@
 //! The live coverage map and the probe handle targets hit it through.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::snapshot::CoverageSnapshot;
 use crate::BranchId;
+
+/// State shared between a [`CoverageMap`] and its [`CoverageProbe`]s.
+#[derive(Debug)]
+struct MapShared {
+    /// Per-branch hit counters (the guard array).
+    cells: Vec<AtomicU32>,
+    /// Branches hit at least once; bumped exactly once per cell, on its
+    /// first hit, so [`CoverageMap::covered_count`] is a single load.
+    covered: AtomicUsize,
+    /// One bit per 64-cell word of the map, set when a cell in that word
+    /// records its *first* hit and cleared when
+    /// [`CoverageMap::absorb_new`] rescans the word. Lets the fuzzing
+    /// feedback loop skip every word untouched since the last session.
+    dirty: Vec<AtomicU64>,
+}
+
+impl MapShared {
+    /// Recomputes the coverage bitset word holding cells
+    /// `[word * 64, word * 64 + 64)` from the live counters.
+    fn coverage_word(&self, word: usize) -> u64 {
+        let start = word * 64;
+        let end = (start + 64).min(self.cells.len());
+        let mut bits = 0u64;
+        for (offset, cell) in self.cells[start..end].iter().enumerate() {
+            if cell.load(Ordering::Relaxed) > 0 {
+                bits |= 1u64 << offset;
+            }
+        }
+        bits
+    }
+}
 
 /// Shared per-target hit-count map, the analogue of the SanitizerCoverage
 /// guard array.
 ///
 /// The map is created once per fuzzing instance with the target's branch
 /// count and shared with the target through [`CoverageProbe`] handles.
-/// Recording a hit is a single relaxed atomic increment, so instrumentation
-/// stays cheap even on hot parsing paths.
+/// Recording a hit is a single relaxed atomic increment on the hot path
+/// (plus two more atomics the first time a branch is ever hit), so
+/// instrumentation stays cheap even on hot parsing paths.
 ///
 /// # Examples
 ///
@@ -27,16 +59,20 @@ use crate::BranchId;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CoverageMap {
-    cells: Arc<[AtomicU32]>,
+    shared: Arc<MapShared>,
 }
 
 impl CoverageMap {
     /// Creates a map with `capacity` branch slots, all unhit.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        let cells: Vec<AtomicU32> = (0..capacity).map(|_| AtomicU32::new(0)).collect();
+        let words = capacity.div_ceil(64);
         CoverageMap {
-            cells: cells.into(),
+            shared: Arc::new(MapShared {
+                cells: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+                covered: AtomicUsize::new(0),
+                dirty: (0..words.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            }),
         }
     }
 
@@ -44,51 +80,105 @@ impl CoverageMap {
     #[must_use]
     pub fn probe(&self) -> CoverageProbe {
         CoverageProbe {
-            cells: Arc::clone(&self.cells),
+            shared: Arc::clone(&self.shared),
         }
     }
 
     /// Number of branch slots in this map.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.cells.len()
+        self.shared.cells.len()
     }
 
     /// Hit count recorded for `id`; zero for out-of-range IDs.
     #[must_use]
     pub fn hit_count(&self, id: BranchId) -> u32 {
-        self.cells
+        self.shared
+            .cells
             .get(id.index() as usize)
             .map_or(0, |c| c.load(Ordering::Relaxed))
     }
 
     /// Number of branches hit at least once.
+    ///
+    /// The map maintains this count as branches record their first hit, so
+    /// the call is a single atomic load however large the map — safe to
+    /// poll every round from the saturation loop.
     #[must_use]
     pub fn covered_count(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| c.load(Ordering::Relaxed) > 0)
-            .count()
+        self.shared.covered.load(Ordering::Relaxed)
     }
 
     /// Captures an immutable snapshot of which branches are covered.
     #[must_use]
     pub fn snapshot(&self) -> CoverageSnapshot {
-        CoverageSnapshot::from_hits(
-            self.cells.len(),
-            self.cells
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.load(Ordering::Relaxed) > 0)
-                .map(|(i, _)| i),
-        )
+        let mut snap = CoverageSnapshot::empty(self.capacity());
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Refreshes `out` to the current covered set, reusing its buffer.
+    ///
+    /// Equivalent to `*out = self.snapshot()` but heap-allocation-free
+    /// once `out` has ever held a snapshot of this capacity, which is what
+    /// the fuzzing hot loop needs.
+    pub fn snapshot_into(&self, out: &mut CoverageSnapshot) {
+        out.clear_to_capacity(self.capacity());
+        let words = out.words_mut();
+        for (w, bits) in words.iter_mut().enumerate() {
+            *bits = self.shared.coverage_word(w);
+        }
+    }
+
+    /// Merges every branch covered since the last call into `accumulated`
+    /// and returns how many of them `accumulated` had not seen before.
+    ///
+    /// This is the allocation-free fuzzing feedback signal: only words
+    /// with a first-hit since the last drain (tracked by a dirty bitmap)
+    /// are rescanned, so a session that reaches nothing new costs a scan
+    /// of the dirty bitmap and nothing else. Equivalent to
+    /// `snapshot().newly_covered(&accumulated)` followed by
+    /// `accumulated.union_with(&snapshot)` when the map is quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accumulated` has a different capacity than the map.
+    pub fn absorb_new(&self, accumulated: &mut CoverageSnapshot) -> usize {
+        assert_eq!(
+            accumulated.capacity(),
+            self.capacity(),
+            "snapshots from different branch ID spaces"
+        );
+        let mut new = 0usize;
+        let words = accumulated.words_mut();
+        for (d, dirty) in self.shared.dirty.iter().enumerate() {
+            if dirty.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            // Acquire pairs with the Release in `CoverageProbe::hit`: a
+            // dirty bit observed here implies the first-hit increment that
+            // set it is visible to the rescan below.
+            let mut bits = dirty.swap(0, Ordering::Acquire);
+            while bits != 0 {
+                let w = d * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let word = self.shared.coverage_word(w);
+                new += (word & !words[w]).count_ones() as usize;
+                words[w] |= word;
+            }
+        }
+        new
     }
 
     /// Clears all hit counts back to zero.
     pub fn reset(&self) {
-        for cell in self.cells.iter() {
+        for cell in &self.shared.cells {
             cell.store(0, Ordering::Relaxed);
         }
+        for dirty in &self.shared.dirty {
+            dirty.store(0, Ordering::Relaxed);
+        }
+        self.shared.covered.store(0, Ordering::Relaxed);
     }
 }
 
@@ -111,7 +201,7 @@ impl CoverageMap {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CoverageProbe {
-    cells: Arc<[AtomicU32]>,
+    shared: Arc<MapShared>,
 }
 
 impl CoverageProbe {
@@ -129,8 +219,17 @@ impl CoverageProbe {
     /// Out-of-range IDs are ignored rather than panicking: a mis-sized map
     /// should degrade to lost coverage, not a crashed campaign.
     pub fn hit(&self, id: BranchId) {
-        if let Some(cell) = self.cells.get(id.index() as usize) {
-            cell.fetch_add(1, Ordering::Relaxed);
+        let index = id.index() as usize;
+        if let Some(cell) = self.shared.cells.get(index) {
+            if cell.fetch_add(1, Ordering::Relaxed) == 0 {
+                // First hit ever for this branch: bump the covered count
+                // and mark the branch's bitset word dirty so the next
+                // `absorb_new` rescans it. Release so the rescan that
+                // observes the dirty bit also observes the increment.
+                self.shared.covered.fetch_add(1, Ordering::Relaxed);
+                let word = index / 64;
+                self.shared.dirty[word / 64].fetch_or(1u64 << (word % 64), Ordering::Release);
+            }
         }
     }
 }
@@ -187,6 +286,11 @@ mod tests {
         map.reset();
         assert_eq!(map.covered_count(), 0);
         assert_eq!(map.hit_count(BranchId::from_index(0)), 0);
+        // First-hit accounting restarts cleanly after a reset.
+        map.probe().hit(BranchId::from_index(1));
+        assert_eq!(map.covered_count(), 1);
+        let mut acc = CoverageSnapshot::empty(2);
+        assert_eq!(map.absorb_new(&mut acc), 1);
     }
 
     #[test]
@@ -200,6 +304,51 @@ mod tests {
         assert!(!snap.is_covered(BranchId::from_index(1)));
         assert!(snap.is_covered(BranchId::from_index(3)));
         assert_eq!(snap.covered_count(), 2);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot_and_reuses_buffer() {
+        let map = CoverageMap::new(200);
+        let probe = map.probe();
+        for i in [0usize, 63, 64, 130, 199] {
+            probe.hit(BranchId::from_index(i as u32));
+        }
+        let mut scratch = CoverageSnapshot::empty(1); // wrong capacity on purpose
+        map.snapshot_into(&mut scratch);
+        assert_eq!(scratch, map.snapshot());
+        // A later refresh sees later hits and stale bits gone after reset.
+        map.reset();
+        probe.hit(BranchId::from_index(7));
+        map.snapshot_into(&mut scratch);
+        assert_eq!(scratch, map.snapshot());
+        assert_eq!(scratch.covered_count(), 1);
+    }
+
+    #[test]
+    fn absorb_new_equals_snapshot_based_feedback() {
+        let map = CoverageMap::new(300);
+        let probe = map.probe();
+        let mut acc = CoverageSnapshot::empty(300);
+        probe.hit(BranchId::from_index(5));
+        probe.hit(BranchId::from_index(290));
+        assert_eq!(map.absorb_new(&mut acc), 2);
+        assert_eq!(acc, map.snapshot());
+        // Re-hitting covered branches is not new and sets no dirty bits.
+        probe.hit(BranchId::from_index(5));
+        assert_eq!(map.absorb_new(&mut acc), 0);
+        // A mix of old and new branches counts only the new ones.
+        probe.hit(BranchId::from_index(6));
+        probe.hit(BranchId::from_index(290));
+        assert_eq!(map.absorb_new(&mut acc), 1);
+        assert_eq!(acc, map.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "different branch ID spaces")]
+    fn absorb_new_rejects_capacity_mismatch() {
+        let map = CoverageMap::new(10);
+        let mut acc = CoverageSnapshot::empty(11);
+        let _ = map.absorb_new(&mut acc);
     }
 
     #[test]
@@ -219,5 +368,32 @@ mod tests {
             h.join().expect("thread panicked");
         }
         assert_eq!(map.hit_count(BranchId::from_index(0)), 4000);
+        assert_eq!(map.covered_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_into_agrees_with_snapshot_under_concurrent_hits() {
+        let map = CoverageMap::new(4096);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let probe = map.probe();
+                scope.spawn(move || {
+                    for i in 0..4096u32 {
+                        if (i + t) % 3 == 0 {
+                            probe.hit(BranchId::from_index(i));
+                        }
+                    }
+                });
+            }
+        });
+        let mut scratch = CoverageSnapshot::empty(4096);
+        map.snapshot_into(&mut scratch);
+        let direct = map.snapshot();
+        assert_eq!(scratch, direct);
+        assert_eq!(scratch.covered_count(), map.covered_count());
+        // absorb_new starting from empty reconstructs the same set.
+        let mut acc = CoverageSnapshot::empty(4096);
+        assert_eq!(map.absorb_new(&mut acc), direct.covered_count());
+        assert_eq!(acc, direct);
     }
 }

@@ -61,6 +61,22 @@ impl CoverageSnapshot {
         self.capacity
     }
 
+    /// Clears every bit and re-sizes the snapshot for `capacity` branches.
+    ///
+    /// Reuses the existing word buffer, so repeated calls with the same
+    /// capacity never touch the heap — this is what makes scratch
+    /// snapshots ([`crate::CoverageMap::snapshot_into`]) allocation-free.
+    pub fn clear_to_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+    }
+
+    /// Mutable view of the raw coverage bitset, 64 branches per word.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Whether branch `id` was covered.
     #[must_use]
     pub fn is_covered(&self, id: BranchId) -> bool {

@@ -293,11 +293,11 @@ impl<T: Target> FuzzEngine<T> {
         }
 
         // Coverage feedback: retain the whole session's inputs if anything
-        // new was reached.
-        let snapshot = self.map.snapshot();
-        outcome.new_branches = snapshot.newly_covered(&self.accumulated);
+        // new was reached. The map merges first-hit words straight into the
+        // accumulated set, so sessions that find nothing new never touch
+        // the heap here.
+        outcome.new_branches = self.map.absorb_new(&mut self.accumulated);
         if outcome.new_branches > 0 {
-            self.accumulated.union_with(&snapshot);
             for (model, bytes) in sent {
                 let seed = Seed::new(bytes, &model);
                 self.outbox.push(seed.clone());
@@ -344,9 +344,12 @@ impl<T: Target> FuzzEngine<T> {
     }
 
     /// Number of branches this instance has covered so far.
+    ///
+    /// Served from the map's first-hit counter, so the per-round
+    /// saturation check is a single atomic load instead of a bitset scan.
     #[must_use]
     pub fn covered_count(&self) -> usize {
-        self.accumulated.covered_count()
+        self.map.covered_count()
     }
 
     /// Snapshot of everything covered so far.

@@ -1,6 +1,6 @@
 //! Fault (crash) reporting and triage.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -114,7 +114,10 @@ impl fmt::Display for Fault {
 #[derive(Debug, Clone, Default)]
 pub struct FaultLog {
     unique: Vec<Fault>,
-    seen: HashSet<(FaultKind, String)>,
+    // A `BTreeSet` (not `HashSet`) so the log's `Debug` form is canonical:
+    // campaign results are compared as formatted strings by the
+    // determinism gates, and hash-set iteration order varies per instance.
+    seen: BTreeSet<(FaultKind, String)>,
     total_observed: usize,
 }
 

@@ -8,6 +8,10 @@ use crate::{Amqp, Coap, Dds, Dns, Dtls, Mqtt};
 /// (data + state models) every fuzzer uses against it — "for fairness, we
 /// use the same Pit files that specify the data and state models for each
 /// protocol" (paper §IV-A).
+///
+/// Specs are plain static data (names, a builder fn pointer, the Pit
+/// text), so they are `Copy`: grid cells capture their own spec by value.
+#[derive(Clone, Copy)]
 pub struct ProtocolSpec {
     /// Implementation name as Table I reports it (e.g. `"mosquitto"`).
     pub name: &'static str,

@@ -51,7 +51,7 @@ pub mod span;
 pub use bus::{EventBus, DEFAULT_CAPACITY};
 pub use event::{Event, EventRecord};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use sink::{EventSink, JsonlSink, ProgressSink, RingBufferSink};
+pub use sink::{EventSink, JsonlSink, ProgressSink, RingBufferSink, ScopedBufferSink};
 pub use span::SpanTracker;
 
 use std::sync::{Arc, Mutex, PoisonError};
@@ -174,6 +174,49 @@ impl Telemetry {
         }
     }
 
+    /// Hands a pre-drained record batch directly to every sink.
+    ///
+    /// The whole batch is delivered under one sinks-lock hold, so a
+    /// concurrent caller (another grid cell committing its scope) can
+    /// never interleave records inside it. This is the commit path for
+    /// [`ScopedBufferSink`]; ordinary producers should [`Telemetry::emit`]
+    /// onto the bus instead.
+    pub fn sink_batch(&self, records: &[EventRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            let mut sinks = inner.sinks.lock().unwrap_or_else(PoisonError::into_inner);
+            for sink in sinks.iter_mut() {
+                sink.accept(records);
+            }
+        }
+    }
+
+    /// Creates a buffered child pipeline for one unit of concurrent work
+    /// (e.g. a grid cell's campaign), stamping its events from `clock`.
+    ///
+    /// The child records into private metrics/spans/event storage; nothing
+    /// reaches this pipeline until [`TelemetryScope::commit`], which
+    /// forwards the child's whole event stream to the shared sinks as one
+    /// atomic batch and folds its metrics and spans into this registry.
+    /// Scoping a disabled pipeline yields a disabled child, so callers
+    /// don't need to special-case observability-off runs.
+    #[must_use]
+    pub fn scoped(&self, clock: VirtualClock) -> TelemetryScope {
+        let child = if self.is_enabled() {
+            Telemetry::builder(clock)
+                .sink(Box::new(ScopedBufferSink::new(self)))
+                .build()
+        } else {
+            Telemetry::disabled()
+        };
+        TelemetryScope {
+            child,
+            parent: self.clone(),
+        }
+    }
+
     /// Drains remaining events and flushes every sink (call at campaign
     /// end so buffered JSONL output reaches disk).
     pub fn flush(&self) {
@@ -238,6 +281,15 @@ impl Telemetry {
         }
     }
 
+    /// Folds another pipeline's metrics snapshot into this registry
+    /// (counters/histograms add, gauges last-write-wins; no-op when
+    /// disabled). Used by [`TelemetryScope::commit`].
+    pub fn absorb_metrics(&self, snapshot: &MetricsSnapshot) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.absorb(snapshot);
+        }
+    }
+
     /// Snapshot of all registered metrics (empty when disabled).
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
@@ -257,6 +309,49 @@ impl Telemetry {
     #[must_use]
     pub fn emitted_events(&self) -> u64 {
         self.inner.as_ref().map_or(0, |inner| inner.bus.emitted())
+    }
+}
+
+/// A buffered child pipeline created by [`Telemetry::scoped`].
+///
+/// Concurrent campaigns each hold one scope: they emit events, bump
+/// metrics, and record spans through [`TelemetryScope::telemetry`] exactly
+/// as they would against the shared pipeline, and the shared sinks see the
+/// cell's whole stream as one contiguous block when [`TelemetryScope::commit`]
+/// runs. Dropping a scope without committing discards its records.
+///
+/// Committed event records keep the sequence numbers and virtual-time
+/// stamps of their originating scope (each cell's stream is 0-based on the
+/// clock passed to `scoped`); span rows are re-recorded against the parent
+/// with their instance indices unchanged, so callers running multiple
+/// cells should disambiguate instances per cell if they need to.
+#[derive(Debug)]
+pub struct TelemetryScope {
+    child: Telemetry,
+    parent: Telemetry,
+}
+
+impl TelemetryScope {
+    /// The scope's private pipeline; hand this to the campaign runner.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.child
+    }
+
+    /// Flushes the buffered event stream into the parent's sinks as one
+    /// atomic batch and folds the scope's metrics and spans into the
+    /// parent's registries. No-op for scopes of a disabled pipeline.
+    pub fn commit(self) {
+        // flush() drains the child bus into the ScopedBufferSink and then
+        // flushes it, which forwards the buffered records to the parent's
+        // sinks under a single sinks-lock hold.
+        self.child.flush();
+        if self.parent.is_enabled() && self.child.is_enabled() {
+            self.parent.absorb_metrics(&self.child.metrics_snapshot());
+            for (instance, phase, total) in self.child.spans() {
+                self.parent.span_record(instance, &phase, total);
+            }
+        }
     }
 }
 
@@ -355,6 +450,75 @@ mod tests {
         assert_eq!(ring_a.count_of_kind("progress"), 2);
         assert_eq!(ring_b.count_of_kind("progress"), 2);
         assert_eq!(telemetry.emitted_events(), 2);
+    }
+
+    #[test]
+    fn scope_buffers_until_commit_and_folds_metrics() {
+        let ring = RingBufferSink::new(64);
+        let parent = Telemetry::builder(VirtualClock::new())
+            .sink(Box::new(ring.clone()))
+            .build();
+        parent.counter("engine.sessions").add(10);
+
+        let scope = parent.scoped(VirtualClock::new());
+        scope.telemetry().progress("from the cell");
+        scope.telemetry().counter("engine.sessions").add(5);
+        scope.telemetry().span_record(1, "fuzzing", Ticks::new(7));
+        scope.telemetry().drain();
+
+        // Nothing visible in the parent before commit.
+        assert_eq!(ring.count_of_kind("progress"), 0);
+        assert_eq!(parent.metrics_snapshot().counter("engine.sessions"), Some(10));
+
+        scope.commit();
+        assert_eq!(ring.count_of_kind("progress"), 1);
+        assert_eq!(parent.metrics_snapshot().counter("engine.sessions"), Some(15));
+        assert_eq!(parent.phase_breakdown(1), vec![("fuzzing".to_owned(), Ticks::new(7))]);
+    }
+
+    #[test]
+    fn scope_of_disabled_pipeline_is_disabled() {
+        let parent = Telemetry::disabled();
+        let scope = parent.scoped(VirtualClock::new());
+        assert!(!scope.telemetry().is_enabled());
+        scope.telemetry().progress("dropped");
+        scope.commit();
+    }
+
+    #[test]
+    fn concurrent_scope_commits_stay_contiguous() {
+        let ring = RingBufferSink::new(256);
+        let parent = Telemetry::builder(VirtualClock::new())
+            .sink(Box::new(ring.clone()))
+            .build();
+        std::thread::scope(|s| {
+            for cell in 0..4 {
+                let parent = parent.clone();
+                s.spawn(move || {
+                    let scope = parent.scoped(VirtualClock::new());
+                    for n in 0..8 {
+                        scope.telemetry().progress(format!("cell {cell} event {n}"));
+                    }
+                    scope.commit();
+                });
+            }
+        });
+        let records = ring.records();
+        assert_eq!(records.len(), 32);
+        // Each cell's 8 records landed as one uninterrupted block.
+        for block in records.chunks(8) {
+            let Event::Progress { message } = &block[0].event else {
+                panic!("unexpected event kind");
+            };
+            let cell = message.clone();
+            let prefix = &cell[..cell.find(" event").expect("marker")];
+            for record in block {
+                let Event::Progress { message } = &record.event else {
+                    panic!("unexpected event kind");
+                };
+                assert!(message.starts_with(prefix), "interleaved: {message} vs {prefix}");
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,31 @@ impl Histogram {
         self.inner.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Folds a snapshot's observations into this histogram.
+    ///
+    /// Used when a scoped pipeline commits back to its parent: `count` and
+    /// `sum` are added exactly; bucket counts are added bucket-for-bucket
+    /// when the bounds match, otherwise each source bucket is re-binned by
+    /// its upper bound (overflow stays overflow), which preserves totals
+    /// but may coarsen the distribution.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.bounds == self.inner.bounds {
+            for (bucket, &n) in self.inner.buckets.iter().zip(&snap.counts) {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        } else {
+            for (i, &n) in snap.counts.iter().enumerate() {
+                let idx = match snap.bounds.get(i) {
+                    Some(&bound) => self.inner.bounds.partition_point(|&b| b < bound),
+                    None => self.inner.bounds.len(),
+                };
+                self.inner.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
+
     /// Consistent-enough view of the current contents.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -230,6 +255,24 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Folds a snapshot from another registry into this one.
+    ///
+    /// Counters and histogram contents are added; gauges take the
+    /// snapshot's value (last write wins, matching gauge semantics).
+    /// Metrics not yet present here are created on the fly, so a scoped
+    /// pipeline can commit into a parent that never touched those names.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (name, value) in &snap.counters {
+            self.counter(name).add(*value);
+        }
+        for (name, value) in &snap.gauges {
+            self.gauge(name).set(*value);
+        }
+        for (name, hist) in &snap.histograms {
+            self.histogram(name, &hist.bounds).absorb(hist);
+        }
+    }
+
     /// Snapshot of every registered metric, sorted by name.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -319,6 +362,47 @@ mod tests {
         });
         assert_eq!(h.snapshot().count, 4000);
         assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_merges_histograms() {
+        let parent = MetricsRegistry::new();
+        parent.counter("execs").add(10);
+        parent.gauge("corpus").set(3);
+        parent.histogram("lat", &[1, 10]).record(5);
+
+        let child = MetricsRegistry::new();
+        child.counter("execs").add(7);
+        child.counter("child_only").add(1);
+        child.gauge("corpus").set(9);
+        child.histogram("lat", &[1, 10]).record(100); // overflow
+        child.histogram("child_hist", &[2]).record(2);
+
+        parent.absorb(&child.snapshot());
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("execs"), Some(17));
+        assert_eq!(snap.counter("child_only"), Some(1));
+        assert_eq!(snap.gauges, vec![("corpus".to_owned(), 9)]);
+        let lat = &snap.histograms.iter().find(|(n, _)| n == "lat").unwrap().1;
+        assert_eq!(lat.counts, vec![0, 1, 1]);
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 105);
+        assert!(snap.histograms.iter().any(|(n, _)| n == "child_hist"));
+    }
+
+    #[test]
+    fn absorb_rebins_on_bound_mismatch_preserving_totals() {
+        let coarse = Histogram::new(&[100]);
+        let fine = Histogram::new(&[1, 10, 100, 1000]);
+        fine.record(1);
+        fine.record(50);
+        fine.record(500);
+        fine.record(5000); // overflow
+        coarse.absorb(&fine.snapshot());
+        let snap = coarse.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 5551);
+        assert_eq!(snap.counts, vec![2, 2]);
     }
 
     #[test]

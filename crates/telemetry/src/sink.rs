@@ -6,6 +6,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::{Event, EventRecord};
+use crate::Telemetry;
 
 /// Consumer of drained [`EventRecord`]s.
 ///
@@ -143,6 +144,44 @@ impl EventSink for JsonlSink {
             eprintln!("telemetry: jsonl sink error: {err}");
         } else if let Some(err) = self.error.take() {
             eprintln!("telemetry: jsonl sink error: {err}");
+        }
+    }
+}
+
+/// Buffers a scope's whole event stream in memory and hands it to a
+/// parent pipeline's sinks as one atomic batch on flush.
+///
+/// This is the adapter behind [`Telemetry::scoped`]: concurrent campaigns
+/// (grid cells) each write into their own buffer, so the shared sinks see
+/// one contiguous, internally-ordered block per campaign instead of an
+/// interleaving that depends on thread timing. Records keep the sequence
+/// numbers of their originating scope (each campaign's stream is 0-based).
+#[derive(Debug)]
+pub struct ScopedBufferSink {
+    parent: Telemetry,
+    records: Vec<EventRecord>,
+}
+
+impl ScopedBufferSink {
+    /// Creates a buffer that forwards to `parent`'s sinks on flush.
+    #[must_use]
+    pub fn new(parent: &Telemetry) -> Self {
+        ScopedBufferSink {
+            parent: parent.clone(),
+            records: Vec::new(),
+        }
+    }
+}
+
+impl EventSink for ScopedBufferSink {
+    fn accept(&mut self, records: &[EventRecord]) {
+        self.records.extend_from_slice(records);
+    }
+
+    fn flush(&mut self) {
+        if !self.records.is_empty() {
+            self.parent.sink_batch(&self.records);
+            self.records.clear();
         }
     }
 }
