@@ -7,8 +7,9 @@
 //! reuse — performs **zero** heap allocations. The bench panics if either
 //! path allocates, so `cargo bench --bench coverage_hot_path` is a gate,
 //! not just a number. A full-engine iteration is measured alongside for
-//! context (it allocates by design: session plans and simulated target
-//! responses are built per session).
+//! context; since the session-loop rework its remaining allocations are
+//! the simulated target's own response buffers (the engine side is gated
+//! at zero by `session_hot_path`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -101,9 +102,10 @@ fn bench_feedback(c: &mut Criterion) {
 
 fn bench_engine_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_iteration");
-    // Context number: a full iteration still allocates (session plans and
-    // simulated target responses are built per session); the coverage
-    // feedback inside it no longer contributes.
+    // Context number: against a real simulated target an iteration still
+    // allocates for the target's response buffers; the engine's own loop
+    // (plans, renders, corpus picks) is gated at zero allocations by the
+    // `session_hot_path` bench.
     group.bench_function("mosquitto_steady_state", |b| {
         let spec = spec_by_name("mosquitto").expect("subject exists");
         let parsed = pit::parse(spec.pit_document).expect("pit parses");
@@ -121,7 +123,7 @@ fn bench_engine_iteration(c: &mut Criterion) {
             black_box(engine.run_iteration());
         });
         println!(
-            "bench engine_iteration/mosquitto_steady_state ... {:.1} allocs/iter (session + response buffers)",
+            "bench engine_iteration/mosquitto_steady_state ... {:.1} allocs/iter (target response buffers)",
             allocs as f64 / 1_000.0
         );
     });

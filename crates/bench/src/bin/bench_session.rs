@@ -1,0 +1,182 @@
+//! Measures the session hot loop before and after the allocation-free
+//! rework and records both in `BENCH_session.json`.
+//!
+//! For every protocol subject, the same workload — identical Pit, config
+//! and RNG seed against the non-allocating [`NullTarget`] — runs once
+//! through [`LegacyEngine`] (the faithful replica of the pre-rework loop)
+//! and once through the current [`FuzzEngine`]. Coverage and corpus state
+//! are asserted identical afterwards, so the sessions/sec and
+//! messages/sec ratios compare the same work, not different work. Exits
+//! non-zero if the geometric-mean sessions/sec speedup falls below 1.5×,
+//! so CI can gate on the optimization staying real.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use cmfuzz_bench::{LegacyEngine, NullTarget};
+use cmfuzz_config_model::ResolvedConfig;
+use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine};
+use cmfuzz_protocols::all_specs;
+
+const THRESHOLD: f64 = 1.5;
+const BRANCHES: usize = 64;
+
+struct SubjectResult {
+    name: &'static str,
+    legacy_sessions_per_sec: f64,
+    legacy_messages_per_sec: f64,
+    optimized_sessions_per_sec: f64,
+    optimized_messages_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale_label = "quick";
+    let mut out = PathBuf::from("BENCH_session.json");
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().map(String::as_str) {
+                Some("quick") => scale_label = "quick",
+                Some("paper") => scale_label = "paper",
+                other => usage_error(&format!("--scale expects quick|paper, got {other:?}")),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => usage_error("--out expects a file path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let (warmup, iterations) = match scale_label {
+        "paper" => (5_000u64, 200_000u64),
+        _ => (2_000u64, 30_000u64),
+    };
+    let config = EngineConfig {
+        seed: 7,
+        ..EngineConfig::default()
+    };
+
+    eprintln!(
+        "[bench_session] {scale_label} scale: {iterations} sessions per engine per subject"
+    );
+    let mut results = Vec::new();
+    for spec in all_specs() {
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let mut legacy = LegacyEngine::new(NullTarget::new(BRANCHES), parsed, config.clone());
+        legacy
+            .start(&ResolvedConfig::new())
+            .expect("null target always boots");
+        for _ in 0..warmup {
+            legacy.run_iteration();
+        }
+        let legacy_messages_before = legacy.messages();
+        let started = Instant::now();
+        for _ in 0..iterations {
+            legacy.run_iteration();
+        }
+        let legacy_elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let legacy_messages = (legacy.messages() - legacy_messages_before) as f64;
+
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let mut optimized = FuzzEngine::new(NullTarget::new(BRANCHES), parsed, config.clone());
+        optimized
+            .start(&ResolvedConfig::new())
+            .expect("null target always boots");
+        for _ in 0..warmup {
+            optimized.run_iteration();
+        }
+        let optimized_messages_before = optimized.stats().messages;
+        let started = Instant::now();
+        for _ in 0..iterations {
+            optimized.run_iteration();
+        }
+        let optimized_elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let optimized_messages = (optimized.stats().messages - optimized_messages_before) as f64;
+
+        // Identical seeds walk identical random streams: if the two loops
+        // did different work, the ratio below would be meaningless.
+        assert_eq!(
+            legacy.covered_count(),
+            optimized.covered_count(),
+            "{}: engines diverged in coverage",
+            spec.name
+        );
+        assert_eq!(
+            legacy.corpus_len(),
+            optimized.corpus_len(),
+            "{}: engines diverged in retention",
+            spec.name
+        );
+        assert_eq!(legacy.messages(), optimized.stats().messages);
+
+        let result = SubjectResult {
+            name: spec.name,
+            legacy_sessions_per_sec: iterations as f64 / legacy_elapsed,
+            legacy_messages_per_sec: legacy_messages / legacy_elapsed,
+            optimized_sessions_per_sec: iterations as f64 / optimized_elapsed,
+            optimized_messages_per_sec: optimized_messages / optimized_elapsed,
+            speedup: legacy_elapsed / optimized_elapsed,
+        };
+        eprintln!(
+            "[bench_session] {:>10}: legacy {:>9.0} sess/s, optimized {:>9.0} sess/s, speedup {:.2}x",
+            result.name, result.legacy_sessions_per_sec, result.optimized_sessions_per_sec,
+            result.speedup,
+        );
+        results.push(result);
+    }
+
+    let geomean = (results.iter().map(|r| r.speedup.ln()).sum::<f64>()
+        / results.len() as f64)
+        .exp();
+
+    let mut subjects = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            subjects.push_str(",\n");
+        }
+        subjects.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"legacy_sessions_per_sec\": {:.0},\n      \"legacy_messages_per_sec\": {:.0},\n      \"optimized_sessions_per_sec\": {:.0},\n      \"optimized_messages_per_sec\": {:.0},\n      \"speedup\": {:.2}\n    }}",
+            r.name,
+            r.legacy_sessions_per_sec,
+            r.legacy_messages_per_sec,
+            r.optimized_sessions_per_sec,
+            r.optimized_messages_per_sec,
+            r.speedup,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"session_hot_loop\",\n  \"scale\": \"{scale_label}\",\n  \"sessions_per_engine\": {iterations},\n  \"target\": \"null (non-allocating, {BRANCHES} branches)\",\n  \"subjects\": [\n{subjects}\n  ],\n  \"geomean_speedup\": {geomean:.2},\n  \"threshold\": {THRESHOLD}\n}}\n"
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("[bench_session] cannot write {}: {err}", out.display());
+        exit(2);
+    }
+    eprintln!("[bench_session] geomean speedup {geomean:.2}x (threshold {THRESHOLD}x)");
+    print!("{json}");
+
+    if geomean < THRESHOLD {
+        eprintln!(
+            "[bench_session] FAIL: geomean speedup {geomean:.2}x below the {THRESHOLD}x gate"
+        );
+        exit(1);
+    }
+}
+
+const USAGE: &str = "usage: bench_session [--scale quick|paper] [--out <path>]\n\
+    \n\
+    --scale  measurement length (default: quick)\n\
+    --out    where to write the JSON record (default: BENCH_session.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    exit(2);
+}

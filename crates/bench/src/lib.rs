@@ -24,6 +24,7 @@ pub mod cli;
 pub mod experiments;
 pub mod grid;
 pub mod report;
+pub mod session;
 
 pub use experiments::{
     ablation, ablation_with, ablation_with_jobs, figure4, figure4_with, figure4_with_jobs, table1,
@@ -31,3 +32,4 @@ pub use experiments::{
     ExperimentScale, Figure4Series, Table1Row, Table2Row,
 };
 pub use grid::{default_jobs, run_cells, run_cells_timed};
+pub use session::{LegacyEngine, NullTarget};

@@ -162,7 +162,7 @@ pub fn run_campaign_with_telemetry(
                     .expect("targets boot under defaults");
                 defaults
             };
-            engine.set_session_plans(setup.session_plans.clone());
+            engine.set_session_plans(&setup.session_plans);
             engine.attach_telemetry(engine_telemetry.clone());
             Instance {
                 engine,

@@ -1,24 +1,36 @@
 //! Coverage-guided seed corpus.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::ModelId;
+
 /// One retained input: the bytes and the data model that produced them.
+///
+/// Bytes are reference-counted (`Arc<[u8]>`), so retaining a seed in a
+/// corpus, exporting it through an engine outbox and importing it into a
+/// sibling instance all share one buffer — seed synchronization is
+/// refcount bumps, not byte copies. The model is a dense [`ModelId`];
+/// every engine of a campaign interns the shared Pit in the same order,
+/// so ids agree across the instances that exchange seeds.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Seed {
     /// Wire bytes of the retained input.
-    pub bytes: Vec<u8>,
-    /// Name of the data model the input was generated from.
-    pub model: String,
+    pub bytes: Arc<[u8]>,
+    /// Id of the data model the input was generated from.
+    pub model: ModelId,
 }
 
 impl Seed {
-    /// Creates a seed.
+    /// Creates a seed; accepts a `Vec<u8>`, boxed slice or `&[u8]`.
     #[must_use]
-    pub fn new(bytes: Vec<u8>, model: &str) -> Self {
+    pub fn new(bytes: impl Into<Arc<[u8]>>, model: ModelId) -> Self {
         Seed {
-            bytes,
-            model: model.to_owned(),
+            bytes: bytes.into(),
+            model,
         }
     }
 }
@@ -27,16 +39,23 @@ impl Seed {
 /// branches are kept and later re-mutated, the feedback loop shared by every
 /// fuzzer in the experiment.
 ///
+/// Storage is a `VecDeque` (O(1) oldest-first eviction where the previous
+/// `Vec::remove(0)` shifted every element) plus a per-model index of
+/// insertion-ordered sequence numbers, so [`Corpus::pick_for_model`] is an
+/// allocation-free O(1) lookup instead of a filter pass that built a
+/// temporary `Vec` per call.
+///
 /// # Examples
 ///
 /// ```
-/// use cmfuzz_fuzzer::{Corpus, Seed};
+/// use cmfuzz_fuzzer::{Corpus, ModelId, Seed};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
+/// let m = ModelId::from_raw(0);
 /// let mut corpus = Corpus::new(2);
-/// corpus.add(Seed::new(vec![1], "m"));
-/// corpus.add(Seed::new(vec![2], "m"));
-/// corpus.add(Seed::new(vec![3], "m")); // evicts the oldest
+/// corpus.add(Seed::new(vec![1], m));
+/// corpus.add(Seed::new(vec![2], m));
+/// corpus.add(Seed::new(vec![3], m)); // evicts the oldest
 /// assert_eq!(corpus.len(), 2);
 ///
 /// let mut rng = StdRng::seed_from_u64(0);
@@ -44,7 +63,13 @@ impl Seed {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Corpus {
-    seeds: Vec<Seed>,
+    seeds: VecDeque<Seed>,
+    /// Per-model insertion-ordered sequence numbers; indexed by
+    /// [`ModelId::index`]. A seed's position in `seeds` is its sequence
+    /// number minus `first_seq`.
+    by_model: Vec<VecDeque<u64>>,
+    /// Sequence number of the oldest retained seed.
+    first_seq: u64,
     capacity: usize,
 }
 
@@ -53,7 +78,9 @@ impl Corpus {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Corpus {
-            seeds: Vec::new(),
+            seeds: VecDeque::new(),
+            by_model: Vec::new(),
+            first_seq: 0,
             capacity,
         }
     }
@@ -61,9 +88,19 @@ impl Corpus {
     /// Adds a seed, evicting the oldest when at capacity.
     pub fn add(&mut self, seed: Seed) {
         if self.capacity > 0 && self.seeds.len() >= self.capacity {
-            self.seeds.remove(0);
+            let evicted = self.seeds.pop_front().expect("non-empty at capacity");
+            let index = &mut self.by_model[evicted.model.index()];
+            debug_assert_eq!(index.front(), Some(&self.first_seq), "oldest seed fronts its model index");
+            index.pop_front();
+            self.first_seq += 1;
         }
-        self.seeds.push(seed);
+        let model = seed.model.index();
+        if self.by_model.len() <= model {
+            self.by_model.resize_with(model + 1, VecDeque::new);
+        }
+        let seq = self.first_seq + self.seeds.len() as u64;
+        self.by_model[model].push_back(seq);
+        self.seeds.push_back(seed);
     }
 
     /// Picks a uniformly random seed, if any.
@@ -75,14 +112,18 @@ impl Corpus {
         }
     }
 
-    /// Picks a random seed generated from the named data model, if any.
-    pub fn pick_for_model(&self, rng: &mut StdRng, model: &str) -> Option<&Seed> {
-        let matching: Vec<&Seed> = self.seeds.iter().filter(|s| s.model == model).collect();
-        if matching.is_empty() {
-            None
-        } else {
-            Some(matching[rng.random_range(0..matching.len())])
+    /// Picks a random seed generated from the given data model, if any.
+    ///
+    /// O(1) via the per-model index; draws from the RNG only when at
+    /// least one matching seed exists (the same contract the filtering
+    /// implementation had, so RNG streams are unchanged).
+    pub fn pick_for_model(&self, rng: &mut StdRng, model: ModelId) -> Option<&Seed> {
+        let index = self.by_model.get(model.index())?;
+        if index.is_empty() {
+            return None;
         }
+        let seq = index[rng.random_range(0..index.len())];
+        Some(&self.seeds[(seq - self.first_seq) as usize])
     }
 
     /// Number of retained seeds.
@@ -108,13 +149,17 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    fn m(raw: u32) -> ModelId {
+        ModelId::from_raw(raw)
+    }
+
     #[test]
     fn capacity_evicts_oldest() {
         let mut c = Corpus::new(2);
-        c.add(Seed::new(vec![1], "a"));
-        c.add(Seed::new(vec![2], "a"));
-        c.add(Seed::new(vec![3], "a"));
-        let bytes: Vec<_> = c.iter().map(|s| s.bytes.clone()).collect();
+        c.add(Seed::new(vec![1], m(0)));
+        c.add(Seed::new(vec![2], m(0)));
+        c.add(Seed::new(vec![3], m(0)));
+        let bytes: Vec<_> = c.iter().map(|s| s.bytes.to_vec()).collect();
         assert_eq!(bytes, vec![vec![2], vec![3]]);
     }
 
@@ -122,7 +167,7 @@ mod tests {
     fn zero_capacity_is_unbounded() {
         let mut c = Corpus::new(0);
         for i in 0..100u8 {
-            c.add(Seed::new(vec![i], "a"));
+            c.add(Seed::new(vec![i], m(0)));
         }
         assert_eq!(c.len(), 100);
     }
@@ -132,20 +177,57 @@ mod tests {
         let c = Corpus::new(4);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(c.pick(&mut rng).is_none());
-        assert!(c.pick_for_model(&mut rng, "a").is_none());
+        assert!(c.pick_for_model(&mut rng, m(0)).is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn pick_for_model_filters() {
         let mut c = Corpus::new(10);
-        c.add(Seed::new(vec![1], "connect"));
-        c.add(Seed::new(vec![2], "publish"));
+        c.add(Seed::new(vec![1], m(0)));
+        c.add(Seed::new(vec![2], m(1)));
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..10 {
-            let s = c.pick_for_model(&mut rng, "publish").unwrap();
-            assert_eq!(s.model, "publish");
+            let s = c.pick_for_model(&mut rng, m(1)).unwrap();
+            assert_eq!(s.model, m(1));
         }
-        assert!(c.pick_for_model(&mut rng, "subscribe").is_none());
+        assert!(c.pick_for_model(&mut rng, m(2)).is_none());
+    }
+
+    #[test]
+    fn per_model_index_survives_eviction() {
+        // Interleave two models through several evictions; the index must
+        // keep pointing at live seeds with the right bytes.
+        let mut c = Corpus::new(3);
+        for i in 0..20u8 {
+            c.add(Seed::new(vec![i], m(u32::from(i % 2))));
+        }
+        assert_eq!(c.len(), 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            for model in 0..2u32 {
+                if let Some(seed) = c.pick_for_model(&mut rng, m(model)) {
+                    assert_eq!(u32::from(seed.bytes[0] % 2), model);
+                    assert!(seed.bytes[0] >= 17, "only the 3 newest survive");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_can_empty_a_model_index() {
+        let mut c = Corpus::new(1);
+        c.add(Seed::new(vec![1], m(0)));
+        c.add(Seed::new(vec![2], m(1))); // evicts model 0's only seed
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c.pick_for_model(&mut rng, m(0)).is_none());
+        assert_eq!(c.pick_for_model(&mut rng, m(1)).unwrap().bytes[0], 2);
+    }
+
+    #[test]
+    fn shared_bytes_are_refcounted_not_copied() {
+        let seed = Seed::new(vec![7u8; 64], m(0));
+        let export = seed.clone();
+        assert!(Arc::ptr_eq(&seed.bytes, &export.bytes), "clone shares the buffer");
     }
 }

@@ -300,8 +300,70 @@ impl DataModel {
         &mut self.fields
     }
 
+    /// Restores this model's mutable state — payloads, length
+    /// adjustments, choice selections — from `pristine`, reusing existing
+    /// byte and string buffers instead of cloning.
+    ///
+    /// Both models must share one shape (same fields, names and kinds in
+    /// the same order), which holds by construction for the engine's
+    /// scratch copies: field mutation perturbs values, never structure.
+    /// This is what lets the hot loop keep a persistent scratch model per
+    /// data model and "clone" into it allocation-free, where the
+    /// interpreted path cloned the whole field tree per mutated message.
+    pub fn restore_values_from(&mut self, pristine: &DataModel) {
+        fn restore(fields: &mut [Field], pristine: &[Field]) {
+            debug_assert_eq!(fields.len(), pristine.len(), "shape mismatch");
+            for (field, source) in fields.iter_mut().zip(pristine) {
+                match (field.kind_mut(), source.kind()) {
+                    (FieldKind::Block(children), FieldKind::Block(their_children)) => {
+                        restore(children, their_children);
+                    }
+                    (
+                        FieldKind::Choice { options, selected },
+                        FieldKind::Choice {
+                            options: their_options,
+                            selected: their_selected,
+                        },
+                    ) => {
+                        *selected = *their_selected;
+                        restore(options, their_options);
+                    }
+                    (
+                        FieldKind::LengthOf { adjust, .. },
+                        FieldKind::LengthOf {
+                            adjust: their_adjust,
+                            ..
+                        },
+                    ) => {
+                        *adjust = *their_adjust;
+                    }
+                    _ => {}
+                }
+                match (field.value_mut(), source.value()) {
+                    (FieldValue::Int(value), FieldValue::Int(theirs)) => *value = *theirs,
+                    (FieldValue::Bytes(bytes), FieldValue::Bytes(theirs)) => {
+                        bytes.clear();
+                        bytes.extend_from_slice(theirs);
+                    }
+                    (FieldValue::Str(s), FieldValue::Str(theirs)) => {
+                        s.clear();
+                        s.push_str(theirs);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        restore(&mut self.fields, pristine.fields());
+    }
+
     /// Collects mutable references to every mutation-eligible field,
     /// recursing into blocks and the selected branch of choices.
+    ///
+    /// Reference implementation of the mutation-site walk; the hot loop
+    /// uses the allocation-free [`count_mutable`](Self::count_mutable) /
+    /// [`nth_mutable`](Self::nth_mutable) pair, which tests check against
+    /// this list.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn collect_mutable(&mut self) -> Vec<&mut Field> {
         fn walk<'a>(fields: &'a mut [Field], out: &mut Vec<&'a mut Field>) {
             for field in fields {
@@ -323,6 +385,54 @@ impl DataModel {
         let mut out = Vec::new();
         walk(&mut self.fields, &mut out);
         out
+    }
+
+    /// Number of mutation-eligible fields, in
+    /// [`collect_mutable`](Self::collect_mutable) order, without
+    /// materializing the list — the hot loop pairs this with
+    /// [`nth_mutable`](Self::nth_mutable) to pick a site allocation-free.
+    pub(crate) fn count_mutable(&self) -> usize {
+        fn walk(fields: &[Field]) -> usize {
+            let mut count = 0;
+            for field in fields {
+                if !field.is_mutable() {
+                    continue;
+                }
+                match field.kind() {
+                    FieldKind::Block(children) => count += walk(children),
+                    _ => count += 1,
+                }
+            }
+            count
+        }
+        walk(&self.fields)
+    }
+
+    /// The `n`-th mutation-eligible field in
+    /// [`collect_mutable`](Self::collect_mutable) order, or `None` past
+    /// the end.
+    pub(crate) fn nth_mutable(&mut self, mut n: usize) -> Option<&mut Field> {
+        fn walk<'a>(fields: &'a mut [Field], n: &mut usize) -> Option<&'a mut Field> {
+            for field in fields {
+                if !field.is_mutable() {
+                    continue;
+                }
+                let is_block = matches!(field.kind(), FieldKind::Block(_));
+                if is_block {
+                    if let FieldKind::Block(children) = field.kind_mut() {
+                        if let Some(hit) = walk(children, n) {
+                            return Some(hit);
+                        }
+                    }
+                } else if *n == 0 {
+                    return Some(field);
+                } else {
+                    *n -= 1;
+                }
+            }
+            None
+        }
+        walk(&mut self.fields, &mut n)
     }
 }
 
@@ -563,6 +673,61 @@ mod tests {
             .map(|f| f.name().to_owned())
             .collect();
         assert_eq!(names, vec!["x", "c"]);
+    }
+
+    #[test]
+    fn count_and_nth_mutable_agree_with_collect() {
+        let mut model = DataModel::new("m")
+            .field(Field::uint("keep", 8, 1).immutable())
+            .field(Field::block(
+                "blk",
+                vec![Field::uint("x", 8, 2), Field::str("s", "t").immutable()],
+            ))
+            .field(Field::choice("c", vec![Field::uint("o", 8, 3)]))
+            .field(Field::bytes("tail", b"zz"));
+        let collected: Vec<String> = model
+            .collect_mutable()
+            .iter()
+            .map(|f| f.name().to_owned())
+            .collect();
+        assert_eq!(model.count_mutable(), collected.len());
+        for (i, name) in collected.iter().enumerate() {
+            assert_eq!(model.nth_mutable(i).unwrap().name(), name);
+        }
+        assert!(model.nth_mutable(collected.len()).is_none());
+    }
+
+    #[test]
+    fn restore_values_from_undoes_mutation_in_place() {
+        let pristine = DataModel::new("m")
+            .field(Field::uint("a", 16, 0x0102))
+            .field(Field::length_of("len", "body", 8, Endian::Big))
+            .field(Field::block(
+                "body",
+                vec![Field::str("s", "hello"), Field::bytes("b", b"xyz")],
+            ))
+            .field(Field::choice(
+                "alt",
+                vec![Field::uint("v0", 8, 0), Field::uint("v1", 8, 1)],
+            ));
+        let mut scratch = pristine.clone();
+        // Perturb every mutable aspect.
+        *scratch.fields_mut()[0].value_mut() = FieldValue::Int(0xFFFF);
+        if let FieldKind::LengthOf { adjust, .. } = scratch.fields_mut()[1].kind_mut() {
+            *adjust = 42;
+        }
+        if let FieldKind::Block(children) = scratch.fields_mut()[2].kind_mut() {
+            *children[0].value_mut() = FieldValue::Str("mutated!".to_owned());
+            *children[1].value_mut() = FieldValue::Bytes(vec![1, 2, 3, 4, 5]);
+        }
+        if let FieldKind::Choice { selected, .. } = scratch.fields_mut()[3].kind_mut() {
+            *selected = 1;
+        }
+        assert_ne!(Generator::render(&scratch), Generator::render(&pristine));
+
+        scratch.restore_values_from(&pristine);
+        assert_eq!(scratch, pristine, "restore reproduces the pristine model");
+        assert_eq!(Generator::render(&scratch), Generator::render(&pristine));
     }
 
     #[test]

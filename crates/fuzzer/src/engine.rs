@@ -8,7 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::pit::PitDefinition;
 use crate::{
-    Corpus, DataModel, FaultLog, Generator, Mutator, Seed, StartError, StateWalker, Target,
+    CompiledStateModel, Corpus, DataModel, FaultLog, FieldNameTable, ModelId, ModelTable, Mutator,
+    RenderProgram, Seed, StartError, Target,
 };
 
 /// Tunables of a fuzzing instance.
@@ -102,7 +103,37 @@ pub struct FuzzEngine<T: Target> {
     config: EngineConfig,
     map: CoverageMap,
     accumulated: CoverageSnapshot,
+    /// Pristine data models, exactly as parsed from the Pit.
     working_models: Vec<DataModel>,
+    /// Interned model names; dense ids shared by plans, seeds and the
+    /// corpus. Engines built from the same Pit intern in the same order,
+    /// so ids agree across a campaign's instances.
+    models: ModelTable,
+    /// Interned id of each working model, parallel to `working_models`.
+    model_ids: Vec<ModelId>,
+    /// [`ModelId::index`] → slot of the *first* working model with that
+    /// name (duplicate names keep find-first semantics); `None` for ids
+    /// interned from plans or transitions that match no data model.
+    model_index: Vec<Option<usize>>,
+    /// Per-model precompiled renders of the pristine models.
+    programs: Vec<RenderProgram>,
+    /// Per-model field-name tables (shape-level, so scratch copies reuse
+    /// them).
+    name_tables: Vec<FieldNameTable>,
+    /// Mutable twins of `working_models`, restored to pristine values and
+    /// re-mutated in place instead of cloning a model per field mutation.
+    scratch_models: Vec<DataModel>,
+    /// Recompile target for mutated scratch models.
+    scratch_program: RenderProgram,
+    /// Scratch for [`RenderProgram::compile_into`] length resolution.
+    lengths_scratch: Vec<usize>,
+    /// State model compiled to dense indices, if the Pit declares one.
+    compiled_state: Option<CompiledStateModel>,
+    /// Reusable session-plan buffer.
+    plan_scratch: Vec<ModelId>,
+    /// Reusable per-message byte buffers; capacities stabilize at each
+    /// position's high-water message length.
+    sent_bufs: Vec<Vec<u8>>,
     corpus: Corpus,
     mutator: Mutator,
     faults: FaultLog,
@@ -111,7 +142,7 @@ pub struct FuzzEngine<T: Target> {
     started: bool,
     /// Fixed session plans (SPFuzz-style path partitioning); when
     /// non-empty they replace random state walks, cycling in order.
-    session_plans: Vec<Vec<String>>,
+    session_plans: Vec<Vec<ModelId>>,
     next_plan: usize,
     stats: EngineStats,
     /// Seeds retained since the last [`FuzzEngine::export_new_seeds`]
@@ -129,9 +160,48 @@ impl<T: Target> FuzzEngine<T> {
         let map = CoverageMap::new(target.branch_count());
         let accumulated = CoverageSnapshot::empty(target.branch_count());
         let working_models = pit.data_models().to_vec();
+
+        // Intern data-model names first (declaration order), then state
+        // transitions: the order is a pure function of the Pit, so every
+        // engine of a campaign assigns identical ids.
+        let mut models = ModelTable::new();
+        let mut model_ids = Vec::with_capacity(working_models.len());
+        let mut model_index: Vec<Option<usize>> = Vec::new();
+        for (slot, model) in working_models.iter().enumerate() {
+            let id = models.intern(model.name());
+            model_ids.push(id);
+            if model_index.len() <= id.index() {
+                model_index.resize(id.index() + 1, None);
+            }
+            if model_index[id.index()].is_none() {
+                model_index[id.index()] = Some(slot);
+            }
+        }
+        let compiled_state = pit
+            .state_model()
+            .map(|sm| CompiledStateModel::compile(sm, &mut models));
+        if model_index.len() < models.len() {
+            model_index.resize(models.len(), None);
+        }
+
+        // Compile each pristine model once; renders replay the flat
+        // programs instead of re-walking the field tree.
+        let mut programs = Vec::with_capacity(working_models.len());
+        let mut name_tables = Vec::with_capacity(working_models.len());
+        let mut lengths_scratch = Vec::new();
+        for model in &working_models {
+            let names = FieldNameTable::build(model);
+            let mut program = RenderProgram::new();
+            program.compile_into(model, &names, &mut lengths_scratch);
+            programs.push(program);
+            name_tables.push(names);
+        }
+        let scratch_models = working_models.clone();
+
         let mutator = Mutator::new(config.seed ^ 0x006d_7574_6174_6f72)
             .with_dictionary(config.dictionary.clone());
         let rng = StdRng::seed_from_u64(config.seed);
+        let corpus = Corpus::new(config.corpus_capacity);
         FuzzEngine {
             target,
             pit,
@@ -139,7 +209,18 @@ impl<T: Target> FuzzEngine<T> {
             map,
             accumulated,
             working_models,
-            corpus: Corpus::new(256),
+            models,
+            model_ids,
+            model_index,
+            programs,
+            name_tables,
+            scratch_models,
+            scratch_program: RenderProgram::new(),
+            lengths_scratch,
+            compiled_state,
+            plan_scratch: Vec::new(),
+            sent_bufs: Vec::new(),
+            corpus,
             mutator,
             faults: FaultLog::new(),
             rng,
@@ -170,9 +251,27 @@ impl<T: Target> FuzzEngine<T> {
     /// names), cycling through them instead of walking the state model
     /// randomly. This is how SPFuzz-style schedulers partition the state
     /// path space across instances. An empty list restores random walks.
-    pub fn set_session_plans(&mut self, plans: Vec<Vec<String>>) {
-        self.session_plans = plans;
+    ///
+    /// Names are interned once here; the hot loop replays ids. A plan
+    /// name matching no data model renders as an empty message, like the
+    /// name-lookup implementation did.
+    pub fn set_session_plans(&mut self, plans: &[Vec<String>]) {
+        self.session_plans.clear();
+        for plan in plans {
+            self.session_plans.push(
+                plan.iter()
+                    .map(|name| self.models.intern(name))
+                    .collect(),
+            );
+        }
         self.next_plan = 0;
+    }
+
+    /// Interned id of a data-model name, if the Pit (or a session plan)
+    /// declares it. Useful for building [`Seed`]s to import.
+    #[must_use]
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.models.get(name)
     }
 
     /// Drains the seeds retained since the last call, for synchronization
@@ -225,64 +324,71 @@ impl<T: Target> FuzzEngine<T> {
         assert!(self.started, "run_iteration before successful start");
         self.target.begin_session();
 
-        // Plan the session: transition data-model names, in order.
-        let plan: Vec<String> = if !self.session_plans.is_empty() {
-            let plan = self.session_plans[self.next_plan % self.session_plans.len()].clone();
+        // Plan the session into the reusable id buffer. The buffer is
+        // taken out of `self` for the iteration (and restored at the end)
+        // so borrowing it does not pin the rest of the engine.
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        plan.clear();
+        if !self.session_plans.is_empty() {
+            plan.extend_from_slice(&self.session_plans[self.next_plan % self.session_plans.len()]);
             self.next_plan = self.next_plan.wrapping_add(1);
-            plan
         } else {
-            self.plan_random_session()
-        };
+            self.plan_random_session_into(&mut plan);
+        }
 
         let mut outcome = IterationOutcome::default();
-        let mut sent: Vec<(String, Vec<u8>)> = Vec::new();
-        for model_name in &plan {
-            // Generation-side mutation perturbs a throwaway copy of the
-            // model, so the pristine structure survives — interesting
-            // variants persist through the corpus instead.
+        let mut bufs = std::mem::take(&mut self.sent_bufs);
+        if bufs.len() < plan.len() {
+            bufs.resize_with(plan.len(), Vec::new);
+        }
+        for (i, &model_id) in plan.iter().enumerate() {
+            let buf = &mut bufs[i];
+            buf.clear();
+
+            // Generation-side mutation perturbs a persistent scratch twin
+            // of the model, so the pristine structure survives —
+            // interesting variants persist through the corpus instead.
             let mutate_fields = self.rng.random::<f64>() < self.config.model_mutation_rate;
 
-            let mut bytes = if !mutate_fields
-                && self.rng.random::<f64>() < self.config.seed_reuse_rate
-            {
-                match self.corpus.pick_for_model(&mut self.rng, model_name) {
+            if !mutate_fields && self.rng.random::<f64>() < self.config.seed_reuse_rate {
+                match self.corpus.pick_for_model(&mut self.rng, model_id) {
                     Some(seed) => {
                         self.stats.seed_reuses += 1;
                         self.telemetry.seed_reuses.incr();
-                        seed.bytes.clone()
+                        buf.extend_from_slice(&seed.bytes);
                     }
-                    None => self.render(model_name),
+                    None => self.render_into(model_id, buf),
                 }
             } else if mutate_fields {
                 self.stats.model_mutations += 1;
                 self.telemetry.model_mutations.incr();
-                match self
-                    .working_models
-                    .iter()
-                    .find(|m| m.name() == model_name)
-                {
-                    Some(model) => {
-                        let mut copy = model.clone();
-                        self.mutator.mutate_model(&mut copy);
-                        Generator::render(&copy)
-                    }
-                    None => Vec::new(),
+                if let Some(slot) = self.model_slot(model_id) {
+                    let scratch = &mut self.scratch_models[slot];
+                    scratch.restore_values_from(&self.working_models[slot]);
+                    self.mutator.mutate_model(scratch);
+                    self.scratch_program.compile_into(
+                        scratch,
+                        &self.name_tables[slot],
+                        &mut self.lengths_scratch,
+                    );
+                    self.scratch_program.render_into(buf);
                 }
+                // Unknown model: empty message, no mutator draw — same as
+                // the name-lookup implementation.
             } else {
-                self.render(model_name)
-            };
+                self.render_into(model_id, buf);
+            }
 
             if self.rng.random::<f64>() < self.config.byte_mutation_rate {
                 self.stats.byte_mutations += 1;
                 self.telemetry.byte_mutations.incr();
-                self.mutator.mutate(&mut bytes, self.config.mutation_stack);
+                self.mutator.mutate(buf, self.config.mutation_stack);
             }
 
-            let response = self.target.handle(&bytes);
+            let response = self.target.handle(buf);
             outcome.messages_sent += 1;
             self.stats.messages += 1;
             self.telemetry.messages.incr();
-            sent.push((model_name.clone(), bytes));
             if let Some(fault) = response.fault {
                 self.stats.crashes_observed += 1;
                 self.telemetry.faults_observed.incr();
@@ -295,15 +401,18 @@ impl<T: Target> FuzzEngine<T> {
         // Coverage feedback: retain the whole session's inputs if anything
         // new was reached. The map merges first-hit words straight into the
         // accumulated set, so sessions that find nothing new never touch
-        // the heap here.
+        // the heap here; seed bytes are copied into shared `Arc` buffers
+        // only on this cold path.
         outcome.new_branches = self.map.absorb_new(&mut self.accumulated);
         if outcome.new_branches > 0 {
-            for (model, bytes) in sent {
-                let seed = Seed::new(bytes, &model);
+            for (i, &model_id) in plan.iter().enumerate() {
+                let seed = Seed::new(bufs[i].as_slice(), model_id);
                 self.outbox.push(seed.clone());
                 self.corpus.add(seed);
             }
         }
+        self.plan_scratch = plan;
+        self.sent_bufs = bufs;
         self.iterations += 1;
         self.stats.sessions += 1;
         self.telemetry.sessions.incr();
@@ -313,34 +422,32 @@ impl<T: Target> FuzzEngine<T> {
         outcome
     }
 
-    fn plan_random_session(&mut self) -> Vec<String> {
-        match self.pit.state_model() {
-            Some(state_model) => {
-                let mut walker = StateWalker::new(state_model);
-                walker
-                    .session(&mut self.rng, self.config.max_session_len)
-                    .iter()
-                    .map(|t| t.input_model.clone())
-                    .collect()
+    fn plan_random_session_into(&mut self, plan: &mut Vec<ModelId>) {
+        match &self.compiled_state {
+            Some(compiled) => {
+                compiled.session_into(&mut self.rng, self.config.max_session_len, plan);
             }
             None => {
                 // No state model: single random message.
-                if self.working_models.is_empty() {
-                    Vec::new()
-                } else {
+                if !self.working_models.is_empty() {
                     let i = self.rng.random_range(0..self.working_models.len());
-                    vec![self.working_models[i].name().to_owned()]
+                    plan.push(self.model_ids[i]);
                 }
             }
         }
     }
 
-    fn render(&self, model_name: &str) -> Vec<u8> {
-        self.working_models
-            .iter()
-            .find(|m| m.name() == model_name)
-            .map(Generator::render)
-            .unwrap_or_default()
+    /// Slot of the first working model interned as `model`, if any.
+    fn model_slot(&self, model: ModelId) -> Option<usize> {
+        self.model_index.get(model.index()).copied().flatten()
+    }
+
+    /// Appends the precompiled render of `model` to `out`; unknown ids
+    /// (plan names matching no data model) append nothing.
+    fn render_into(&self, model: ModelId, out: &mut Vec<u8>) {
+        if let Some(slot) = self.model_slot(model) {
+            self.programs[slot].render_into(out);
+        }
     }
 
     /// Number of branches this instance has covered so far.
@@ -380,6 +487,12 @@ impl<T: Target> FuzzEngine<T> {
     #[must_use]
     pub fn target(&self) -> &T {
         &self.target
+    }
+
+    /// The Pit definition the engine was built from.
+    #[must_use]
+    pub fn pit(&self) -> &PitDefinition {
+        &self.pit
     }
 
     /// Whether a successful start has happened.
@@ -612,6 +725,36 @@ mod tests {
         assert_eq!(name, "engine.session_messages");
         assert_eq!(hist.count, stats.sessions);
         assert_eq!(hist.sum, stats.messages);
+    }
+
+    #[test]
+    fn corpus_capacity_config_is_respected() {
+        // Regression: `corpus_capacity` used to be ignored in favour of a
+        // hardcoded 256. With capacity 1 the corpus must evict down to a
+        // single retained seed no matter how much coverage is found.
+        let mut engine = FuzzEngine::new(
+            ToyTarget::new(),
+            toy_pit(),
+            EngineConfig {
+                seed: 3,
+                corpus_capacity: 1,
+                ..EngineConfig::default()
+            },
+        );
+        engine.start(&ResolvedConfig::new()).unwrap();
+        for _ in 0..300 {
+            engine.run_iteration();
+        }
+        assert_eq!(engine.covered_count(), 3, "coverage still found");
+        assert_eq!(engine.corpus_len(), 1, "capacity 1 evicts to one seed");
+    }
+
+    #[test]
+    fn model_id_resolves_pit_models() {
+        let engine = FuzzEngine::new(ToyTarget::new(), toy_pit(), EngineConfig::default());
+        assert!(engine.model_id("Msg").is_some());
+        assert!(engine.model_id("Ghost").is_none());
+        assert_eq!(engine.pit().data_models().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Dense interning of data-model names.
+//!
+//! The session hot loop refers to data models millions of times per
+//! campaign. Carrying `String` names through plans, seeds and the corpus
+//! means a clone (and later a drop) per reference; interning every name
+//! into a dense [`ModelId`] at engine construction turns all of that into
+//! `Copy` integer moves. Names survive only at the edges: setup
+//! ([`ModelTable::intern`]) and human-facing rendering
+//! ([`ModelTable::name`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned data-model name.
+///
+/// Ids are indices into the owning [`ModelTable`], assigned in interning
+/// order; two engines interning the same names in the same order (e.g.
+/// all instances of one campaign, which share a Pit) agree on every id.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{ModelId, ModelTable};
+///
+/// let mut table = ModelTable::new();
+/// let connect = table.intern("Connect");
+/// assert_eq!(table.intern("Connect"), connect, "idempotent");
+/// assert_eq!(table.name(connect), "Connect");
+/// assert_eq!(connect, ModelId::from_raw(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(u32);
+
+impl ModelId {
+    /// Builds an id from its raw table index (for tests and tools that
+    /// construct seeds without an engine).
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        ModelId(raw)
+    }
+
+    /// The id as a table index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional name ⇄ [`ModelId`] table.
+///
+/// Interning is append-only: an id, once assigned, never changes or goes
+/// away, so ids can be stored in long-lived structures (seeds, plans)
+/// without invalidation concerns.
+#[derive(Debug, Clone, Default)]
+pub struct ModelTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl ModelTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ModelTable::default()
+    }
+
+    /// Returns the id for `name`, assigning the next dense id on first
+    /// sight.
+    pub fn intern(&mut self, name: &str) -> ModelId {
+        if let Some(&id) = self.index.get(name) {
+            return ModelId(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("fewer than 2^32 model names");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        ModelId(id)
+    }
+
+    /// Looks up an already-interned name without assigning an id.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<ModelId> {
+        self.index.get(name).copied().map(ModelId)
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    #[must_use]
+    pub fn name(&self, id: ModelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_dense_and_idempotent() {
+        let mut t = ModelTable::new();
+        let a = t.intern("Connect");
+        let b = t.intern("Publish");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.intern("Connect"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "Connect");
+        assert_eq!(t.name(b), "Publish");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = ModelTable::new();
+        assert_eq!(t.get("ghost"), None);
+        let id = t.intern("ghost");
+        assert_eq!(t.get("ghost"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ModelId::from_raw(7).to_string(), "#7");
+    }
+}

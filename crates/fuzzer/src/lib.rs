@@ -40,8 +40,10 @@ mod corpus;
 mod data_model;
 mod engine;
 mod fault;
+mod intern;
 mod mutate;
 pub mod pit;
+mod render_program;
 mod state_model;
 mod target;
 
@@ -49,6 +51,10 @@ pub use corpus::{Corpus, Seed};
 pub use data_model::{DataModel, Endian, Field, FieldKind, FieldValue, Generator};
 pub use engine::{EngineConfig, FuzzEngine, IterationOutcome};
 pub use fault::{Fault, FaultKind, FaultLog};
+pub use intern::{ModelId, ModelTable};
 pub use mutate::{MutationOp, Mutator};
-pub use state_model::{ResponseClass, State, StateModel, StateWalker, Transition};
+pub use render_program::{FieldNameTable, RenderProgram};
+pub use state_model::{
+    CompiledStateModel, ResponseClass, State, StateModel, StateWalker, Transition,
+};
 pub use target::{StartError, Target, TargetResponse};

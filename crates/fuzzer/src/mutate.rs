@@ -116,12 +116,17 @@ impl Mutator {
     }
 
     /// Overwrites (or, at the end, appends) a random dictionary token at a
-    /// random position.
+    /// random position. Splices by slice — overwrite the overlap, append
+    /// the tail — instead of cloning the token into a temporary `Vec`;
+    /// RNG draws and resulting bytes are identical to the cloning
+    /// implementation.
     fn splice_token(&mut self, data: &mut Vec<u8>) {
-        let token = self.dictionary[self.rng.random_range(0..self.dictionary.len())].clone();
-        let at = self.rng.random_range(0..=data.len());
-        let end = (at + token.len()).min(data.len());
-        data.splice(at..end, token);
+        let Mutator { rng, dictionary } = self;
+        let token = &dictionary[rng.random_range(0..dictionary.len())];
+        let at = rng.random_range(0..=data.len());
+        let overlap = token.len().min(data.len() - at);
+        data[at..at + overlap].copy_from_slice(&token[..overlap]);
+        data.extend_from_slice(&token[overlap..]);
     }
 
     /// Applies one specific operator to `data`.
@@ -184,9 +189,12 @@ impl Mutator {
                     let len = self
                         .rng
                         .random_range(1..=(data.len() - start).min(8));
-                    let chunk: Vec<u8> = data[start..start + len].to_vec();
                     let at = self.rng.random_range(0..=data.len());
-                    data.splice(at..at, chunk);
+                    // Insert without a temporary chunk Vec: append the
+                    // chunk in place, then rotate it back to `at`. Byte
+                    // result identical to `splice(at..at, chunk)`.
+                    data.extend_from_within(start..start + len);
+                    data[at..].rotate_right(len);
                 }
             }
             MutationOp::RemoveChunk => {
@@ -206,18 +214,42 @@ impl Mutator {
     /// lying adjustments, choices flip alternatives, strings and blobs get
     /// byte-level havoc). Returns the name of the mutated field, or `None`
     /// if the model has no mutable fields.
-    pub fn mutate_model(&mut self, model: &mut DataModel) -> Option<String> {
-        let mut sites = model.collect_mutable();
-        if sites.is_empty() {
+    ///
+    /// Selects the site by counted walk ([`DataModel::count_mutable`] +
+    /// `nth_mutable`) rather than collecting `&mut Field` pointers into a
+    /// temporary `Vec`, and snapshots only the scalars it needs from the
+    /// field kind instead of cloning it (a `Choice` kind owns whole
+    /// sub-models). RNG draw order matches the collecting implementation
+    /// exactly, so mutation streams are unchanged.
+    pub fn mutate_model<'m>(&mut self, model: &'m mut DataModel) -> Option<&'m str> {
+        /// Copy-only snapshot of the facts the mutation arms need.
+        enum Site {
+            UInt { bits: u8 },
+            LengthOf,
+            Choice { options: usize },
+            Bytes,
+            Str,
+            Block,
+        }
+
+        let sites = model.count_mutable();
+        if sites == 0 {
             return None;
         }
-        let index = self.rng.random_range(0..sites.len());
-        let field = &mut sites[index];
-        let name = field.name().to_owned();
-        // Read what we need from the immutable view first.
-        let kind_snapshot = field.kind().clone();
-        match kind_snapshot {
-            FieldKind::UInt { bits, .. } => {
+        let index = self.rng.random_range(0..sites);
+        let field = model.nth_mutable(index).expect("index < count_mutable");
+        let site = match field.kind() {
+            FieldKind::UInt { bits, .. } => Site::UInt { bits: *bits },
+            FieldKind::LengthOf { .. } => Site::LengthOf,
+            FieldKind::Choice { options, .. } => Site::Choice {
+                options: options.len(),
+            },
+            FieldKind::Bytes => Site::Bytes,
+            FieldKind::Str => Site::Str,
+            FieldKind::Block(_) => Site::Block,
+        };
+        match site {
+            Site::UInt { bits } => {
                 let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
                 let new = match self.rng.random_range(0..4u8) {
                     0 => 0,
@@ -227,33 +259,39 @@ impl Mutator {
                 };
                 *field.value_mut() = FieldValue::Int(new);
             }
-            FieldKind::LengthOf { .. } => {
+            Site::LengthOf => {
                 if let FieldKind::LengthOf { adjust, .. } = field.kind_mut() {
                     *adjust = self.rng.random_range(-64..=64);
                 }
             }
-            FieldKind::Choice { options, .. } => {
+            Site::Choice { options } => {
                 if let FieldKind::Choice { selected, .. } = field.kind_mut() {
-                    *selected = self.rng.random_range(0..options.len());
+                    *selected = self.rng.random_range(0..options);
                 }
             }
-            FieldKind::Bytes => {
+            Site::Bytes => {
                 if let FieldValue::Bytes(b) = field.value_mut() {
                     let mut copy = std::mem::take(b);
                     self.mutate(&mut copy, 4);
                     *b = copy;
                 }
             }
-            FieldKind::Str => {
+            Site::Str => {
                 if let FieldValue::Str(s) = field.value_mut() {
-                    let mut bytes = s.clone().into_bytes();
+                    let mut bytes = std::mem::take(s).into_bytes();
                     self.mutate(&mut bytes, 4);
-                    *s = String::from_utf8_lossy(&bytes).into_owned();
+                    // `from_utf8_lossy` of valid UTF-8 is the identity, so
+                    // round-tripping through `from_utf8` first gives the
+                    // same string while only allocating on invalid input.
+                    *s = match String::from_utf8(bytes) {
+                        Ok(valid) => valid,
+                        Err(err) => String::from_utf8_lossy(err.as_bytes()).into_owned(),
+                    };
                 }
             }
-            FieldKind::Block(_) => {}
+            Site::Block => {}
         }
-        Some(name)
+        Some(field.name())
     }
 
     fn offset(&mut self, data: &[u8]) -> Option<usize> {
@@ -327,7 +365,7 @@ mod tests {
             .field(Field::length_of("len", "p", 8, Endian::Big))
             .field(Field::bytes("p", b"xyz"));
         let name = m.mutate_model(&mut model).expect("mutable fields exist");
-        assert!(["a", "len", "p"].contains(&name.as_str()));
+        assert!(["a", "len", "p"].contains(&name));
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Precompiled render programs: allocation-free model → wire-bytes
+//! rendering for the session hot loop.
+//!
+//! [`Generator::render`](crate::Generator::render) walks the field tree
+//! and builds a fresh segment list (plus a lengths map keyed by owned
+//! `String`s) on every call — fine at setup, ruinous at millions of
+//! renders per campaign. A [`RenderProgram`] does that walk once per
+//! model: literal runs are flattened into one byte pool, `LengthOf`
+//! placeholders become fixed-width slots whose values are resolved at
+//! compile time (rendering is a pure function of the model, so lengths
+//! are static), and [`RenderProgram::render_into`] just replays the flat
+//! op list into a caller-provided scratch buffer. Compilation itself
+//! reuses buffers too ([`RenderProgram::compile_into`] plus a
+//! [`FieldNameTable`] built once per model shape), so even the
+//! model-mutation path recompiles without churning the heap once
+//! capacities have warmed up.
+
+use std::collections::HashMap;
+
+use crate::data_model::{DataModel, Field};
+use crate::{Endian, FieldKind, FieldValue};
+
+/// One step of a compiled render: a literal run in the byte pool, or a
+/// resolved length slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgOp {
+    /// `lit[start..end]`, appended verbatim.
+    Literal { start: u32, end: u32 },
+    /// A length field: `value` encoded as `bits` wide in `endian` order.
+    Slot {
+        bits: u8,
+        endian: Endian,
+        value: u64,
+        /// Index of the measured field in the [`FieldNameTable`], kept so
+        /// resolution can run after the full walk (a `LengthOf` may
+        /// precede its target).
+        target: Option<u32>,
+        /// The field's lying adjustment, applied at resolution.
+        adjust: i64,
+    },
+}
+
+/// Field-name → dense index lookup for one model *shape*.
+///
+/// Built once per working model at engine construction; a scratch copy of
+/// the model (same shape, mutated values) reuses the same table, because
+/// mutation never renames fields. All choice options are indexed, not
+/// just the selected one, so a flipped selection still resolves.
+#[derive(Debug, Clone, Default)]
+pub struct FieldNameTable {
+    index: HashMap<String, u32>,
+}
+
+impl FieldNameTable {
+    /// Builds the table for `model`, indexing every field at every depth
+    /// (blocks recursed, all choice options included). Duplicate names
+    /// share the first-assigned index, mirroring how the interpreted
+    /// renderer's lengths map collapses duplicates onto one key.
+    #[must_use]
+    pub fn build(model: &DataModel) -> Self {
+        fn walk(fields: &[Field], table: &mut FieldNameTable) {
+            for field in fields {
+                let next = u32::try_from(table.index.len()).expect("fewer than 2^32 fields");
+                table.index.entry(field.name().to_owned()).or_insert(next);
+                match field.kind() {
+                    FieldKind::Block(children) => walk(children, table),
+                    FieldKind::Choice { options, .. } => walk(options, table),
+                    _ => {}
+                }
+            }
+        }
+        let mut table = FieldNameTable::default();
+        walk(model.fields(), &mut table);
+        table
+    }
+
+    /// Dense index of `name`, if the shape declares it.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of distinct names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the shape has no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// A [`DataModel`] compiled to a flat, replayable render.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{DataModel, Endian, Field, FieldNameTable, RenderProgram};
+///
+/// let model = DataModel::new("m")
+///     .field(Field::length_of("len", "payload", 8, Endian::Big))
+///     .field(Field::bytes("payload", b"abcd"));
+/// let names = FieldNameTable::build(&model);
+/// let mut program = RenderProgram::new();
+/// let mut lengths = Vec::new();
+/// program.compile_into(&model, &names, &mut lengths);
+///
+/// let mut out = Vec::new();
+/// program.render_into(&mut out);
+/// assert_eq!(out, vec![4, b'a', b'b', b'c', b'd']);
+/// assert_eq!(program.rendered_len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RenderProgram {
+    ops: Vec<ProgOp>,
+    lit: Vec<u8>,
+    len: usize,
+}
+
+impl RenderProgram {
+    /// Creates an empty program (renders zero bytes until compiled).
+    #[must_use]
+    pub fn new() -> Self {
+        RenderProgram::default()
+    }
+
+    /// Compiles `model` into this program, reusing the existing op and
+    /// literal-pool buffers. `names` must describe `model`'s shape (see
+    /// [`FieldNameTable::build`]); `lengths` is caller-owned scratch so
+    /// repeated compiles stop allocating once it has grown to the shape's
+    /// field count.
+    ///
+    /// Length slots are resolved here, once: a rendered model is a pure
+    /// function of its field values, so the measured lengths cannot
+    /// change between renders of the same compiled state. Unknown
+    /// `LengthOf` targets resolve to zero — a deliberate malformation,
+    /// exactly like the interpreted renderer.
+    pub fn compile_into(
+        &mut self,
+        model: &DataModel,
+        names: &FieldNameTable,
+        lengths: &mut Vec<usize>,
+    ) {
+        self.ops.clear();
+        self.lit.clear();
+        self.len = 0;
+        lengths.clear();
+        lengths.resize(names.len(), usize::MAX);
+        self.walk(model.fields(), names, lengths);
+        // Resolve slots against the final lengths, after the whole walk:
+        // a LengthOf may precede its target, and a duplicated name's last
+        // measurement wins (matching the interpreted renderer's map).
+        for op in &mut self.ops {
+            if let ProgOp::Slot {
+                value,
+                target,
+                adjust,
+                ..
+            } = op
+            {
+                let measured = target
+                    .map(|t| lengths[t as usize])
+                    .filter(|&len| len != usize::MAX)
+                    .unwrap_or(0) as i64
+                    + *adjust;
+                *value = measured.max(0) as u64;
+            }
+        }
+    }
+
+    fn walk(&mut self, fields: &[Field], names: &FieldNameTable, lengths: &mut Vec<usize>) {
+        for field in fields {
+            let before = self.len;
+            match field.kind() {
+                FieldKind::UInt { bits, endian } => {
+                    let value = field.value().as_int().unwrap_or(0);
+                    self.push_literal_uint(value, *bits, *endian);
+                }
+                FieldKind::Bytes => {
+                    if let FieldValue::Bytes(b) = field.value() {
+                        self.push_literal(b);
+                    }
+                }
+                FieldKind::Str => {
+                    if let FieldValue::Str(s) = field.value() {
+                        self.push_literal(s.as_bytes());
+                    }
+                }
+                FieldKind::LengthOf {
+                    of,
+                    bits,
+                    endian,
+                    adjust,
+                } => {
+                    self.ops.push(ProgOp::Slot {
+                        bits: *bits,
+                        endian: *endian,
+                        value: 0,
+                        target: names.index_of(of),
+                        adjust: *adjust,
+                    });
+                    self.len += usize::from(*bits) / 8;
+                }
+                FieldKind::Block(children) => {
+                    self.walk(children, names, lengths);
+                }
+                FieldKind::Choice { options, selected } => {
+                    let chosen = &options[(*selected).min(options.len() - 1)];
+                    self.walk(std::slice::from_ref(chosen), names, lengths);
+                }
+            }
+            if let Some(idx) = names.index_of(field.name()) {
+                lengths[idx as usize] = self.len - before;
+            }
+        }
+    }
+
+    /// Appends raw bytes to the literal pool, coalescing with a preceding
+    /// literal op when possible.
+    fn push_literal(&mut self, bytes: &[u8]) {
+        self.len += bytes.len();
+        let start = self.lit.len();
+        self.lit.extend_from_slice(bytes);
+        let end = self.lit.len();
+        if let Some(ProgOp::Literal { end: prev_end, .. }) = self.ops.last_mut() {
+            if *prev_end as usize == start {
+                *prev_end = u32::try_from(end).expect("literal pool under 4 GiB");
+                return;
+            }
+        }
+        self.ops.push(ProgOp::Literal {
+            start: u32::try_from(start).expect("literal pool under 4 GiB"),
+            end: u32::try_from(end).expect("literal pool under 4 GiB"),
+        });
+    }
+
+    fn push_literal_uint(&mut self, value: u64, bits: u8, endian: Endian) {
+        let mut buf = [0u8; 8];
+        let width = encode_uint_into(value, bits, endian, &mut buf);
+        self.push_literal(&buf[..width]);
+    }
+
+    /// Appends the compiled render to `out` (callers clear the scratch
+    /// buffer themselves when they want a fresh message). Performs no
+    /// heap allocation beyond `out`'s own amortized growth, which
+    /// stabilizes at the model's high-water rendered length.
+    pub fn render_into(&self, out: &mut Vec<u8>) {
+        for op in &self.ops {
+            match *op {
+                ProgOp::Literal { start, end } => {
+                    out.extend_from_slice(&self.lit[start as usize..end as usize]);
+                }
+                ProgOp::Slot {
+                    bits,
+                    endian,
+                    value,
+                    ..
+                } => {
+                    let mut buf = [0u8; 8];
+                    let width = encode_uint_into(value, bits, endian, &mut buf);
+                    out.extend_from_slice(&buf[..width]);
+                }
+            }
+        }
+    }
+
+    /// Total bytes one render appends.
+    #[must_use]
+    pub fn rendered_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Encodes `value` as a `bits`-wide integer into `buf`, returning the
+/// byte width. The stack-buffer twin of the interpreted renderer's
+/// `encode_uint`.
+fn encode_uint_into(value: u64, bits: u8, endian: Endian, buf: &mut [u8; 8]) -> usize {
+    let width = usize::from(bits) / 8;
+    let be = value.to_be_bytes();
+    buf[..width].copy_from_slice(&be[8 - width..]);
+    if endian == Endian::Little {
+        buf[..width].reverse();
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Generator};
+
+    fn compile(model: &DataModel) -> RenderProgram {
+        let names = FieldNameTable::build(model);
+        let mut program = RenderProgram::new();
+        let mut lengths = Vec::new();
+        program.compile_into(model, &names, &mut lengths);
+        program
+    }
+
+    fn render(model: &DataModel) -> Vec<u8> {
+        let program = compile(model);
+        let mut out = Vec::new();
+        program.render_into(&mut out);
+        assert_eq!(out.len(), program.rendered_len());
+        out
+    }
+
+    #[test]
+    fn matches_interpreted_renderer_on_mixed_model() {
+        let model = DataModel::new("m")
+            .field(Field::uint("a", 16, 0x0102))
+            .field(Field::uint_endian("b", 32, 0xA1B2C3D4, Endian::Little))
+            .field(Field::length_of("len", "body", 16, Endian::Big))
+            .field(Field::block(
+                "body",
+                vec![
+                    Field::str("s", "hi"),
+                    Field::choice(
+                        "alt",
+                        vec![Field::uint("v0", 8, 7), Field::bytes("v1", b"xy")],
+                    ),
+                ],
+            ))
+            .field(Field::bytes("tail", &[9, 9]));
+        assert_eq!(render(&model), Generator::render(&model));
+    }
+
+    #[test]
+    fn length_slot_preceding_target_resolves() {
+        let model = DataModel::new("m")
+            .field(Field::length_of("len", "p", 8, Endian::Big))
+            .field(Field::bytes("p", b"abcd"));
+        assert_eq!(render(&model), vec![4, b'a', b'b', b'c', b'd']);
+    }
+
+    #[test]
+    fn unknown_length_target_encodes_zero() {
+        let model = DataModel::new("m").field(Field::length_of("len", "ghost", 8, Endian::Big));
+        assert_eq!(render(&model), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_names_use_last_measurement() {
+        let model = DataModel::new("m")
+            .field(Field::length_of("len", "p", 8, Endian::Big))
+            .field(Field::bytes("p", b"ab"))
+            .field(Field::bytes("p", b"wxyz"));
+        assert_eq!(render(&model), Generator::render(&model));
+        assert_eq!(render(&model)[0], 4, "last p wins");
+    }
+
+    #[test]
+    fn recompile_reuses_buffers_and_tracks_mutation() {
+        let mut model = DataModel::new("m").field(Field::choice(
+            "alt",
+            vec![Field::uint("v0", 8, 0x00), Field::uint("v1", 8, 0x11)],
+        ));
+        let names = FieldNameTable::build(&model);
+        let mut program = RenderProgram::new();
+        let mut lengths = Vec::new();
+        program.compile_into(&model, &names, &mut lengths);
+        let mut out = Vec::new();
+        program.render_into(&mut out);
+        assert_eq!(out, vec![0x00]);
+
+        if let FieldKind::Choice { selected, .. } = model.fields_mut()[0].kind_mut() {
+            *selected = 1;
+        }
+        program.compile_into(&model, &names, &mut lengths);
+        out.clear();
+        program.render_into(&mut out);
+        assert_eq!(out, vec![0x11]);
+    }
+
+    #[test]
+    fn adjacent_literals_coalesce_into_one_op() {
+        let model = DataModel::new("m")
+            .field(Field::uint("a", 8, 1))
+            .field(Field::uint("b", 8, 2))
+            .field(Field::bytes("c", &[3, 4]));
+        let program = compile(&model);
+        assert_eq!(program.ops.len(), 1, "one flat literal run");
+        let mut out = Vec::new();
+        program.render_into(&mut out);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn name_table_indexes_all_choice_options() {
+        let model = DataModel::new("m").field(Field::choice(
+            "alt",
+            vec![Field::uint("v0", 8, 0), Field::bytes("v1", b"x")],
+        ));
+        let names = FieldNameTable::build(&model);
+        assert!(names.index_of("alt").is_some());
+        assert!(names.index_of("v0").is_some());
+        assert!(names.index_of("v1").is_some());
+        assert_eq!(names.index_of("ghost"), None);
+        assert_eq!(names.len(), 3);
+        assert!(!names.is_empty());
+    }
+}

@@ -7,6 +7,8 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::{ModelId, ModelTable};
+
 /// What a transition expects back from the target, used by session logic to
 /// decide whether the protocol advanced (the paper's state model "describes
 /// the sequential flow of states that the protocol follows").
@@ -241,6 +243,101 @@ impl StateModel {
     }
 }
 
+/// A [`StateModel`] compiled to dense indices for the session hot loop.
+///
+/// [`StateWalker`] resolves states by name and clones a `String` per
+/// step; at millions of sessions per campaign that is a lookup and an
+/// allocation per transition. Compilation resolves everything once:
+/// states become indices, transition input models become interned
+/// [`ModelId`]s, and [`CompiledStateModel::session_into`] walks a whole
+/// session into a caller-provided scratch buffer without touching the
+/// heap. Dangling targets (a transition into an undefined state) compile
+/// to a terminal sentinel, preserving the walker's stop-on-missing-state
+/// behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::{CompiledStateModel, ModelTable, State, StateModel, Transition};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = StateModel::new("m", "Init")
+///     .state(State::new("Init").transition(Transition::new("Hello", "Done")))
+///     .state(State::new("Done"));
+/// let mut table = ModelTable::new();
+/// let hello = table.intern("Hello");
+/// let compiled = CompiledStateModel::compile(&model, &mut table);
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut plan = Vec::new();
+/// compiled.session_into(&mut rng, 6, &mut plan);
+/// assert_eq!(plan, vec![hello], "Done is terminal");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledStateModel {
+    /// Index of the initial state, or [`CompiledStateModel::UNDEFINED`]
+    /// when the Pit declares an initial state that does not exist.
+    initial: usize,
+    /// Per state: `(input model, next state index)` for each outgoing
+    /// transition, in declaration order.
+    states: Vec<Vec<(ModelId, usize)>>,
+}
+
+impl CompiledStateModel {
+    /// Sentinel for "no such state": out of range of `states`, so a walk
+    /// arriving here terminates on the next step.
+    const UNDEFINED: usize = usize::MAX;
+
+    /// Compiles `model`, interning every transition's input-model name
+    /// into `table`. Duplicate state names resolve to the first
+    /// declaration, matching [`StateModel::state_by_name`].
+    #[must_use]
+    pub fn compile(model: &StateModel, table: &mut ModelTable) -> Self {
+        let index_of = |name: &str| {
+            model
+                .states()
+                .iter()
+                .position(|s| s.name == name)
+                .unwrap_or(Self::UNDEFINED)
+        };
+        CompiledStateModel {
+            initial: index_of(model.initial()),
+            states: model
+                .states()
+                .iter()
+                .map(|state| {
+                    state
+                        .transitions
+                        .iter()
+                        .map(|t| (table.intern(&t.input_model), index_of(&t.next_state)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Walks one session of at most `max_len` uniformly random
+    /// transitions from the initial state, appending each transition's
+    /// input model to `plan`. Draws from the RNG exactly as
+    /// [`StateWalker::session`] does (one range draw per non-terminal
+    /// step), so compiled and interpreted walks produce identical
+    /// sessions from identical RNG states.
+    pub fn session_into(&self, rng: &mut StdRng, max_len: usize, plan: &mut Vec<ModelId>) {
+        let mut current = self.initial;
+        for _ in 0..max_len {
+            let Some(transitions) = self.states.get(current) else {
+                break;
+            };
+            if transitions.is_empty() {
+                break;
+            }
+            let (input, next) = transitions[rng.random_range(0..transitions.len())];
+            plan.push(input);
+            current = next;
+        }
+    }
+}
+
 /// Drives random sessions over a [`StateModel`].
 ///
 /// # Examples
@@ -408,6 +505,45 @@ mod tests {
     #[test]
     fn enumerate_paths_zero_depth_is_empty() {
         assert!(mqtt_like().enumerate_paths(0).is_empty());
+    }
+
+    #[test]
+    fn compiled_session_matches_interpreted_walker() {
+        let model = mqtt_like();
+        let mut table = ModelTable::new();
+        let compiled = CompiledStateModel::compile(&model, &mut table);
+        let mut compiled_rng = StdRng::seed_from_u64(77);
+        let mut walker_rng = StdRng::seed_from_u64(77);
+        let mut walker = StateWalker::new(&model);
+        let mut plan = Vec::new();
+        for _ in 0..50 {
+            plan.clear();
+            compiled.session_into(&mut compiled_rng, 6, &mut plan);
+            let session: Vec<ModelId> = walker
+                .session(&mut walker_rng, 6)
+                .iter()
+                .map(|t| table.get(&t.input_model).expect("interned at compile"))
+                .collect();
+            assert_eq!(plan, session, "identical RNG state, identical walk");
+        }
+    }
+
+    #[test]
+    fn compiled_walk_stops_at_dangling_or_missing_states() {
+        let mut table = ModelTable::new();
+        let dangling = StateModel::new("m", "A")
+            .state(State::new("A").transition(Transition::new("X", "Nowhere")));
+        let compiled = CompiledStateModel::compile(&dangling, &mut table);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut plan = Vec::new();
+        compiled.session_into(&mut rng, 10, &mut plan);
+        assert_eq!(plan.len(), 1, "the dangling step itself is taken, then stop");
+
+        let ghost_initial = StateModel::new("m", "Ghost").state(State::new("A"));
+        let compiled = CompiledStateModel::compile(&ghost_initial, &mut table);
+        plan.clear();
+        compiled.session_into(&mut rng, 10, &mut plan);
+        assert!(plan.is_empty(), "undefined initial state walks nowhere");
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Determinism gate for the session hot-path optimization.
+//!
+//! The expected digests below were captured from the pre-optimization
+//! engine (PR 2 state: per-message `String` plans, fresh `Vec` renders,
+//! cloned seed bytes, `Vec`-backed corpus). The optimized engine must
+//! reproduce every campaign byte-for-byte: same fault set, same coverage
+//! curve, same `Debug` digest. Any divergence in RNG call order, seed
+//! pick order, render output, or mutation results shows up here as a
+//! digest mismatch on at least one of the six protocol subjects.
+
+use cmfuzz::campaign::{run_campaign, CampaignOptions, InstanceSetup};
+use cmfuzz_coverage::Ticks;
+use cmfuzz_fuzzer::pit;
+use cmfuzz_protocols::spec_by_name;
+
+/// FNV-1a 64-bit, so the digest does not depend on `std`'s hasher keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// (subject, final branches, unique faults, FNV-1a of the result Debug).
+///
+/// Captured from the pre-optimization reference implementation; see module
+/// docs. Regenerate only when a change is *supposed* to alter campaign
+/// results, and say so in the changelog.
+const EXPECTED: [(&str, usize, usize, u64); 6] = [
+    ("mosquitto", 46, 0, 0x90c0_b1ed_4d9a_9cbc),
+    ("libcoap", 58, 0, 0x9079_2012_11f2_81f9),
+    ("cyclonedds", 28, 0, 0x65dd_42ae_8b49_caca),
+    ("openssl", 38, 0, 0x1233_2e4f_84d1_50b5),
+    ("qpid", 28, 0, 0x5bfd_fad8_606a_7e85),
+    ("dnsmasq", 40, 1, 0xf7f9_100c_d457_dfa6),
+];
+
+fn campaign_digest(subject: &str) -> (usize, usize, u64) {
+    let spec = spec_by_name(subject).expect("subject exists");
+    // Instance 1 runs a fixed two-message session plan built from the
+    // Pit's first data model, so both the random-walk and the pinned-plan
+    // code paths are under the digest.
+    let parsed = pit::parse(spec.pit_document).expect("pit parses");
+    let first_model = parsed.data_models()[0].name().to_owned();
+    let setups = vec![
+        InstanceSetup::default(),
+        InstanceSetup {
+            session_plans: vec![vec![first_model.clone(), first_model]],
+            ..InstanceSetup::default()
+        },
+    ];
+    let options = CampaignOptions {
+        instances: 2,
+        budget: Ticks::new(600),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(200),
+        seed: 7,
+        seed_sync_every_rounds: Some(2),
+        ..CampaignOptions::default()
+    };
+    let result = run_campaign(&spec, "gate", &setups, &options);
+    let debug = format!("{result:?}");
+    (
+        result.final_branches(),
+        result.faults.unique_count(),
+        fnv1a(debug.as_bytes()),
+    )
+}
+
+#[test]
+fn optimized_engine_matches_preoptimization_reference() {
+    let mut failures = Vec::new();
+    for (subject, branches, faults, digest) in EXPECTED {
+        let (got_branches, got_faults, got_digest) = campaign_digest(subject);
+        if (got_branches, got_faults, got_digest) != (branches, faults, digest) {
+            failures.push(format!(
+                "{subject}: expected (branches {branches}, faults {faults}, digest {digest:#018x}), \
+                 got (branches {got_branches}, faults {got_faults}, digest {got_digest:#018x})"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "campaign results diverged from the pre-optimization reference:\n{}",
+        failures.join("\n")
+    );
+}
