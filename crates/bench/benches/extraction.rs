@@ -4,6 +4,7 @@ use cmfuzz_config_model::extract::{
     extract_cli, extract_json, extract_key_value, extract_xml, extract_yaml,
 };
 use cmfuzz_config_model::extract_model;
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::all_specs;
 use criterion::{criterion_group, criterion_main, Criterion};
 

@@ -3,7 +3,7 @@
 //! virtual-time ⇄ wall-clock mapping in EXPERIMENTS.md).
 
 use cmfuzz_config_model::ResolvedConfig;
-use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine};
+use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine, Target};
 use cmfuzz_protocols::{all_specs, NetworkedTarget};
 use criterion::{criterion_group, criterion_main, Criterion};
 

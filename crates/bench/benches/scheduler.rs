@@ -6,6 +6,7 @@ use cmfuzz::graph::RelationGraph;
 use cmfuzz::relation::{quantify_target, RelationOptions, WeightMode};
 use cmfuzz::schedule::{build_schedule, ScheduleOptions};
 use cmfuzz_config_model::extract_model;
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::spec_by_name;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -20,7 +21,7 @@ fn bench_quantify(c: &mut Criterion) {
                 values_per_entity: 3,
                 mode: WeightMode::Interaction,
             };
-            b.iter(|| quantify_target(&mut *target, &model, &options));
+            b.iter(|| quantify_target(&mut target, &model, &options));
         });
     }
     group.finish();
@@ -56,7 +57,7 @@ fn bench_full_schedule(c: &mut Criterion) {
         let spec = spec_by_name("libcoap").expect("subject exists");
         b.iter_batched(
             || (spec.build)(),
-            |mut target| build_schedule(&mut *target, 4, &ScheduleOptions::default()),
+            |mut target| build_schedule(&mut target, 4, &ScheduleOptions::default()),
             BatchSize::SmallInput,
         );
     });

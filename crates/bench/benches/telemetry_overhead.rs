@@ -5,12 +5,12 @@
 
 use cmfuzz_config_model::ResolvedConfig;
 use cmfuzz_coverage::VirtualClock;
-use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine, Target};
-use cmfuzz_protocols::{spec_by_name, NetworkedTarget};
+use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine};
+use cmfuzz_protocols::{spec_by_name, NetworkedTarget, ProtocolTarget};
 use cmfuzz_telemetry::{EngineTelemetry, Telemetry};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn engine(namespace: &str) -> FuzzEngine<NetworkedTarget<Box<dyn Target + Send>>> {
+fn engine(namespace: &str) -> FuzzEngine<NetworkedTarget<ProtocolTarget>> {
     let spec = spec_by_name("mosquitto").expect("subject exists");
     let parsed = pit::parse(spec.pit_document).expect("pit parses");
     let target = NetworkedTarget::new((spec.build)(), namespace);

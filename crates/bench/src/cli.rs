@@ -1,11 +1,14 @@
 //! Shared command-line handling for the report binaries.
 //!
-//! Every binary accepts the same three flags:
+//! Every binary accepts the same flags:
 //!
 //! * `--scale quick|paper` — experiment scale (overrides the
 //!   `CMFUZZ_SCALE` environment variable);
 //! * `--jobs <n>` — grid worker threads (overrides the `CMFUZZ_JOBS`
 //!   environment variable; default: available parallelism);
+//! * `--link <loss>,<dup>,<reorder>` — impair every campaign's network
+//!   link with the given probabilities in `[0, 1]` (default: perfect
+//!   link);
 //! * `--telemetry <path>` — stream the campaign's structured events to
 //!   `<path>` as JSON Lines, one event per line.
 //!
@@ -17,6 +20,7 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use cmfuzz_coverage::VirtualClock;
+use cmfuzz_netsim::LinkConditions;
 use cmfuzz_telemetry::{JsonlSink, ProgressSink, Telemetry};
 
 use crate::experiments::ExperimentScale;
@@ -41,6 +45,7 @@ pub fn parse_args(experiment: &str) -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale: Option<ExperimentScale> = None;
     let mut jobs: Option<usize> = None;
+    let mut link: Option<LinkConditions> = None;
     let mut jsonl_path: Option<PathBuf> = None;
 
     let mut iter = args.iter();
@@ -57,6 +62,13 @@ pub fn parse_args(experiment: &str) -> Cli {
             "--jobs" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
                 Some(n) if n > 0 => jobs = Some(n),
                 _ => usage_error(experiment, "--jobs expects a positive integer"),
+            },
+            "--link" => match iter.next().and_then(|s| parse_link(s)) {
+                Some(conditions) => link = Some(conditions),
+                None => usage_error(
+                    experiment,
+                    "--link expects <loss>,<dup>,<reorder> probabilities in [0, 1]",
+                ),
             },
             "--telemetry" => match iter.next() {
                 Some(path) => jsonl_path = Some(PathBuf::from(path)),
@@ -82,19 +94,43 @@ pub fn parse_args(experiment: &str) -> Cli {
         }
     }
 
+    let mut scale = scale.unwrap_or_else(ExperimentScale::from_env);
+    if let Some(conditions) = link {
+        scale.link = conditions;
+    }
     Cli {
-        scale: scale.unwrap_or_else(ExperimentScale::from_env),
+        scale,
         jobs: jobs.unwrap_or_else(crate::grid::default_jobs),
         telemetry: builder.build(),
     }
 }
 
+/// Parses a `loss,dup,reorder` probability triple; rejects values outside
+/// `[0, 1]` (rather than silently clamping a typo like `--link 3,0,0`).
+fn parse_link(spec: &str) -> Option<LinkConditions> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    let [loss, dup, reorder] = parts.as_slice() else {
+        return None;
+    };
+    let parse = |s: &str| -> Option<f64> {
+        let p = s.trim().parse::<f64>().ok()?;
+        (0.0..=1.0).contains(&p).then_some(p)
+    };
+    Some(LinkConditions::new(
+        parse(loss)?,
+        parse(dup)?,
+        parse(reorder)?,
+    ))
+}
+
 fn usage(experiment: &str) -> String {
     format!(
-        "usage: {experiment} [--scale quick|paper] [--jobs <n>] [--telemetry <path>]\n\
+        "usage: {experiment} [--scale quick|paper] [--jobs <n>] [--link <loss>,<dup>,<reorder>] [--telemetry <path>]\n\
          \n\
          --scale      experiment scale (default: $CMFUZZ_SCALE or quick)\n\
          --jobs       grid worker threads (default: $CMFUZZ_JOBS or available parallelism)\n\
+         --link       impair every campaign link with the given loss/duplicate/reorder\n\
+         \u{20}            probabilities in [0, 1] (default: 0,0,0 — a perfect link)\n\
          --telemetry  write structured events to <path> as JSON Lines"
     )
 }

@@ -7,13 +7,15 @@
 
 use std::collections::HashMap;
 
-use cmfuzz::baseline::{run_cmfuzz_with, run_peach_with, run_spfuzz_with};
+use cmfuzz::baseline::{try_run_cmfuzz_with, try_run_peach_with, try_run_spfuzz_with};
 use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::metrics::{improvement_pct, speedup, CampaignResult, CoverageCurve};
 use cmfuzz::relation::{RelationOptions, WeightMode};
 use cmfuzz::schedule::{GroupingStrategy, ScheduleOptions};
+use cmfuzz::CampaignError;
 use cmfuzz_coverage::{Ticks, VirtualClock};
 use cmfuzz_fuzzer::FaultKind;
+use cmfuzz_netsim::LinkConditions;
 use cmfuzz_protocols::{all_specs, ProtocolSpec};
 use cmfuzz_telemetry::Telemetry;
 
@@ -37,6 +39,9 @@ pub struct ExperimentScale {
     pub sample_interval: u64,
     /// Saturation window before adaptive configuration mutation.
     pub saturation_window: u64,
+    /// Link impairment applied to every campaign in the experiment
+    /// (perfect by default; the `--link` bench flag sets it).
+    pub link: LinkConditions,
 }
 
 impl ExperimentScale {
@@ -49,6 +54,7 @@ impl ExperimentScale {
             instances: 4,
             sample_interval: 100,
             saturation_window: 300,
+            link: LinkConditions::perfect(),
         }
     }
 
@@ -61,6 +67,7 @@ impl ExperimentScale {
             instances: 4,
             sample_interval: 200,
             saturation_window: 1_000,
+            link: LinkConditions::perfect(),
         }
     }
 
@@ -80,6 +87,7 @@ impl ExperimentScale {
             sample_interval: Ticks::new(self.sample_interval),
             saturation_window: Ticks::new(self.saturation_window),
             seed,
+            link: self.link,
             ..CampaignOptions::default()
         }
     }
@@ -94,9 +102,9 @@ fn progress(telemetry: &Telemetry, message: String) {
 
 /// Runs a fuzzer over all repetitions and returns the per-repetition
 /// results.
-fn repeat<F>(scale: &ExperimentScale, mut run: F) -> Vec<CampaignResult>
+fn repeat<F>(scale: &ExperimentScale, mut run: F) -> Result<Vec<CampaignResult>, CampaignError>
 where
-    F: FnMut(&CampaignOptions) -> CampaignResult,
+    F: FnMut(&CampaignOptions) -> Result<CampaignResult, CampaignError>,
 {
     (0..scale.repetitions)
         .map(|rep| run(&scale.options(0xCAFE + rep * 7919)))
@@ -111,11 +119,11 @@ fn run_fuzzer(
     spec: &ProtocolSpec,
     options: &CampaignOptions,
     telemetry: &Telemetry,
-) -> CampaignResult {
+) -> Result<CampaignResult, CampaignError> {
     match fuzzer {
-        "cmfuzz" => run_cmfuzz_with(spec, &ScheduleOptions::default(), options, telemetry),
-        "peach" => run_peach_with(spec, options, telemetry),
-        "spfuzz" => run_spfuzz_with(spec, options, telemetry),
+        "cmfuzz" => try_run_cmfuzz_with(spec, &ScheduleOptions::default(), options, telemetry),
+        "peach" => try_run_peach_with(spec, options, telemetry),
+        "spfuzz" => try_run_spfuzz_with(spec, options, telemetry),
         other => unreachable!("unknown fuzzer {other}"),
     }
 }
@@ -139,7 +147,7 @@ fn fuzzer_grid(
     scale: &ExperimentScale,
     telemetry: &Telemetry,
     jobs: usize,
-) -> Vec<SubjectRuns> {
+) -> Result<Vec<SubjectRuns>, CampaignError> {
     let mut cells = Vec::new();
     for spec in specs {
         for fuzzer in FUZZERS {
@@ -163,20 +171,22 @@ fn fuzzer_grid(
             }
         }
     }
-    let mut results = grid::run_cells(jobs, cells).into_iter();
+    let collected: Result<Vec<CampaignResult>, CampaignError> =
+        grid::run_cells(jobs, cells).into_iter().collect();
+    let mut results = collected?.into_iter();
     let mut reps = || -> Vec<CampaignResult> {
         (0..scale.repetitions)
             .map(|_| results.next().expect("one result per cell"))
             .collect()
     };
-    specs
+    Ok(specs
         .iter()
         .map(|_| SubjectRuns {
             cmfuzz: reps(),
             peach: reps(),
             spfuzz: reps(),
         })
-        .collect()
+        .collect())
 }
 
 fn mean_branches(results: &[CampaignResult]) -> f64 {
@@ -268,18 +278,39 @@ pub fn table1_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table1
 
 /// [`table1`] executed as a parallel cell grid on `jobs` workers; the
 /// returned rows are identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if any campaign in the grid fails; [`try_table1_with_jobs`]
+/// surfaces the failure instead.
 #[must_use]
 pub fn table1_with_jobs(
     scale: &ExperimentScale,
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Vec<Table1Row> {
+    match try_table1_with_jobs(scale, telemetry, jobs) {
+        Ok(rows) => rows,
+        Err(error) => panic!("table1 failed: {error}"),
+    }
+}
+
+/// [`table1_with_jobs`] with campaign failures surfaced as a typed error.
+///
+/// # Errors
+///
+/// The first [`CampaignError`] any grid cell hit, in cell order.
+pub fn try_table1_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<Vec<Table1Row>, CampaignError> {
     let specs = all_specs();
-    fuzzer_grid("table1", &specs, scale, telemetry, jobs)
+    Ok(fuzzer_grid("table1", &specs, scale, telemetry, jobs)?
         .iter()
         .zip(&specs)
         .map(|(runs, spec)| table1_row_from(spec.name, runs))
-        .collect()
+        .collect())
 }
 
 /// Assembles one Table I row from per-fuzzer repetition results.
@@ -307,6 +338,10 @@ pub fn table1_row(spec: &ProtocolSpec, scale: &ExperimentScale) -> Table1Row {
 }
 
 /// [`table1_row`] with an observability pipeline attached.
+///
+/// # Panics
+///
+/// Panics if any campaign fails.
 #[must_use]
 pub fn table1_row_with(
     spec: &ProtocolSpec,
@@ -314,14 +349,19 @@ pub fn table1_row_with(
     telemetry: &Telemetry,
 ) -> Table1Row {
     progress(telemetry, format!("table1: {}", spec.name));
-    let runs = SubjectRuns {
-        cmfuzz: repeat(scale, |o| {
-            run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
-        }),
-        peach: repeat(scale, |o| run_peach_with(spec, o, telemetry)),
-        spfuzz: repeat(scale, |o| run_spfuzz_with(spec, o, telemetry)),
+    let run_all = || -> Result<SubjectRuns, CampaignError> {
+        Ok(SubjectRuns {
+            cmfuzz: repeat(scale, |o| {
+                try_run_cmfuzz_with(spec, &ScheduleOptions::default(), o, telemetry)
+            })?,
+            peach: repeat(scale, |o| try_run_peach_with(spec, o, telemetry))?,
+            spfuzz: repeat(scale, |o| try_run_spfuzz_with(spec, o, telemetry))?,
+        })
     };
-    table1_row_from(spec.name, &runs)
+    match run_all() {
+        Ok(runs) => table1_row_from(spec.name, &runs),
+        Err(error) => panic!("table1 row failed: {error}"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -357,14 +397,35 @@ pub fn figure4_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Figur
 
 /// [`figure4`] executed as a parallel cell grid on `jobs` workers; the
 /// returned series are identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if any campaign in the grid fails; [`try_figure4_with_jobs`]
+/// surfaces the failure instead.
 #[must_use]
 pub fn figure4_with_jobs(
     scale: &ExperimentScale,
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Vec<Figure4Series> {
+    match try_figure4_with_jobs(scale, telemetry, jobs) {
+        Ok(series) => series,
+        Err(error) => panic!("figure4 failed: {error}"),
+    }
+}
+
+/// [`figure4_with_jobs`] with campaign failures surfaced as a typed error.
+///
+/// # Errors
+///
+/// The first [`CampaignError`] any grid cell hit, in cell order.
+pub fn try_figure4_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<Vec<Figure4Series>, CampaignError> {
     let specs = all_specs();
-    fuzzer_grid("figure4", &specs, scale, telemetry, jobs)
+    Ok(fuzzer_grid("figure4", &specs, scale, telemetry, jobs)?
         .iter()
         .zip(&specs)
         .map(|(runs, spec)| Figure4Series {
@@ -373,7 +434,7 @@ pub fn figure4_with_jobs(
             peach: mean_curve(&runs.peach),
             spfuzz: mean_curve(&runs.spfuzz),
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -409,14 +470,35 @@ pub fn table2_with(scale: &ExperimentScale, telemetry: &Telemetry) -> Vec<Table2
 
 /// [`table2`] executed as a parallel cell grid on `jobs` workers; the
 /// returned rows are identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if any campaign in the grid fails; [`try_table2_with_jobs`]
+/// surfaces the failure instead.
 #[must_use]
 pub fn table2_with_jobs(
     scale: &ExperimentScale,
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Vec<Table2Row> {
+    match try_table2_with_jobs(scale, telemetry, jobs) {
+        Ok(rows) => rows,
+        Err(error) => panic!("table2 failed: {error}"),
+    }
+}
+
+/// [`table2_with_jobs`] with campaign failures surfaced as a typed error.
+///
+/// # Errors
+///
+/// The first [`CampaignError`] any grid cell hit, in cell order.
+pub fn try_table2_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<Vec<Table2Row>, CampaignError> {
     let specs = all_specs();
-    let grid_runs = fuzzer_grid("table2", &specs, scale, telemetry, jobs);
+    let grid_runs = fuzzer_grid("table2", &specs, scale, telemetry, jobs)?;
     let mut rows: Vec<Table2Row> = Vec::new();
     // Row identity → index into `rows`: O(1) lookup per fault instead of a
     // linear scan over every accumulated row, while rows keep their
@@ -450,7 +532,7 @@ pub fn table2_with_jobs(
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------------
@@ -542,12 +624,34 @@ fn ablation_variants() -> Vec<(&'static str, ScheduleOptions, bool)> {
 
 /// [`ablation`] executed as a parallel cell grid on `jobs` workers; the
 /// returned rows are identical for every worker count.
+///
+/// # Panics
+///
+/// Panics if any campaign in the grid fails; [`try_ablation_with_jobs`]
+/// surfaces the failure instead.
 #[must_use]
 pub fn ablation_with_jobs(
     scale: &ExperimentScale,
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Vec<AblationRow> {
+    match try_ablation_with_jobs(scale, telemetry, jobs) {
+        Ok(rows) => rows,
+        Err(error) => panic!("ablation failed: {error}"),
+    }
+}
+
+/// [`ablation_with_jobs`] with campaign failures surfaced as a typed
+/// error.
+///
+/// # Errors
+///
+/// The first [`CampaignError`] any grid cell hit, in cell order.
+pub fn try_ablation_with_jobs(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<Vec<AblationRow>, CampaignError> {
     let subjects = ["mosquitto", "libcoap"];
     let variants = ablation_variants();
     let mut cells = Vec::new();
@@ -569,14 +673,16 @@ pub fn ablation_with_jobs(
                     let scope = telemetry.scoped(VirtualClock::new());
                     scope.telemetry().progress(progress_label);
                     let result =
-                        run_cmfuzz_with(&spec, &schedule_options, &options, scope.telemetry());
+                        try_run_cmfuzz_with(&spec, &schedule_options, &options, scope.telemetry());
                     scope.commit();
                     result
                 });
             }
         }
     }
-    let mut results = grid::run_cells(jobs, cells).into_iter();
+    let collected: Result<Vec<CampaignResult>, CampaignError> =
+        grid::run_cells(jobs, cells).into_iter().collect();
+    let mut results = collected?.into_iter();
     let mut rows = Vec::new();
     for name in subjects {
         for (label, _, _) in &variants {
@@ -590,7 +696,7 @@ pub fn ablation_with_jobs(
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -605,6 +711,7 @@ mod tests {
             instances: 2,
             sample_interval: 100,
             saturation_window: 200,
+            link: LinkConditions::perfect(),
         }
     }
 

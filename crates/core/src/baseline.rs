@@ -5,7 +5,8 @@ use cmfuzz_fuzzer::pit;
 use cmfuzz_protocols::ProtocolSpec;
 use cmfuzz_telemetry::Telemetry;
 
-use crate::campaign::{run_campaign_with_telemetry, CampaignOptions, InstanceSetup};
+use crate::campaign::{try_run_campaign_with_telemetry, CampaignOptions, InstanceSetup};
+use crate::error::CampaignError;
 use crate::metrics::CampaignResult;
 use crate::schedule::{build_schedule_with_telemetry, Schedule, ScheduleOptions};
 
@@ -58,8 +59,28 @@ pub fn peach_setups(instances: usize) -> Vec<InstanceSetup> {
 /// exploits.
 #[must_use]
 pub fn spfuzz_setups(spec: &ProtocolSpec, instances: usize) -> Vec<InstanceSetup> {
+    match try_spfuzz_setups(spec, instances) {
+        Ok(setups) => setups,
+        Err(error) => panic!("{error}"),
+    }
+}
+
+/// [`spfuzz_setups`] with the registry Pit parse surfaced as a typed
+/// error instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::PitParse`] when the subject's Pit document is
+/// broken.
+pub fn try_spfuzz_setups(
+    spec: &ProtocolSpec,
+    instances: usize,
+) -> Result<Vec<InstanceSetup>, CampaignError> {
     const PLAN_LEN: usize = 6;
-    let parsed = pit::parse(spec.pit_document).expect("registry pit documents parse");
+    let parsed = pit::parse(spec.pit_document).map_err(|error| CampaignError::PitParse {
+        target: spec.name.to_owned(),
+        error,
+    })?;
     let mut plans_per_instance: Vec<Vec<Vec<String>>> = vec![Vec::new(); instances];
     if let Some(state_model) = parsed.state_model() {
         // Simple paths stop at the first state revisit; extend each to a
@@ -114,13 +135,13 @@ pub fn spfuzz_setups(spec: &ProtocolSpec, instances: usize) -> Vec<InstanceSetup
             plans_per_instance[i % instances].push(plan.clone());
         }
     }
-    plans_per_instance
+    Ok(plans_per_instance
         .into_iter()
         .map(|session_plans| InstanceSetup {
             session_plans,
             ..InstanceSetup::default()
         })
-        .collect()
+        .collect())
 }
 
 /// Runs the full CMFuzz pipeline on one subject: schedule (extract →
@@ -137,6 +158,11 @@ pub fn run_cmfuzz(
 
 /// [`run_cmfuzz`] with an observability pipeline attached to both the
 /// scheduling phase and the campaign.
+///
+/// # Panics
+///
+/// Panics on any [`CampaignError`]; use [`try_run_cmfuzz_with`] to handle
+/// failures programmatically.
 #[must_use]
 pub fn run_cmfuzz_with(
     spec: &ProtocolSpec,
@@ -144,15 +170,32 @@ pub fn run_cmfuzz_with(
     options: &CampaignOptions,
     telemetry: &Telemetry,
 ) -> CampaignResult {
+    match try_run_cmfuzz_with(spec, schedule_options, options, telemetry) {
+        Ok(result) => result,
+        Err(error) => panic!("campaign failed: {error}"),
+    }
+}
+
+/// [`run_cmfuzz_with`] with typed campaign failures.
+///
+/// # Errors
+///
+/// As [`crate::campaign::try_run_campaign`].
+pub fn try_run_cmfuzz_with(
+    spec: &ProtocolSpec,
+    schedule_options: &ScheduleOptions,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> Result<CampaignResult, CampaignError> {
     let mut scratch = (spec.build)();
     let schedule = build_schedule_with_telemetry(
-        &mut *scratch,
+        &mut scratch,
         options.instances,
         schedule_options,
         telemetry,
     );
     let setups = cmfuzz_setups(&schedule, options.instances);
-    run_campaign_with_telemetry(spec, "cmfuzz", &setups, options, telemetry)
+    try_run_campaign_with_telemetry(spec, "cmfuzz", &setups, options, telemetry)
 }
 
 /// Runs the Peach-parallel baseline on one subject.
@@ -167,16 +210,37 @@ pub fn run_peach(spec: &ProtocolSpec, options: &CampaignOptions) -> CampaignResu
 }
 
 /// [`run_peach`] with an observability pipeline attached.
+///
+/// # Panics
+///
+/// Panics on any [`CampaignError`]; use [`try_run_peach_with`] to handle
+/// failures programmatically.
 #[must_use]
 pub fn run_peach_with(
     spec: &ProtocolSpec,
     options: &CampaignOptions,
     telemetry: &Telemetry,
 ) -> CampaignResult {
+    match try_run_peach_with(spec, options, telemetry) {
+        Ok(result) => result,
+        Err(error) => panic!("campaign failed: {error}"),
+    }
+}
+
+/// [`run_peach_with`] with typed campaign failures.
+///
+/// # Errors
+///
+/// As [`crate::campaign::try_run_campaign`].
+pub fn try_run_peach_with(
+    spec: &ProtocolSpec,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> Result<CampaignResult, CampaignError> {
     let setups = peach_setups(options.instances);
     let mut options = options.clone();
     options.engine.seed_reuse_rate = 0.0;
-    run_campaign_with_telemetry(spec, "peach", &setups, &options, telemetry)
+    try_run_campaign_with_telemetry(spec, "peach", &setups, &options, telemetry)
 }
 
 /// Runs the SPFuzz baseline on one subject (enables seed synchronization
@@ -187,18 +251,39 @@ pub fn run_spfuzz(spec: &ProtocolSpec, options: &CampaignOptions) -> CampaignRes
 }
 
 /// [`run_spfuzz`] with an observability pipeline attached.
+///
+/// # Panics
+///
+/// Panics on any [`CampaignError`]; use [`try_run_spfuzz_with`] to handle
+/// failures programmatically.
 #[must_use]
 pub fn run_spfuzz_with(
     spec: &ProtocolSpec,
     options: &CampaignOptions,
     telemetry: &Telemetry,
 ) -> CampaignResult {
-    let setups = spfuzz_setups(spec, options.instances);
+    match try_run_spfuzz_with(spec, options, telemetry) {
+        Ok(result) => result,
+        Err(error) => panic!("campaign failed: {error}"),
+    }
+}
+
+/// [`run_spfuzz_with`] with typed campaign failures.
+///
+/// # Errors
+///
+/// As [`crate::campaign::try_run_campaign`].
+pub fn try_run_spfuzz_with(
+    spec: &ProtocolSpec,
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> Result<CampaignResult, CampaignError> {
+    let setups = try_spfuzz_setups(spec, options.instances)?;
     let mut options = options.clone();
     if options.seed_sync_every_rounds.is_none() {
         options.seed_sync_every_rounds = Some(4);
     }
-    run_campaign_with_telemetry(spec, "spfuzz", &setups, &options, telemetry)
+    try_run_campaign_with_telemetry(spec, "spfuzz", &setups, &options, telemetry)
 }
 
 #[cfg(test)]

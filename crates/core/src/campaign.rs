@@ -5,13 +5,16 @@ use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 
 use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
-use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, Target};
-use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec};
+use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, StartError};
+use cmfuzz_netsim::LinkConditions;
+use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec, ProtocolTarget};
 use cmfuzz_telemetry::{EngineTelemetry, Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metrics::{CampaignResult, ConfigMutationEvent, CoverageCurve};
+
+pub use crate::error::CampaignError;
 
 /// Options shared by every campaign (CMFuzz and baselines run under
 /// identical budgets — the paper's fairness requirement).
@@ -37,6 +40,13 @@ pub struct CampaignOptions {
     /// thread — byte-identical results, kept as the sequential reference
     /// for determinism tests and for single-core debugging.
     pub worker_pool: bool,
+    /// Link impairment applied to every instance's network namespace
+    /// (loss/duplication/reordering, the paper's lossy IoT radio links).
+    /// The impairment RNG is derived from [`CampaignOptions::seed`] per
+    /// instance, so impaired campaigns stay deterministic. The default
+    /// perfect link never consults that RNG and reproduces the historical
+    /// behaviour bit-for-bit.
+    pub link: LinkConditions,
     /// Base engine tunables (per-instance seeds are derived from `seed`).
     pub engine: EngineConfig,
 }
@@ -51,6 +61,7 @@ impl Default for CampaignOptions {
             seed: 0,
             seed_sync_every_rounds: None,
             worker_pool: true,
+            link: LinkConditions::perfect(),
             engine: EngineConfig::default(),
         }
     }
@@ -73,7 +84,7 @@ pub struct InstanceSetup {
 }
 
 struct Instance {
-    engine: FuzzEngine<NetworkedTarget<Box<dyn Target + Send>>>,
+    engine: FuzzEngine<NetworkedTarget<ProtocolTarget>>,
     config: ResolvedConfig,
     adaptive: Vec<(String, Vec<ConfigValue>)>,
     saturation: SaturationDetector,
@@ -95,8 +106,8 @@ struct Instance {
 ///
 /// # Panics
 ///
-/// Panics if `spec`'s Pit document does not parse (a programming error in
-/// the registry) or `setups` is empty.
+/// Panics on any [`CampaignError`]; use [`try_run_campaign`] to handle
+/// failures programmatically.
 #[must_use]
 pub fn run_campaign(
     spec: &ProtocolSpec,
@@ -105,6 +116,25 @@ pub fn run_campaign(
     options: &CampaignOptions,
 ) -> CampaignResult {
     run_campaign_with_telemetry(spec, fuzzer, setups, options, &Telemetry::disabled())
+}
+
+/// [`run_campaign`], but campaign-level failures come back as a typed
+/// [`CampaignError`] instead of a panic.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::NoInstances`] for an empty `setups`,
+/// [`CampaignError::PitParse`] for a broken registry Pit document,
+/// [`CampaignError::TargetBoot`] when an instance cannot boot its default
+/// configuration, and [`CampaignError::Restart`] when a mid-campaign
+/// restart strands an instance.
+pub fn try_run_campaign(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
+    try_run_campaign_with_telemetry(spec, fuzzer, setups, options, &Telemetry::disabled())
 }
 
 /// [`run_campaign`] with an observability pipeline attached.
@@ -130,50 +160,78 @@ pub fn run_campaign_with_telemetry(
     options: &CampaignOptions,
     telemetry: &Telemetry,
 ) -> CampaignResult {
-    assert!(!setups.is_empty(), "campaign needs at least one instance");
-    let pit = pit::parse(spec.pit_document).expect("registry pit documents parse");
+    match try_run_campaign_with_telemetry(spec, fuzzer, setups, options, telemetry) {
+        Ok(result) => result,
+        Err(error) => panic!("campaign failed: {error}"),
+    }
+}
+
+/// [`run_campaign_with_telemetry`] with typed failures.
+///
+/// # Errors
+///
+/// As [`try_run_campaign`].
+pub fn try_run_campaign_with_telemetry(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+    telemetry: &Telemetry,
+) -> Result<CampaignResult, CampaignError> {
+    if setups.is_empty() {
+        return Err(CampaignError::NoInstances);
+    }
+    let pit = pit::parse(spec.pit_document).map_err(|error| CampaignError::PitParse {
+        target: spec.name.to_owned(),
+        error,
+    })?;
     let engine_telemetry = EngineTelemetry::for_pipeline(telemetry);
 
-    let instances: Vec<Instance> = setups
-        .iter()
-        .enumerate()
-        .map(|(i, setup)| {
-            let target = NetworkedTarget::new(
-                (spec.build)(),
-                &format!("{fuzzer}-{}-{i}", spec.name),
-            );
-            let engine_config = EngineConfig {
-                seed: options
-                    .seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(i as u64),
-                ..options.engine.clone()
-            };
-            let mut engine = FuzzEngine::new(target, pit.clone(), engine_config);
-            let config = if engine.start(&setup.initial_config).is_ok() {
-                setup.initial_config.clone()
-            } else {
-                // A scheduler should never hand out a conflicting startup
-                // configuration, but a campaign must not die if one slips
-                // through: fall back to target defaults.
-                let defaults = ResolvedConfig::new();
-                engine
-                    .start(&defaults)
-                    .expect("targets boot under defaults");
-                defaults
-            };
-            engine.set_session_plans(&setup.session_plans);
-            engine.attach_telemetry(engine_telemetry.clone());
-            Instance {
-                engine,
-                config,
-                adaptive: setup.adaptive_entities.clone(),
-                saturation: SaturationDetector::new(options.saturation_window),
-                rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
-                stalled: false,
-            }
-        })
-        .collect();
+    let mut instances: Vec<Instance> = Vec::with_capacity(setups.len());
+    for (i, setup) in setups.iter().enumerate() {
+        let target = NetworkedTarget::with_conditions(
+            (spec.build)(),
+            &format!("{fuzzer}-{}-{i}", spec.name),
+            options.link,
+            // Distinct from the engine and mutation seed streams; a
+            // perfect link never draws from it.
+            (options.seed ^ 0x4C49_4E4B_F00D_5EED).wrapping_add(i as u64),
+        );
+        let engine_config = EngineConfig {
+            seed: options
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64),
+            ..options.engine.clone()
+        };
+        let mut engine = FuzzEngine::new(target, pit.clone(), engine_config);
+        let config = if engine.start(&setup.initial_config).is_ok() {
+            setup.initial_config.clone()
+        } else {
+            // A scheduler should never hand out a conflicting startup
+            // configuration, but a campaign must not die if one slips
+            // through: fall back to target defaults.
+            let defaults = ResolvedConfig::new();
+            engine
+                .start(&defaults)
+                .map_err(|error| CampaignError::TargetBoot {
+                    target: spec.name.to_owned(),
+                    instance: i,
+                    error,
+                })?;
+            defaults
+        };
+        engine.set_session_plans(&setup.session_plans);
+        engine.attach_telemetry(engine_telemetry.clone());
+        instances.push(Instance {
+            engine,
+            config,
+            adaptive: setup.adaptive_entities.clone(),
+            saturation: SaturationDetector::new(options.saturation_window),
+            rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
+            stalled: false,
+        });
+    }
 
     telemetry.emit(Event::CampaignStarted {
         fuzzer: fuzzer.to_owned(),
@@ -209,6 +267,10 @@ pub fn run_campaign_with_telemetry(
     let round_start = Barrier::new(slots.len() + 1);
     let round_done = Barrier::new(slots.len() + 1);
     let stop = AtomicBool::new(false);
+    // A mid-campaign failure cannot early-return from inside the thread
+    // scope (workers must observe `stop` through the barrier protocol
+    // first), so it is carried out here.
+    let mut failure: Option<CampaignError> = None;
 
     std::thread::scope(|scope| {
         if pool {
@@ -228,7 +290,7 @@ pub fn run_campaign_with_telemetry(
             }
         }
 
-        for round in 0..rounds {
+        'rounds: for round in 0..rounds {
             if pool {
                 round_start.wait();
                 round_done.wait();
@@ -300,20 +362,34 @@ pub fn run_campaign_with_telemetry(
                         instance: index,
                         covered,
                     });
-                    if let Some((entity, value)) = mutate_instance_config(instance) {
-                        mutations_counter.incr();
-                        telemetry.emit(Event::ConfigMutated {
-                            time: now,
-                            instance: index,
-                            entity: entity.clone(),
-                            value: value.render(),
-                        });
-                        config_mutations.push(ConfigMutationEvent {
-                            time: now,
-                            instance: index,
-                            entity,
-                            value,
-                        });
+                    match mutate_instance_config(instance) {
+                        Ok(Some((entity, value))) => {
+                            mutations_counter.incr();
+                            telemetry.emit(Event::ConfigMutated {
+                                time: now,
+                                instance: index,
+                                entity: entity.clone(),
+                                value: value.render(),
+                            });
+                            config_mutations.push(ConfigMutationEvent {
+                                time: now,
+                                instance: index,
+                                entity,
+                                value,
+                            });
+                        }
+                        Ok(None) => {}
+                        Err(error) => {
+                            // The instance lost its running configuration:
+                            // abort the campaign through the normal worker
+                            // shutdown below.
+                            failure = Some(CampaignError::Restart {
+                                target: spec.name.to_owned(),
+                                instance: index,
+                                error,
+                            });
+                            break 'rounds;
+                        }
                     }
                     instance.saturation.reset_window(now);
                 }
@@ -341,6 +417,10 @@ pub fn run_campaign_with_telemetry(
         }
     });
 
+    if let Some(error) = failure {
+        return Err(error);
+    }
+
     let instances: Vec<Instance> = slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
@@ -364,7 +444,7 @@ pub fn run_campaign_with_telemetry(
     });
     telemetry.drain();
 
-    CampaignResult {
+    Ok(CampaignResult {
         fuzzer: fuzzer.to_owned(),
         target: spec.name.to_owned(),
         instances: setups.len(),
@@ -373,7 +453,7 @@ pub fn run_campaign_with_telemetry(
         faults,
         config_mutations,
         stats,
-    }
+    })
 }
 
 /// Locks a slot, recovering from poisoning (a panicked worker already
@@ -419,8 +499,12 @@ fn sync_seeds(instances: &mut [MutexGuard<'_, Instance>]) -> usize {
 /// Picks one adaptive entity and one of its typical values, restarting the
 /// instance's target under the mutated configuration. Conflicting picks
 /// (failed starts) are retried a few times and abandoned otherwise — the
-/// previous configuration keeps running. Returns the applied mutation.
-fn mutate_instance_config(instance: &mut Instance) -> Option<(String, ConfigValue)> {
+/// previous configuration keeps running. Returns the applied mutation, or
+/// an error if a known-good configuration refuses to boot again (the
+/// instance would be dead with budget remaining).
+fn mutate_instance_config(
+    instance: &mut Instance,
+) -> Result<Option<(String, ConfigValue)>, StartError> {
     for _attempt in 0..4 {
         let (name, values) = &instance.adaptive[instance.rng.random_range(0..instance.adaptive.len())];
         if values.is_empty() {
@@ -434,21 +518,19 @@ fn mutate_instance_config(instance: &mut Instance) -> Option<(String, ConfigValu
         candidate.set(name, value.clone());
         if instance.engine.start(&candidate).is_ok() {
             instance.config = candidate;
-            return Some((name.clone(), value));
+            return Ok(Some((name.clone(), value)));
         }
         // Failed start: the engine is left unstarted; restore the running
         // configuration before trying another value.
-        instance
-            .engine
-            .start(&instance.config)
-            .expect("previous configuration boots");
+        instance.engine.start(&instance.config)?;
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cmfuzz_fuzzer::Target;
     use cmfuzz_protocols::spec_by_name;
 
     fn small_options(seed: u64) -> CampaignOptions {
@@ -598,6 +680,33 @@ mod tests {
             "adaptive {} <= static {}",
             adaptive_result.final_branches(),
             static_result.final_branches()
+        );
+    }
+
+    #[test]
+    fn empty_setups_are_a_typed_error() {
+        let spec = spec_by_name("dnsmasq").unwrap();
+        let err = try_run_campaign(&spec, "peach", &[], &small_options(1))
+            .expect_err("no instances to run");
+        assert_eq!(err, CampaignError::NoInstances);
+    }
+
+    #[test]
+    fn impaired_campaigns_are_deterministic_and_cost_coverage() {
+        let spec = spec_by_name("libcoap").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let lossy = CampaignOptions {
+            link: LinkConditions::new(0.3, 0.1, 0.1),
+            ..small_options(9)
+        };
+        let a = run_campaign(&spec, "peach", &setups, &lossy);
+        let b = run_campaign(&spec, "peach", &setups, &lossy);
+        assert_eq!(a.curve, b.curve, "same seed, same impairment pattern");
+        assert!(a.final_branches() > 0, "fuzzing survives the lossy link");
+        let perfect = run_campaign(&spec, "peach", &setups, &small_options(9));
+        assert_ne!(
+            a.curve, perfect.curve,
+            "a 30% lossy link must actually change what the campaign sees"
         );
     }
 

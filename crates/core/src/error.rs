@@ -1,0 +1,138 @@
+//! Typed campaign failure taxonomy.
+//!
+//! A campaign can only die in a handful of ways, and each one used to be a
+//! panic buried in the runner. [`CampaignError`] names them so callers —
+//! the experiment grid, the bench binaries — can report a readable message
+//! and exit nonzero instead of unwinding across a worker pool.
+
+use std::error::Error;
+use std::fmt;
+
+use cmfuzz_fuzzer::pit::ParsePitError;
+use cmfuzz_fuzzer::StartError;
+
+/// Why a campaign could not run to completion.
+///
+/// Everything here is a harness-level failure: a *target* refusing a
+/// conflicting configuration is normal CMFuzz data and never surfaces as a
+/// `CampaignError` (the runner falls back or retries), but a target that
+/// cannot even boot its defaults, or a registry Pit document that does not
+/// parse, means no meaningful result exists.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz::campaign::{try_run_campaign, CampaignOptions};
+/// use cmfuzz::CampaignError;
+/// use cmfuzz_protocols::spec_by_name;
+///
+/// let spec = spec_by_name("dnsmasq").expect("subject exists");
+/// let err = try_run_campaign(&spec, "peach", &[], &CampaignOptions::default())
+///     .expect_err("no instances");
+/// assert_eq!(err, CampaignError::NoInstances);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The scheduler handed the runner an empty set of instance setups.
+    NoInstances,
+    /// The registry Pit document for the subject does not parse.
+    PitParse {
+        /// Subject whose document is broken.
+        target: String,
+        /// The parse failure.
+        error: ParsePitError,
+    },
+    /// An instance's target refused to boot even under its default
+    /// configuration, so the instance can never fuzz anything.
+    TargetBoot {
+        /// Subject that refused to boot.
+        target: String,
+        /// Index of the instance whose boot failed.
+        instance: usize,
+        /// The startup failure.
+        error: StartError,
+    },
+    /// A mid-campaign restart could not restore an instance's previously
+    /// running configuration, leaving it dead with budget remaining.
+    Restart {
+        /// Subject that refused to restart.
+        target: String,
+        /// Index of the instance whose restart failed.
+        instance: usize,
+        /// The startup failure.
+        error: StartError,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::NoInstances => {
+                write!(f, "campaign needs at least one instance")
+            }
+            CampaignError::PitParse { target, error } => {
+                write!(f, "pit document for {target} does not parse: {error}")
+            }
+            CampaignError::TargetBoot {
+                target,
+                instance,
+                error,
+            } => write!(
+                f,
+                "{target} instance {instance} failed to boot under defaults: {error}"
+            ),
+            CampaignError::Restart {
+                target,
+                instance,
+                error,
+            } => write!(
+                f,
+                "{target} instance {instance} could not restore its running configuration: {error}"
+            ),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::NoInstances => None,
+            CampaignError::PitParse { error, .. } => Some(error),
+            CampaignError::TargetBoot { error, .. } | CampaignError::Restart { error, .. } => {
+                Some(error)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_target_and_instance() {
+        let err = CampaignError::TargetBoot {
+            target: "mosquitto".into(),
+            instance: 3,
+            error: StartError::new("no listener"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("mosquitto"));
+        assert!(msg.contains("instance 3"));
+        assert!(msg.contains("no listener"));
+        assert!(err.source().is_some(), "inner StartError is the source");
+    }
+
+    #[test]
+    fn variants_compare_structurally() {
+        assert_eq!(CampaignError::NoInstances, CampaignError::NoInstances);
+        let restart = CampaignError::Restart {
+            target: "qpid".into(),
+            instance: 0,
+            error: StartError::new("x"),
+        };
+        assert_ne!(restart, CampaignError::NoInstances);
+        assert!(restart.to_string().contains("could not restore"));
+        assert!(CampaignError::NoInstances.source().is_none());
+    }
+}

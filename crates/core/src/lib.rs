@@ -55,7 +55,10 @@
 pub mod allocation;
 pub mod baseline;
 pub mod campaign;
+mod error;
 pub mod graph;
+
+pub use error::CampaignError;
 pub mod metrics;
 pub mod relation;
 pub mod schedule;

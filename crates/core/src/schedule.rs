@@ -77,7 +77,7 @@ pub struct Schedule {
 ///
 /// let spec = spec_by_name("dnsmasq").expect("subject exists");
 /// let mut target = (spec.build)();
-/// let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+/// let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
 /// assert_eq!(schedule.plans.len(), 4);
 /// ```
 pub fn build_schedule<T: Target + ?Sized>(
@@ -241,7 +241,7 @@ mod tests {
     fn schedule_covers_all_mutable_entities_once() {
         let spec = spec_by_name("mosquitto").unwrap();
         let mut target = (spec.build)();
-        let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
         assert_eq!(schedule.plans.len(), 4);
 
         let mut assigned: Vec<&String> =
@@ -256,7 +256,7 @@ mod tests {
     fn every_plan_boots_its_target() {
         let spec = spec_by_name("libcoap").unwrap();
         let mut target = (spec.build)();
-        let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
         for plan in &schedule.plans {
             let map = CoverageMap::new(target.branch_count());
             target
@@ -269,7 +269,7 @@ mod tests {
     fn chosen_configs_beat_plain_defaults_in_union() {
         let spec = spec_by_name("mosquitto").unwrap();
         let mut target = (spec.build)();
-        let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
 
         let startup_union = |configs: &[ResolvedConfig], target: &mut dyn Target| -> usize {
             let map = CoverageMap::new(target.branch_count());
@@ -284,8 +284,8 @@ mod tests {
             .map(|p| p.initial_config.clone())
             .collect();
         let defaults = vec![ResolvedConfig::new(); 4];
-        let ours = startup_union(&scheduled, &mut *target);
-        let stock = startup_union(&defaults, &mut *target);
+        let ours = startup_union(&scheduled, &mut target);
+        let stock = startup_union(&defaults, &mut target);
         assert!(
             ours > stock,
             "scheduled configs ({ours}) must beat defaults ({stock}) at startup"
@@ -300,7 +300,7 @@ mod tests {
             grouping: GroupingStrategy::Random(7),
             ..ScheduleOptions::default()
         };
-        let schedule = build_schedule(&mut *target, 4, &options);
+        let schedule = build_schedule(&mut target, 4, &options);
         assert_eq!(schedule.graph.node_count(), 0, "no graph built");
         let total: usize = schedule.plans.iter().map(|p| p.entities.len()).sum();
         assert_eq!(total, schedule.model.mutable_entities().count());
@@ -314,7 +314,7 @@ mod tests {
         let mut target = (spec.build)();
         let telemetry = Telemetry::builder(VirtualClock::new()).build();
         let schedule =
-            build_schedule_with_telemetry(&mut *target, 4, &ScheduleOptions::default(), &telemetry);
+            build_schedule_with_telemetry(&mut target, 4, &ScheduleOptions::default(), &telemetry);
 
         let probes = telemetry
             .metrics_snapshot()
@@ -340,7 +340,7 @@ mod tests {
     fn single_instance_schedule() {
         let spec = spec_by_name("qpid").unwrap();
         let mut target = (spec.build)();
-        let schedule = build_schedule(&mut *target, 1, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 1, &ScheduleOptions::default());
         assert_eq!(schedule.plans.len(), 1);
     }
 
@@ -348,7 +348,7 @@ mod tests {
     fn groups_differ_across_instances() {
         let spec = spec_by_name("mosquitto").unwrap();
         let mut target = (spec.build)();
-        let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
         // No two plans share an entity.
         for (i, a) in schedule.plans.iter().enumerate() {
             for b in schedule.plans.iter().skip(i + 1) {

@@ -57,4 +57,4 @@ pub use render_program::{FieldNameTable, RenderProgram};
 pub use state_model::{
     CompiledStateModel, ResponseClass, State, StateModel, StateWalker, Transition,
 };
-pub use target::{StartError, Target, TargetResponse};
+pub use target::{StartError, StartErrorKind, Target, TargetResponse};

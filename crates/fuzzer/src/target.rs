@@ -8,32 +8,83 @@ use cmfuzz_coverage::CoverageProbe;
 
 use crate::Fault;
 
+/// What layer of the execution stack refused to start.
+///
+/// A [`StartError`] used to be a bare message; schedulers and campaign
+/// runners need to distinguish *configuration* conflicts (expected,
+/// first-class data — they shape the relation graph) from *transport*
+/// failures (a bug or resource exhaustion in the harness itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartErrorKind {
+    /// The configuration values conflict (the paper's "conflicting
+    /// relations ... may cause startup failures"). Expected and handled:
+    /// these pairs simply get no relation edge.
+    ConfigConflict,
+    /// The transport under the target failed to come up (socket bind,
+    /// link setup). Never expected during a healthy campaign.
+    Transport,
+}
+
+impl fmt::Display for StartErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartErrorKind::ConfigConflict => write!(f, "config-conflict"),
+            StartErrorKind::Transport => write!(f, "transport"),
+        }
+    }
+}
+
 /// Error returned when a target fails to start under a configuration.
 ///
 /// Startup failures are first-class data for CMFuzz: a configuration pair
 /// whose every value combination fails to start yields zero startup
-/// coverage and therefore no relation edge (paper §III-B1).
+/// coverage and therefore no relation edge (paper §III-B1). The
+/// [`StartErrorKind`] distinguishes those expected conflicts from harness
+/// faults in the transport layer.
 ///
 /// # Examples
 ///
 /// ```
-/// use cmfuzz_fuzzer::StartError;
+/// use cmfuzz_fuzzer::{StartError, StartErrorKind};
 ///
 /// let err = StartError::new("tls enabled but no cipher available");
 /// assert_eq!(err.to_string(), "target failed to start: tls enabled but no cipher available");
+/// assert_eq!(err.kind(), StartErrorKind::ConfigConflict);
+///
+/// let err = StartError::transport("bind failed: address in use");
+/// assert_eq!(err.kind(), StartErrorKind::Transport);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StartError {
+    kind: StartErrorKind,
     reason: String,
 }
 
 impl StartError {
-    /// Creates a startup error with a human-readable reason.
+    /// Creates a configuration-conflict startup error with a
+    /// human-readable reason (the overwhelmingly common case: every
+    /// protocol server reports conflicting configurations this way).
     #[must_use]
     pub fn new(reason: &str) -> Self {
         StartError {
+            kind: StartErrorKind::ConfigConflict,
             reason: reason.to_owned(),
         }
+    }
+
+    /// Creates a transport-layer startup error.
+    #[must_use]
+    pub fn transport(reason: &str) -> Self {
+        StartError {
+            kind: StartErrorKind::Transport,
+            reason: reason.to_owned(),
+        }
+    }
+
+    /// Which layer refused to start.
+    #[must_use]
+    pub fn kind(&self) -> StartErrorKind {
+        self.kind
     }
 
     /// The failure reason.
@@ -161,7 +212,23 @@ mod tests {
     fn start_error_accessors() {
         let e = StartError::new("conflict");
         assert_eq!(e.reason(), "conflict");
+        assert_eq!(e.kind(), StartErrorKind::ConfigConflict);
         assert!(e.to_string().contains("conflict"));
+    }
+
+    #[test]
+    fn transport_start_errors_carry_their_kind() {
+        let e = StartError::transport("bind failed");
+        assert_eq!(e.kind(), StartErrorKind::Transport);
+        assert_eq!(e.reason(), "bind failed");
+        // Kind participates in identity: the same message at a different
+        // layer is a different error.
+        assert_ne!(e, StartError::new("bind failed"));
+        assert_eq!(StartErrorKind::Transport.to_string(), "transport");
+        assert_eq!(
+            StartErrorKind::ConfigConflict.to_string(),
+            "config-conflict"
+        );
     }
 
     #[test]

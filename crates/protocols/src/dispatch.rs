@@ -1,0 +1,221 @@
+//! Statically-dispatched union of the six protocol servers.
+
+use std::fmt;
+
+use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
+use cmfuzz_coverage::CoverageProbe;
+use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
+
+use crate::{Amqp, Coap, Dds, Dns, Dtls, Mqtt};
+
+/// One of the six evaluation subjects, dispatched by `match` instead of a
+/// vtable.
+///
+/// Campaign instances used to run
+/// `FuzzEngine<NetworkedTarget<Box<dyn Target + Send>>>` — every
+/// `handle` in the session hot loop paid a heap indirection plus a
+/// virtual call. The subject set is closed (the paper evaluates exactly
+/// these six servers), so an enum gives the compiler a direct call — and
+/// inlining opportunities — at every dispatch site, and `ProtocolSpec`
+/// stays `Copy` because the builder remains a plain `fn` pointer.
+///
+/// Bring-your-own-protocol users keep two doors: [`FuzzEngine`] and
+/// [`NetworkedTarget`] are still generic over any [`Target`], and the
+/// [`ProtocolTarget::Custom`] variant carries a boxed downstream target
+/// through the [`ProtocolSpec`]-based campaign API (paying the old
+/// virtual call only on that variant).
+///
+/// [`FuzzEngine`]: cmfuzz_fuzzer::FuzzEngine
+/// [`NetworkedTarget`]: crate::NetworkedTarget
+/// [`ProtocolSpec`]: crate::ProtocolSpec
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::Target;
+/// use cmfuzz_protocols::{Mqtt, ProtocolTarget};
+///
+/// let target = ProtocolTarget::from(Mqtt::new());
+/// assert_eq!(target.name(), "mosquitto");
+/// ```
+pub enum ProtocolTarget {
+    /// The simulated Mosquitto MQTT broker.
+    Mqtt(Mqtt),
+    /// The simulated libcoap CoAP server.
+    Coap(Coap),
+    /// The simulated CycloneDDS participant.
+    Dds(Dds),
+    /// The simulated OpenSSL DTLS endpoint.
+    Dtls(Dtls),
+    /// The simulated Qpid AMQP broker.
+    Amqp(Amqp),
+    /// The simulated Dnsmasq DNS forwarder.
+    Dns(Dns),
+    /// A downstream target outside the paper's subject set; the escape
+    /// hatch that lets custom protocols ride the campaign API.
+    Custom(Box<dyn Target + Send>),
+}
+
+impl ProtocolTarget {
+    /// Wraps a downstream target for use in a
+    /// [`ProtocolSpec`](crate::ProtocolSpec) builder.
+    #[must_use]
+    pub fn custom<T: Target + Send + 'static>(target: T) -> Self {
+        ProtocolTarget::Custom(Box::new(target))
+    }
+}
+
+/// Dispatches one `&self`/`&mut self` method call to the wrapped server.
+macro_rules! each_server {
+    ($self:expr, $server:ident => $body:expr) => {
+        match $self {
+            ProtocolTarget::Mqtt($server) => $body,
+            ProtocolTarget::Coap($server) => $body,
+            ProtocolTarget::Dds($server) => $body,
+            ProtocolTarget::Dtls($server) => $body,
+            ProtocolTarget::Amqp($server) => $body,
+            ProtocolTarget::Dns($server) => $body,
+            ProtocolTarget::Custom($server) => $body,
+        }
+    };
+}
+
+impl fmt::Debug for ProtocolTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolTarget::Mqtt(s) => f.debug_tuple("Mqtt").field(s).finish(),
+            ProtocolTarget::Coap(s) => f.debug_tuple("Coap").field(s).finish(),
+            ProtocolTarget::Dds(s) => f.debug_tuple("Dds").field(s).finish(),
+            ProtocolTarget::Dtls(s) => f.debug_tuple("Dtls").field(s).finish(),
+            ProtocolTarget::Amqp(s) => f.debug_tuple("Amqp").field(s).finish(),
+            // A trait object carries no `Debug` bound; its name is the most
+            // useful stable identifier.
+            ProtocolTarget::Custom(s) => f.debug_tuple("Custom").field(&s.name()).finish(),
+            ProtocolTarget::Dns(s) => f.debug_tuple("Dns").field(s).finish(),
+        }
+    }
+}
+
+impl Target for ProtocolTarget {
+    fn name(&self) -> &str {
+        each_server!(self, s => s.name())
+    }
+
+    fn branch_count(&self) -> usize {
+        each_server!(self, s => s.branch_count())
+    }
+
+    fn config_space(&self) -> ConfigSpace {
+        each_server!(self, s => s.config_space())
+    }
+
+    fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
+        each_server!(self, s => s.start(config, probe))
+    }
+
+    fn begin_session(&mut self) {
+        each_server!(self, s => s.begin_session());
+    }
+
+    fn handle(&mut self, input: &[u8]) -> TargetResponse {
+        each_server!(self, s => s.handle(input))
+    }
+}
+
+impl From<Mqtt> for ProtocolTarget {
+    fn from(server: Mqtt) -> Self {
+        ProtocolTarget::Mqtt(server)
+    }
+}
+
+impl From<Coap> for ProtocolTarget {
+    fn from(server: Coap) -> Self {
+        ProtocolTarget::Coap(server)
+    }
+}
+
+impl From<Dds> for ProtocolTarget {
+    fn from(server: Dds) -> Self {
+        ProtocolTarget::Dds(server)
+    }
+}
+
+impl From<Dtls> for ProtocolTarget {
+    fn from(server: Dtls) -> Self {
+        ProtocolTarget::Dtls(server)
+    }
+}
+
+impl From<Amqp> for ProtocolTarget {
+    fn from(server: Amqp) -> Self {
+        ProtocolTarget::Amqp(server)
+    }
+}
+
+impl From<Dns> for ProtocolTarget {
+    fn from(server: Dns) -> Self {
+        ProtocolTarget::Dns(server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_coverage::CoverageMap;
+
+    #[test]
+    fn enum_dispatch_matches_the_wrapped_server() {
+        let mut direct = Dns::new();
+        let mut wrapped = ProtocolTarget::from(Dns::new());
+        assert_eq!(wrapped.name(), direct.name());
+        assert_eq!(wrapped.branch_count(), direct.branch_count());
+
+        let map_a = CoverageMap::new(direct.branch_count());
+        let map_b = CoverageMap::new(wrapped.branch_count());
+        direct.start(&ResolvedConfig::new(), map_a.probe()).unwrap();
+        wrapped.start(&ResolvedConfig::new(), map_b.probe()).unwrap();
+        assert_eq!(map_a.covered_count(), map_b.covered_count());
+
+        direct.begin_session();
+        wrapped.begin_session();
+        let query = [0u8; 12];
+        assert_eq!(direct.handle(&query), wrapped.handle(&query));
+    }
+
+    #[test]
+    fn every_variant_is_constructible_and_named() {
+        let targets: Vec<ProtocolTarget> = vec![
+            Mqtt::new().into(),
+            Coap::new().into(),
+            Dds::new().into(),
+            Dtls::new().into(),
+            Amqp::new().into(),
+            Dns::new().into(),
+        ];
+        let names: Vec<&str> = targets.iter().map(Target::name).collect();
+        assert_eq!(
+            names,
+            vec!["mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq"]
+        );
+    }
+
+    #[test]
+    fn custom_variant_carries_a_downstream_target() {
+        let mut custom = ProtocolTarget::custom(Dns::new());
+        assert!(matches!(custom, ProtocolTarget::Custom(_)));
+        assert_eq!(custom.name(), "dnsmasq");
+        assert_eq!(format!("{custom:?}"), "Custom(\"dnsmasq\")");
+
+        let map = CoverageMap::new(custom.branch_count());
+        custom.start(&ResolvedConfig::new(), map.probe()).unwrap();
+        custom.begin_session();
+        let mut reference = ProtocolTarget::from(Dns::new());
+        let map_b = CoverageMap::new(reference.branch_count());
+        reference
+            .start(&ResolvedConfig::new(), map_b.probe())
+            .unwrap();
+        reference.begin_session();
+        let query = [0u8; 12];
+        assert_eq!(custom.handle(&query), reference.handle(&query));
+    }
+}

@@ -42,17 +42,21 @@ mod amqp;
 mod coap;
 mod common;
 mod dds;
+mod dispatch;
 mod dns;
 mod dtls;
 mod mqtt;
 mod net;
 mod spec;
+mod transport;
 
 pub use amqp::Amqp;
 pub use coap::Coap;
 pub use dds::Dds;
+pub use dispatch::ProtocolTarget;
 pub use dns::Dns;
 pub use dtls::Dtls;
 pub use mqtt::Mqtt;
 pub use net::NetworkedTarget;
 pub use spec::{all_specs, spec_by_name, ProtocolSpec};
+pub use transport::{DatagramLink, DirectLink, Transport};

@@ -3,17 +3,22 @@
 use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
-use cmfuzz_netsim::{Addr, DatagramSocket, Network};
+use cmfuzz_netsim::{LinkConditions, Network};
 
-/// Runs a protocol target behind its own isolated [`Network`], the
-/// reproduction of the paper's per-instance Linux network namespace.
+use crate::transport::{DatagramLink, Transport};
+
+/// Runs a protocol target behind a [`Transport`], by default its own
+/// isolated [`Network`] — the reproduction of the paper's per-instance
+/// Linux network namespace.
 ///
-/// The wrapper binds the server at a well-known address inside the
+/// The transport binds the server at a well-known address inside the
 /// namespace and a fuzzing client next to it; [`Target::handle`] routes the
 /// input through the simulated network in both directions, so every fuzzed
-/// message actually crosses the (namespaced) wire. Two instances wrapping
-/// the same protocol can never observe each other's traffic because their
-/// `Network`s are disjoint.
+/// message actually crosses the (namespaced, possibly impaired) wire. Two
+/// instances wrapping the same protocol can never observe each other's
+/// traffic because their `Network`s are disjoint. Benchmarks that want to
+/// measure the engine rather than the wire swap in a
+/// [`DirectLink`](crate::DirectLink) via [`NetworkedTarget::with_transport`].
 ///
 /// # Examples
 ///
@@ -31,32 +36,50 @@ use cmfuzz_netsim::{Addr, DatagramSocket, Network};
 /// # Ok::<(), cmfuzz_fuzzer::StartError>(())
 /// ```
 #[derive(Debug)]
-pub struct NetworkedTarget<T: Target> {
+pub struct NetworkedTarget<T: Target, L: Transport = DatagramLink> {
     inner: T,
-    network: Network,
-    server: Option<DatagramSocket>,
-    client: Option<DatagramSocket>,
+    link: L,
 }
 
-const SERVER_ADDR: Addr = Addr::new(1, 9000);
-const CLIENT_ADDR: Addr = Addr::new(2, 40000);
-
-impl<T: Target> NetworkedTarget<T> {
-    /// Wraps `inner` in a fresh namespace named after the instance.
+impl<T: Target> NetworkedTarget<T, DatagramLink> {
+    /// Wraps `inner` in a fresh perfect-link namespace named after the
+    /// instance.
     #[must_use]
     pub fn new(inner: T, namespace: &str) -> Self {
         NetworkedTarget {
             inner,
-            network: Network::new(namespace),
-            server: None,
-            client: None,
+            link: DatagramLink::new(namespace),
+        }
+    }
+
+    /// Wraps `inner` in a namespace whose link is impaired by
+    /// `conditions`, deterministically driven by `seed`.
+    #[must_use]
+    pub fn with_conditions(
+        inner: T,
+        namespace: &str,
+        conditions: LinkConditions,
+        seed: u64,
+    ) -> Self {
+        NetworkedTarget {
+            inner,
+            link: DatagramLink::with_conditions(namespace, conditions, seed),
         }
     }
 
     /// The namespace this instance runs in.
     #[must_use]
     pub fn network(&self) -> &Network {
-        &self.network
+        self.link.network()
+    }
+}
+
+impl<T: Target, L: Transport> NetworkedTarget<T, L> {
+    /// Wraps `inner` behind an arbitrary transport (e.g. a
+    /// [`DirectLink`](crate::DirectLink) for in-process benchmarking).
+    #[must_use]
+    pub fn with_transport(inner: T, link: L) -> Self {
+        NetworkedTarget { inner, link }
     }
 
     /// The wrapped target.
@@ -64,9 +87,15 @@ impl<T: Target> NetworkedTarget<T> {
     pub fn inner(&self) -> &T {
         &self.inner
     }
+
+    /// The transport the fuzzed traffic crosses.
+    #[must_use]
+    pub fn transport(&self) -> &L {
+        &self.link
+    }
 }
 
-impl<T: Target> Target for NetworkedTarget<T> {
+impl<T: Target, L: Transport> Target for NetworkedTarget<T, L> {
     fn name(&self) -> &str {
         self.inner.name()
     }
@@ -80,22 +109,14 @@ impl<T: Target> Target for NetworkedTarget<T> {
     }
 
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
+        // Tear the link down before booting the server: if the boot fails,
+        // nothing may stay bound at the well-known addresses, so a failed
+        // restart leaves the instance fully inert instead of half-alive on
+        // the previous configuration's sockets.
+        self.link.close();
         self.inner.start(config, probe)?;
-        // (Re)bind the sockets after a successful boot, like a daemon
-        // opening its listening socket last.
-        self.server = None;
-        self.client = None;
-        let server = self
-            .network
-            .bind_datagram(SERVER_ADDR)
-            .map_err(|e| StartError::new(&format!("bind failed: {e}")))?;
-        let client = self
-            .network
-            .bind_datagram(CLIENT_ADDR)
-            .map_err(|e| StartError::new(&format!("client bind failed: {e}")))?;
-        self.server = Some(server);
-        self.client = Some(client);
-        Ok(())
+        // Like a daemon opening its listening socket last.
+        self.link.open()
     }
 
     fn begin_session(&mut self) {
@@ -103,24 +124,21 @@ impl<T: Target> Target for NetworkedTarget<T> {
     }
 
     fn handle(&mut self, input: &[u8]) -> TargetResponse {
-        let (Some(server), Some(client)) = (&self.server, &self.client) else {
-            return TargetResponse::empty();
-        };
         // Client → wire → server.
-        if client.send_to(SERVER_ADDR, input).is_err() {
+        if !self.link.client_send(input) {
             return TargetResponse::empty();
         }
-        let Some(datagram) = server.try_recv() else {
+        let Some(payload) = self.link.server_recv() else {
             return TargetResponse::empty();
         };
-        let response = self.inner.handle(&datagram.payload);
+        let response = self.inner.handle(&payload);
         // Server → wire → client (crashes produce no reply, like a dead
         // daemon).
         if !response.is_crash() && !response.bytes.is_empty() {
-            let _ = server.send_to(datagram.src, &response.bytes);
-            if let Some(reply) = client.try_recv() {
+            let _ = self.link.server_send(&response.bytes);
+            if let Some(reply) = self.link.client_recv() {
                 return TargetResponse {
-                    bytes: reply.payload,
+                    bytes: reply,
                     fault: None,
                 };
             }
@@ -132,12 +150,24 @@ impl<T: Target> Target for NetworkedTarget<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{DirectLink, SERVER_ADDR};
     use cmfuzz_coverage::CoverageMap;
     use cmfuzz_fuzzer::{Fault, FaultKind};
+    use cmfuzz_netsim::Addr;
 
     /// Echo target used to test the wrapper plumbing.
     struct Echo {
         crash_on: Option<u8>,
+        fail_next_start: bool,
+    }
+
+    impl Echo {
+        fn new(crash_on: Option<u8>) -> Self {
+            Echo {
+                crash_on,
+                fail_next_start: false,
+            }
+        }
     }
 
     impl Target for Echo {
@@ -151,6 +181,10 @@ mod tests {
             ConfigSpace::default()
         }
         fn start(&mut self, _: &ResolvedConfig, _: CoverageProbe) -> Result<(), StartError> {
+            if self.fail_next_start {
+                self.fail_next_start = false;
+                return Err(StartError::new("conflicting configuration"));
+            }
             Ok(())
         }
         fn begin_session(&mut self) {}
@@ -173,15 +207,23 @@ mod tests {
 
     #[test]
     fn round_trips_through_the_network() {
-        let mut t = started(Echo { crash_on: None });
+        let mut t = started(Echo::new(None));
         let response = t.handle(b"ping");
         assert_eq!(response.bytes, b"ping");
         assert!(!response.is_crash());
     }
 
     #[test]
+    fn round_trips_through_a_direct_link() {
+        let mut t = NetworkedTarget::with_transport(Echo::new(None), DirectLink::new());
+        let map = CoverageMap::new(1);
+        t.start(&ResolvedConfig::new(), map.probe()).expect("starts");
+        assert_eq!(t.handle(b"ping").bytes, b"ping");
+    }
+
+    #[test]
     fn crashes_pass_through_without_reply() {
-        let mut t = started(Echo { crash_on: Some(0xFF) });
+        let mut t = started(Echo::new(Some(0xFF)));
         let response = t.handle(&[0xFF, 1, 2]);
         assert!(response.is_crash());
         assert!(response.bytes.is_empty());
@@ -189,13 +231,13 @@ mod tests {
 
     #[test]
     fn handle_before_start_is_inert() {
-        let mut t = NetworkedTarget::new(Echo { crash_on: None }, "ns");
+        let mut t = NetworkedTarget::new(Echo::new(None), "ns");
         assert_eq!(t.handle(b"x"), TargetResponse::empty());
     }
 
     #[test]
     fn restart_rebinds_sockets() {
-        let mut t = started(Echo { crash_on: None });
+        let mut t = started(Echo::new(None));
         let map = CoverageMap::new(1);
         t.start(&ResolvedConfig::new(), map.probe())
             .expect("restart succeeds despite prior binds");
@@ -203,9 +245,51 @@ mod tests {
     }
 
     #[test]
+    fn failed_restart_leaves_no_stale_sockets_bound() {
+        // Regression: a failed inner restart used to leave the previous
+        // configuration's sockets bound, so the instance kept answering on
+        // a server that had refused to boot.
+        let mut t = started(Echo::new(None));
+        t.inner.fail_next_start = true;
+        let map = CoverageMap::new(1);
+        let err = t
+            .start(&ResolvedConfig::new(), map.probe())
+            .expect_err("boot refuses");
+        assert!(err.to_string().contains("conflicting configuration"));
+        // The instance is fully inert, not half-alive on old sockets...
+        assert!(!t.link.is_open());
+        assert_eq!(t.handle(b"zombie?"), TargetResponse::empty());
+        // ...and the well-known addresses are actually free again.
+        let rebind = t.network().bind_datagram(SERVER_ADDR);
+        assert!(rebind.is_ok(), "stale server socket still bound");
+        drop(rebind);
+        // A later successful restart fully revives the instance.
+        let map = CoverageMap::new(1);
+        t.start(&ResolvedConfig::new(), map.probe()).expect("revives");
+        assert_eq!(t.handle(b"back").bytes, b"back");
+    }
+
+    #[test]
+    fn impaired_instances_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mut t = NetworkedTarget::with_conditions(
+                Echo::new(None),
+                "ns",
+                LinkConditions::new(0.3, 0.1, 0.1),
+                seed,
+            );
+            let map = CoverageMap::new(1);
+            t.start(&ResolvedConfig::new(), map.probe()).expect("starts");
+            (0..32).map(|i| t.handle(&[i as u8, 1, 2]).bytes.len()).collect()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "impairment pattern follows the seed");
+    }
+
+    #[test]
     fn two_instances_have_disjoint_networks() {
-        let a = started(Echo { crash_on: None });
-        let b = started(Echo { crash_on: None });
+        let a = started(Echo::new(None));
+        let b = started(Echo::new(None));
         assert_ne!(
             a.network().name(),
             "", // names are whatever the campaign chose

@@ -1,8 +1,6 @@
 //! Protocol registry: targets plus their shared Pit documents.
 
-use cmfuzz_fuzzer::Target;
-
-use crate::{Amqp, Coap, Dds, Dns, Dtls, Mqtt};
+use crate::{Amqp, Coap, Dds, Dns, Dtls, Mqtt, ProtocolTarget};
 
 /// One evaluation subject: how to build the target and the Pit document
 /// (data + state models) every fuzzer uses against it — "for fairness, we
@@ -17,8 +15,9 @@ pub struct ProtocolSpec {
     pub name: &'static str,
     /// The protocol the implementation speaks (e.g. `"MQTT"`).
     pub protocol: &'static str,
-    /// Builds a fresh stopped target instance.
-    pub build: fn() -> Box<dyn Target + Send>,
+    /// Builds a fresh stopped target instance, statically dispatched —
+    /// no heap allocation, no vtable between the engine and the server.
+    pub build: fn() -> ProtocolTarget,
     /// The shared Pit document.
     pub pit_document: &'static str,
 }
@@ -39,37 +38,37 @@ pub fn all_specs() -> Vec<ProtocolSpec> {
         ProtocolSpec {
             name: "mosquitto",
             protocol: "MQTT",
-            build: || Box::new(Mqtt::new()),
+            build: || ProtocolTarget::Mqtt(Mqtt::new()),
             pit_document: MQTT_PIT,
         },
         ProtocolSpec {
             name: "libcoap",
             protocol: "CoAP",
-            build: || Box::new(Coap::new()),
+            build: || ProtocolTarget::Coap(Coap::new()),
             pit_document: COAP_PIT,
         },
         ProtocolSpec {
             name: "cyclonedds",
             protocol: "DDS",
-            build: || Box::new(Dds::new()),
+            build: || ProtocolTarget::Dds(Dds::new()),
             pit_document: DDS_PIT,
         },
         ProtocolSpec {
             name: "openssl",
             protocol: "DTLS",
-            build: || Box::new(Dtls::new()),
+            build: || ProtocolTarget::Dtls(Dtls::new()),
             pit_document: DTLS_PIT,
         },
         ProtocolSpec {
             name: "qpid",
             protocol: "AMQP",
-            build: || Box::new(Amqp::new()),
+            build: || ProtocolTarget::Amqp(Amqp::new()),
             pit_document: AMQP_PIT,
         },
         ProtocolSpec {
             name: "dnsmasq",
             protocol: "DNS",
-            build: || Box::new(Dns::new()),
+            build: || ProtocolTarget::Dns(Dns::new()),
             pit_document: DNS_PIT,
         },
     ]
@@ -491,7 +490,7 @@ mod tests {
     use super::*;
     use cmfuzz_config_model::{extract_model, ResolvedConfig};
     use cmfuzz_coverage::CoverageMap;
-    use cmfuzz_fuzzer::pit;
+    use cmfuzz_fuzzer::{pit, Target};
 
     #[test]
     fn all_six_subjects_present() {

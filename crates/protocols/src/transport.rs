@@ -1,0 +1,355 @@
+//! The transport seam between a fuzzing client and a protocol server.
+//!
+//! Every fuzzed message crosses a [`Transport`]: the campaign's
+//! namespaced datagram path ([`DatagramLink`], backed by
+//! `cmfuzz-netsim`, optionally with seeded link impairments) or the
+//! zero-overhead in-process path ([`DirectLink`], what throughput
+//! benches use to measure the engine rather than the wire). Higher
+//! layers — [`NetworkedTarget`](crate::NetworkedTarget), the campaign
+//! runner, the bench harness — consume targets through this one seam and
+//! never talk to sockets directly.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cmfuzz_fuzzer::StartError;
+use cmfuzz_netsim::{Addr, DatagramSocket, LinkConditions, Network};
+
+/// A bidirectional client↔server link carrying fuzzed datagrams.
+///
+/// The lifecycle mirrors a daemon's listening socket: [`Transport::open`]
+/// (re)establishes both endpoints after the server boots,
+/// [`Transport::close`] tears them down, and while closed every send and
+/// receive is inert. Implementations must be deterministic: the same
+/// seed and call sequence always yields the same delivery pattern.
+pub trait Transport: fmt::Debug + Send {
+    /// Tears down any previous endpoints and (re)establishes the link.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StartError`] of kind
+    /// [`Transport`](cmfuzz_fuzzer::StartErrorKind::Transport) when an
+    /// endpoint cannot come up.
+    fn open(&mut self) -> Result<(), StartError>;
+
+    /// Releases both endpoints; subsequent traffic is dropped until the
+    /// next [`Transport::open`].
+    fn close(&mut self);
+
+    /// Whether the link is currently established.
+    fn is_open(&self) -> bool;
+
+    /// Client → wire → server. Returns `false` on hard failure (link
+    /// closed); a lossy link that drops the datagram still returns
+    /// `true`, like UDP.
+    fn client_send(&mut self, payload: &[u8]) -> bool;
+
+    /// Next datagram pending at the server, if any.
+    fn server_recv(&mut self) -> Option<Vec<u8>>;
+
+    /// Server → wire → client. Same contract as
+    /// [`Transport::client_send`].
+    fn server_send(&mut self, payload: &[u8]) -> bool;
+
+    /// Next datagram pending at the client, if any.
+    fn client_recv(&mut self) -> Option<Vec<u8>>;
+}
+
+/// In-process transport: a perfect link with no namespace, no sockets
+/// and no locks — two queues handed back and forth.
+///
+/// This is the fast path for benchmarks that want to measure the fuzzing
+/// engine itself rather than the simulated wire, and the reference
+/// behaviour an unimpaired [`DatagramLink`] must reproduce.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_protocols::{DirectLink, Transport};
+///
+/// let mut link = DirectLink::new();
+/// link.open()?;
+/// assert!(link.client_send(b"ping"));
+/// assert_eq!(link.server_recv().as_deref(), Some(&b"ping"[..]));
+/// # Ok::<(), cmfuzz_fuzzer::StartError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DirectLink {
+    open: bool,
+    to_server: VecDeque<Vec<u8>>,
+    to_client: VecDeque<Vec<u8>>,
+}
+
+impl DirectLink {
+    /// Creates a closed link; call [`Transport::open`] before use.
+    #[must_use]
+    pub fn new() -> Self {
+        DirectLink::default()
+    }
+}
+
+impl Transport for DirectLink {
+    fn open(&mut self) -> Result<(), StartError> {
+        self.to_server.clear();
+        self.to_client.clear();
+        self.open = true;
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.open = false;
+        self.to_server.clear();
+        self.to_client.clear();
+    }
+
+    fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn client_send(&mut self, payload: &[u8]) -> bool {
+        if !self.open {
+            return false;
+        }
+        self.to_server.push_back(payload.to_vec());
+        true
+    }
+
+    fn server_recv(&mut self) -> Option<Vec<u8>> {
+        self.to_server.pop_front()
+    }
+
+    fn server_send(&mut self, payload: &[u8]) -> bool {
+        if !self.open {
+            return false;
+        }
+        self.to_client.push_back(payload.to_vec());
+        true
+    }
+
+    fn client_recv(&mut self) -> Option<Vec<u8>> {
+        self.to_client.pop_front()
+    }
+}
+
+/// Well-known server address inside each instance namespace.
+pub(crate) const SERVER_ADDR: Addr = Addr::new(1, 9000);
+/// Well-known fuzzing-client address inside each instance namespace.
+pub(crate) const CLIENT_ADDR: Addr = Addr::new(2, 40000);
+
+/// The campaign transport: one isolated [`Network`] namespace per
+/// instance (the paper's `ip netns`), with a datagram socket pair and
+/// optional seeded link impairments.
+///
+/// Unimpaired links behave exactly like [`DirectLink`] plus isolation;
+/// impaired links drop, duplicate and reorder datagrams following the
+/// network's seeded RNG, so a lossy campaign is still reproducible
+/// byte-for-byte from its seed.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_netsim::LinkConditions;
+/// use cmfuzz_protocols::{DatagramLink, Transport};
+///
+/// let mut link = DatagramLink::with_conditions(
+///     "instance-0",
+///     LinkConditions::new(0.1, 0.0, 0.0),
+///     7,
+/// );
+/// link.open()?;
+/// assert!(link.client_send(b"maybe"));
+/// // ...the datagram arrives, or the seeded loss model ate it.
+/// # Ok::<(), cmfuzz_fuzzer::StartError>(())
+/// ```
+#[derive(Debug)]
+pub struct DatagramLink {
+    network: Network,
+    server: Option<DatagramSocket>,
+    client: Option<DatagramSocket>,
+}
+
+impl DatagramLink {
+    /// A perfect-link namespace named after the instance.
+    #[must_use]
+    pub fn new(namespace: &str) -> Self {
+        DatagramLink {
+            network: Network::new(namespace),
+            server: None,
+            client: None,
+        }
+    }
+
+    /// A namespace whose link drops/duplicates/reorders datagrams
+    /// following `conditions`, driven by the RNG seeded with `seed`.
+    #[must_use]
+    pub fn with_conditions(namespace: &str, conditions: LinkConditions, seed: u64) -> Self {
+        DatagramLink {
+            network: Network::with_conditions(namespace, conditions, seed),
+            server: None,
+            client: None,
+        }
+    }
+
+    /// The namespace this link runs in.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+impl Transport for DatagramLink {
+    fn open(&mut self) -> Result<(), StartError> {
+        // Release any previous endpoints first so rebinding the
+        // well-known addresses cannot collide with our own stale sockets.
+        self.close();
+        let server = self
+            .network
+            .bind_datagram(SERVER_ADDR)
+            .map_err(|e| StartError::transport(&format!("bind failed: {e}")))?;
+        let client = self
+            .network
+            .bind_datagram(CLIENT_ADDR)
+            .map_err(|e| StartError::transport(&format!("client bind failed: {e}")))?;
+        self.server = Some(server);
+        self.client = Some(client);
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.server = None;
+        self.client = None;
+    }
+
+    fn is_open(&self) -> bool {
+        self.server.is_some() && self.client.is_some()
+    }
+
+    fn client_send(&mut self, payload: &[u8]) -> bool {
+        match &self.client {
+            Some(client) => client.send_to(SERVER_ADDR, payload).is_ok(),
+            None => false,
+        }
+    }
+
+    fn server_recv(&mut self) -> Option<Vec<u8>> {
+        self.server
+            .as_ref()
+            .and_then(DatagramSocket::try_recv)
+            .map(|datagram| datagram.payload)
+    }
+
+    fn server_send(&mut self, payload: &[u8]) -> bool {
+        match &self.server {
+            Some(server) => server.send_to(CLIENT_ADDR, payload).is_ok(),
+            None => false,
+        }
+    }
+
+    fn client_recv(&mut self) -> Option<Vec<u8>> {
+        self.client
+            .as_ref()
+            .and_then(DatagramSocket::try_recv)
+            .map(|datagram| datagram.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_fuzzer::StartErrorKind;
+
+    fn round_trip(link: &mut dyn Transport) {
+        assert!(link.client_send(b"req"));
+        assert_eq!(link.server_recv().as_deref(), Some(&b"req"[..]));
+        assert!(link.server_send(b"resp"));
+        assert_eq!(link.client_recv().as_deref(), Some(&b"resp"[..]));
+        assert!(link.server_recv().is_none());
+        assert!(link.client_recv().is_none());
+    }
+
+    #[test]
+    fn direct_link_round_trips() {
+        let mut link = DirectLink::new();
+        assert!(!link.is_open());
+        link.open().unwrap();
+        assert!(link.is_open());
+        round_trip(&mut link);
+    }
+
+    #[test]
+    fn datagram_link_round_trips() {
+        let mut link = DatagramLink::new("t");
+        assert!(!link.is_open());
+        link.open().unwrap();
+        assert!(link.is_open());
+        round_trip(&mut link);
+    }
+
+    #[test]
+    fn closed_links_are_inert() {
+        let direct: &mut dyn Transport = &mut DirectLink::new();
+        let datagram: &mut dyn Transport = &mut DatagramLink::new("t");
+        for link in [direct, datagram] {
+            assert!(!link.client_send(b"x"));
+            assert!(!link.server_send(b"x"));
+            assert!(link.server_recv().is_none());
+            assert!(link.client_recv().is_none());
+        }
+    }
+
+    #[test]
+    fn close_drops_in_flight_traffic_and_releases_addresses() {
+        let mut link = DatagramLink::new("t");
+        link.open().unwrap();
+        assert!(link.client_send(b"lost"));
+        link.close();
+        assert!(link.server_recv().is_none());
+        // Addresses are free again: an outside socket can claim them.
+        let stranger = link.network().bind_datagram(SERVER_ADDR).unwrap();
+        drop(stranger);
+        // And reopening rebinds cleanly afterwards.
+        link.open().unwrap();
+        round_trip(&mut link);
+    }
+
+    #[test]
+    fn open_reports_transport_kind_when_an_address_is_taken() {
+        let link_net = DatagramLink::new("t");
+        let _squatter = link_net.network().bind_datagram(SERVER_ADDR).unwrap();
+        let mut link = DatagramLink {
+            network: link_net.network().clone(),
+            server: None,
+            client: None,
+        };
+        let err = link.open().unwrap_err();
+        assert_eq!(err.kind(), StartErrorKind::Transport);
+        assert!(err.reason().contains("bind failed"));
+        assert!(!link.is_open());
+    }
+
+    #[test]
+    fn direct_open_clears_stale_queues() {
+        let mut link = DirectLink::new();
+        link.open().unwrap();
+        assert!(link.client_send(b"stale"));
+        link.open().unwrap();
+        assert!(link.server_recv().is_none(), "reopen starts clean");
+    }
+
+    #[test]
+    fn impaired_datagram_link_is_seeded_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut link =
+                DatagramLink::with_conditions("t", LinkConditions::new(0.5, 0.0, 0.0), seed);
+            link.open().unwrap();
+            (0..64)
+                .map(|_| {
+                    assert!(link.client_send(b"x"));
+                    link.server_recv().is_some()
+                })
+                .collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

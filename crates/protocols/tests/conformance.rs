@@ -4,7 +4,7 @@
 use cmfuzz_config_model::{extract_model, ResolvedConfig};
 use cmfuzz_coverage::CoverageMap;
 use cmfuzz_fuzzer::Target;
-use cmfuzz_protocols::all_specs;
+use cmfuzz_protocols::{all_specs, ProtocolTarget};
 
 #[test]
 fn handle_before_start_is_inert() {
@@ -150,7 +150,7 @@ fn default_config_equals_empty_config() {
         let mut target = (spec.build)();
         let model = extract_model(&target.config_space());
         let explicit = ResolvedConfig::defaults_of(&model);
-        let boot = |target: &mut Box<dyn Target + Send>, config: &ResolvedConfig| {
+        let boot = |target: &mut ProtocolTarget, config: &ResolvedConfig| {
             let map = CoverageMap::new(target.branch_count());
             target.start(config, map.probe()).expect("boots");
             map.snapshot()

@@ -11,7 +11,7 @@ use cmfuzz::schedule::{build_schedule, ScheduleOptions};
 use cmfuzz_config_model::{ConfigFile, ConfigSpace, ConfigValue, ResolvedConfig};
 use cmfuzz_coverage::{BranchId, CoverageProbe, Ticks};
 use cmfuzz_fuzzer::{Fault, FaultKind, StartError, Target, TargetResponse};
-use cmfuzz_protocols::ProtocolSpec;
+use cmfuzz_protocols::{ProtocolSpec, ProtocolTarget};
 
 /// A toy "ECHO" protocol: `len(u8) | flags(u8) | payload`. Two
 /// configuration items gate behaviour: `compression` enables a second
@@ -135,13 +135,13 @@ fn main() {
     let spec = ProtocolSpec {
         name: "echo",
         protocol: "ECHO",
-        build: || Box::new(EchoTarget::default()),
+        build: || ProtocolTarget::custom(EchoTarget::default()),
         pit_document: ECHO_PIT,
     };
 
     // Schedule the custom target's configuration space.
     let mut scratch = (spec.build)();
-    let schedule = build_schedule(&mut *scratch, 2, &ScheduleOptions::default());
+    let schedule = build_schedule(&mut scratch, 2, &ScheduleOptions::default());
     println!("echo protocol: {} entities extracted", schedule.model.len());
     for plan in &schedule.plans {
         println!("  instance {} owns {:?}", plan.index, plan.entities);

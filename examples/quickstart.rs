@@ -19,7 +19,7 @@ fn main() {
 
     // 1. Scheduling: configuration model -> relation graph -> groups.
     let mut scratch = (spec.build)();
-    let schedule = build_schedule(&mut *scratch, 4, &ScheduleOptions::default());
+    let schedule = build_schedule(&mut scratch, 4, &ScheduleOptions::default());
     println!("configuration model: {} entities", schedule.model.len());
     println!(
         "relation graph: {} nodes, {} edges",

@@ -9,13 +9,14 @@
 
 use cmfuzz::relation::{quantify_target, RelationOptions};
 use cmfuzz_config_model::extract_model;
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::all_specs;
 
 fn main() {
     for spec in all_specs() {
         let mut target = (spec.build)();
         let model = extract_model(&target.config_space());
-        let graph = quantify_target(&mut *target, &model, &RelationOptions::default());
+        let graph = quantify_target(&mut target, &model, &RelationOptions::default());
 
         eprintln!(
             "{}: {} entities ({} mutable), {} nodes, {} edges",

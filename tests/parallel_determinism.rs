@@ -18,6 +18,7 @@ use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::schedule::ScheduleOptions;
 use cmfuzz_bench::{report, table1_with_jobs, table2_with_jobs, ExperimentScale};
 use cmfuzz_coverage::{Ticks, VirtualClock};
+use cmfuzz_netsim::LinkConditions;
 use cmfuzz_protocols::spec_by_name;
 use cmfuzz_telemetry::{RingBufferSink, Telemetry};
 
@@ -30,6 +31,7 @@ fn tiny_scale() -> ExperimentScale {
         instances: 2,
         sample_interval: 100,
         saturation_window: 200,
+        link: LinkConditions::perfect(),
     }
 }
 
@@ -82,6 +84,36 @@ fn worker_pool_campaigns_match_inline_reference() {
             "worker pool diverged from inline execution at seed {seed}"
         );
     }
+}
+
+#[test]
+fn impaired_campaigns_match_inline_reference() {
+    // The execution layer's lossy-link acceptance gate: a campaign run
+    // over an impaired link (loss, duplication, reordering) must stay
+    // deterministic — same seed and same `LinkConditions` produce the
+    // exact same result whether rounds run on the worker pool or inline.
+    let spec = spec_by_name("libcoap").expect("subject exists");
+    let pooled_options = CampaignOptions {
+        instances: 2,
+        budget: Ticks::new(800),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(300),
+        seed: 5,
+        worker_pool: true,
+        link: LinkConditions::new(0.1, 0.05, 0.05),
+        ..CampaignOptions::default()
+    };
+    let inline_options = CampaignOptions {
+        worker_pool: false,
+        ..pooled_options.clone()
+    };
+    let pooled = run_cmfuzz(&spec, &ScheduleOptions::default(), &pooled_options);
+    let inline = run_cmfuzz(&spec, &ScheduleOptions::default(), &inline_options);
+    assert_eq!(
+        format!("{pooled:?}"),
+        format!("{inline:?}"),
+        "impaired campaign depends on the worker pool"
+    );
 }
 
 #[test]

@@ -7,6 +7,7 @@ use cmfuzz::metrics::{improvement_pct, speedup};
 use cmfuzz::schedule::{build_schedule, ScheduleOptions};
 use cmfuzz_config_model::extract_model;
 use cmfuzz_coverage::Ticks;
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::all_specs;
 
 fn short_options(seed: u64) -> CampaignOptions {
@@ -27,7 +28,7 @@ fn schedule_pipeline_works_for_every_subject() {
         let model = extract_model(&target.config_space());
         assert!(model.len() >= 10, "{}: thin config model", spec.name);
 
-        let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+        let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
         assert!(
             !schedule.plans.is_empty() && schedule.plans.len() <= 4,
             "{}: bad plan count",

@@ -6,6 +6,7 @@ use cmfuzz::allocation::{allocate, AllocationOptions};
 use cmfuzz::relation::{quantify_target, RelationOptions, WeightMode};
 use cmfuzz::schedule::{build_schedule, GroupingStrategy, ScheduleOptions};
 use cmfuzz_config_model::extract_model;
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::spec_by_name;
 
 #[test]
@@ -18,7 +19,7 @@ fn literal_absolute_weights_collapse_mosquitto_into_one_group() {
     let mut target = (spec.build)();
     let model = extract_model(&target.config_space());
     let graph = quantify_target(
-        &mut *target,
+        &mut target,
         &model,
         &RelationOptions {
             values_per_entity: 3,
@@ -37,7 +38,7 @@ fn literal_absolute_weights_collapse_mosquitto_into_one_group() {
 fn interaction_weights_produce_multiple_cohesive_groups() {
     let spec = spec_by_name("mosquitto").expect("subject");
     let mut target = (spec.build)();
-    let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
     assert_eq!(schedule.plans.len(), 4, "four populated groups");
     for plan in &schedule.plans {
         assert!(
@@ -51,7 +52,7 @@ fn interaction_weights_produce_multiple_cohesive_groups() {
     // CoAP is the canonical example.
     let spec = spec_by_name("libcoap").expect("subject");
     let mut target = (spec.build)();
-    let schedule = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
     let block_group = schedule
         .plans
         .iter()
@@ -70,7 +71,7 @@ fn relation_graphs_are_sparse_on_every_subject() {
         let spec = spec_by_name(name).expect("subject");
         let mut target = (spec.build)();
         let model = extract_model(&target.config_space());
-        let graph = quantify_target(&mut *target, &model, &RelationOptions::default());
+        let graph = quantify_target(&mut target, &model, &RelationOptions::default());
         let n = graph.node_count();
         assert!(
             graph.edge_count() <= n * (n - 1) / 4,
@@ -90,9 +91,9 @@ fn random_grouping_loses_to_relation_aware_grouping_on_startup_value() {
     // joint startup coverage in aggregate.
     let spec = spec_by_name("libcoap").expect("subject");
     let mut target = (spec.build)();
-    let aware = build_schedule(&mut *target, 4, &ScheduleOptions::default());
+    let aware = build_schedule(&mut target, 4, &ScheduleOptions::default());
     let random = build_schedule(
-        &mut *target,
+        &mut target,
         4,
         &ScheduleOptions {
             grouping: GroupingStrategy::Random(99),
