@@ -1,0 +1,261 @@
+//! Checks over the configuration model and declared startup constraints.
+
+use cmfuzz_config_model::{ConfigEntity, ConfigModel, ConstraintSet, ResolvedConfig};
+
+use crate::{Diagnostic, Report, Severity};
+
+/// Runs every configuration-model check for one subject.
+///
+/// Emitted codes: `CM010` (empty value domain), `CM011` (default value
+/// type mismatch), `CM012` (the model's own defaults violate a declared
+/// startup constraint), `CM013` (a value domain is statically
+/// unsatisfiable under a single-item constraint: every choice conflicts).
+#[must_use]
+pub fn analyze_config(subject: &str, model: &ConfigModel, constraints: &ConstraintSet) -> Report {
+    let mut report = Report::new();
+    check_domains(subject, model, &mut report);
+    check_defaults(subject, model, constraints, &mut report);
+    check_satisfiability(subject, model, constraints, &mut report);
+    report
+}
+
+/// Checks one concrete configuration (an instance's initial bindings)
+/// against the declared constraints (`CM014`). This is the preflight
+/// mirror of the boot-time `StartError::ConfigConflict`.
+#[must_use]
+pub fn analyze_resolved(
+    subject: &str,
+    location: &str,
+    config: &ResolvedConfig,
+    constraints: &ConstraintSet,
+) -> Report {
+    let mut report = Report::new();
+    for constraint in constraints.violations(config) {
+        report.push(Diagnostic::new(
+            "CM014",
+            Severity::Error,
+            subject,
+            location,
+            &format!("configuration violates startup constraint: {constraint}"),
+            "change the conflicting values or drop one of the conflicting bindings",
+        ));
+    }
+    report
+}
+
+fn check_domains(subject: &str, model: &ConfigModel, report: &mut Report) {
+    for entity in model.entities() {
+        if entity.values().is_empty() {
+            report.push(Diagnostic::new(
+                "CM010",
+                Severity::Error,
+                subject,
+                &format!("item:{}", entity.name()),
+                "config item has an empty value domain; scheduling it would panic",
+                "give the item at least its default value",
+            ));
+            continue;
+        }
+        let default_type = entity.default_value().value_type();
+        if default_type != entity.value_type() {
+            report.push(Diagnostic::new(
+                "CM011",
+                Severity::Warn,
+                subject,
+                &format!("item:{}", entity.name()),
+                &format!(
+                    "default value is {default_type:?} but the item is typed {:?}",
+                    entity.value_type()
+                ),
+                "align the declared type with the default value's type",
+            ));
+        }
+    }
+}
+
+fn check_defaults(
+    subject: &str,
+    model: &ConfigModel,
+    constraints: &ConstraintSet,
+    report: &mut Report,
+) {
+    // An entity with an empty domain already got CM010; defaults_of would
+    // panic on it, so bind defaults only for populated entities.
+    let mut defaults = ResolvedConfig::new();
+    for entity in model.entities() {
+        if let Some(value) = entity.values().first() {
+            defaults.set(entity.name(), value.clone());
+        }
+    }
+    for constraint in constraints.violations(&defaults) {
+        report.push(Diagnostic::new(
+            "CM012",
+            Severity::Error,
+            subject,
+            &format!("constraint:{}", constraint.reason()),
+            &format!("the model's default values violate a startup constraint: {constraint}"),
+            "change the defaults of the referenced items so the stock configuration boots",
+        ));
+    }
+}
+
+fn check_satisfiability(
+    subject: &str,
+    model: &ConfigModel,
+    constraints: &ConstraintSet,
+    report: &mut Report,
+) {
+    for constraint in constraints.constraints() {
+        // Only single-condition, single-item constraints can be decided
+        // item-locally; conjunctions and cross-item relations depend on
+        // the values chosen for the other items.
+        let [condition] = constraint.conditions() else {
+            continue;
+        };
+        if condition.referenced_items().len() != 1 {
+            continue;
+        }
+        let Some(entity) = model.entity(condition.key()) else {
+            continue;
+        };
+        if entity.values().is_empty() {
+            continue;
+        }
+        let all_conflict = entity.values().iter().all(|value| {
+            let mut config = ResolvedConfig::new();
+            config.set(condition.key(), value.clone());
+            condition.matches(&config)
+        });
+        if all_conflict {
+            report.push(Diagnostic::new(
+                "CM013",
+                Severity::Error,
+                subject,
+                &format!("item:{}", entity.name()),
+                &format!(
+                    "every value in the domain violates startup constraint \"{}\"",
+                    constraint.reason()
+                ),
+                "add at least one value satisfying the constraint to the domain",
+            ));
+        }
+    }
+}
+
+/// Convenience used by fixtures and docs: a one-entity model.
+#[must_use]
+pub fn single_entity_model(entity: ConfigEntity) -> ConfigModel {
+    ConfigModel::from_entities([entity])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_config_model::{
+        Condition, ConfigConstraint, ConfigEntity, ConfigValue, Mutability, ValueType,
+    };
+
+    fn entity(name: &str, values: Vec<ConfigValue>) -> ConfigEntity {
+        ConfigEntity::new(name, ValueType::Number, Mutability::Mutable, values)
+    }
+
+    #[test]
+    fn empty_domain_is_cm010() {
+        let model = single_entity_model(entity("port", vec![]));
+        let report = analyze_config("t", &model, &ConstraintSet::new());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.diagnostics()[0].code(), "CM010");
+        assert_eq!(report.diagnostics()[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn default_type_mismatch_is_cm011() {
+        let model = single_entity_model(ConfigEntity::new(
+            "mode",
+            ValueType::Number,
+            Mutability::Mutable,
+            vec![ConfigValue::Str("fast".into())],
+        ));
+        let report = analyze_config("t", &model, &ConstraintSet::new());
+        assert_eq!(report.diagnostics()[0].code(), "CM011");
+        assert_eq!(report.diagnostics()[0].severity(), Severity::Warn);
+    }
+
+    #[test]
+    fn defaults_violating_a_constraint_is_cm012() {
+        let model = single_entity_model(entity(
+            "port",
+            vec![ConfigValue::Int(99999), ConfigValue::Int(80)],
+        ));
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "invalid listen port",
+            vec![Condition::int_outside("port", 1, 65535, 80)],
+        ));
+        let report = analyze_config("t", &model, &constraints);
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM012"));
+    }
+
+    #[test]
+    fn unsatisfiable_domain_is_cm013() {
+        let model = single_entity_model(entity(
+            "mtu",
+            vec![ConfigValue::Int(100), ConfigValue::Int(200)],
+        ));
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "mtu below minimum datagram size",
+            vec![Condition::int_below("mtu", 256, 1400)],
+        ));
+        let report = analyze_config("t", &model, &constraints);
+        let codes: Vec<&str> = report.diagnostics().iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&"CM013"), "got {codes:?}");
+        // The default (first value) also violates, so CM012 fires too.
+        assert!(codes.contains(&"CM012"));
+    }
+
+    #[test]
+    fn satisfiable_domain_is_clean() {
+        let model = single_entity_model(entity(
+            "mtu",
+            vec![ConfigValue::Int(1400), ConfigValue::Int(100)],
+        ));
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "mtu below minimum datagram size",
+            vec![Condition::int_below("mtu", 256, 1400)],
+        ));
+        assert!(analyze_config("t", &model, &constraints).is_empty());
+    }
+
+    #[test]
+    fn conjunctions_are_skipped_by_cm013() {
+        // Both values of `a` satisfy their condition, but the constraint
+        // needs `b` too — not decidable item-locally.
+        let model = single_entity_model(entity("a", vec![ConfigValue::Int(1)]));
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "a and b conflict",
+            vec![
+                Condition::int_equals("a", 1, 0),
+                Condition::int_equals("b", 1, 0),
+            ],
+        ));
+        let report = analyze_config("t", &model, &constraints);
+        assert!(!report.diagnostics().iter().any(|d| d.code() == "CM013"));
+    }
+
+    #[test]
+    fn resolved_violations_are_cm014() {
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "invalid listen port",
+            vec![Condition::int_outside("port", 1, 65535, 80)],
+        ));
+        let mut config = ResolvedConfig::new();
+        config.set("port", ConfigValue::Int(0));
+        let report = analyze_resolved("t", "instance:0:initial-config", &config, &constraints);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), "CM014");
+        assert_eq!(d.path(), "instance:0:initial-config");
+
+        config.set("port", ConfigValue::Int(8080));
+        assert!(analyze_resolved("t", "x", &config, &constraints).is_empty());
+    }
+}

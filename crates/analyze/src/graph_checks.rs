@@ -1,0 +1,321 @@
+//! Checks over the relation graph and scheduler partitions.
+//!
+//! `cmfuzz-analyze` deliberately does not depend on the core crate (core
+//! depends on *it* for campaign preflight), so the relation graph and the
+//! per-instance partitions arrive as narrow views the caller converts
+//! into — just names, no weights or engine state.
+
+use std::collections::BTreeMap;
+
+use cmfuzz_config_model::ConfigModel;
+
+use crate::{Diagnostic, Report, Severity};
+
+/// A relation graph reduced to names: nodes are config item names, edges
+/// connect related items.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphView {
+    /// Config item names carrying at least one relation.
+    pub nodes: Vec<String>,
+    /// Related pairs, in the graph's canonical order.
+    pub edges: Vec<(String, String)>,
+}
+
+/// One scheduler partition reduced to names: which config items one
+/// campaign instance is allowed to mutate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionView {
+    /// The instance index the partition belongs to.
+    pub index: usize,
+    /// The config items assigned to the instance.
+    pub entities: Vec<String>,
+}
+
+/// Checks the relation graph against the configuration model.
+///
+/// Emitted codes: `CM020` (a node or edge endpoint is not a mutable
+/// config item of the model), `CM021` (an edge closes a cycle — legal
+/// for a co-occurrence graph, but worth a look because cohesive grouping
+/// only exploits tree-like structure).
+#[must_use]
+pub fn analyze_graph(subject: &str, view: &GraphView, model: &ConfigModel) -> Report {
+    let mut report = Report::new();
+    for node in &view.nodes {
+        match model.entity(node) {
+            None => report.push(Diagnostic::new(
+                "CM020",
+                Severity::Error,
+                subject,
+                &format!("node:{node}"),
+                "relation node references an unknown config item",
+                "rebuild the relation graph from the current config model",
+            )),
+            Some(entity) if !entity.is_mutable() => report.push(Diagnostic::new(
+                "CM020",
+                Severity::Error,
+                subject,
+                &format!("node:{node}"),
+                "relation node references an immutable config item",
+                "relation probing must only pair mutable items; re-extract the model",
+            )),
+            Some(_) => {}
+        }
+    }
+    for (a, b) in &view.edges {
+        for endpoint in [a, b] {
+            if !view.nodes.iter().any(|n| n == endpoint) {
+                report.push(Diagnostic::new(
+                    "CM020",
+                    Severity::Error,
+                    subject,
+                    &format!("edge:{a}-{b}"),
+                    &format!("edge endpoint \"{endpoint}\" is not a node of the graph"),
+                    "rebuild the relation graph from the current config model",
+                ));
+            }
+        }
+    }
+    check_cycles(subject, view, &mut report);
+    report
+}
+
+/// Checks scheduler partitions against the configuration model.
+///
+/// Emitted codes: `CM030` (a partition leaves its instance with zero
+/// mutable items — its whole budget fuzzes a fixed configuration),
+/// `CM031` (an item is assigned to more than one instance), `CM032`
+/// (a partition references an unknown item).
+#[must_use]
+pub fn analyze_partitions(
+    subject: &str,
+    partitions: &[PartitionView],
+    model: &ConfigModel,
+) -> Report {
+    let mut report = Report::new();
+    let mut owner: BTreeMap<&str, usize> = BTreeMap::new();
+    for partition in partitions {
+        let mut mutable = 0usize;
+        for name in &partition.entities {
+            match model.entity(name) {
+                None => report.push(Diagnostic::new(
+                    "CM032",
+                    Severity::Error,
+                    subject,
+                    &format!("instance:{}:item:{name}", partition.index),
+                    "partition references an unknown config item",
+                    "assign only items present in the extracted config model",
+                )),
+                Some(entity) => {
+                    if entity.is_mutable() {
+                        mutable += 1;
+                    }
+                    if let Some(previous) = owner.insert(name.as_str(), partition.index) {
+                        report.push(Diagnostic::new(
+                            "CM031",
+                            Severity::Error,
+                            subject,
+                            &format!("item:{name}"),
+                            &format!(
+                                "config item is assigned to instances {previous} and {}",
+                                partition.index
+                            ),
+                            "partitions must be disjoint; remove the item from one instance",
+                        ));
+                    }
+                }
+            }
+        }
+        if mutable == 0 {
+            report.push(Diagnostic::new(
+                "CM030",
+                Severity::Warn,
+                subject,
+                &format!("instance:{}", partition.index),
+                "partition leaves the instance with zero mutable config items",
+                "assign at least one mutable item or reduce the instance count",
+            ));
+        }
+    }
+    report
+}
+
+fn check_cycles(subject: &str, view: &GraphView, report: &mut Report) {
+    // Union-find over node indices; an edge joining two already-connected
+    // nodes closes a cycle.
+    let index_of: BTreeMap<&str, usize> = view
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut parent: Vec<usize> = (0..view.nodes.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (a, b) in &view.edges {
+        let (Some(&ia), Some(&ib)) = (index_of.get(a.as_str()), index_of.get(b.as_str())) else {
+            // Dangling endpoints already got CM020.
+            continue;
+        };
+        let (ra, rb) = (find(&mut parent, ia), find(&mut parent, ib));
+        if ra == rb {
+            report.push(Diagnostic::new(
+                "CM021",
+                Severity::Lint,
+                subject,
+                &format!("edge:{a}-{b}"),
+                "relation edge closes a cycle",
+                "cohesive grouping treats cycles as one clique; verify the relation is intended",
+            ));
+        } else {
+            parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_checks::single_entity_model;
+    use cmfuzz_config_model::{ConfigEntity, ConfigValue, Mutability, ValueType};
+
+    fn entity(name: &str, mutability: Mutability) -> ConfigEntity {
+        ConfigEntity::new(
+            name,
+            ValueType::Number,
+            mutability,
+            vec![ConfigValue::Int(1), ConfigValue::Int(2)],
+        )
+    }
+
+    fn model_of(names: &[&str]) -> ConfigModel {
+        ConfigModel::from_entities(names.iter().map(|n| entity(n, Mutability::Mutable)))
+    }
+
+    fn view(nodes: &[&str], edges: &[(&str, &str)]) -> GraphView {
+        GraphView {
+            nodes: nodes.iter().map(|n| (*n).to_owned()).collect(),
+            edges: edges
+                .iter()
+                .map(|(a, b)| ((*a).to_owned(), (*b).to_owned()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_graph_produces_no_diagnostics() {
+        let model = model_of(&["a", "b", "c"]);
+        let graph = view(&["a", "b", "c"], &[("a", "b"), ("b", "c")]);
+        assert!(analyze_graph("t", &graph, &model).is_empty());
+    }
+
+    #[test]
+    fn unknown_and_immutable_nodes_are_cm020() {
+        let mut model = model_of(&["a"]);
+        model.insert(entity("frozen", Mutability::Immutable));
+        let graph = view(&["a", "ghost", "frozen"], &[]);
+        let report = analyze_graph("t", &graph, &model);
+        assert_eq!(report.len(), 2);
+        assert!(report.diagnostics().iter().all(|d| d.code() == "CM020"));
+    }
+
+    #[test]
+    fn dangling_edge_endpoint_is_cm020() {
+        let model = model_of(&["a", "b"]);
+        let graph = view(&["a", "b"], &[("a", "zz")]);
+        let report = analyze_graph("t", &graph, &model);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.diagnostics()[0].path(), "edge:a-zz");
+    }
+
+    #[test]
+    fn cycle_closing_edge_is_cm021_lint() {
+        let model = model_of(&["a", "b", "c"]);
+        let graph = view(&["a", "b", "c"], &[("a", "b"), ("b", "c"), ("c", "a")]);
+        let report = analyze_graph("t", &graph, &model);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), "CM021");
+        assert_eq!(d.severity(), Severity::Lint);
+        assert_eq!(d.path(), "edge:c-a");
+    }
+
+    #[test]
+    fn empty_partition_is_cm030_warn() {
+        let model = model_of(&["a"]);
+        let partitions = vec![
+            PartitionView {
+                index: 0,
+                entities: vec!["a".to_owned()],
+            },
+            PartitionView {
+                index: 1,
+                entities: vec![],
+            },
+        ];
+        let report = analyze_partitions("t", &partitions, &model);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), "CM030");
+        assert_eq!(d.path(), "instance:1");
+    }
+
+    #[test]
+    fn immutable_only_partition_is_cm030() {
+        let mut model = model_of(&["a"]);
+        model.insert(entity("frozen", Mutability::Immutable));
+        let partitions = vec![PartitionView {
+            index: 0,
+            entities: vec!["frozen".to_owned()],
+        }];
+        let report = analyze_partitions("t", &partitions, &model);
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM030"));
+    }
+
+    #[test]
+    fn overlapping_partitions_are_cm031() {
+        let model = model_of(&["a", "b"]);
+        let partitions = vec![
+            PartitionView {
+                index: 0,
+                entities: vec!["a".to_owned(), "b".to_owned()],
+            },
+            PartitionView {
+                index: 1,
+                entities: vec!["b".to_owned()],
+            },
+        ];
+        let report = analyze_partitions("t", &partitions, &model);
+        let hits: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == "CM031")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path(), "item:b");
+        assert!(hits[0].message().contains("instances 0 and 1"));
+    }
+
+    #[test]
+    fn unknown_partition_item_is_cm032() {
+        let model = model_of(&["a"]);
+        let partitions = vec![PartitionView {
+            index: 0,
+            entities: vec!["a".to_owned(), "ghost".to_owned()],
+        }];
+        let report = analyze_partitions("t", &partitions, &model);
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM032"));
+        // `a` is still mutable, so no CM030.
+        assert!(!report.diagnostics().iter().any(|d| d.code() == "CM030"));
+    }
+
+    #[test]
+    fn single_entity_model_helper_builds_one_entity() {
+        let model = single_entity_model(entity("x", Mutability::Mutable));
+        assert_eq!(model.len(), 1);
+    }
+}

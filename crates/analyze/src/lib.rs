@@ -1,0 +1,130 @@
+//! Static verification of CMFuzz models (`cmfuzz-analyze`).
+//!
+//! CMFuzz's contribution rides on three hand-authored models — the data
+//! model and state model (the pit) and the extracted configuration model
+//! — plus a relation graph derived from startup-coverage probes. A
+//! mistake in any of them historically surfaced *mid-campaign*: a
+//! dangling model reference as a wasted session, a contradictory
+//! configuration as a boot-time `ConfigConflict`, a bad partition as an
+//! instance silently burning its whole budget on a fixed configuration.
+//!
+//! This crate walks those models *statically* and emits structured
+//! [`Diagnostic`]s: a stable `CM0xx` code, a [`Severity`], a source
+//! location (model name plus item path), and a one-line fix hint. It is
+//! surfaced three ways:
+//!
+//! - the `cmfuzz-lint` binary (text or `--format json`, exit code = max
+//!   severity),
+//! - the campaign preflight in the core crate (`CampaignError::Preflight`
+//!   aborts on errors before any instance starts),
+//! - per-diagnostic telemetry counters.
+//!
+//! # Check catalogue
+//!
+//! | Code  | Severity | Meaning |
+//! |-------|----------|---------|
+//! | CM001 | Error | transition references an undefined data model |
+//! | CM002 | Error | missing initial state / dangling next-state |
+//! | CM003 | Warn  | state unreachable from the initial state |
+//! | CM004 | Warn  | data model never rendered by any transition |
+//! | CM005 | Lint  | `LengthOf` measures an unknown field |
+//! | CM006 | Warn  | duplicate data-model or state names |
+//! | CM010 | Error | config item with an empty value domain |
+//! | CM011 | Warn  | default value type mismatches the item type |
+//! | CM012 | Error | model defaults violate a startup constraint |
+//! | CM013 | Error | value domain statically unsatisfiable under a constraint |
+//! | CM014 | Error | concrete configuration violates a startup constraint |
+//! | CM020 | Error | relation node/edge references a non-mutable or unknown item |
+//! | CM021 | Lint  | relation edge closes a cycle |
+//! | CM030 | Warn  | partition leaves an instance with zero mutable items |
+//! | CM031 | Error | config item assigned to multiple instances |
+//! | CM032 | Error | partition references an unknown config item |
+//! | CM040 | Error | session plan references an undefined data model |
+//!
+//! # Examples
+//!
+//! ```
+//! use cmfuzz_analyze::analyze_pit;
+//! use cmfuzz_fuzzer::pit::PitDefinition;
+//! use cmfuzz_fuzzer::{DataModel, Field, State, StateModel, Transition};
+//!
+//! let pit = PitDefinition::new(
+//!     vec![DataModel::new("Connect").field(Field::uint("op", 8, 1))],
+//!     Some(
+//!         StateModel::new("demo", "Init")
+//!             .state(State::new("Init").transition(Transition::new("Ghost", "Init"))),
+//!     ),
+//! );
+//! let report = analyze_pit("demo", &pit);
+//! assert!(report.diagnostics().iter().any(|d| d.code() == "CM001"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config_checks;
+mod diag;
+mod graph_checks;
+mod pit_checks;
+
+pub use config_checks::{analyze_config, analyze_resolved, single_entity_model};
+pub use diag::{Diagnostic, Report, Severity};
+pub use graph_checks::{analyze_graph, analyze_partitions, GraphView, PartitionView};
+pub use pit_checks::{analyze_pit, analyze_session_plans};
+
+use cmfuzz_config_model::{ConfigModel, ConstraintSet};
+use cmfuzz_fuzzer::pit::PitDefinition;
+
+/// Runs the pit- and configuration-level checks for one subject and
+/// returns a canonically-sorted report (graph and partition checks need
+/// scheduler state and run separately via [`analyze_graph`] /
+/// [`analyze_partitions`]).
+#[must_use]
+pub fn analyze_models(
+    subject: &str,
+    pit: &PitDefinition,
+    model: &ConfigModel,
+    constraints: &ConstraintSet,
+) -> Report {
+    let mut report = analyze_pit(subject, pit);
+    report.merge(analyze_config(subject, model, constraints));
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_config_model::{
+        Condition, ConfigConstraint, ConfigEntity, ConfigValue, Mutability, ValueType,
+    };
+    use cmfuzz_fuzzer::{DataModel, Field, State, StateModel, Transition};
+
+    #[test]
+    fn analyze_models_merges_and_sorts() {
+        let pit = PitDefinition::new(
+            vec![DataModel::new("Connect").field(Field::uint("op", 8, 1))],
+            Some(
+                StateModel::new("demo", "Init")
+                    .state(State::new("Init").transition(Transition::new("Ghost", "Init"))),
+            ),
+        );
+        let model = single_entity_model(ConfigEntity::new(
+            "port",
+            ValueType::Number,
+            Mutability::Mutable,
+            vec![ConfigValue::Int(0)],
+        ));
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "invalid listen port",
+            vec![Condition::int_outside("port", 1, 65535, 0)],
+        ));
+        let report = analyze_models("demo", &pit, &model, &constraints);
+        let codes: Vec<&str> = report.diagnostics().iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&"CM001"), "pit checks ran: {codes:?}");
+        assert!(codes.contains(&"CM012"), "config checks ran: {codes:?}");
+        let mut sorted = report.clone();
+        sorted.sort();
+        assert_eq!(sorted, report, "analyze_models returns sorted output");
+    }
+}

@@ -1,0 +1,400 @@
+//! Checks over the parsed pit: data models, state model, session plans.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use cmfuzz_fuzzer::pit::PitDefinition;
+use cmfuzz_fuzzer::{DataModel, Field, FieldKind, StateModel};
+
+use crate::{Diagnostic, Report, Severity};
+
+/// Runs every pit-level check over one subject's parsed pit.
+///
+/// Emitted codes: `CM001` (transition references an undefined data
+/// model), `CM002` (missing initial state / dangling next-state),
+/// `CM003` (unreachable state), `CM004` (data model never referenced by
+/// any transition), `CM005` (`LengthOf` measures an unknown field),
+/// `CM006` (duplicate model or state names).
+#[must_use]
+pub fn analyze_pit(subject: &str, pit: &PitDefinition) -> Report {
+    let mut report = Report::new();
+    check_duplicate_model_names(subject, pit, &mut report);
+    for model in pit.data_models() {
+        check_length_targets(subject, model, &mut report);
+    }
+    if let Some(states) = pit.state_model() {
+        check_transition_models(subject, pit, states, &mut report);
+        check_state_shape(subject, states, &mut report);
+        check_reachability(subject, states, &mut report);
+        check_dead_models(subject, pit, states, &mut report);
+    }
+    report
+}
+
+/// Checks campaign session plans against the pit: every planned message
+/// must name a defined data model (`CM040`).
+#[must_use]
+pub fn analyze_session_plans(subject: &str, pit: &PitDefinition, plans: &[Vec<String>]) -> Report {
+    let mut report = Report::new();
+    for (instance, plan) in plans.iter().enumerate() {
+        for name in plan {
+            if pit.data_model(name).is_none() {
+                report.push(Diagnostic::new(
+                    "CM040",
+                    Severity::Error,
+                    subject,
+                    &format!("instance:{instance}:plan:{name}"),
+                    &format!("session plan references undefined data model \"{name}\""),
+                    "name a data model defined in the pit or drop the plan entry",
+                ));
+            }
+        }
+    }
+    report
+}
+
+fn check_duplicate_model_names(subject: &str, pit: &PitDefinition, report: &mut Report) {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for model in pit.data_models() {
+        if !seen.insert(model.name()) {
+            report.push(Diagnostic::new(
+                "CM006",
+                Severity::Warn,
+                subject,
+                &format!("data:{}", model.name()),
+                &format!(
+                    "duplicate data model name \"{}\"; only the first definition is reachable",
+                    model.name()
+                ),
+                "rename or remove the shadowed definition",
+            ));
+        }
+    }
+    if let Some(states) = pit.state_model() {
+        let mut seen_states: BTreeSet<&str> = BTreeSet::new();
+        for state in states.states() {
+            if !seen_states.insert(state.name.as_str()) {
+                report.push(Diagnostic::new(
+                    "CM006",
+                    Severity::Warn,
+                    subject,
+                    &format!("state:{}", state.name),
+                    &format!(
+                        "duplicate state name \"{}\"; only the first definition is reachable",
+                        state.name
+                    ),
+                    "rename or remove the shadowed definition",
+                ));
+            }
+        }
+    }
+}
+
+fn check_transition_models(
+    subject: &str,
+    pit: &PitDefinition,
+    states: &StateModel,
+    report: &mut Report,
+) {
+    for state in states.states() {
+        for (index, transition) in state.transitions.iter().enumerate() {
+            if pit.data_model(&transition.input_model).is_none() {
+                report.push(Diagnostic::new(
+                    "CM001",
+                    Severity::Error,
+                    subject,
+                    &format!("state:{}:transition:{index}", state.name),
+                    &format!(
+                        "transition references undefined data model \"{}\"",
+                        transition.input_model
+                    ),
+                    "define the data model in the pit or point the transition at an existing one",
+                ));
+            }
+        }
+    }
+}
+
+fn check_state_shape(subject: &str, states: &StateModel, report: &mut Report) {
+    if states.state_by_name(states.initial()).is_none() {
+        report.push(Diagnostic::new(
+            "CM002",
+            Severity::Error,
+            subject,
+            &format!("state:{}", states.initial()),
+            &format!("initial state \"{}\" is not defined", states.initial()),
+            "define the initial state or change the initialState attribute",
+        ));
+    }
+    for state in states.states() {
+        for (index, transition) in state.transitions.iter().enumerate() {
+            if states.state_by_name(&transition.next_state).is_none() {
+                report.push(Diagnostic::new(
+                    "CM002",
+                    Severity::Error,
+                    subject,
+                    &format!("state:{}:transition:{index}", state.name),
+                    &format!(
+                        "transition targets undefined state \"{}\"",
+                        transition.next_state
+                    ),
+                    "define the target state or fix the transition's next-state name",
+                ));
+            }
+        }
+    }
+}
+
+fn check_reachability(subject: &str, states: &StateModel, report: &mut Report) {
+    // A missing initial state would make every state "unreachable";
+    // CM002 already reports the root cause, so skip the cascade.
+    if states.state_by_name(states.initial()).is_none() {
+        return;
+    }
+    let mut reached: HashSet<&str> = HashSet::new();
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    reached.insert(states.initial());
+    queue.push_back(states.initial());
+    while let Some(name) = queue.pop_front() {
+        let Some(state) = states.state_by_name(name) else {
+            continue;
+        };
+        for transition in &state.transitions {
+            let next = transition.next_state.as_str();
+            if states.state_by_name(next).is_some() && reached.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    for state in states.states() {
+        if !reached.contains(state.name.as_str()) {
+            report.push(Diagnostic::new(
+                "CM003",
+                Severity::Warn,
+                subject,
+                &format!("state:{}", state.name),
+                "state is unreachable from the initial state",
+                "add a transition into it or remove the state",
+            ));
+        }
+    }
+}
+
+fn check_dead_models(subject: &str, pit: &PitDefinition, states: &StateModel, report: &mut Report) {
+    let used: HashSet<&str> = states
+        .states()
+        .iter()
+        .flat_map(|s| s.transitions.iter())
+        .map(|t| t.input_model.as_str())
+        .collect();
+    for model in pit.data_models() {
+        if !used.contains(model.name()) {
+            report.push(Diagnostic::new(
+                "CM004",
+                Severity::Warn,
+                subject,
+                &format!("data:{}", model.name()),
+                "data model is never rendered: no transition uses it as an input model",
+                "reference it from a transition or remove it from the pit",
+            ));
+        }
+    }
+}
+
+fn check_length_targets(subject: &str, model: &DataModel, report: &mut Report) {
+    fn collect_names<'a>(fields: &'a [Field], names: &mut HashSet<&'a str>) {
+        for field in fields {
+            names.insert(field.name());
+            match field.kind() {
+                FieldKind::Block(inner) => collect_names(inner, names),
+                FieldKind::Choice { options, .. } => collect_names(options, names),
+                _ => {}
+            }
+        }
+    }
+    fn walk(
+        subject: &str,
+        model_name: &str,
+        prefix: &str,
+        fields: &[Field],
+        names: &HashSet<&str>,
+        report: &mut Report,
+    ) {
+        for field in fields {
+            let path = if prefix.is_empty() {
+                field.name().to_owned()
+            } else {
+                format!("{prefix}.{}", field.name())
+            };
+            match field.kind() {
+                FieldKind::LengthOf { of, .. } if !names.contains(of.as_str()) => {
+                    report.push(Diagnostic::new(
+                        "CM005",
+                        Severity::Lint,
+                        subject,
+                        &format!("data:{model_name}:field:{path}"),
+                        &format!("LengthOf measures unknown field \"{of}\" (renders as zero)"),
+                        "point it at a field defined in this data model",
+                    ));
+                }
+                FieldKind::Block(inner) => {
+                    walk(subject, model_name, &path, inner, names, report);
+                }
+                FieldKind::Choice { options, .. } => {
+                    walk(subject, model_name, &path, options, names, report);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut names = HashSet::new();
+    collect_names(model.fields(), &mut names);
+    walk(subject, model.name(), "", model.fields(), &names, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_fuzzer::{Endian, State, Transition};
+
+    fn model(name: &str) -> DataModel {
+        DataModel::new(name).field(Field::uint("byte", 8, 0))
+    }
+
+    fn pit_with_states(states: StateModel) -> PitDefinition {
+        PitDefinition::new(vec![model("Connect"), model("Publish")], Some(states))
+    }
+
+    #[test]
+    fn clean_pit_produces_no_diagnostics() {
+        let states = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Connect", "Up")))
+            .state(State::new("Up").transition(Transition::new("Publish", "Up")));
+        let report = analyze_pit("t", &pit_with_states(states));
+        assert!(report.is_empty(), "unexpected: {}", report.render_text());
+    }
+
+    #[test]
+    fn dangling_input_model_is_cm001() {
+        let states = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Ghost", "Init")));
+        let report = analyze_pit(
+            "t",
+            &PitDefinition::new(vec![model("Connect")], Some(states)),
+        );
+        let codes: Vec<&str> = report.diagnostics().iter().map(Diagnostic::code).collect();
+        assert!(codes.contains(&"CM001"), "got {codes:?}");
+        // "Connect" is now dead, so CM004 also fires — but no CM002/3.
+        assert!(!codes.contains(&"CM002"));
+        assert!(!codes.contains(&"CM003"));
+    }
+
+    #[test]
+    fn missing_initial_and_dangling_next_state_are_cm002() {
+        let ghost_initial = StateModel::new("m", "Nowhere")
+            .state(State::new("Init").transition(Transition::new("Connect", "Init")));
+        let report = analyze_pit("t", &pit_with_states(ghost_initial));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code() == "CM002" && d.message().contains("initial state")));
+
+        let dangling = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Connect", "Ghost")));
+        let report = analyze_pit("t", &pit_with_states(dangling));
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code() == "CM002" && d.message().contains("undefined state")));
+    }
+
+    #[test]
+    fn unreachable_state_is_cm003() {
+        let states = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Connect", "Init")))
+            .state(State::new("Orphan").transition(Transition::new("Publish", "Init")));
+        let report = analyze_pit("t", &pit_with_states(states));
+        let hits: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == "CM003")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path(), "state:Orphan");
+    }
+
+    #[test]
+    fn dead_data_model_is_cm004_only_with_a_state_model() {
+        let states = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Connect", "Init")));
+        let report = analyze_pit("t", &pit_with_states(states));
+        let hits: Vec<&Diagnostic> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code() == "CM004")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].path(), "data:Publish");
+
+        // Without a state model every data model is driven directly.
+        let free = PitDefinition::new(vec![model("Connect"), model("Publish")], None);
+        assert!(analyze_pit("t", &free).is_empty());
+    }
+
+    #[test]
+    fn dangling_length_target_is_cm005_lint() {
+        let broken = DataModel::new("Frame")
+            .field(Field::length_of("len", "payload", 16, Endian::Big))
+            .field(Field::bytes("body", b"x"));
+        let report = analyze_pit("t", &PitDefinition::new(vec![broken], None));
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), "CM005");
+        assert_eq!(d.severity(), Severity::Lint);
+        assert!(d.path().contains("field:len"));
+    }
+
+    #[test]
+    fn length_targets_resolve_inside_blocks_and_choices() {
+        let nested = DataModel::new("Frame")
+            .field(Field::length_of("len", "inner", 16, Endian::Big))
+            .field(Field::block(
+                "body",
+                vec![Field::choice(
+                    "variant",
+                    vec![Field::bytes("inner", b"x"), Field::bytes("other", b"y")],
+                )],
+            ));
+        assert!(analyze_pit("t", &PitDefinition::new(vec![nested], None)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_cm006() {
+        let dup_models = PitDefinition::new(vec![model("A"), model("A")], None);
+        let report = analyze_pit("t", &dup_models);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.diagnostics()[0].code(), "CM006");
+
+        let dup_states = StateModel::new("m", "Init")
+            .state(State::new("Init").transition(Transition::new("Connect", "Init")))
+            .state(State::new("Init"));
+        let report = analyze_pit(
+            "t",
+            &PitDefinition::new(vec![model("Connect")], Some(dup_states)),
+        );
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM006"));
+    }
+
+    #[test]
+    fn session_plans_check_is_cm040() {
+        let pit = PitDefinition::new(vec![model("Connect")], None);
+        let plans = vec![
+            vec!["Connect".to_owned()],
+            vec!["Connect".to_owned(), "Ghost".to_owned()],
+        ];
+        let report = analyze_session_plans("t", &pit, &plans);
+        assert_eq!(report.len(), 1);
+        let d = &report.diagnostics()[0];
+        assert_eq!(d.code(), "CM040");
+        assert_eq!(d.path(), "instance:1:plan:Ghost");
+    }
+}

@@ -75,7 +75,10 @@ fn bench_feedback(c: &mut Criterion) {
         let allocs = count_allocs(10_000, || {
             black_box(map.absorb_new(&mut accumulated));
         });
-        assert_eq!(allocs, 0, "absorb_new allocated on the no-new-coverage path");
+        assert_eq!(
+            allocs, 0,
+            "absorb_new allocated on the no-new-coverage path"
+        );
     });
 
     // Scratch snapshot refill (the engine's start() path, and union
@@ -88,7 +91,10 @@ fn bench_feedback(c: &mut Criterion) {
             map.snapshot_into(&mut scratch);
             black_box(scratch.covered_count());
         });
-        assert_eq!(allocs, 0, "snapshot_into allocated on a warm scratch buffer");
+        assert_eq!(
+            allocs, 0,
+            "snapshot_into allocated on a warm scratch buffer"
+        );
     });
 
     // The pre-optimization shape, for contrast: a fresh snapshot per query.

@@ -16,9 +16,7 @@ fn bench_extractors(c: &mut Criterion) {
         .collect();
     group.bench_function("cli_64_options", |b| b.iter(|| extract_cli(&cli_lines)));
 
-    let ini: String = (0..64)
-        .map(|i| format!("key_{i} = value_{i}\n"))
-        .collect();
+    let ini: String = (0..64).map(|i| format!("key_{i} = value_{i}\n")).collect();
     group.bench_function("keyvalue_64_keys", |b| {
         b.iter(|| extract_key_value("bench.conf", &ini));
     });

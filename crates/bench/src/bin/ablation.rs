@@ -4,13 +4,12 @@ use cmfuzz_bench::{cli, try_ablation_with_jobs};
 
 fn main() {
     let args = cli::parse_args("ablation");
-    let rows = try_ablation_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(
-        |error| {
+    let rows =
+        try_ablation_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(|error| {
             args.telemetry.flush();
             eprintln!("ablation: {error}");
             std::process::exit(1);
-        },
-    );
+        });
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_ablation(&rows));
 }

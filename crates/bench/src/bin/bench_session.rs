@@ -65,9 +65,7 @@ fn main() {
         ..EngineConfig::default()
     };
 
-    eprintln!(
-        "[bench_session] {scale_label} scale: {iterations} sessions per engine per subject"
-    );
+    eprintln!("[bench_session] {scale_label} scale: {iterations} sessions per engine per subject");
     let mut results = Vec::new();
     for spec in all_specs() {
         let parsed = pit::parse(spec.pit_document).expect("pit parses");
@@ -134,9 +132,8 @@ fn main() {
         results.push(result);
     }
 
-    let geomean = (results.iter().map(|r| r.speedup.ln()).sum::<f64>()
-        / results.len() as f64)
-        .exp();
+    let geomean =
+        (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len() as f64).exp();
 
     let mut subjects = String::new();
     for (i, r) in results.iter().enumerate() {

@@ -1,0 +1,108 @@
+//! `cmfuzz-lint`: static verification of the registry subjects' models.
+//!
+//! Runs every `cmfuzz-analyze` check — data/state model structure,
+//! configuration model domains, declared startup constraints — over the
+//! named subjects (default: all of them) and prints the findings.
+//!
+//! ```text
+//! usage: cmfuzz-lint [--format text|json] [subject...]
+//! ```
+//!
+//! The exit code is the worst severity found: `0` clean, `1` lint,
+//! `2` warning, `3` error — so CI can gate merges on `cmfuzz-lint`
+//! without parsing its output.
+
+use std::process::exit;
+
+use cmfuzz_analyze::{analyze_models, Report};
+use cmfuzz_fuzzer::pit;
+use cmfuzz_fuzzer::Target;
+use cmfuzz_protocols::{all_specs, spec_by_name, ProtocolSpec};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() {
+    let (format, subjects) = parse_args();
+    let mut report = Report::new();
+    for spec in &subjects {
+        report.merge(lint_subject(spec));
+    }
+    report.sort();
+    match format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => println!("{}", report.render_json()),
+    }
+    exit(report.max_severity().map_or(0, |s| s.exit_code()));
+}
+
+fn lint_subject(spec: &ProtocolSpec) -> Report {
+    let parsed = match pit::parse(spec.pit_document) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            // A registry pit that does not even parse is beyond structured
+            // diagnostics; fail as hard as an error-severity finding.
+            eprintln!(
+                "cmfuzz-lint: pit document for {} does not parse: {error}",
+                spec.name
+            );
+            exit(3);
+        }
+    };
+    let target = (spec.build)();
+    let model = cmfuzz_config_model::extract_model(&target.config_space());
+    let constraints = target.config_constraints();
+    analyze_models(spec.name, &parsed, &model, &constraints)
+}
+
+fn parse_args() -> (Format, Vec<ProtocolSpec>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
+    let mut subjects: Vec<ProtocolSpec> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => usage_error(&format!("--format expects text|json, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            name if !name.starts_with('-') => match spec_by_name(name) {
+                Some(spec) => subjects.push(spec),
+                None => {
+                    let known: Vec<&str> = all_specs().iter().map(|s| s.name).collect();
+                    usage_error(&format!(
+                        "unknown subject {name:?}; known subjects: {}",
+                        known.join(", ")
+                    ));
+                }
+            },
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if subjects.is_empty() {
+        subjects = all_specs();
+    }
+    (format, subjects)
+}
+
+const USAGE: &str = "usage: cmfuzz-lint [--format text|json] [subject...]\n\
+\n\
+  --format  output format (default: text)\n\
+  subject   registry subject names to verify (default: all)\n\
+\n\
+exit code: 0 clean, 1 lint, 2 warning, 3 error";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    exit(2);
+}

@@ -4,13 +4,12 @@ use cmfuzz_bench::{cli, try_figure4_with_jobs};
 
 fn main() {
     let args = cli::parse_args("figure4");
-    let series = try_figure4_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(
-        |error| {
+    let series =
+        try_figure4_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(|error| {
             args.telemetry.flush();
             eprintln!("figure4: {error}");
             std::process::exit(1);
-        },
-    );
+        });
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_figure4(&series));
 }

@@ -82,8 +82,8 @@ pub fn parse_args(experiment: &str) -> Cli {
         }
     }
 
-    let mut builder = Telemetry::builder(VirtualClock::new())
-        .sink(Box::new(ProgressSink::default()));
+    let mut builder =
+        Telemetry::builder(VirtualClock::new()).sink(Box::new(ProgressSink::default()));
     if let Some(path) = jsonl_path {
         match JsonlSink::create(&path) {
             Ok(sink) => builder = builder.sink(Box::new(sink)),

@@ -207,11 +207,7 @@ fn mean_curve(results: &[CampaignResult]) -> CoverageCurve {
         .unwrap_or(0);
     for i in 0..len {
         let time = results[0].curve.points()[i].0;
-        let avg = results
-            .iter()
-            .map(|r| r.curve.points()[i].1)
-            .sum::<usize>()
-            / results.len();
+        let avg = results.iter().map(|r| r.curve.points()[i].1).sum::<usize>() / results.len();
         mean.push(time, avg)
             .expect("repetitions sample identical, ordered times");
     }
@@ -509,11 +505,7 @@ pub fn try_table2_with_jobs(
         for (fuzzer, results) in FUZZERS.iter().zip(per_fuzzer) {
             for result in results {
                 for fault in result.faults.faults() {
-                    let key = (
-                        spec.protocol.to_owned(),
-                        fault.kind,
-                        fault.function.clone(),
-                    );
+                    let key = (spec.protocol.to_owned(), fault.kind, fault.function.clone());
                     if let Some(&at) = by_identity.get(&key) {
                         let row = &mut rows[at];
                         if !row.found_by.iter().any(|f| f == fuzzer) {

@@ -157,11 +157,12 @@ mod tests {
 
     #[test]
     fn timed_variant_reports_positive_durations() {
-        let cells: Vec<_> = (0..4)
-            .map(|n: u32| move || n + 1)
-            .collect();
+        let cells: Vec<_> = (0..4).map(|n: u32| move || n + 1).collect();
         let timed = run_cells_timed(2, cells);
-        assert_eq!(timed.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            timed.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]

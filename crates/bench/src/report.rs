@@ -102,7 +102,10 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut out = String::new();
     out.push_str("Ablation: mean branches covered per scheduler variant.\n");
-    out.push_str(&format!("{:<18} {:<12} {:>10}\n", "Variant", "Subject", "Branches"));
+    out.push_str(&format!(
+        "{:<18} {:<12} {:>10}\n",
+        "Variant", "Subject", "Branches"
+    ));
     for row in rows {
         out.push_str(&format!(
             "{:<18} {:<12} {:>10.0}\n",

@@ -177,39 +177,38 @@ impl<T: Target> LegacyEngine<T> {
         for model_name in &plan {
             let mutate_fields = self.rng.random::<f64>() < self.config.model_mutation_rate;
 
-            let mut bytes = if !mutate_fields
-                && self.rng.random::<f64>() < self.config.seed_reuse_rate
-            {
-                let picked = {
-                    let matching: Vec<usize> = self
-                        .seeds
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.model == *model_name)
-                        .map(|(i, _)| i)
-                        .collect();
-                    if matching.is_empty() {
-                        None
-                    } else {
-                        Some(matching[self.rng.random_range(0..matching.len())])
+            let mut bytes =
+                if !mutate_fields && self.rng.random::<f64>() < self.config.seed_reuse_rate {
+                    let picked = {
+                        let matching: Vec<usize> = self
+                            .seeds
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.model == *model_name)
+                            .map(|(i, _)| i)
+                            .collect();
+                        if matching.is_empty() {
+                            None
+                        } else {
+                            Some(matching[self.rng.random_range(0..matching.len())])
+                        }
+                    };
+                    match picked {
+                        Some(i) => self.seeds[i].bytes.clone(),
+                        None => self.render(model_name),
                     }
+                } else if mutate_fields {
+                    match self.working_models.iter().find(|m| m.name() == model_name) {
+                        Some(model) => {
+                            let mut copy = model.clone();
+                            self.mutator.mutate_model(&mut copy);
+                            Generator::render(&copy)
+                        }
+                        None => Vec::new(),
+                    }
+                } else {
+                    self.render(model_name)
                 };
-                match picked {
-                    Some(i) => self.seeds[i].bytes.clone(),
-                    None => self.render(model_name),
-                }
-            } else if mutate_fields {
-                match self.working_models.iter().find(|m| m.name() == model_name) {
-                    Some(model) => {
-                        let mut copy = model.clone();
-                        self.mutator.mutate_model(&mut copy);
-                        Generator::render(&copy)
-                    }
-                    None => Vec::new(),
-                }
-            } else {
-                self.render(model_name)
-            };
 
             if self.rng.random::<f64>() < self.config.byte_mutation_rate {
                 self.mutator.mutate(&mut bytes, self.config.mutation_stack);
@@ -295,7 +294,11 @@ mod tests {
             engine.run_iteration();
         }
         assert!(engine.covered_count() > 1, "first-byte branches get hit");
-        assert_eq!(engine.fault_log().unique_count(), 0, "null target never faults");
+        assert_eq!(
+            engine.fault_log().unique_count(),
+            0,
+            "null target never faults"
+        );
     }
 
     #[test]

@@ -228,7 +228,9 @@ impl Assembler {
         fn render(node: &Node) -> String {
             if let Some(value) = &node.value {
                 return match value {
-                    ConfigValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+                    ConfigValue::Str(s) => {
+                        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+                    }
                     other => other.render(),
                 };
             }
@@ -240,6 +242,42 @@ impl Assembler {
             format!("{{{}}}", fields.join(","))
         }
         render(&root)
+    }
+
+    /// Checks an assembled configuration against a target's declared
+    /// startup constraints, returning every violated constraint.
+    ///
+    /// This is the assembly-time mirror of the `ConfigConflict` check the
+    /// target itself performs at boot: a non-empty return means handing
+    /// this configuration to `start()` would fail, so the conflict can be
+    /// reported as a diagnostic *before* any instance spins up.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cmfuzz_config_model::{
+    ///     Assembler, Condition, ConfigConstraint, ConfigValue, ConstraintSet, ResolvedConfig,
+    /// };
+    ///
+    /// let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+    ///     "dtls cannot run on a multicast socket",
+    ///     vec![
+    ///         Condition::bool_is("dtls", true, false),
+    ///         Condition::bool_is("multicast", true, false),
+    ///     ],
+    /// ));
+    /// let mut config = ResolvedConfig::new();
+    /// config.set("dtls", ConfigValue::Bool(true));
+    /// config.set("multicast", ConfigValue::Bool(true));
+    /// let conflicts = Assembler::conflicts(&config, &constraints);
+    /// assert_eq!(conflicts[0].reason(), "dtls cannot run on a multicast socket");
+    /// ```
+    #[must_use]
+    pub fn conflicts<'a>(
+        config: &ResolvedConfig,
+        constraints: &'a crate::ConstraintSet,
+    ) -> Vec<&'a crate::ConfigConstraint> {
+        constraints.violations(config)
     }
 
     /// Produces the configuration binding a group of entities to specific
@@ -367,6 +405,28 @@ mod tests {
         let bound = Assembler::bind_group(&[&e1, &e2], &choices);
         assert_eq!(bound.get("a"), Some(&ConfigValue::Int(2)));
         assert_eq!(bound.get("b"), Some(&ConfigValue::Bool(false)));
+    }
+
+    #[test]
+    fn conflicts_flags_violations_at_assembly_time() {
+        use crate::{Condition, ConfigConstraint, ConstraintSet};
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "strict-order requires resolv.conf servers",
+            vec![
+                Condition::bool_is("strict-order", true, false),
+                Condition::bool_is("no-resolv", true, false),
+            ],
+        ));
+        let mut config = ResolvedConfig::new();
+        config.set("strict-order", ConfigValue::Bool(true));
+        assert!(Assembler::conflicts(&config, &constraints).is_empty());
+        config.set("no-resolv", ConfigValue::Bool(true));
+        let found = Assembler::conflicts(&config, &constraints);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            found[0].reason(),
+            "strict-order requires resolv.conf servers"
+        );
     }
 
     #[test]

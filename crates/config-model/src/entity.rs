@@ -177,17 +177,27 @@ fn dedup_values(values: Vec<ConfigValue>) -> Vec<ConfigValue> {
 
 /// Keywords that mark an item as environmental and therefore IMMUTABLE.
 const IMMUTABLE_NAME_HINTS: &[&str] = &[
-    "path", "dir", "file", "cert", "cafile", "keyfile", "pid", "socket", "home", "user", "group",
-    "uri", "url", "host", "interface",
+    "path",
+    "dir",
+    "file",
+    "cert",
+    "cafile",
+    "keyfile",
+    "pid",
+    "socket",
+    "home",
+    "user",
+    "group",
+    "uri",
+    "url",
+    "host",
+    "interface",
 ];
 
 fn infer_mutability(name: &str, raw: &str, value_type: ValueType) -> Mutability {
     if value_type == ValueType::String {
         let lower = name.to_ascii_lowercase();
-        if IMMUTABLE_NAME_HINTS
-            .iter()
-            .any(|hint| lower.contains(hint))
-        {
+        if IMMUTABLE_NAME_HINTS.iter().any(|hint| lower.contains(hint)) {
             return Mutability::Immutable;
         }
         if looks_like_path_or_url(raw) {
@@ -332,7 +342,11 @@ mod tests {
             "x",
             ValueType::Number,
             Mutability::Mutable,
-            vec![ConfigValue::Int(1), ConfigValue::Int(1), ConfigValue::Int(2)],
+            vec![
+                ConfigValue::Int(1),
+                ConfigValue::Int(1),
+                ConfigValue::Int(2),
+            ],
         );
         assert_eq!(e.values().len(), 2);
     }

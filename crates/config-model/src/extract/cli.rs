@@ -132,7 +132,9 @@ fn parse_line(line: &str) -> Option<ConfigItem> {
 /// A plausible option name: non-empty, starts alphanumeric, and contains
 /// only identifier-ish characters.
 fn is_option_name(name: &str) -> bool {
-    name.chars().next().is_some_and(|c| c.is_ascii_alphanumeric())
+    name.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric())
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
@@ -168,7 +170,10 @@ fn looks_like_value(token: &str) -> bool {
         && token
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '/' || c == '.')
-        && token.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'))
+        && token
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'))
 }
 
 #[cfg(test)]

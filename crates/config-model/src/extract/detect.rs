@@ -37,7 +37,10 @@ pub enum FileFormat {
 /// ```
 #[must_use]
 pub fn detect_format(file_name: &str, content: &str) -> FileFormat {
-    if let Some(ext) = file_name.rsplit_once('.').map(|(_, e)| e.to_ascii_lowercase()) {
+    if let Some(ext) = file_name
+        .rsplit_once('.')
+        .map(|(_, e)| e.to_ascii_lowercase())
+    {
         match ext.as_str() {
             "json" => return FileFormat::Json,
             "xml" | "pit" => return FileFormat::Xml,
@@ -146,7 +149,10 @@ mod tests {
     #[test]
     fn mosquitto_style_space_kv() {
         assert_eq!(
-            detect_format("mosquitto.conf", "max_inflight_messages 20\npersistence true\n"),
+            detect_format(
+                "mosquitto.conf",
+                "max_inflight_messages 20\npersistence true\n"
+            ),
             FileFormat::KeyValue
         );
     }

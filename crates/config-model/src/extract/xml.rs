@@ -39,12 +39,17 @@ pub fn extract_xml(file_name: &str, content: &str) -> Vec<ConfigItem> {
     };
     // path stack; sibling-name occurrence counts per depth for indexing
     let mut path: Vec<String> = Vec::new();
-    let mut sibling_counts: Vec<std::collections::HashMap<String, usize>> = vec![Default::default()];
+    let mut sibling_counts: Vec<std::collections::HashMap<String, usize>> =
+        vec![Default::default()];
     let mut pending_text = String::new();
 
     while let Some(event) = lexer.next_event() {
         match event {
-            Event::Open { name, attrs, self_closing } => {
+            Event::Open {
+                name,
+                attrs,
+                self_closing,
+            } => {
                 let counts = sibling_counts.last_mut().expect("depth tracked");
                 let seen = counts.entry(name.clone()).or_insert(0);
                 let indexed = if *seen == 0 {

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod assemble;
+mod constraint;
 mod entity;
 pub mod extract;
 mod item;
@@ -44,6 +45,7 @@ mod model;
 mod value;
 
 pub use assemble::{Assembler, ResolvedConfig};
+pub use constraint::{Condition, ConfigConstraint, ConstraintSet, Predicate};
 pub use entity::{ConfigEntity, Mutability};
 pub use item::{ConfigItem, ItemSource};
 pub use model::{extract_model, ConfigFile, ConfigModel, ConfigSpace};

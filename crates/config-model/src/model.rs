@@ -222,10 +222,7 @@ mod tests {
         };
         let model = extract_model(&space);
         assert_eq!(model.len(), 5);
-        assert_eq!(
-            model.entity("qos").unwrap().value_type(),
-            ValueType::Number
-        );
+        assert_eq!(model.entity("qos").unwrap().value_type(), ValueType::Number);
         assert_eq!(
             model.entity("tls.enabled").unwrap().value_type(),
             ValueType::Boolean

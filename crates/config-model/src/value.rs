@@ -248,10 +248,7 @@ mod tests {
         assert_eq!(ConfigValue::Bool(true).value_type(), ValueType::Boolean);
         assert_eq!(ConfigValue::Int(1).value_type(), ValueType::Number);
         assert_eq!(ConfigValue::Float(0.5).value_type(), ValueType::Number);
-        assert_eq!(
-            ConfigValue::Str("a".into()).value_type(),
-            ValueType::String
-        );
+        assert_eq!(ConfigValue::Str("a".into()).value_type(), ValueType::String);
     }
 
     #[test]

@@ -152,8 +152,8 @@ fn find_best(
         let score = numerator / group.len() as f64;
         // Strictly-greater keeps the first (and, for the zero case, the
         // earliest-smallest after the tie-break below).
-        let better = score > best_score
-            || (score == best_score && group.len() < groups[best_index].len());
+        let better =
+            score > best_score || (score == best_score && group.len() < groups[best_index].len());
         if better {
             best_score = score;
             best_index = index;
@@ -202,8 +202,8 @@ mod tests {
         let mut g = RelationGraph::new();
         g.add_edge("a", "b", 1.0); // group 0
         g.add_edge("c", "d", 0.95); // group 1
-        // x-y edge processed after both groups exist; x strongly tied to
-        // group 1's c.
+                                    // x-y edge processed after both groups exist; x strongly tied to
+                                    // group 1's c.
         g.add_edge("x", "c", 0.9);
         g.add_edge("x", "y", 0.5);
         let groups = allocate(&g, 2, &AllocationOptions::default());

@@ -188,12 +188,8 @@ pub fn try_run_cmfuzz_with(
     telemetry: &Telemetry,
 ) -> Result<CampaignResult, CampaignError> {
     let mut scratch = (spec.build)();
-    let schedule = build_schedule_with_telemetry(
-        &mut scratch,
-        options.instances,
-        schedule_options,
-        telemetry,
-    );
+    let schedule =
+        build_schedule_with_telemetry(&mut scratch, options.instances, schedule_options, telemetry);
     let setups = cmfuzz_setups(&schedule, options.instances);
     try_run_campaign_with_telemetry(spec, "cmfuzz", &setups, options, telemetry)
 }

@@ -49,6 +49,12 @@ pub struct CampaignOptions {
     pub link: LinkConditions,
     /// Base engine tunables (per-instance seeds are derived from `seed`).
     pub engine: EngineConfig,
+    /// Skip the static preflight verification pass. Preflight rejects a
+    /// campaign with [`CampaignError::Preflight`] when `cmfuzz-analyze`
+    /// finds error-severity defects in the subject's models or the
+    /// instance setups; set this to deliberately run a broken setup (for
+    /// example to exercise the runner's boot-time fallback paths).
+    pub skip_preflight: bool,
 }
 
 impl Default for CampaignOptions {
@@ -63,6 +69,7 @@ impl Default for CampaignOptions {
             worker_pool: true,
             link: LinkConditions::perfect(),
             engine: EngineConfig::default(),
+            skip_preflight: false,
         }
     }
 }
@@ -125,6 +132,8 @@ pub fn run_campaign(
 ///
 /// Returns [`CampaignError::NoInstances`] for an empty `setups`,
 /// [`CampaignError::PitParse`] for a broken registry Pit document,
+/// [`CampaignError::Preflight`] when static analysis finds error-severity
+/// model defects (unless `options.skip_preflight`),
 /// [`CampaignError::TargetBoot`] when an instance cannot boot its default
 /// configuration, and [`CampaignError::Restart`] when a mid-campaign
 /// restart strands an instance.
@@ -185,6 +194,12 @@ pub fn try_run_campaign_with_telemetry(
         target: spec.name.to_owned(),
         error,
     })?;
+    if !options.skip_preflight {
+        let report = crate::preflight::preflight_campaign(spec, &pit, setups, telemetry);
+        if report.has_errors() {
+            return Err(CampaignError::Preflight(report.into_diagnostics()));
+        }
+    }
     let engine_telemetry = EngineTelemetry::for_pipeline(telemetry);
 
     let mut instances: Vec<Instance> = Vec::with_capacity(setups.len());
@@ -506,7 +521,8 @@ fn mutate_instance_config(
     instance: &mut Instance,
 ) -> Result<Option<(String, ConfigValue)>, StartError> {
     for _attempt in 0..4 {
-        let (name, values) = &instance.adaptive[instance.rng.random_range(0..instance.adaptive.len())];
+        let (name, values) =
+            &instance.adaptive[instance.rng.random_range(0..instance.adaptive.len())];
         if values.is_empty() {
             continue;
         }
@@ -567,10 +583,7 @@ mod tests {
         let a = run_campaign(&spec, "peach", &setups, &small_options(9));
         let b = run_campaign(&spec, "peach", &setups, &small_options(9));
         assert_eq!(a.curve, b.curve);
-        assert_eq!(
-            a.faults.unique_count(),
-            b.faults.unique_count()
-        );
+        assert_eq!(a.faults.unique_count(), b.faults.unique_count());
         let c = run_campaign(&spec, "peach", &setups, &small_options(10));
         // Different seed virtually always walks a different curve.
         assert!(a.curve != c.curve || a.final_branches() == c.final_branches());
@@ -604,7 +617,10 @@ mod tests {
         );
         assert_eq!(telemetry.dropped_events(), 0);
         let snap = telemetry.metrics_snapshot();
-        assert_eq!(snap.counter("engine.sessions"), Some(observed.stats.sessions));
+        assert_eq!(
+            snap.counter("engine.sessions"),
+            Some(observed.stats.sessions)
+        );
         assert_eq!(snap.counter("campaign.rounds"), Some(6));
         // Each instance spent the whole budget in the fuzzing phase.
         for instance in 0..2 {
@@ -720,8 +736,42 @@ mod tests {
             initial_config: bad,
             ..InstanceSetup::default()
         }];
-        let result = run_campaign(&spec, "cmfuzz", &setups, &small_options(2));
-        assert!(result.final_branches() > 0, "campaign survived the conflict");
+        // Preflight would (correctly) reject this setup before the runner
+        // ever sees it; skip it to exercise the boot-time fallback.
+        let options = CampaignOptions {
+            skip_preflight: true,
+            ..small_options(2)
+        };
+        let result = run_campaign(&spec, "cmfuzz", &setups, &options);
+        assert!(
+            result.final_branches() > 0,
+            "campaign survived the conflict"
+        );
+    }
+
+    #[test]
+    fn preflight_rejects_conflicting_setup_before_any_instance_starts() {
+        let spec = spec_by_name("mosquitto").unwrap();
+        let mut bad = ResolvedConfig::new();
+        bad.set("auth-method", ConfigValue::Str("tls".into()));
+        bad.set("tls_enabled", ConfigValue::Bool(false));
+        let setups = vec![InstanceSetup {
+            initial_config: bad,
+            ..InstanceSetup::default()
+        }];
+        let err = try_run_campaign(&spec, "cmfuzz", &setups, &small_options(2))
+            .expect_err("preflight must reject the conflicting setup");
+        let CampaignError::Preflight(diagnostics) = err else {
+            panic!("expected Preflight, got {err}");
+        };
+        assert!(diagnostics.iter().any(|d| d.code() == "CM014"));
+        assert!(err_display_mentions_preflight(&diagnostics));
+    }
+
+    fn err_display_mentions_preflight(diagnostics: &[cmfuzz_analyze::Diagnostic]) -> bool {
+        CampaignError::Preflight(diagnostics.to_vec())
+            .to_string()
+            .contains("preflight rejected the campaign")
     }
 
     #[test]

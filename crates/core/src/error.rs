@@ -8,6 +8,7 @@
 use std::error::Error;
 use std::fmt;
 
+use cmfuzz_analyze::Diagnostic;
 use cmfuzz_fuzzer::pit::ParsePitError;
 use cmfuzz_fuzzer::StartError;
 
@@ -52,6 +53,10 @@ pub enum CampaignError {
         /// The startup failure.
         error: StartError,
     },
+    /// Static preflight analysis found error-severity defects in the
+    /// subject's models; the campaign was rejected before any instance
+    /// started (opt out via `CampaignOptions::skip_preflight`).
+    Preflight(Vec<Diagnostic>),
     /// A mid-campaign restart could not restore an instance's previously
     /// running configuration, leaving it dead with budget remaining.
     Restart {
@@ -72,6 +77,20 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::PitParse { target, error } => {
                 write!(f, "pit document for {target} does not parse: {error}")
+            }
+            CampaignError::Preflight(diagnostics) => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity() == cmfuzz_analyze::Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "preflight rejected the campaign: {errors} model error(s)"
+                )?;
+                for diagnostic in diagnostics {
+                    write!(f, "\n  {diagnostic}")?;
+                }
+                Ok(())
             }
             CampaignError::TargetBoot {
                 target,
@@ -96,7 +115,7 @@ impl fmt::Display for CampaignError {
 impl Error for CampaignError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CampaignError::NoInstances => None,
+            CampaignError::NoInstances | CampaignError::Preflight(_) => None,
             CampaignError::PitParse { error, .. } => Some(error),
             CampaignError::TargetBoot { error, .. } | CampaignError::Restart { error, .. } => {
                 Some(error)
@@ -134,5 +153,33 @@ mod tests {
         assert_ne!(restart, CampaignError::NoInstances);
         assert!(restart.to_string().contains("could not restore"));
         assert!(CampaignError::NoInstances.source().is_none());
+    }
+
+    #[test]
+    fn preflight_lists_diagnostics_and_counts_errors() {
+        use cmfuzz_analyze::Severity;
+        let err = CampaignError::Preflight(vec![
+            Diagnostic::new(
+                "CM010",
+                Severity::Error,
+                "t",
+                "item:port",
+                "empty domain",
+                "fix it",
+            ),
+            Diagnostic::new(
+                "CM006",
+                Severity::Warn,
+                "t",
+                "data:Dup",
+                "duplicate",
+                "rename",
+            ),
+        ]);
+        let msg = err.to_string();
+        assert!(msg.contains("preflight rejected the campaign: 1 model error(s)"));
+        assert!(msg.contains("CM010"));
+        assert!(msg.contains("CM006"), "warnings are listed too");
+        assert!(err.source().is_none());
     }
 }

@@ -62,12 +62,20 @@ impl RelationGraph {
         if ia == ib {
             return; // self-relations are meaningless
         }
-        let (lo, hi) = (ia.min(ib), ia.max(ib));
-        if let Some(edge) = self
-            .edges
-            .iter_mut()
-            .find(|e| e.a == lo && e.b == hi)
-        {
+        self.insert_edge(ia.min(ib), ia.max(ib), weight);
+    }
+
+    /// Inserts or strengthens the `(lo, hi)` edge. Callers guarantee the
+    /// self-edge filter and endpoint registration already happened; the
+    /// invariants are cheap enough to re-check in debug builds.
+    fn insert_edge(&mut self, lo: usize, hi: usize, weight: f64) {
+        debug_assert!(lo < hi, "edge endpoints must be distinct and ordered");
+        debug_assert!(
+            hi < self.nodes.len(),
+            "edge endpoint {hi} out of bounds for {} nodes",
+            self.nodes.len()
+        );
+        if let Some(edge) = self.edges.iter_mut().find(|e| e.a == lo && e.b == hi) {
             edge.weight = edge.weight.max(weight);
         } else {
             self.edges.push(Edge {

@@ -60,5 +60,6 @@ pub mod graph;
 
 pub use error::CampaignError;
 pub mod metrics;
+pub mod preflight;
 pub mod relation;
 pub mod schedule;

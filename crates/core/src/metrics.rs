@@ -218,10 +218,7 @@ pub fn speedup(ours: &CoverageCurve, baseline: &CoverageCurve) -> Option<f64> {
     let ours_ticks = if our_time == Ticks::ZERO {
         // Reached before the first inter-sample gap elapsed; attribute half
         // a sampling interval.
-        let interval = ours
-            .points()
-            .get(1)
-            .map_or(1, |&(t, _)| t.get().max(1));
+        let interval = ours.points().get(1).map_or(1, |&(t, _)| t.get().max(1));
         (interval as f64 / 2.0).max(0.5)
     } else {
         our_time.get() as f64

@@ -1,0 +1,249 @@
+//! Campaign preflight: static model verification before any instance
+//! starts.
+//!
+//! A malformed pit, a contradictory configuration, or a bad partition
+//! used to surface *mid-campaign* — as a wasted session, a boot-time
+//! `ConfigConflict`, or an instance silently burning its whole budget.
+//! [`preflight_campaign`] runs the `cmfuzz-analyze` checks over
+//! everything a campaign is about to execute and
+//! `try_run_campaign` aborts with `CampaignError::Preflight` when any
+//! finding is error-severity (opt out via
+//! `CampaignOptions::skip_preflight`).
+//!
+//! The pass is entirely RNG-free — it parses, extracts, and evaluates
+//! constraints but never draws from any campaign stream — so enabling it
+//! cannot perturb campaign determinism.
+
+use cmfuzz_analyze::{
+    analyze_graph, analyze_models, analyze_partitions, analyze_resolved, analyze_session_plans,
+    GraphView, PartitionView, Report, Severity,
+};
+use cmfuzz_config_model::extract_model;
+use cmfuzz_fuzzer::pit::PitDefinition;
+use cmfuzz_fuzzer::Target;
+use cmfuzz_protocols::ProtocolSpec;
+use cmfuzz_telemetry::Telemetry;
+
+use crate::campaign::InstanceSetup;
+use crate::graph::RelationGraph;
+use crate::schedule::Schedule;
+
+/// Statically verifies everything a campaign over `spec` with `setups`
+/// is about to execute: the parsed pit, the extracted configuration
+/// model against the target's declared startup constraints, each
+/// instance's initial configuration (`CM014`), session plans (`CM040`),
+/// and the adaptive-entity partitions (`CM03x`).
+///
+/// Instances with no adaptive entities are intentionally-fixed baselines
+/// (Peach/SPFuzz run this way), so they are not flagged as empty
+/// partitions; [`analyze_schedule`] applies the stricter rule to
+/// scheduler output, which should always assign work.
+///
+/// Every diagnostic increments a telemetry counter `analyze.<code>`,
+/// plus severity totals (`analyze.errors` / `analyze.warnings` /
+/// `analyze.lints`), so warnings stay observable even when the campaign
+/// proceeds.
+#[must_use]
+pub fn preflight_campaign(
+    spec: &ProtocolSpec,
+    pit: &PitDefinition,
+    setups: &[InstanceSetup],
+    telemetry: &Telemetry,
+) -> Report {
+    let target = (spec.build)();
+    let model = extract_model(&target.config_space());
+    let constraints = target.config_constraints();
+
+    let mut report = analyze_models(spec.name, pit, &model, &constraints);
+    for (i, setup) in setups.iter().enumerate() {
+        report.merge(analyze_resolved(
+            spec.name,
+            &format!("instance:{i}:initial-config"),
+            &setup.initial_config,
+            &constraints,
+        ));
+        report.merge(analyze_session_plans(spec.name, pit, &setup.session_plans));
+    }
+    let partitions: Vec<PartitionView> = setups
+        .iter()
+        .enumerate()
+        .filter(|(_, setup)| !setup.adaptive_entities.is_empty())
+        .map(|(index, setup)| PartitionView {
+            index,
+            entities: setup
+                .adaptive_entities
+                .iter()
+                .map(|(name, _)| name.clone())
+                .collect(),
+        })
+        .collect();
+    report.merge(analyze_partitions(spec.name, &partitions, &model));
+    report.sort();
+    record(&report, telemetry);
+    report
+}
+
+/// Statically verifies a scheduler's output: the relation graph against
+/// the schedule's configuration model (`CM02x`) and every instance plan
+/// as a partition (`CM03x` — here an empty plan *is* flagged, because a
+/// scheduler that assigns an instance nothing wastes its whole budget).
+#[must_use]
+pub fn analyze_schedule(subject: &str, schedule: &Schedule) -> Report {
+    let mut report = analyze_graph(subject, &graph_view(&schedule.graph), &schedule.model);
+    let partitions: Vec<PartitionView> = schedule
+        .plans
+        .iter()
+        .map(|plan| PartitionView {
+            index: plan.index,
+            entities: plan.entities.clone(),
+        })
+        .collect();
+    report.merge(analyze_partitions(subject, &partitions, &schedule.model));
+    report.sort();
+    report
+}
+
+/// Reduces a [`RelationGraph`] to the name-only view the analyzer
+/// consumes (the analyzer must not depend on this crate).
+#[must_use]
+pub fn graph_view(graph: &RelationGraph) -> GraphView {
+    GraphView {
+        nodes: graph.node_names().to_vec(),
+        edges: graph
+            .edges()
+            .iter()
+            .map(|e| (graph.name_of(e.a).to_owned(), graph.name_of(e.b).to_owned()))
+            .collect(),
+    }
+}
+
+fn record(report: &Report, telemetry: &Telemetry) {
+    for diagnostic in report.diagnostics() {
+        telemetry
+            .counter(&format!("analyze.{}", diagnostic.code()))
+            .incr();
+    }
+    for (severity, name) in [
+        (Severity::Error, "analyze.errors"),
+        (Severity::Warn, "analyze.warnings"),
+        (Severity::Lint, "analyze.lints"),
+    ] {
+        let count = report.count_of(severity) as u64;
+        if count > 0 {
+            telemetry.counter(name).add(count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{build_schedule, ScheduleOptions};
+    use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
+    use cmfuzz_coverage::VirtualClock;
+    use cmfuzz_fuzzer::pit;
+    use cmfuzz_protocols::{all_specs, spec_by_name};
+
+    #[test]
+    fn builtin_specs_preflight_clean_of_errors() {
+        for spec in all_specs() {
+            let parsed = pit::parse(spec.pit_document).expect("registry pit parses");
+            let report = preflight_campaign(
+                &spec,
+                &parsed,
+                &vec![InstanceSetup::default(); 2],
+                &Telemetry::disabled(),
+            );
+            assert!(
+                !report.has_errors(),
+                "{} has preflight errors:\n{}",
+                spec.name,
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_initial_config_is_cm014() {
+        let spec = spec_by_name("mosquitto").expect("subject exists");
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let mut conflicting = ResolvedConfig::new();
+        conflicting.set("auth-method", ConfigValue::Str("tls".into()));
+        conflicting.set("tls_enabled", ConfigValue::Bool(false));
+        let setup = InstanceSetup {
+            initial_config: conflicting,
+            ..InstanceSetup::default()
+        };
+        let report = preflight_campaign(&spec, &parsed, &[setup], &Telemetry::disabled());
+        assert!(report.has_errors());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code() == "CM014" && d.path() == "instance:0:initial-config"));
+    }
+
+    #[test]
+    fn unknown_adaptive_entity_is_cm032() {
+        let spec = spec_by_name("dnsmasq").expect("subject exists");
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let setup = InstanceSetup {
+            adaptive_entities: vec![("no-such-item".to_owned(), vec![ConfigValue::Bool(true)])],
+            ..InstanceSetup::default()
+        };
+        let report = preflight_campaign(&spec, &parsed, &[setup], &Telemetry::disabled());
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM032"));
+    }
+
+    #[test]
+    fn bad_session_plan_is_cm040() {
+        let spec = spec_by_name("libcoap").expect("subject exists");
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let setup = InstanceSetup {
+            session_plans: vec![vec!["NoSuchModel".to_owned()]],
+            ..InstanceSetup::default()
+        };
+        let report = preflight_campaign(&spec, &parsed, &[setup], &Telemetry::disabled());
+        assert!(report.diagnostics().iter().any(|d| d.code() == "CM040"));
+    }
+
+    #[test]
+    fn preflight_counts_into_telemetry() {
+        let spec = spec_by_name("mosquitto").expect("subject exists");
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let mut conflicting = ResolvedConfig::new();
+        conflicting.set("port", ConfigValue::Int(0));
+        let setup = InstanceSetup {
+            initial_config: conflicting,
+            ..InstanceSetup::default()
+        };
+        let telemetry = Telemetry::builder(VirtualClock::new()).build();
+        let report = preflight_campaign(&spec, &parsed, &[setup], &telemetry);
+        assert!(report.has_errors());
+        let snapshot = telemetry.metrics_snapshot();
+        assert_eq!(snapshot.counter("analyze.CM014"), Some(1));
+        assert!(snapshot.counter("analyze.errors").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn scheduler_output_analyzes_clean() {
+        let spec = spec_by_name("mosquitto").expect("subject exists");
+        let mut target = (spec.build)();
+        let schedule = build_schedule(&mut target, 2, &ScheduleOptions::default());
+        let report = analyze_schedule(spec.name, &schedule);
+        assert!(
+            !report.has_errors(),
+            "schedule errors:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn graph_view_preserves_names_and_edges() {
+        let mut graph = RelationGraph::new();
+        graph.add_edge("a", "b", 1.0);
+        graph.add_node("c");
+        let view = graph_view(&graph);
+        assert_eq!(view.nodes, vec!["a", "b", "c"]);
+        assert_eq!(view.edges, vec![("a".to_owned(), "b".to_owned())]);
+    }
+}

@@ -215,9 +215,7 @@ mod tests {
     #[test]
     fn all_zero_pairs_get_no_edge() {
         let model = toy_model(&["--a=1", "--b=2", "--c=3"]);
-        let graph = quantify_with(&model, &RelationOptions::default(), |_| {
-            Some(snap(8, &[]))
-        });
+        let graph = quantify_with(&model, &RelationOptions::default(), |_| Some(snap(8, &[])));
         assert_eq!(graph.edge_count(), 0);
         assert_eq!(graph.node_count(), 3, "nodes exist even without edges");
     }
@@ -333,9 +331,7 @@ mod tests {
     #[test]
     fn immutable_entities_are_excluded() {
         let model = toy_model(&["--a=1", "--certfile=/x/y.crt"]);
-        let graph = quantify_with(&model, &RelationOptions::default(), |_| {
-            Some(snap(4, &[0]))
-        });
+        let graph = quantify_with(&model, &RelationOptions::default(), |_| Some(snap(4, &[0])));
         assert_eq!(graph.node_count(), 1, "path entity excluded");
         assert_eq!(graph.edge_count(), 0);
     }

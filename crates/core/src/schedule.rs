@@ -244,12 +244,15 @@ mod tests {
         let schedule = build_schedule(&mut target, 4, &ScheduleOptions::default());
         assert_eq!(schedule.plans.len(), 4);
 
-        let mut assigned: Vec<&String> =
-            schedule.plans.iter().flat_map(|p| &p.entities).collect();
+        let mut assigned: Vec<&String> = schedule.plans.iter().flat_map(|p| &p.entities).collect();
         assigned.sort();
         assigned.dedup();
         let mutable_count = schedule.model.mutable_entities().count();
-        assert_eq!(assigned.len(), mutable_count, "each mutable entity placed once");
+        assert_eq!(
+            assigned.len(),
+            mutable_count,
+            "each mutable entity placed once"
+        );
     }
 
     #[test]

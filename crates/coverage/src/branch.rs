@@ -175,7 +175,10 @@ mod tests {
         r.register("one");
         r.register("two");
         let collected: Vec<_> = r.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
-        assert_eq!(collected, vec![(0, "one".to_owned()), (1, "two".to_owned())]);
+        assert_eq!(
+            collected,
+            vec![(0, "one".to_owned()), (1, "two".to_owned())]
+        );
     }
 
     #[test]

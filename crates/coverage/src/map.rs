@@ -125,6 +125,11 @@ impl CoverageMap {
     pub fn snapshot_into(&self, out: &mut CoverageSnapshot) {
         out.clear_to_capacity(self.capacity());
         let words = out.words_mut();
+        debug_assert_eq!(
+            words.len(),
+            self.capacity().div_ceil(64),
+            "resized snapshot word buffer does not cover the map's cells"
+        );
         for (w, bits) in words.iter_mut().enumerate() {
             *bits = self.shared.coverage_word(w);
         }
@@ -162,6 +167,14 @@ impl CoverageMap {
             while bits != 0 {
                 let w = d * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
+                // A set dirty bit can only come from a first hit on an
+                // in-range cell, so the word index it decodes to must lie
+                // inside the snapshot's word buffer.
+                debug_assert!(
+                    w < words.len(),
+                    "dirty bit decodes to word {w} beyond the {} snapshot words",
+                    words.len()
+                );
                 let word = self.shared.coverage_word(w);
                 new += (word & !words[w]).count_ones() as usize;
                 words[w] |= word;

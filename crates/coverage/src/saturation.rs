@@ -113,6 +113,9 @@ mod tests {
 
     #[test]
     fn window_accessor() {
-        assert_eq!(SaturationDetector::new(Ticks::new(7)).window(), Ticks::new(7));
+        assert_eq!(
+            SaturationDetector::new(Ticks::new(7)).window(),
+            Ticks::new(7)
+        );
     }
 }

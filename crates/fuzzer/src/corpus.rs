@@ -90,7 +90,11 @@ impl Corpus {
         if self.capacity > 0 && self.seeds.len() >= self.capacity {
             let evicted = self.seeds.pop_front().expect("non-empty at capacity");
             let index = &mut self.by_model[evicted.model.index()];
-            debug_assert_eq!(index.front(), Some(&self.first_seq), "oldest seed fronts its model index");
+            debug_assert_eq!(
+                index.front(),
+                Some(&self.first_seq),
+                "oldest seed fronts its model index"
+            );
             index.pop_front();
             self.first_seq += 1;
         }
@@ -228,6 +232,9 @@ mod tests {
     fn shared_bytes_are_refcounted_not_copied() {
         let seed = Seed::new(vec![7u8; 64], m(0));
         let export = seed.clone();
-        assert!(Arc::ptr_eq(&seed.bytes, &export.bytes), "clone shares the buffer");
+        assert!(
+            Arc::ptr_eq(&seed.bytes, &export.bytes),
+            "clone shares the buffer"
+        );
     }
 }

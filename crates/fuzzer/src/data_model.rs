@@ -602,7 +602,10 @@ mod tests {
         let model = DataModel::new("m")
             .field(Field::length_of("len", "payload", 16, Endian::Big))
             .field(Field::bytes("payload", b"abcd"));
-        assert_eq!(Generator::render(&model), vec![0, 4, b'a', b'b', b'c', b'd']);
+        assert_eq!(
+            Generator::render(&model),
+            vec![0, 4, b'a', b'b', b'c', b'd']
+        );
     }
 
     #[test]

@@ -258,11 +258,8 @@ impl<T: Target> FuzzEngine<T> {
     pub fn set_session_plans(&mut self, plans: &[Vec<String>]) {
         self.session_plans.clear();
         for plan in plans {
-            self.session_plans.push(
-                plan.iter()
-                    .map(|name| self.models.intern(name))
-                    .collect(),
-            );
+            self.session_plans
+                .push(plan.iter().map(|name| self.models.intern(name)).collect());
         }
         self.next_plan = 0;
     }
@@ -643,7 +640,11 @@ mod tests {
             for _ in 0..100 {
                 news.push(engine.run_iteration().new_branches);
             }
-            (news, engine.covered_count(), engine.fault_log().unique_count())
+            (
+                news,
+                engine.covered_count(),
+                engine.fault_log().unique_count(),
+            )
         };
         assert_eq!(run(42), run(42));
     }

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn display_kinds_match_table2_vocabulary() {
-        assert_eq!(FaultKind::HeapUseAfterFree.to_string(), "heap-use-after-free");
+        assert_eq!(
+            FaultKind::HeapUseAfterFree.to_string(),
+            "heap-use-after-free"
+        );
         assert_eq!(FaultKind::Segv.to_string(), "SEGV");
         assert_eq!(FaultKind::MemoryLeak.to_string(), "memory-leak");
         assert_eq!(

@@ -51,7 +51,13 @@ impl MutationOp {
 
 const INTERESTING8: [u8; 5] = [0x00, 0x01, 0x7f, 0x80, 0xff];
 const INTERESTING16: [u16; 6] = [0x0000, 0x0001, 0x7fff, 0x8000, 0xffff, 0x0100];
-const INTERESTING32: [u32; 5] = [0x0000_0000, 0x0000_0001, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff];
+const INTERESTING32: [u32; 5] = [
+    0x0000_0000,
+    0x0000_0001,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_ffff,
+];
 
 /// Seeded mutation engine: havoc-style byte mutation plus field-aware data
 /// model mutation, with an optional token dictionary.
@@ -186,9 +192,7 @@ impl Mutator {
             MutationOp::DuplicateChunk => {
                 if !data.is_empty() {
                     let start = self.rng.random_range(0..data.len());
-                    let len = self
-                        .rng
-                        .random_range(1..=(data.len() - start).min(8));
+                    let len = self.rng.random_range(1..=(data.len() - start).min(8));
                     let at = self.rng.random_range(0..=data.len());
                     // Insert without a temporary chunk Vec: append the
                     // chunk in place, then rotate it back to `at`. Byte
@@ -250,7 +254,11 @@ impl Mutator {
         };
         match site {
             Site::UInt { bits } => {
-                let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let max = if bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
                 let new = match self.rng.random_range(0..4u8) {
                     0 => 0,
                     1 => max,

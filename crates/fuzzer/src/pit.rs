@@ -43,9 +43,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::{
-    DataModel, Endian, Field, ResponseClass, State, StateModel, Transition,
-};
+use crate::{DataModel, Endian, Field, ResponseClass, State, StateModel, Transition};
 
 /// A parsed Pit definition: the data models and optional state model all
 /// fuzzers of an experiment share.
@@ -121,10 +119,7 @@ impl fmt::Display for ParsePitError {
                 element,
                 attribute,
                 value,
-            } => write!(
-                f,
-                "element <{element}> has invalid {attribute}: {value:?}"
-            ),
+            } => write!(f, "element <{element}> has invalid {attribute}: {value:?}"),
             ParsePitError::UnknownElement(name) => write!(f, "unknown element <{name}>"),
         }
     }
@@ -181,10 +176,11 @@ impl Element {
     }
 
     fn require(&self, name: &str) -> Result<&str, ParsePitError> {
-        self.attr(name).ok_or_else(|| ParsePitError::MissingAttribute {
-            element: self.name.clone(),
-            attribute: name.to_owned(),
-        })
+        self.attr(name)
+            .ok_or_else(|| ParsePitError::MissingAttribute {
+                element: self.name.clone(),
+                attribute: name.to_owned(),
+            })
     }
 }
 
@@ -296,8 +292,7 @@ impl XmlParser<'_> {
                     while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
                         self.pos += 1;
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
                     self.pos += 1;
                     attrs.push((attr, decode_entities(&value)));
                 }
@@ -694,7 +689,9 @@ mod tests {
             attribute: "name".into(),
         };
         assert!(e.to_string().contains("Number"));
-        assert!(ParsePitError::Malformed("x".into()).to_string().contains('x'));
+        assert!(ParsePitError::Malformed("x".into())
+            .to_string()
+            .contains('x'));
         assert!(ParsePitError::UnknownElement("E".into())
             .to_string()
             .contains('E'));

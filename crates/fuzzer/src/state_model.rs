@@ -205,7 +205,13 @@ impl StateModel {
         let mut paths = Vec::new();
         let mut current: Vec<&Transition> = Vec::new();
         let mut visited = vec![self.initial.clone()];
-        self.walk_paths(&self.initial, max_depth, &mut current, &mut visited, &mut paths);
+        self.walk_paths(
+            &self.initial,
+            max_depth,
+            &mut current,
+            &mut visited,
+            &mut paths,
+        );
         paths
     }
 
@@ -423,7 +429,9 @@ mod tests {
                 State::new("Connected")
                     .transition(Transition::new("Publish", "Connected"))
                     .transition(Transition::new("Subscribe", "Connected"))
-                    .transition(Transition::new("Disconnect", "Closed").expecting(ResponseClass::Empty)),
+                    .transition(
+                        Transition::new("Disconnect", "Closed").expecting(ResponseClass::Empty),
+                    ),
             )
             .state(State::new("Closed"))
     }
@@ -537,7 +545,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut plan = Vec::new();
         compiled.session_into(&mut rng, 10, &mut plan);
-        assert_eq!(plan.len(), 1, "the dangling step itself is taken, then stop");
+        assert_eq!(
+            plan.len(),
+            1,
+            "the dangling step itself is taken, then stop"
+        );
 
         let ghost_initial = StateModel::new("m", "Ghost").state(State::new("A"));
         let compiled = CompiledStateModel::compile(&ghost_initial, &mut table);

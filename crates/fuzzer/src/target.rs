@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 
 use crate::Fault;
@@ -166,6 +166,20 @@ pub trait Target {
     /// declarations and shipped configuration files.
     fn config_space(&self) -> ConfigSpace;
 
+    /// The target's declared startup conflicts: the same rules
+    /// [`Target::start`] enforces imperatively, in a form static analysis
+    /// can evaluate without booting the target.
+    ///
+    /// The default is the empty set — a target that declares nothing keeps
+    /// boot-time-only conflict detection, and the analyzer simply has
+    /// nothing to check. A correct implementation keeps this in lockstep
+    /// with `start`: every declared constraint's witness configuration
+    /// must make `start` fail, and a configuration violating no
+    /// constraint must boot.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+    }
+
     /// Boots the target under `config`, recording startup coverage through
     /// `probe`.
     ///
@@ -191,6 +205,9 @@ impl<T: Target + ?Sized> Target for Box<T> {
     }
     fn config_space(&self) -> ConfigSpace {
         (**self).config_space()
+    }
+    fn config_constraints(&self) -> ConstraintSet {
+        (**self).config_constraints()
     }
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
         (**self).start(config, probe)

@@ -44,9 +44,7 @@ impl Inner {
         let sender = bindings
             .get(&datagram.dst)
             .ok_or(NetError::Unreachable(datagram.dst))?;
-        sender
-            .send(datagram)
-            .map_err(|_| NetError::Disconnected)
+        sender.send(datagram).map_err(|_| NetError::Disconnected)
     }
 
     fn transmit(&self, datagram: Datagram) -> Result<(), NetError> {
@@ -429,7 +427,9 @@ mod tests {
         };
         assert_eq!(sequence(42), sequence(42));
         assert_ne!(sequence(42), sequence(43), "different seeds should differ");
-        let expected: Vec<u8> = vec![0, 1, 4, 3, 5, 5, 6, 6, 8, 8, 9, 11, 10, 12, 12, 13, 13, 14, 15];
+        let expected: Vec<u8> = vec![
+            0, 1, 4, 3, 5, 5, 6, 6, 8, 8, 9, 11, 10, 12, 12, 13, 13, 14, 15,
+        ];
         assert_eq!(sequence(42), expected);
     }
 

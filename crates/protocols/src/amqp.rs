@@ -6,7 +6,9 @@
 //! stack-buffer-overflow in `pthread_create` when the worker-thread pool is
 //! configured beyond its stack-array capacity.
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{Fault, FaultKind, StartError, Target, TargetResponse};
 
@@ -175,16 +177,14 @@ impl Amqp {
                     .and_then(|(&len, rest)| rest.get(..usize::from(len)))
                     .unwrap_or(b"");
                 let accepted = match mechanism {
-                    b"PLAIN"
-                        if self.cfg().sasl_plain && !self.cfg().require_encryption => {
-                            self.hit(Br::ConnStartOkPlain);
-                            true
-                        }
-                    b"ANONYMOUS"
-                        if self.cfg().sasl_anonymous => {
-                            self.hit(Br::ConnStartOkAnon);
-                            true
-                        }
+                    b"PLAIN" if self.cfg().sasl_plain && !self.cfg().require_encryption => {
+                        self.hit(Br::ConnStartOkPlain);
+                        true
+                    }
+                    b"ANONYMOUS" if self.cfg().sasl_anonymous => {
+                        self.hit(Br::ConnStartOkAnon);
+                        true
+                    }
                     b"EXTERNAL" => self.cfg().sasl_external,
                     _ => false,
                 };
@@ -350,6 +350,32 @@ impl Target for Amqp {
                  \x20 file: /var/log/qpid.log\n",
             )],
         }
+    }
+
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "invalid listen port",
+                vec![Condition::int_outside("port", 1, 65535, 5672)],
+            ))
+            .with(ConfigConstraint::new(
+                "worker pool needs at least one thread",
+                vec![Condition::int_below("threads", 1, 4)],
+            ))
+            .with(ConfigConstraint::new(
+                "frame_max below protocol minimum",
+                vec![Condition::int_below("broker.frame_max", 256, 65535)],
+            ))
+            .with(ConfigConstraint::new(
+                "require_encryption conflicts with cleartext PLAIN",
+                vec![
+                    Condition::bool_is("auth.require_encryption", true, false),
+                    Condition::list_has_or_empty("auth.mechanisms", "PLAIN"),
+                    Condition::list_lacks("auth.mechanisms", "EXTERNAL"),
+                ],
+            ))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
@@ -631,7 +657,10 @@ mod tests {
         big.extend_from_slice(&vec![0u8; 1000]);
         big.push(0xCE);
         broker.handle(&big);
-        assert_eq!(map.hit_count(BranchId::from_index(Br::FrameOverMax as u32)), 1);
+        assert_eq!(
+            map.hit_count(BranchId::from_index(Br::FrameOverMax as u32)),
+            1
+        );
     }
 
     #[test]
@@ -652,7 +681,10 @@ mod tests {
         let mut f = frame(1, 0, &[0, 10, 0, 31]);
         *f.last_mut().unwrap() = 0x00;
         broker.handle(&f);
-        assert_eq!(map.hit_count(BranchId::from_index(Br::FrameBadEnd as u32)), 1);
+        assert_eq!(
+            map.hit_count(BranchId::from_index(Br::FrameBadEnd as u32)),
+            1
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! block-wise path is gated on the non-default `--block-mode` option, so
 //! default-configuration fuzzers cannot reach it.
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{Fault, FaultKind, StartError, Target, TargetResponse};
 
@@ -277,8 +279,7 @@ impl Coap {
                         }
                         return out;
                     }
-                    delta =
-                        u32::from(u16::from_be_bytes([data[pos], data[pos + 1]])) + 269;
+                    delta = u32::from(u16::from_be_bytes([data[pos], data[pos + 1]])) + 269;
                     pos += 2;
                 }
                 15 => {
@@ -304,8 +305,7 @@ impl Coap {
                         out.malformed = true;
                         return out;
                     }
-                    length =
-                        usize::from(u16::from_be_bytes([data[pos], data[pos + 1]])) + 269;
+                    length = usize::from(u16::from_be_bytes([data[pos], data[pos + 1]])) + 269;
                     pos += 2;
                 }
                 15 => {
@@ -521,6 +521,38 @@ impl Target for Coap {
                  psk-key /etc/coap/psk.key\n",
             )],
         }
+    }
+
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "dtls cannot serve multicast groups",
+                vec![
+                    Condition::bool_is("dtls", true, false),
+                    Condition::bool_is("multicast", true, false),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "resource directory requires a cache",
+                vec![
+                    Condition::bool_is("rd-enable", true, false),
+                    Condition::int_equals("cache-size", 0, 100),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "invalid listen port",
+                vec![Condition::int_outside("port", 1, 65535, 5683)],
+            ))
+            .with(ConfigConstraint::new(
+                "unknown block mode",
+                vec![Condition::str_not_in(
+                    "block-mode",
+                    &["none", "block1", "qblock1"],
+                    "none",
+                )],
+            ))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
@@ -874,7 +906,10 @@ mod tests {
         // follows.
         let truncated = message(1, &[0xE0, 0x01]);
         let (mut server, _map) = started(&ResolvedConfig::new());
-        assert!(!server.handle(&truncated).is_crash(), "default 64-byte blocks safe");
+        assert!(
+            !server.handle(&truncated).is_crash(),
+            "default 64-byte blocks safe"
+        );
 
         let mut config = ResolvedConfig::new();
         config.set("block-mode", ConfigValue::Str("block1".into()));

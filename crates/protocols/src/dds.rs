@@ -6,7 +6,9 @@
 //! management restricts configuration diversity", so the target contributes
 //! coverage with modest configuration-driven gains.
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 
@@ -195,22 +197,51 @@ impl Target for Dds {
         }
     }
 
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "FragmentSize exceeds MaxMessageSize",
+                vec![Condition::int_above_item(
+                    "CycloneDDS.Domain.General.FragmentSize",
+                    "CycloneDDS.Domain.General.MaxMessageSize",
+                    1300,
+                    1400,
+                )],
+            ))
+            .with(ConfigConstraint::new(
+                "transient durability requires reliable transport",
+                vec![
+                    Condition::str_is("durability", "transient", "volatile"),
+                    Condition::str_not_in("reliability", &["reliable"], "besteffort"),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "unknown reliability kind",
+                vec![Condition::str_not_in(
+                    "reliability",
+                    &["besteffort", "reliable"],
+                    "besteffort",
+                )],
+            ))
+            .with(ConfigConstraint::new(
+                "domain id out of range",
+                vec![Condition::int_outside("CycloneDDS.Domain@id", 0, 232, 0)],
+            ))
+    }
+
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
         let config = Config::parse(resolved);
         if config.fragment_size > config.max_message_size {
-            return Err(StartError::new(
-                "FragmentSize exceeds MaxMessageSize",
-            ));
+            return Err(StartError::new("FragmentSize exceeds MaxMessageSize"));
         }
         if config.durability == "transient" && !config.reliable() {
             return Err(StartError::new(
                 "transient durability requires reliable transport",
             ));
         }
-        if !matches!(
-            config.reliability.as_str(),
-            "besteffort" | "reliable"
-        ) {
+        if !matches!(config.reliability.as_str(), "besteffort" | "reliable") {
             return Err(StartError::new("unknown reliability kind"));
         }
         if config.domain_id < 0 || config.domain_id > 232 {

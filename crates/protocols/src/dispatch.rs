@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 
@@ -109,6 +109,10 @@ impl Target for ProtocolTarget {
         each_server!(self, s => s.config_space())
     }
 
+    fn config_constraints(&self) -> ConstraintSet {
+        each_server!(self, s => s.config_constraints())
+    }
+
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
         each_server!(self, s => s.start(config, probe))
     }
@@ -173,7 +177,9 @@ mod tests {
         let map_a = CoverageMap::new(direct.branch_count());
         let map_b = CoverageMap::new(wrapped.branch_count());
         direct.start(&ResolvedConfig::new(), map_a.probe()).unwrap();
-        wrapped.start(&ResolvedConfig::new(), map_b.probe()).unwrap();
+        wrapped
+            .start(&ResolvedConfig::new(), map_b.probe())
+            .unwrap();
         assert_eq!(map_a.covered_count(), map_b.covered_count());
 
         direct.begin_session();
@@ -195,8 +201,60 @@ mod tests {
         let names: Vec<&str> = targets.iter().map(Target::name).collect();
         assert_eq!(
             names,
-            vec!["mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq"]
+            vec![
+                "mosquitto",
+                "libcoap",
+                "cyclonedds",
+                "openssl",
+                "qpid",
+                "dnsmasq"
+            ]
         );
+    }
+
+    /// Lockstep gate between the declarative constraints and the
+    /// imperative `start` checks: every declared conflict must actually
+    /// refuse to boot, and a clean configuration must both boot and pass
+    /// the declared set.
+    #[test]
+    fn declared_constraints_match_start_behaviour() {
+        for spec in crate::all_specs() {
+            let mut target = (spec.build)();
+            let constraints = target.config_constraints();
+            assert!(
+                !constraints.is_empty(),
+                "{} declares no startup constraints",
+                spec.name
+            );
+
+            let clean = ResolvedConfig::new();
+            assert!(
+                constraints.violations(&clean).is_empty(),
+                "{} flags its own defaults",
+                spec.name
+            );
+            let map = CoverageMap::new(target.branch_count());
+            target
+                .start(&clean, map.probe())
+                .unwrap_or_else(|e| panic!("{} refuses defaults: {e}", spec.name));
+
+            for constraint in constraints.constraints() {
+                let witness = constraint.witness();
+                assert!(
+                    constraint.violated_by(&witness),
+                    "{}: witness fails to violate `{}`",
+                    spec.name,
+                    constraint.reason()
+                );
+                let map = CoverageMap::new(target.branch_count());
+                assert!(
+                    target.start(&witness, map.probe()).is_err(),
+                    "{}: `{}` witness {witness} boots anyway",
+                    spec.name,
+                    constraint.reason()
+                );
+            }
+        }
     }
 
     #[test]

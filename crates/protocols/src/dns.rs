@@ -6,7 +6,9 @@
 //! #11–#14 each require mutated configuration values, including #14 which
 //! fires in the configuration parser itself shortly after startup.
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{Fault, FaultKind, StartError, Target, TargetResponse};
 
@@ -332,6 +334,31 @@ impl Target for Dns {
                  conf-dir=/etc/dnsmasq.d\n",
             )],
         }
+    }
+
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "invalid listen port",
+                vec![Condition::int_outside("port", 1, 65535, 53)],
+            ))
+            .with(ConfigConstraint::new(
+                "unknown query mode",
+                vec![Condition::str_not_in(
+                    "query-mode",
+                    &["udp", "tcp", "both"],
+                    "udp",
+                )],
+            ))
+            .with(ConfigConstraint::new(
+                "strict-order requires resolv.conf servers",
+                vec![
+                    Condition::bool_is("strict-order", true, false),
+                    Condition::bool_is("no-resolv", true, false),
+                ],
+            ))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
@@ -838,7 +865,10 @@ mod tests {
             let junk: Vec<u8> = (0..len).map(|i| (i * 53 + 11) as u8).collect();
             let response = server.handle(&junk);
             if let Some(fault) = &response.fault {
-                assert_eq!(fault.function, "get16bits", "only bug #10 is default-reachable");
+                assert_eq!(
+                    fault.function, "get16bits",
+                    "only bug #10 is default-reachable"
+                );
             }
         }
     }

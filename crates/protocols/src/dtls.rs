@@ -6,7 +6,9 @@
 //! paths: cookie exchange, fragmentation, renegotiation, session tickets
 //! and cipher negotiation.
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 
@@ -359,6 +361,39 @@ impl Target for Dtls {
                  max_handshake = 16384\n",
             )],
         }
+    }
+
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "chacha20 requires DTLS 1.2",
+                vec![
+                    Condition::str_in("version", &["1", "1.0"], "1.2"),
+                    Condition::str_is("cipher", "chacha20", "aes128-gcm"),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "mtu below minimum datagram size",
+                vec![Condition::int_below("mtu", 256, 1400)],
+            ))
+            .with(ConfigConstraint::new(
+                "psk with aes256 unsupported on 1.0",
+                vec![
+                    Condition::bool_is("dtls.psk", true, false),
+                    Condition::str_is("cipher", "aes256-gcm", "aes128-gcm"),
+                    Condition::str_in("version", &["1", "1.0"], "1.2"),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "unknown cipher",
+                vec![Condition::str_not_in(
+                    "cipher",
+                    &["aes128-gcm", "aes256-gcm", "chacha20"],
+                    "aes128-gcm",
+                )],
+            ))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {

@@ -8,7 +8,9 @@
 //! levels, authentication methods, and unique features like bridge
 //! connections").
 
-use cmfuzz_config_model::{ConfigFile, ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{Fault, FaultKind, StartError, Target, TargetResponse};
 
@@ -378,9 +380,7 @@ impl Mqtt {
             payload_offset += 2;
         }
         let payload_len = body.len().saturating_sub(payload_offset);
-        if self.cfg().message_size_limit > 0
-            && payload_len as i64 > self.cfg().message_size_limit
-        {
+        if self.cfg().message_size_limit > 0 && payload_len as i64 > self.cfg().message_size_limit {
             self.hit(Br::PublishTooLarge);
             return TargetResponse::empty();
         }
@@ -474,8 +474,11 @@ impl Mqtt {
             // filter.
             if self.cfg().bridge != "off" && topic.contains(&b'#') && topic.len() > 16 {
                 return TargetResponse::crash(
-                    Fault::new(FaultKind::HeapUseAfterFree, "neu_node_manager_get_addrs_all")
-                        .with_detail("bridge wildcard expansion on freed node list"),
+                    Fault::new(
+                        FaultKind::HeapUseAfterFree,
+                        "neu_node_manager_get_addrs_all",
+                    )
+                    .with_detail("bridge wildcard expansion on freed node list"),
                 );
             }
             if self.cfg().bridge != "off" && topic.starts_with(b"$bridge/") {
@@ -547,6 +550,30 @@ impl Target for Mqtt {
         }
     }
 
+    // Declarative mirror of the conflict checks in `start` below; the
+    // per-server consistency test holds the two in lockstep.
+    fn config_constraints(&self) -> ConstraintSet {
+        ConstraintSet::new()
+            .with(ConfigConstraint::new(
+                "auth-method tls requires tls_enabled",
+                vec![
+                    Condition::str_is("auth-method", "tls", "none"),
+                    Condition::bool_is("tls_enabled", false, false),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "message_size_limit too small for TLS records",
+                vec![
+                    Condition::bool_is("tls_enabled", true, false),
+                    Condition::int_within("message_size_limit", 1, 63, 0),
+                ],
+            ))
+            .with(ConfigConstraint::new(
+                "invalid listen port",
+                vec![Condition::int_outside("port", 1, 65535, 1883)],
+            ))
+    }
+
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
         let config = Config::parse(resolved);
 
@@ -555,10 +582,7 @@ impl Target for Mqtt {
         if config.auth == "tls" && !config.tls_enabled {
             return Err(StartError::new("auth-method tls requires tls_enabled"));
         }
-        if config.tls_enabled
-            && config.message_size_limit > 0
-            && config.message_size_limit < 64
-        {
+        if config.tls_enabled && config.message_size_limit > 0 && config.message_size_limit < 64 {
             return Err(StartError::new(
                 "message_size_limit too small for TLS records",
             ));
@@ -868,7 +892,9 @@ mod tests {
         // Default (bridge off): no crash.
         let (mut broker, _map) = started(&ResolvedConfig::new());
         broker.handle(&connect_packet());
-        assert!(!broker.handle(&subscribe_packet(1, long_wildcard, 0)).is_crash());
+        assert!(!broker
+            .handle(&subscribe_packet(1, long_wildcard, 0))
+            .is_crash());
         // Bridge enabled: crash.
         let mut config = ResolvedConfig::new();
         config.set("bridge-mode", ConfigValue::Str("both".into()));
@@ -889,7 +915,10 @@ mod tests {
         config.set("persistence", ConfigValue::Bool(true));
         let (mut broker, _map) = started(&config);
         broker.handle(&connect_packet());
-        let fault = broker.handle(&dirty_disconnect).fault.expect("bug #3 fires");
+        let fault = broker
+            .handle(&dirty_disconnect)
+            .fault
+            .expect("bug #3 fires");
         assert_eq!(fault.kind, FaultKind::HeapUseAfterFree);
         assert_eq!(fault.function, "mqtt_packet_destroy");
     }
@@ -901,7 +930,10 @@ mod tests {
         let mut config = ResolvedConfig::new();
         config.set("max_connections", ConfigValue::Int(0));
         let (mut broker, _map) = started(&config);
-        let fault = broker.handle(&connect_packet()).fault.expect("bug #4 fires");
+        let fault = broker
+            .handle(&connect_packet())
+            .fault
+            .expect("bug #4 fires");
         assert_eq!(fault.kind, FaultKind::Segv);
         assert_eq!(fault.function, "loop_accepted");
     }
@@ -988,7 +1020,11 @@ mod tests {
         broker.handle(&connect_packet());
         let response = broker.handle(&subscribe_packet(3, b"a/b", 2));
         assert_eq!(response.bytes[0], 0x90);
-        assert_eq!(*response.bytes.last().unwrap(), 1, "granted capped at qos-max");
+        assert_eq!(
+            *response.bytes.last().unwrap(),
+            1,
+            "granted capped at qos-max"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Network-isolated target wrapper.
 
-use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 use cmfuzz_netsim::{LinkConditions, Network};
@@ -106,6 +106,10 @@ impl<T: Target, L: Transport> Target for NetworkedTarget<T, L> {
 
     fn config_space(&self) -> ConfigSpace {
         self.inner.config_space()
+    }
+
+    fn config_constraints(&self) -> ConstraintSet {
+        self.inner.config_constraints()
     }
 
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
@@ -217,7 +221,8 @@ mod tests {
     fn round_trips_through_a_direct_link() {
         let mut t = NetworkedTarget::with_transport(Echo::new(None), DirectLink::new());
         let map = CoverageMap::new(1);
-        t.start(&ResolvedConfig::new(), map.probe()).expect("starts");
+        t.start(&ResolvedConfig::new(), map.probe())
+            .expect("starts");
         assert_eq!(t.handle(b"ping").bytes, b"ping");
     }
 
@@ -265,7 +270,8 @@ mod tests {
         drop(rebind);
         // A later successful restart fully revives the instance.
         let map = CoverageMap::new(1);
-        t.start(&ResolvedConfig::new(), map.probe()).expect("revives");
+        t.start(&ResolvedConfig::new(), map.probe())
+            .expect("revives");
         assert_eq!(t.handle(b"back").bytes, b"back");
     }
 
@@ -279,8 +285,11 @@ mod tests {
                 seed,
             );
             let map = CoverageMap::new(1);
-            t.start(&ResolvedConfig::new(), map.probe()).expect("starts");
-            (0..32).map(|i| t.handle(&[i as u8, 1, 2]).bytes.len()).collect()
+            t.start(&ResolvedConfig::new(), map.probe())
+                .expect("starts");
+            (0..32)
+                .map(|i| t.handle(&[i as u8, 1, 2]).bytes.len())
+                .collect()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "impairment pattern follows the seed");

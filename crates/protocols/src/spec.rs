@@ -497,7 +497,14 @@ mod tests {
         let names: Vec<_> = all_specs().iter().map(|s| s.name).collect();
         assert_eq!(
             names,
-            vec!["mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq"]
+            vec![
+                "mosquitto",
+                "libcoap",
+                "cyclonedds",
+                "openssl",
+                "qpid",
+                "dnsmasq"
+            ]
         );
     }
 
@@ -592,7 +599,12 @@ mod tests {
             for model in parsed.data_models() {
                 let bytes = Generator::render(model);
                 let response = target.handle(&bytes);
-                assert!(!response.is_crash(), "{}: model {} crashed under defaults", spec.name, model.name());
+                assert!(
+                    !response.is_crash(),
+                    "{}: model {} crashed under defaults",
+                    spec.name,
+                    model.name()
+                );
                 replied |= !response.bytes.is_empty();
             }
             assert!(

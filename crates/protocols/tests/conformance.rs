@@ -25,10 +25,17 @@ fn startup_coverage_is_deterministic() {
         let boot = || {
             let mut target = (spec.build)();
             let map = CoverageMap::new(target.branch_count());
-            target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+            target
+                .start(&ResolvedConfig::new(), map.probe())
+                .expect("boots");
             map.snapshot()
         };
-        assert_eq!(boot(), boot(), "{}: startup must be deterministic", spec.name);
+        assert_eq!(
+            boot(),
+            boot(),
+            "{}: startup must be deterministic",
+            spec.name
+        );
     }
 }
 
@@ -37,12 +44,16 @@ fn restart_is_idempotent() {
     for spec in all_specs() {
         let mut target = (spec.build)();
         let map = CoverageMap::new(target.branch_count());
-        target.start(&ResolvedConfig::new(), map.probe()).expect("first boot");
+        target
+            .start(&ResolvedConfig::new(), map.probe())
+            .expect("first boot");
         let first = map.snapshot();
         // Restart on a fresh map: same configuration, same coverage set
         // (lifetime counters excepted — none fire at boot).
         let map2 = CoverageMap::new(target.branch_count());
-        target.start(&ResolvedConfig::new(), map2.probe()).expect("reboot");
+        target
+            .start(&ResolvedConfig::new(), map2.probe())
+            .expect("reboot");
         assert_eq!(first, map2.snapshot(), "{}: restart differs", spec.name);
     }
 }
@@ -56,7 +67,9 @@ fn all_hits_stay_within_declared_branch_space() {
         let mut target = (spec.build)();
         let declared = target.branch_count();
         let map = CoverageMap::new(declared + 512);
-        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        target
+            .start(&ResolvedConfig::new(), map.probe())
+            .expect("boots");
         target.begin_session();
         for len in 0..128usize {
             let input: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
@@ -82,13 +95,17 @@ fn long_random_input_storm_never_crashes_under_defaults_except_known() {
     for spec in all_specs() {
         let mut target = (spec.build)();
         let map = CoverageMap::new(target.branch_count());
-        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        target
+            .start(&ResolvedConfig::new(), map.probe())
+            .expect("boots");
         let mut state = 0x9E37_79B9u64;
         for round in 0..2_000usize {
             if round % 50 == 0 {
                 target.begin_session();
             }
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let len = (state >> 33) as usize % 64;
             let input: Vec<u8> = (0..len)
                 .map(|i| {
@@ -116,7 +133,9 @@ fn oversized_inputs_are_handled() {
     for spec in all_specs() {
         let mut target = (spec.build)();
         let map = CoverageMap::new(target.branch_count());
-        target.start(&ResolvedConfig::new(), map.probe()).expect("boots");
+        target
+            .start(&ResolvedConfig::new(), map.probe())
+            .expect("boots");
         let huge = vec![0x55u8; 64 * 1024];
         let response = target.handle(&huge);
         assert!(!response.is_crash(), "{}: 64 KiB input crashed", spec.name);

@@ -74,7 +74,10 @@ impl EventBus {
     }
 
     fn locked(&self) -> std::sync::MutexGuard<'_, VecDeque<EventRecord>> {
-        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Enqueues `event`, stamping it with the next sequence number and the

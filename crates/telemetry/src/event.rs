@@ -307,8 +307,7 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct() {
-        let kinds: std::collections::HashSet<_> =
-            sample_events().iter().map(Event::kind).collect();
+        let kinds: std::collections::HashSet<_> = sample_events().iter().map(Event::kind).collect();
         assert_eq!(kinds.len(), sample_events().len());
     }
 }

@@ -468,12 +468,21 @@ mod tests {
 
         // Nothing visible in the parent before commit.
         assert_eq!(ring.count_of_kind("progress"), 0);
-        assert_eq!(parent.metrics_snapshot().counter("engine.sessions"), Some(10));
+        assert_eq!(
+            parent.metrics_snapshot().counter("engine.sessions"),
+            Some(10)
+        );
 
         scope.commit();
         assert_eq!(ring.count_of_kind("progress"), 1);
-        assert_eq!(parent.metrics_snapshot().counter("engine.sessions"), Some(15));
-        assert_eq!(parent.phase_breakdown(1), vec![("fuzzing".to_owned(), Ticks::new(7))]);
+        assert_eq!(
+            parent.metrics_snapshot().counter("engine.sessions"),
+            Some(15)
+        );
+        assert_eq!(
+            parent.phase_breakdown(1),
+            vec![("fuzzing".to_owned(), Ticks::new(7))]
+        );
     }
 
     #[test]
@@ -516,7 +525,10 @@ mod tests {
                 let Event::Progress { message } = &record.event else {
                     panic!("unexpected event kind");
                 };
-                assert!(message.starts_with(prefix), "interleaved: {message} vs {prefix}");
+                assert!(
+                    message.starts_with(prefix),
+                    "interleaved: {message} vs {prefix}"
+                );
             }
         }
     }

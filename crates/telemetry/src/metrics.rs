@@ -118,10 +118,7 @@ impl Histogram {
 
     /// Records one observation (three relaxed atomic adds).
     pub fn record(&self, value: u64) {
-        let idx = self
-            .inner
-            .bounds
-            .partition_point(|&bound| bound < value);
+        let idx = self.inner.bounds.partition_point(|&bound| bound < value);
         self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(value, Ordering::Relaxed);

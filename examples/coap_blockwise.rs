@@ -25,9 +25,18 @@ use cmfuzz_protocols::{spec_by_name, Coap};
 fn lonely_final_block() -> Vec<u8> {
     let block_num3_final = 3u8 << 4; // NUM=3, M=0, SZX=0
     vec![
-        0x40, 0x03, 0x12, 0x34, // CON, PUT, message id
-        0xD1, 0x06, block_num3_final, // option 19 (Q-Block1)
-        0xFF, b't', b'a', b'i', b'l', // payload marker + final chunk
+        0x40,
+        0x03,
+        0x12,
+        0x34, // CON, PUT, message id
+        0xD1,
+        0x06,
+        block_num3_final, // option 19 (Q-Block1)
+        0xFF,
+        b't',
+        b'a',
+        b'i',
+        b'l', // payload marker + final chunk
     ]
 }
 
@@ -73,7 +82,10 @@ fn main() {
         r.faults
             .contains(FaultKind::Segv, "coap_handle_request_put_block")
     };
-    println!("\nfuzzing for {} ticks x {} instances:", options.budget, options.instances);
+    println!(
+        "\nfuzzing for {} ticks x {} instances:",
+        options.budget, options.instances
+    );
     println!(
         "  cmfuzz: {} branches, bug #8 found = {}",
         cm.final_branches(),

@@ -23,7 +23,10 @@ fn main() {
         ..CampaignOptions::default()
     };
 
-    println!("fuzzing mosquitto: 4 instances x {} ticks each", options.budget);
+    println!(
+        "fuzzing mosquitto: 4 instances x {} ticks each",
+        options.budget
+    );
     let cm = run_cmfuzz(&spec, &ScheduleOptions::default(), &options);
     let peach = run_peach(&spec, &options);
     let spfuzz = run_spfuzz(&spec, &options);
@@ -50,7 +53,10 @@ fn main() {
     );
 
     println!("\ncoverage over time (every 4th sample):");
-    println!("{:>8} {:>8} {:>8} {:>8}", "tick", "cmfuzz", "peach", "spfuzz");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8}",
+        "tick", "cmfuzz", "peach", "spfuzz"
+    );
     for (i, &(t, cm_b)) in cm.curve.points().iter().enumerate().step_by(4) {
         let peach_b = peach.curve.points().get(i).map_or(0, |&(_, b)| b);
         let spfuzz_b = spfuzz.curve.points().get(i).map_or(0, |&(_, b)| b);

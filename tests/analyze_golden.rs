@@ -1,0 +1,280 @@
+//! Golden tests for the `cmfuzz-analyze` static verifier.
+//!
+//! Three guarantees, end to end: the six registry subjects verify clean;
+//! one deliberately broken fixture per check class triggers exactly its
+//! `CM0xx` code; and rendering is byte-identical across runs, so lint
+//! output can be diffed and cached.
+
+use cmfuzz::campaign::{try_run_campaign_with_telemetry, CampaignOptions, InstanceSetup};
+use cmfuzz::CampaignError;
+use cmfuzz_analyze::{
+    analyze_config, analyze_models, analyze_partitions, analyze_pit, PartitionView, Report,
+    Severity,
+};
+use cmfuzz_config_model::{
+    Condition, ConfigConstraint, ConfigEntity, ConfigModel, ConfigValue, ConstraintSet, Mutability,
+    ResolvedConfig, ValueType,
+};
+use cmfuzz_coverage::{Ticks, VirtualClock};
+use cmfuzz_fuzzer::pit;
+use cmfuzz_fuzzer::Target;
+use cmfuzz_protocols::{all_specs, spec_by_name};
+use cmfuzz_telemetry::Telemetry;
+
+/// Full analysis of one registry subject, as `cmfuzz-lint` runs it.
+fn analyze_subject(spec: &cmfuzz_protocols::ProtocolSpec) -> Report {
+    let parsed = pit::parse(spec.pit_document).expect("registry pit parses");
+    let target = (spec.build)();
+    let model = cmfuzz_config_model::extract_model(&target.config_space());
+    let constraints = target.config_constraints();
+    analyze_models(spec.name, &parsed, &model, &constraints)
+}
+
+/// The sorted, deduplicated set of codes a report triggered.
+fn codes(report: &Report) -> Vec<&'static str> {
+    let mut codes: Vec<&'static str> = report.diagnostics().iter().map(|d| d.code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+#[test]
+fn all_builtin_subjects_verify_clean() {
+    for spec in all_specs() {
+        let report = analyze_subject(&spec);
+        assert!(
+            report.is_empty(),
+            "{} should verify clean, got:\n{}",
+            spec.name,
+            report.render_text()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// One broken fixture per check class, each triggering exactly its code.
+// ---------------------------------------------------------------------
+
+#[test]
+fn broken_fixture_dangling_transition_model_is_exactly_cm001() {
+    let report = analyze_pit(
+        "fixture",
+        &pit::parse(
+            r#"<Peach>
+  <DataModel name="Connect">
+    <Number name="type" size="8" value="0x10"/>
+  </DataModel>
+  <StateModel name="Session" initialState="Init">
+    <State name="Init">
+      <Action dataModel="Connect" next="Done"/>
+      <Action dataModel="Ghost" next="Done"/>
+    </State>
+    <State name="Done"/>
+  </StateModel>
+</Peach>"#,
+        )
+        .expect("fixture parses: only the reference dangles"),
+    );
+    assert_eq!(codes(&report), vec!["CM001"]);
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+    assert_eq!(report.diagnostics()[0].path(), "state:Init:transition:1");
+}
+
+#[test]
+fn broken_fixture_unreachable_state_is_exactly_cm003() {
+    // Orphan has no transition into it; its own action keeps "Probe"
+    // referenced so CM004 stays quiet.
+    let report = analyze_pit(
+        "fixture",
+        &pit::parse(
+            r#"<Peach>
+  <DataModel name="Connect">
+    <Number name="type" size="8" value="0x10"/>
+  </DataModel>
+  <DataModel name="Probe">
+    <Number name="type" size="8" value="0x20"/>
+  </DataModel>
+  <StateModel name="Session" initialState="Init">
+    <State name="Init">
+      <Action dataModel="Connect" next="Init"/>
+    </State>
+    <State name="Orphan">
+      <Action dataModel="Probe" next="Init"/>
+    </State>
+  </StateModel>
+</Peach>"#,
+        )
+        .expect("fixture parses"),
+    );
+    assert_eq!(codes(&report), vec!["CM003"]);
+    assert_eq!(report.max_severity(), Some(Severity::Warn));
+    assert_eq!(report.diagnostics()[0].path(), "state:Orphan");
+}
+
+#[test]
+fn broken_fixture_dead_data_model_is_exactly_cm004() {
+    let report = analyze_pit(
+        "fixture",
+        &pit::parse(
+            r#"<Peach>
+  <DataModel name="Connect">
+    <Number name="type" size="8" value="0x10"/>
+  </DataModel>
+  <DataModel name="Unused">
+    <Number name="type" size="8" value="0x20"/>
+  </DataModel>
+  <StateModel name="Session" initialState="Init">
+    <State name="Init">
+      <Action dataModel="Connect" next="Init"/>
+    </State>
+  </StateModel>
+</Peach>"#,
+        )
+        .expect("fixture parses"),
+    );
+    assert_eq!(codes(&report), vec!["CM004"]);
+    assert_eq!(report.diagnostics()[0].path(), "data:Unused");
+}
+
+#[test]
+fn broken_fixture_empty_domain_is_exactly_cm010() {
+    let model = ConfigModel::from_entities([ConfigEntity::new(
+        "port",
+        ValueType::Number,
+        Mutability::Mutable,
+        vec![],
+    )]);
+    let report = analyze_config("fixture", &model, &ConstraintSet::new());
+    assert_eq!(codes(&report), vec!["CM010"]);
+    assert_eq!(report.diagnostics()[0].path(), "item:port");
+}
+
+#[test]
+fn broken_fixture_contradictory_constraint_is_cm012_and_cm013() {
+    // Every value in the domain violates the constraint (CM013); an
+    // all-violating domain necessarily has a violating default, so the
+    // defaults check (CM012) fires on the same fixture by construction.
+    let model = ConfigModel::from_entities([ConfigEntity::new(
+        "mtu",
+        ValueType::Number,
+        Mutability::Mutable,
+        vec![ConfigValue::Int(100), ConfigValue::Int(200)],
+    )]);
+    let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+        "mtu below minimum datagram size",
+        vec![Condition::int_below("mtu", 256, 1400)],
+    ));
+    let report = analyze_config("fixture", &model, &constraints);
+    assert_eq!(codes(&report), vec!["CM012", "CM013"]);
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+}
+
+#[test]
+fn broken_fixture_empty_partition_is_exactly_cm030() {
+    let model = ConfigModel::from_entities([ConfigEntity::new(
+        "qos",
+        ValueType::Number,
+        Mutability::Mutable,
+        vec![ConfigValue::Int(0), ConfigValue::Int(1)],
+    )]);
+    let partitions = vec![
+        PartitionView {
+            index: 0,
+            entities: vec!["qos".to_owned()],
+        },
+        PartitionView {
+            index: 1,
+            entities: vec![],
+        },
+    ];
+    let report = analyze_partitions("fixture", &partitions, &model);
+    assert_eq!(codes(&report), vec!["CM030"]);
+    assert_eq!(report.max_severity(), Some(Severity::Warn));
+    assert_eq!(report.diagnostics()[0].path(), "instance:1");
+}
+
+// ---------------------------------------------------------------------
+// Determinism and campaign wiring.
+// ---------------------------------------------------------------------
+
+#[test]
+fn rendering_is_byte_identical_across_runs() {
+    let run = || {
+        let mut merged = Report::new();
+        for spec in all_specs() {
+            merged.merge(analyze_subject(&spec));
+        }
+        // Add known findings so the goldens exercise non-empty rendering.
+        merged.merge(analyze_config(
+            "fixture",
+            &ConfigModel::from_entities([ConfigEntity::new(
+                "port",
+                ValueType::Number,
+                Mutability::Mutable,
+                vec![],
+            )]),
+            &ConstraintSet::new(),
+        ));
+        merged.sort();
+        (merged.render_text(), merged.render_json())
+    };
+    let (text_a, json_a) = run();
+    let (text_b, json_b) = run();
+    assert_eq!(text_a, text_b, "text rendering must be deterministic");
+    assert_eq!(json_a, json_b, "json rendering must be deterministic");
+    assert!(text_a.contains("error[CM010] fixture/item:port"));
+    assert!(json_a.contains("\"code\":\"CM010\""));
+}
+
+#[test]
+fn campaign_preflight_rejects_broken_setup_before_any_instance_starts() {
+    let spec = spec_by_name("mosquitto").expect("subject exists");
+    let mut conflicting = ResolvedConfig::new();
+    conflicting.set("auth-method", ConfigValue::Str("tls".into()));
+    conflicting.set("tls_enabled", ConfigValue::Bool(false));
+    let setups = vec![InstanceSetup {
+        initial_config: conflicting,
+        ..InstanceSetup::default()
+    }];
+    let options = CampaignOptions {
+        instances: 1,
+        budget: Ticks::new(200),
+        ..CampaignOptions::default()
+    };
+    let telemetry = Telemetry::builder(VirtualClock::new()).build();
+    let err = try_run_campaign_with_telemetry(&spec, "cmfuzz", &setups, &options, &telemetry)
+        .expect_err("preflight must reject the conflicting setup");
+    let CampaignError::Preflight(diagnostics) = &err else {
+        panic!("expected CampaignError::Preflight, got {err}");
+    };
+    assert!(diagnostics.iter().any(|d| d.code() == "CM014"));
+    let snapshot = telemetry.metrics_snapshot();
+    assert_eq!(snapshot.counter("analyze.CM014"), Some(1));
+    assert_eq!(
+        snapshot.counter("campaign.rounds"),
+        None,
+        "no instance ran: the runner never registered its round counter"
+    );
+}
+
+#[test]
+fn skip_preflight_restores_the_boot_time_fallback() {
+    let spec = spec_by_name("mosquitto").expect("subject exists");
+    let mut conflicting = ResolvedConfig::new();
+    conflicting.set("auth-method", ConfigValue::Str("tls".into()));
+    conflicting.set("tls_enabled", ConfigValue::Bool(false));
+    let setups = vec![InstanceSetup {
+        initial_config: conflicting,
+        ..InstanceSetup::default()
+    }];
+    let options = CampaignOptions {
+        instances: 1,
+        budget: Ticks::new(200),
+        skip_preflight: true,
+        ..CampaignOptions::default()
+    };
+    let result =
+        try_run_campaign_with_telemetry(&spec, "cmfuzz", &setups, &options, &Telemetry::disabled())
+            .expect("with preflight skipped the runner falls back to defaults");
+    assert!(result.final_branches() > 0);
+}

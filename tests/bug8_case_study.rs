@@ -66,7 +66,10 @@ fn cmfuzz_finds_bug8_but_default_config_fuzzers_do_not() {
             .faults
             .contains(FaultKind::Segv, "coap_handle_request_put_block")
     });
-    assert!(found, "cmfuzz must discover the case-study bug across repetitions");
+    assert!(
+        found,
+        "cmfuzz must discover the case-study bug across repetitions"
+    );
 
     for &seed in &seeds {
         let options = options_for(seed);

@@ -17,22 +17,36 @@ fn parallel_instances_cannot_hear_each_other() {
     let mut b = NetworkedTarget::new((spec.build)(), "instance-b");
     let map_a = CoverageMap::new(a.branch_count());
     let map_b = CoverageMap::new(b.branch_count());
-    a.start(&ResolvedConfig::new(), map_a.probe()).expect("a boots");
-    b.start(&ResolvedConfig::new(), map_b.probe()).expect("b boots");
+    a.start(&ResolvedConfig::new(), map_a.probe())
+        .expect("a boots");
+    b.start(&ResolvedConfig::new(), map_b.probe())
+        .expect("b boots");
 
     // Drive instance A only.
-    let query = [0xBE, 0xEF, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 1, b'x', 0, 0, 1, 0, 1];
+    let query = [
+        0xBE, 0xEF, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0, 1, b'x', 0, 0, 1, 0, 1,
+    ];
     let response = a.handle(&query);
     assert!(!response.bytes.is_empty(), "A answered");
     assert!(map_a.covered_count() > 0, "A recorded coverage");
     // B's startup coverage only — handling activity cannot leak over.
     let b_startup = map_b.covered_count();
     let _ = a.handle(&query);
-    assert_eq!(map_b.covered_count(), b_startup, "B unaffected by A's traffic");
+    assert_eq!(
+        map_b.covered_count(),
+        b_startup,
+        "B unaffected by A's traffic"
+    );
 
     // The same address is bindable in both namespaces simultaneously.
-    let extra_a = a.network().bind_datagram(Addr::new(50, 50)).expect("free in A");
-    let extra_b = b.network().bind_datagram(Addr::new(50, 50)).expect("free in B");
+    let extra_a = a
+        .network()
+        .bind_datagram(Addr::new(50, 50))
+        .expect("free in A");
+    let extra_b = b
+        .network()
+        .bind_datagram(Addr::new(50, 50))
+        .expect("free in B");
     assert_eq!(extra_a.addr(), extra_b.addr());
 }
 

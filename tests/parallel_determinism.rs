@@ -129,7 +129,11 @@ fn grid_telemetry_totals_are_jobs_independent() {
             .build();
         let rows = table1_with_jobs(&scale, &telemetry, jobs);
         telemetry.flush();
-        (rows.len(), ring.records().len(), telemetry.metrics_snapshot())
+        (
+            rows.len(),
+            ring.records().len(),
+            telemetry.metrics_snapshot(),
+        )
     };
     let (rows_seq, events_seq, metrics_seq) = run(1);
     let (rows_par, events_par, metrics_par) = run(4);

@@ -23,7 +23,8 @@ fn compiled_render_matches_interpreter_on_all_pristine_models() {
             program.render_into(&mut compiled);
             let interpreted = Generator::render(model);
             assert_eq!(
-                compiled, interpreted,
+                compiled,
+                interpreted,
                 "{}/{}: compiled render diverged on the pristine model",
                 spec.name,
                 model.name()
@@ -54,7 +55,8 @@ fn compiled_render_matches_interpreter_under_mutation() {
                 program.render_into(&mut compiled);
                 let interpreted = Generator::render(&scratch);
                 assert_eq!(
-                    compiled, interpreted,
+                    compiled,
+                    interpreted,
                     "{}/{} round {round}: compiled render diverged after mutation",
                     spec.name,
                     model.name()

@@ -82,9 +82,15 @@ fn export_drains_exactly_once() {
     }
     let exported = producer.export_new_seeds();
     assert!(!exported.is_empty(), "producer retained seeds");
-    assert!(producer.export_new_seeds().is_empty(), "second drain is empty");
+    assert!(
+        producer.export_new_seeds().is_empty(),
+        "second drain is empty"
+    );
     assert!(producer.export_new_seeds().is_empty(), "and stays empty");
-    assert!(producer.corpus_len() > 0, "draining does not touch the corpus");
+    assert!(
+        producer.corpus_len() > 0,
+        "draining does not touch the corpus"
+    );
 }
 
 #[test]
@@ -94,9 +100,7 @@ fn import_does_not_echo_into_outbox() {
     // corpus only.
     let mut consumer = magic_engine(EngineConfig::default());
     let id = consumer.model_id("Msg").expect("pit model interned");
-    let seeds: Vec<Seed> = (0..5u8)
-        .map(|i| Seed::new(vec![i, i, i], id))
-        .collect();
+    let seeds: Vec<Seed> = (0..5u8).map(|i| Seed::new(vec![i, i, i], id)).collect();
     consumer.import_seeds(&seeds);
     assert_eq!(consumer.corpus_len(), 5, "imports land in the corpus");
     assert!(
@@ -142,5 +146,7 @@ fn imported_seed_is_picked_for_its_model() {
         1,
         "replaying the imported seed must hit the magic crash"
     );
-    assert!(consumer.fault_log().contains(FaultKind::Segv, "magic_handler"));
+    assert!(consumer
+        .fault_log()
+        .contains(FaultKind::Segv, "magic_handler"));
 }

@@ -45,16 +45,15 @@ fn run(subject: &str, config: &ResolvedConfig, inputs: &[&[u8]]) -> TargetRespon
 
 // Triggering inputs, named for readability.
 const MQTT_CONNECT: &[u8] = &[
-    0x10, 0x0E, 0x00, 0x04, b'M', b'Q', b'T', b'T', 0x04, 0x02, 0x00, 0x3C, 0x00, 0x02, b'c',
-    b'm',
+    0x10, 0x0E, 0x00, 0x04, b'M', b'Q', b'T', b'T', 0x04, 0x02, 0x00, 0x3C, 0x00, 0x02, b'c', b'm',
 ];
 const MQTT_PUB_QOS2: &[u8] = &[
     0x34, 0x08, 0x00, 0x01, b't', 0x00, 0x2A, b'x', // topic "t", id 42
 ];
 const MQTT_PUB_QOS2_DUP: &[u8] = &[0x3C, 0x08, 0x00, 0x01, b't', 0x00, 0x2A, b'x'];
 const MQTT_SUB_BRIDGE_WILDCARD: &[u8] = &[
-    0x82, 0x1C, 0x00, 0x01, 0x00, 0x17, b'$', b'b', b'r', b'i', b'd', b'g', b'e', b'/', b'd',
-    b'e', b'v', b'i', b'c', b'e', b's', b'/', b'f', b'l', b'o', b'o', b'r', b'/', b'#', 0x00,
+    0x82, 0x1C, 0x00, 0x01, 0x00, 0x17, b'$', b'b', b'r', b'i', b'd', b'g', b'e', b'/', b'd', b'e',
+    b'v', b'i', b'c', b'e', b's', b'/', b'f', b'l', b'o', b'o', b'r', b'/', b'#', 0x00,
 ];
 const MQTT_DIRTY_DISCONNECT: &[u8] = &[0xE0, 0x02, 0xAA, 0xBB];
 const MQTT_RETAINED_EMPTY_TOPIC: &[u8] = &[0x31, 0x03, 0x00, 0x00, b'x'];
@@ -210,9 +209,9 @@ const TABLE2: &[Bug] = &[
 fn all_fourteen_bugs_trigger_under_their_configuration() {
     for bug in TABLE2 {
         let response = run(bug.subject, &resolved(bug.config), bug.inputs);
-        let fault = response.fault.unwrap_or_else(|| {
-            panic!("bug #{} ({}) did not fire", bug.number, bug.function)
-        });
+        let fault = response
+            .fault
+            .unwrap_or_else(|| panic!("bug #{} ({}) did not fire", bug.number, bug.function));
         assert_eq!(fault.kind, bug.kind, "bug #{} kind", bug.number);
         assert_eq!(fault.function, bug.function, "bug #{} function", bug.number);
     }
