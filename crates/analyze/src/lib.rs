@@ -40,6 +40,13 @@
 //! | CM031 | Error | config item assigned to multiple instances |
 //! | CM032 | Error | partition references an unknown config item |
 //! | CM040 | Error | session plan references an undefined data model |
+//! | CM050 | Error | fleet schedule reuses a campaign id |
+//! | CM051 | Warn  | fleet campaign has a zero budget |
+//! | CM052 | Error | fleet subject's pit does not parse |
+//!
+//! The `CM05x` fleet-schedule checks are emitted by the core crate's
+//! `preflight::analyze_fleet_schedule` (the fleet schedule types live
+//! above this crate in the dependency graph).
 //!
 //! # Examples
 //!

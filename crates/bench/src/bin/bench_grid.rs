@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
-use cmfuzz_bench::{grid, report, table1_with_jobs, ExperimentScale};
+use cmfuzz_bench::{grid, report, table1_with_jobs, try_table1_with_jobs_timed, ExperimentScale};
 use cmfuzz_telemetry::Telemetry;
 
 fn main() {
@@ -61,7 +61,14 @@ fn main() {
 
     eprintln!("[bench_grid] parallel grid ({jobs} workers)...");
     let started = Instant::now();
-    let parallel_rows = table1_with_jobs(&scale, &Telemetry::disabled(), jobs);
+    let (parallel_rows, cell_timings) =
+        match try_table1_with_jobs_timed(&scale, &Telemetry::disabled(), jobs) {
+            Ok(timed) => timed,
+            Err(error) => {
+                eprintln!("[bench_grid] grid failed: {error}");
+                exit(2);
+            }
+        };
     let parallel = started.elapsed();
 
     let sequential_render = report::render_table1(&sequential_rows);
@@ -69,11 +76,25 @@ fn main() {
     let identical = sequential_render == parallel_render;
     let speedup = sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
 
+    // Per-cell wall time makes the headline speedup auditable: the grid
+    // total should be explainable from the cell costs and the worker
+    // count, not taken on faith.
+    let cell_seconds = cell_timings
+        .iter()
+        .map(|cell| {
+            format!(
+                "    {{\"label\": \"{}\", \"seconds\": {:.3}}}",
+                cell.label, cell.seconds
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"experiment\": \"table1\",\n  \"scale\": \"{scale_label}\",\n  \"cells\": {cells},\n  \"available_parallelism\": {cpus},\n  \"jobs_sequential\": 1,\n  \"jobs_parallel\": {jobs},\n  \"sequential_seconds\": {:.3},\n  \"parallel_seconds\": {:.3},\n  \"speedup\": {:.2},\n  \"outputs_identical\": {identical}\n}}\n",
+        "{{\n  \"experiment\": \"table1\",\n  \"scale\": \"{scale_label}\",\n  \"cells\": {cells},\n  \"machine\": {machine},\n  \"available_parallelism\": {cpus},\n  \"jobs_sequential\": 1,\n  \"jobs_parallel\": {jobs},\n  \"sequential_seconds\": {:.3},\n  \"parallel_seconds\": {:.3},\n  \"speedup\": {:.2},\n  \"outputs_identical\": {identical},\n  \"parallel_cell_seconds\": [\n{cell_seconds}\n  ]\n}}\n",
         sequential.as_secs_f64(),
         parallel.as_secs_f64(),
         speedup,
+        machine = report::machine_info_json(),
     );
     if let Err(err) = std::fs::write(&out, &json) {
         eprintln!("[bench_grid] cannot write {}: {err}", out.display());

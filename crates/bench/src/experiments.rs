@@ -148,7 +148,33 @@ fn fuzzer_grid(
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Result<Vec<SubjectRuns>, CampaignError> {
+    fuzzer_grid_timed(experiment, specs, scale, telemetry, jobs).map(|(runs, _)| runs)
+}
+
+/// Wall-clock cost of one executed grid cell.
+///
+/// Timings are measurement output only (they never feed back into
+/// results); `BENCH_grid.json` records them so per-cell cost claims are
+/// checkable instead of inferred from the grid total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Human-readable cell label (`"table1: mosquitto / peach rep 2"`).
+    pub label: String,
+    /// Wall-clock seconds the cell took on its worker.
+    pub seconds: f64,
+}
+
+/// [`fuzzer_grid`], also reporting each cell's wall-clock duration (in
+/// cell order, matching the labels the cells log).
+fn fuzzer_grid_timed(
+    experiment: &str,
+    specs: &[ProtocolSpec],
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<(Vec<SubjectRuns>, Vec<CellTiming>), CampaignError> {
     let mut cells = Vec::new();
+    let mut labels = Vec::new();
     for spec in specs {
         for fuzzer in FUZZERS {
             for rep in 0..scale.repetitions {
@@ -161,6 +187,7 @@ fn fuzzer_grid(
                 options.worker_pool = false;
                 let telemetry = telemetry.clone();
                 let label = format!("{experiment}: {} / {fuzzer} rep {rep}", spec.name);
+                labels.push(label.clone());
                 cells.push(move || {
                     let scope = telemetry.scoped(VirtualClock::new());
                     scope.telemetry().progress(label);
@@ -171,22 +198,32 @@ fn fuzzer_grid(
             }
         }
     }
+    let timed = grid::run_cells_timed(jobs, cells);
+    let timings: Vec<CellTiming> = labels
+        .into_iter()
+        .zip(&timed)
+        .map(|(label, (_, duration))| CellTiming {
+            label,
+            seconds: duration.as_secs_f64(),
+        })
+        .collect();
     let collected: Result<Vec<CampaignResult>, CampaignError> =
-        grid::run_cells(jobs, cells).into_iter().collect();
+        timed.into_iter().map(|(result, _)| result).collect();
     let mut results = collected?.into_iter();
     let mut reps = || -> Vec<CampaignResult> {
         (0..scale.repetitions)
             .map(|_| results.next().expect("one result per cell"))
             .collect()
     };
-    Ok(specs
+    let runs = specs
         .iter()
         .map(|_| SubjectRuns {
             cmfuzz: reps(),
             peach: reps(),
             spfuzz: reps(),
         })
-        .collect())
+        .collect();
+    Ok((runs, timings))
 }
 
 fn mean_branches(results: &[CampaignResult]) -> f64 {
@@ -301,12 +338,28 @@ pub fn try_table1_with_jobs(
     telemetry: &Telemetry,
     jobs: usize,
 ) -> Result<Vec<Table1Row>, CampaignError> {
+    try_table1_with_jobs_timed(scale, telemetry, jobs).map(|(rows, _)| rows)
+}
+
+/// [`try_table1_with_jobs`], also reporting each grid cell's wall-clock
+/// cost in cell order (`bench_grid` records them in `BENCH_grid.json`).
+///
+/// # Errors
+///
+/// As [`try_table1_with_jobs`].
+pub fn try_table1_with_jobs_timed(
+    scale: &ExperimentScale,
+    telemetry: &Telemetry,
+    jobs: usize,
+) -> Result<(Vec<Table1Row>, Vec<CellTiming>), CampaignError> {
     let specs = all_specs();
-    Ok(fuzzer_grid("table1", &specs, scale, telemetry, jobs)?
+    let (grid_runs, timings) = fuzzer_grid_timed("table1", &specs, scale, telemetry, jobs)?;
+    let rows = grid_runs
         .iter()
         .zip(&specs)
         .map(|(runs, spec)| table1_row_from(spec.name, runs))
-        .collect())
+        .collect();
+    Ok((rows, timings))
 }
 
 /// Assembles one Table I row from per-fuzzer repetition results.

@@ -5,7 +5,7 @@ use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 
 use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
-use cmfuzz_fuzzer::{pit, EngineConfig, FaultLog, FuzzEngine, Seed, StartError};
+use cmfuzz_fuzzer::{pit, EngineCheckpoint, EngineConfig, FaultLog, FuzzEngine, Seed, StartError};
 use cmfuzz_netsim::LinkConditions;
 use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec, ProtocolTarget};
 use cmfuzz_telemetry::{EngineTelemetry, Event, Telemetry};
@@ -55,6 +55,11 @@ pub struct CampaignOptions {
     /// instance setups; set this to deliberately run a broken setup (for
     /// example to exercise the runner's boot-time fallback paths).
     pub skip_preflight: bool,
+    /// Label stamped onto every telemetry event this campaign emits (see
+    /// [`Telemetry::set_campaign`]). Fleet runs multiplex many campaigns
+    /// over one JSONL stream; the label keeps each line attributable.
+    /// `None` leaves events unlabelled.
+    pub campaign_id: Option<String>,
 }
 
 impl Default for CampaignOptions {
@@ -70,6 +75,7 @@ impl Default for CampaignOptions {
             link: LinkConditions::perfect(),
             engine: EngineConfig::default(),
             skip_preflight: false,
+            campaign_id: None,
         }
     }
 }
@@ -99,6 +105,111 @@ struct Instance {
     /// Whether an `InstanceStalled` event was already emitted (non-adaptive
     /// instances only; adaptive ones mutate their way out instead).
     stalled: bool,
+}
+
+/// One instance's share of a [`CampaignCheckpoint`].
+#[derive(Debug, Clone)]
+struct InstanceCheckpoint {
+    engine: EngineCheckpoint,
+    /// The configuration running at pause time (adaptive mutation may have
+    /// moved it away from the setup's `initial_config`).
+    config: ResolvedConfig,
+    rng: [u64; 4],
+    saturation: SaturationDetector,
+    stalled: bool,
+}
+
+/// A campaign paused at a round boundary: everything
+/// [`run_campaign_slice`] needs to resume it and reproduce the
+/// uninterrupted [`run_campaign`] byte-for-byte.
+///
+/// The checkpoint owns clones of all mutable campaign state (engine
+/// corpora, accumulated coverage, RNG stream positions, fault logs, the
+/// coverage curve, the virtual clock reading), so it stays valid after the
+/// slice that produced it returns and across any number of other
+/// campaigns' slices in between — the property the fleet scheduler is
+/// built on.
+#[derive(Debug, Clone)]
+pub struct CampaignCheckpoint {
+    fuzzer: String,
+    target: String,
+    budget: Ticks,
+    rounds_total: u64,
+    rounds_done: u64,
+    consumed: Ticks,
+    curve: CoverageCurve,
+    config_mutations: Vec<ConfigMutationEvent>,
+    seen_faults: FaultLog,
+    instances: Vec<InstanceCheckpoint>,
+}
+
+impl CampaignCheckpoint {
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+
+    /// Virtual time consumed so far.
+    #[must_use]
+    pub fn consumed(&self) -> Ticks {
+        self.consumed
+    }
+
+    /// Whether the campaign's whole budget has been executed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.rounds_done >= self.rounds_total
+    }
+
+    /// Union branch coverage across instances at pause time.
+    #[must_use]
+    pub fn union_branches(&self) -> usize {
+        self.curve.final_branches()
+    }
+
+    /// Converts the checkpoint into the [`CampaignResult`] the equivalent
+    /// uninterrupted [`run_campaign`] would have returned. Normally called
+    /// once [`CampaignCheckpoint::is_complete`]; calling earlier yields the
+    /// partial result up to the pause point.
+    #[must_use]
+    pub fn into_result(self) -> CampaignResult {
+        let mut faults = FaultLog::new();
+        let mut stats = crate::metrics::CampaignStats::default();
+        for instance in &self.instances {
+            faults.merge(&instance.engine.faults);
+            stats.sessions += instance.engine.stats.sessions;
+            stats.messages += instance.engine.stats.messages;
+            stats.crashes_observed += instance.engine.stats.crashes_observed;
+        }
+        CampaignResult {
+            fuzzer: self.fuzzer,
+            target: self.target,
+            instances: self.instances.len(),
+            budget: self.budget,
+            curve: self.curve,
+            faults,
+            config_mutations: self.config_mutations,
+            stats,
+        }
+    }
+}
+
+/// What one [`run_campaign_slice`] call actually executed — the scheduling
+/// signal fleet policies feed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceReport {
+    /// Rounds executed in this slice (0 when the campaign was already
+    /// complete or the slice budget was below one round).
+    pub rounds: u64,
+    /// Fuzzing sessions executed in this slice, summed over instances.
+    pub sessions: u64,
+    /// Union branches discovered during this slice.
+    pub new_branches: usize,
+    /// Total union branch coverage after the slice.
+    pub union_branches: usize,
+    /// Whether the campaign's whole budget is now exhausted.
+    pub done: bool,
 }
 
 /// Runs one parallel fuzzing campaign: `setups.len()` isolated instances
@@ -187,19 +298,102 @@ pub fn try_run_campaign_with_telemetry(
     options: &CampaignOptions,
     telemetry: &Telemetry,
 ) -> Result<CampaignResult, CampaignError> {
+    let (checkpoint, _report) = run_campaign_slice_with_telemetry(
+        spec,
+        fuzzer,
+        setups,
+        options,
+        None,
+        options.budget,
+        telemetry,
+    )?;
+    Ok(checkpoint.into_result())
+}
+
+/// Runs up to `slice_budget` virtual ticks of a campaign, pausing at the
+/// next round boundary, and returns a resumable [`CampaignCheckpoint`]
+/// plus a [`SliceReport`] of what the slice executed.
+///
+/// Pass `None` to boot a fresh campaign, or a previous call's checkpoint
+/// to resume it. Slicing is invisible to the campaign: any partition of
+/// the budget into slices reproduces the uninterrupted [`run_campaign`]
+/// result byte-for-byte ([`CampaignCheckpoint::into_result`]), because the
+/// checkpoint carries every RNG stream position, each instance's corpus,
+/// accumulated coverage, target and link-impairment state.
+///
+/// `spec`, `fuzzer`, `setups`, and `options` must be the same on every
+/// call for a given campaign; the checkpoint stores only mutable state.
+///
+/// # Errors
+///
+/// As [`try_run_campaign`]; preflight runs only on the initial boot.
+///
+/// # Panics
+///
+/// Panics if `checkpoint` came from a campaign with a different subject or
+/// instance count.
+pub fn run_campaign_slice(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+    checkpoint: Option<CampaignCheckpoint>,
+    slice_budget: Ticks,
+) -> Result<(CampaignCheckpoint, SliceReport), CampaignError> {
+    run_campaign_slice_with_telemetry(
+        spec,
+        fuzzer,
+        setups,
+        options,
+        checkpoint,
+        slice_budget,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_campaign_slice`] with an observability pipeline attached; the
+/// slice stamps every event with `options.campaign_id` (see
+/// [`CampaignOptions::campaign_id`]).
+///
+/// # Errors
+///
+/// As [`run_campaign_slice`].
+#[allow(clippy::too_many_lines)]
+pub fn run_campaign_slice_with_telemetry(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+    checkpoint: Option<CampaignCheckpoint>,
+    slice_budget: Ticks,
+    telemetry: &Telemetry,
+) -> Result<(CampaignCheckpoint, SliceReport), CampaignError> {
     if setups.is_empty() {
         return Err(CampaignError::NoInstances);
+    }
+    if let Some(resume) = &checkpoint {
+        assert_eq!(
+            resume.target, spec.name,
+            "checkpoint is for {}",
+            resume.target
+        );
+        assert_eq!(
+            resume.instances.len(),
+            setups.len(),
+            "checkpoint was taken with a different instance count"
+        );
     }
     let pit = pit::parse(spec.pit_document).map_err(|error| CampaignError::PitParse {
         target: spec.name.to_owned(),
         error,
     })?;
-    if !options.skip_preflight {
+    if checkpoint.is_none() && !options.skip_preflight {
         let report = crate::preflight::preflight_campaign(spec, &pit, setups, telemetry);
         if report.has_errors() {
             return Err(CampaignError::Preflight(report.into_diagnostics()));
         }
     }
+    telemetry.set_campaign(options.campaign_id.as_deref());
     let engine_telemetry = EngineTelemetry::for_pipeline(telemetry);
 
     let mut instances: Vec<Instance> = Vec::with_capacity(setups.len());
@@ -220,56 +414,97 @@ pub fn try_run_campaign_with_telemetry(
             ..options.engine.clone()
         };
         let mut engine = FuzzEngine::new(target, pit.clone(), engine_config);
-        let config = if engine.start(&setup.initial_config).is_ok() {
-            setup.initial_config.clone()
-        } else {
-            // A scheduler should never hand out a conflicting startup
-            // configuration, but a campaign must not die if one slips
-            // through: fall back to target defaults.
-            let defaults = ResolvedConfig::new();
+        let instance = if let Some(resume) = &checkpoint {
+            let saved = &resume.instances[i];
+            engine.set_session_plans(&setup.session_plans);
+            engine.attach_telemetry(engine_telemetry.clone());
             engine
-                .start(&defaults)
+                .restore(&saved.config, &saved.engine)
                 .map_err(|error| CampaignError::TargetBoot {
                     target: spec.name.to_owned(),
                     instance: i,
                     error,
                 })?;
-            defaults
+            Instance {
+                engine,
+                config: saved.config.clone(),
+                adaptive: setup.adaptive_entities.clone(),
+                saturation: saved.saturation.clone(),
+                rng: StdRng::from_state(saved.rng),
+                stalled: saved.stalled,
+            }
+        } else {
+            let config = if engine.start(&setup.initial_config).is_ok() {
+                setup.initial_config.clone()
+            } else {
+                // A scheduler should never hand out a conflicting startup
+                // configuration, but a campaign must not die if one slips
+                // through: fall back to target defaults.
+                let defaults = ResolvedConfig::new();
+                engine
+                    .start(&defaults)
+                    .map_err(|error| CampaignError::TargetBoot {
+                        target: spec.name.to_owned(),
+                        instance: i,
+                        error,
+                    })?;
+                defaults
+            };
+            engine.set_session_plans(&setup.session_plans);
+            engine.attach_telemetry(engine_telemetry.clone());
+            Instance {
+                engine,
+                config,
+                adaptive: setup.adaptive_entities.clone(),
+                saturation: SaturationDetector::new(options.saturation_window),
+                rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
+                stalled: false,
+            }
         };
-        engine.set_session_plans(&setup.session_plans);
-        engine.attach_telemetry(engine_telemetry.clone());
-        instances.push(Instance {
-            engine,
-            config,
-            adaptive: setup.adaptive_entities.clone(),
-            saturation: SaturationDetector::new(options.saturation_window),
-            rng: StdRng::seed_from_u64(options.seed.wrapping_add(0xC0FF_EE00 + i as u64)),
-            stalled: false,
-        });
+        instances.push(instance);
     }
 
-    telemetry.emit(Event::CampaignStarted {
-        fuzzer: fuzzer.to_owned(),
-        target: spec.name.to_owned(),
-        instances: setups.len(),
-        budget: options.budget.get(),
-    });
     let rounds_counter = telemetry.counter("campaign.rounds");
     let mutations_counter = telemetry.counter("campaign.config_mutations");
     let syncs_counter = telemetry.counter("campaign.seed_syncs");
 
-    let clock = VirtualClock::new();
-    let mut curve = CoverageCurve::new();
-    let mut config_mutations: Vec<ConfigMutationEvent> = Vec::new();
-    // Running merge of every instance's unique faults, kept so FaultFound
-    // events fire exactly once per campaign-unique fault.
-    let mut seen_faults = FaultLog::new();
-    curve
-        .push(Ticks::ZERO, union_coverage(&instances).covered_count())
-        .expect("first sample of an empty curve");
-
     let iterations_per_round = options.sample_interval.get().max(1);
-    let rounds = options.budget.get() / iterations_per_round;
+    let rounds_total = options.budget.get() / iterations_per_round;
+
+    let clock = VirtualClock::new();
+    let (mut curve, mut config_mutations, mut seen_faults, start_round) = match checkpoint {
+        Some(resume) => {
+            clock.advance(resume.consumed);
+            (
+                resume.curve,
+                resume.config_mutations,
+                resume.seen_faults,
+                resume.rounds_done,
+            )
+        }
+        None => {
+            telemetry.emit(Event::CampaignStarted {
+                fuzzer: fuzzer.to_owned(),
+                target: spec.name.to_owned(),
+                instances: setups.len(),
+                budget: options.budget.get(),
+            });
+            let mut curve = CoverageCurve::new();
+            // Running merge of every instance's unique faults, kept so
+            // FaultFound events fire exactly once per campaign-unique
+            // fault.
+            curve
+                .push(Ticks::ZERO, union_coverage(&instances).covered_count())
+                .expect("first sample of an empty curve");
+            (curve, Vec::new(), FaultLog::new(), 0)
+        }
+    };
+
+    let branches_before = curve.final_branches();
+    let sessions_before: u64 = instances.iter().map(|i| i.engine.stats().sessions).sum();
+    let slice_rounds =
+        (slice_budget.get() / iterations_per_round).min(rounds_total.saturating_sub(start_round));
+    let end_round = start_round + slice_rounds;
 
     // The parallel part: one persistent worker thread per instance for the
     // life of the campaign, parked on a round barrier in between rounds.
@@ -278,7 +513,7 @@ pub fn try_run_campaign_with_telemetry(
     // uncontended (workers and the round bookkeeping below never hold it
     // at the same time) and exists to hand `&mut Instance` back and forth.
     let slots: Vec<Mutex<Instance>> = instances.into_iter().map(Mutex::new).collect();
-    let pool = options.worker_pool && slots.len() > 1 && rounds > 0;
+    let pool = options.worker_pool && slots.len() > 1 && slice_rounds > 0;
     let round_start = Barrier::new(slots.len() + 1);
     let round_done = Barrier::new(slots.len() + 1);
     let stop = AtomicBool::new(false);
@@ -305,7 +540,7 @@ pub fn try_run_campaign_with_telemetry(
             }
         }
 
-        'rounds: for round in 0..rounds {
+        'rounds: for round in start_round..end_round {
             if pool {
                 round_start.wait();
                 round_done.wait();
@@ -436,39 +671,61 @@ pub fn try_run_campaign_with_telemetry(
         return Err(error);
     }
 
-    let instances: Vec<Instance> = slots
+    let mut instances: Vec<Instance> = slots
         .into_iter()
         .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
 
-    let mut faults = FaultLog::new();
-    let mut stats = crate::metrics::CampaignStats::default();
-    for instance in &instances {
-        faults.merge(instance.engine.fault_log());
-        let engine_stats = instance.engine.stats();
-        stats.sessions += engine_stats.sessions;
-        stats.messages += engine_stats.messages;
-        stats.crashes_observed += engine_stats.crashes_observed;
+    // Snapshot every instance; exporting target state may be destructive
+    // (queues drain), which is fine — the instances are dropped below and
+    // the checkpoint is the only thing that survives the slice.
+    let saved: Vec<InstanceCheckpoint> = instances
+        .iter_mut()
+        .map(|instance| InstanceCheckpoint {
+            engine: instance.engine.checkpoint(),
+            config: instance.config.clone(),
+            rng: instance.rng.state(),
+            saturation: instance.saturation.clone(),
+            stalled: instance.stalled,
+        })
+        .collect();
+
+    let done = end_round >= rounds_total;
+    if done {
+        let mut faults = FaultLog::new();
+        for instance in &saved {
+            faults.merge(&instance.engine.faults);
+        }
+        telemetry.emit(Event::CampaignFinished {
+            time: clock.now(),
+            branches: curve.final_branches(),
+            unique_faults: faults.unique_count(),
+            config_mutations: config_mutations.len(),
+        });
+        telemetry.drain();
     }
 
-    telemetry.emit(Event::CampaignFinished {
-        time: clock.now(),
-        branches: curve.final_branches(),
-        unique_faults: faults.unique_count(),
-        config_mutations: config_mutations.len(),
-    });
-    telemetry.drain();
-
-    Ok(CampaignResult {
+    let sessions_after: u64 = saved.iter().map(|i| i.engine.stats.sessions).sum();
+    let report = SliceReport {
+        rounds: slice_rounds,
+        sessions: sessions_after - sessions_before,
+        new_branches: curve.final_branches().saturating_sub(branches_before),
+        union_branches: curve.final_branches(),
+        done,
+    };
+    let checkpoint = CampaignCheckpoint {
         fuzzer: fuzzer.to_owned(),
         target: spec.name.to_owned(),
-        instances: setups.len(),
         budget: options.budget,
+        rounds_total,
+        rounds_done: end_round,
+        consumed: clock.now(),
         curve,
-        faults,
         config_mutations,
-        stats,
-    })
+        seen_faults,
+        instances: saved,
+    };
+    Ok((checkpoint, report))
 }
 
 /// Locks a slot, recovering from poisoning (a panicked worker already
@@ -697,6 +954,84 @@ mod tests {
             adaptive_result.final_branches(),
             static_result.final_branches()
         );
+    }
+
+    #[test]
+    fn sliced_campaign_reproduces_the_uninterrupted_run() {
+        let spec = spec_by_name("mosquitto").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let options = small_options(7);
+        let reference = run_campaign(&spec, "peach", &setups, &options);
+
+        let mut checkpoint = None;
+        loop {
+            let (next, report) = run_campaign_slice(
+                &spec,
+                "peach",
+                &setups,
+                &options,
+                checkpoint.take(),
+                Ticks::new(200),
+            )
+            .expect("slice runs");
+            let done = report.done;
+            checkpoint = Some(next);
+            if done {
+                break;
+            }
+        }
+        let sliced = checkpoint.expect("final checkpoint").into_result();
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{sliced:?}"),
+            "three 200-tick slices must be invisible"
+        );
+    }
+
+    #[test]
+    fn slice_reports_carry_scheduling_signals() {
+        let spec = spec_by_name("dnsmasq").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let options = small_options(1);
+        let (first, report) =
+            run_campaign_slice(&spec, "peach", &setups, &options, None, Ticks::new(300))
+                .expect("first slice");
+        assert_eq!(report.rounds, 3);
+        assert!(!report.done);
+        assert!(report.sessions > 0, "instances actually fuzzed");
+        assert_eq!(report.union_branches, first.union_branches());
+        assert_eq!(first.rounds_done(), 3);
+        assert_eq!(first.consumed(), Ticks::new(300));
+        assert!(!first.is_complete());
+
+        let (second, rest) = run_campaign_slice(
+            &spec,
+            "peach",
+            &setups,
+            &options,
+            Some(first),
+            // Oversized slice budgets are clamped to the remaining rounds.
+            Ticks::new(10_000),
+        )
+        .expect("second slice");
+        assert_eq!(rest.rounds, 3);
+        assert!(rest.done);
+        assert!(second.is_complete());
+        assert_eq!(second.consumed(), Ticks::new(600));
+
+        // A completed campaign has nothing left to run.
+        let (done, idle) = run_campaign_slice(
+            &spec,
+            "peach",
+            &setups,
+            &options,
+            Some(second),
+            Ticks::new(100),
+        )
+        .expect("idle slice");
+        assert_eq!(idle.rounds, 0);
+        assert!(idle.done);
+        assert_eq!(done.rounds_done(), 6);
     }
 
     #[test]

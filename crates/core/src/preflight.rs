@@ -16,10 +16,11 @@
 
 use cmfuzz_analyze::{
     analyze_graph, analyze_models, analyze_partitions, analyze_resolved, analyze_session_plans,
-    GraphView, PartitionView, Report, Severity,
+    Diagnostic, GraphView, PartitionView, Report, Severity,
 };
 use cmfuzz_config_model::extract_model;
-use cmfuzz_fuzzer::pit::PitDefinition;
+use cmfuzz_coverage::Ticks;
+use cmfuzz_fuzzer::pit::{self, PitDefinition};
 use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::ProtocolSpec;
 use cmfuzz_telemetry::Telemetry;
@@ -99,6 +100,82 @@ pub fn analyze_schedule(subject: &str, schedule: &Schedule) -> Report {
         })
         .collect();
     report.merge(analyze_partitions(subject, &partitions, &schedule.model));
+    report.sort();
+    report
+}
+
+/// One planned fleet campaign as [`analyze_fleet_schedule`] sees it.
+#[derive(Debug)]
+pub struct FleetEntryView<'a> {
+    /// Campaign label, unique within the fleet (also the telemetry
+    /// `campaign` label and the checkpoint key).
+    pub id: &'a str,
+    /// Subject the campaign fuzzes.
+    pub spec: &'a ProtocolSpec,
+    /// The campaign's total virtual-tick budget.
+    pub budget: Ticks,
+    /// Instance setups; session plans are checked against the subject's
+    /// pit.
+    pub setups: &'a [InstanceSetup],
+}
+
+/// Statically verifies a fleet schedule before any campaign boots:
+/// duplicate campaign ids (`CM050`), zero-budget entries (`CM051`),
+/// subjects whose pit does not parse (`CM052`), and session plans
+/// referencing data models absent from their subject's pit (`CM040`).
+///
+/// `bench_fleet` and `run_fleet` run this as their preflight; like
+/// [`preflight_campaign`] the pass is RNG-free, so it cannot perturb
+/// fleet determinism.
+#[must_use]
+pub fn analyze_fleet_schedule(entries: &[FleetEntryView<'_>]) -> Report {
+    let mut report = Report::new();
+    let mut seen: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for (index, entry) in entries.iter().enumerate() {
+        let path = format!("fleet:{index}:{}", entry.id);
+        if let Some(first) = seen.insert(entry.id, index) {
+            report.push(Diagnostic::new(
+                "CM050",
+                Severity::Error,
+                entry.spec.name,
+                &path,
+                &format!(
+                    "duplicate campaign id `{}` (first used by entry {first})",
+                    entry.id
+                ),
+                "give every fleet campaign a unique id so checkpoints and telemetry labels stay attributable",
+            ));
+        }
+        if entry.budget == Ticks::ZERO {
+            report.push(Diagnostic::new(
+                "CM051",
+                Severity::Warn,
+                entry.spec.name,
+                &path,
+                "campaign budget is zero: the scheduler will never lease it a slot",
+                "drop the entry or give it a positive budget",
+            ));
+        }
+        match pit::parse(entry.spec.pit_document) {
+            Err(error) => report.push(Diagnostic::new(
+                "CM052",
+                Severity::Error,
+                entry.spec.name,
+                &path,
+                &format!("subject pit does not parse: {error}"),
+                "fix the registry pit document before scheduling the campaign",
+            )),
+            Ok(parsed) => {
+                for setup in entry.setups {
+                    report.merge(analyze_session_plans(
+                        entry.spec.name,
+                        &parsed,
+                        &setup.session_plans,
+                    ));
+                }
+            }
+        }
+    }
     report.sort();
     report
 }
@@ -235,6 +312,81 @@ mod tests {
             "schedule errors:\n{}",
             report.render_text()
         );
+    }
+
+    #[test]
+    fn fleet_schedule_diagnostics_cover_the_cm05x_catalogue() {
+        let mqtt = spec_by_name("mosquitto").expect("subject exists");
+        let dns = spec_by_name("dnsmasq").expect("subject exists");
+        let default_setups = vec![InstanceSetup::default(); 2];
+        let bad_plan = vec![InstanceSetup {
+            session_plans: vec![vec!["NoSuchModel".to_owned()]],
+            ..InstanceSetup::default()
+        }];
+        let broken = ProtocolSpec {
+            pit_document: "<Peach><DataModel></Peach>",
+            ..mqtt
+        };
+        let entries = vec![
+            FleetEntryView {
+                id: "mqtt/a",
+                spec: &mqtt,
+                budget: cmfuzz_coverage::Ticks::new(600),
+                setups: &default_setups,
+            },
+            FleetEntryView {
+                id: "mqtt/a", // CM050: duplicate id
+                spec: &mqtt,
+                budget: cmfuzz_coverage::Ticks::new(600),
+                setups: &default_setups,
+            },
+            FleetEntryView {
+                id: "dns/idle", // CM051: zero budget
+                spec: &dns,
+                budget: cmfuzz_coverage::Ticks::ZERO,
+                setups: &default_setups,
+            },
+            FleetEntryView {
+                id: "mqtt/broken", // CM052: unparseable pit
+                spec: &broken,
+                budget: cmfuzz_coverage::Ticks::new(600),
+                setups: &default_setups,
+            },
+            FleetEntryView {
+                id: "dns/plan", // CM040: plan references an absent model
+                spec: &dns,
+                budget: cmfuzz_coverage::Ticks::new(600),
+                setups: &bad_plan,
+            },
+        ];
+        let report = analyze_fleet_schedule(&entries);
+        assert!(report.has_errors());
+        for code in ["CM050", "CM051", "CM052", "CM040"] {
+            assert!(
+                report.diagnostics().iter().any(|d| d.code() == code),
+                "missing {code}:\n{}",
+                report.render_text()
+            );
+        }
+    }
+
+    #[test]
+    fn clean_fleet_schedule_has_no_diagnostics() {
+        let setups = vec![InstanceSetup::default(); 2];
+        let specs: Vec<_> = all_specs().to_vec();
+        let ids: Vec<String> = specs.iter().map(|s| format!("{}/part-0", s.name)).collect();
+        let entries: Vec<FleetEntryView<'_>> = specs
+            .iter()
+            .zip(&ids)
+            .map(|(spec, id)| FleetEntryView {
+                id,
+                spec,
+                budget: cmfuzz_coverage::Ticks::new(600),
+                setups: &setups,
+            })
+            .collect();
+        let report = analyze_fleet_schedule(&entries);
+        assert!(report.is_empty(), "{}", report.render_text());
     }
 
     #[test]

@@ -183,6 +183,35 @@ impl CoverageMap {
         new
     }
 
+    /// Resets the map to exactly the covered set of `snapshot`: every
+    /// covered branch gets hit count 1, every other branch 0, no dirty
+    /// bits pending.
+    ///
+    /// This is the resume half of checkpointing. Behavior downstream
+    /// depends only on the covered *set* (nothing reads the magnitudes of
+    /// hit counts), so restoring counts as 1 reproduces the original
+    /// feedback signal: re-hitting a restored branch is not a first hit
+    /// and therefore sets no dirty bit, exactly as in the uninterrupted
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has a different capacity than the map.
+    pub fn restore_from(&self, snapshot: &CoverageSnapshot) {
+        assert_eq!(
+            snapshot.capacity(),
+            self.capacity(),
+            "snapshots from different branch ID spaces"
+        );
+        self.reset();
+        let mut covered = 0usize;
+        for id in snapshot.covered_ids() {
+            self.shared.cells[id.index() as usize].store(1, Ordering::Relaxed);
+            covered += 1;
+        }
+        self.shared.covered.store(covered, Ordering::Relaxed);
+    }
+
     /// Clears all hit counts back to zero.
     pub fn reset(&self) {
         for cell in &self.shared.cells {
@@ -354,6 +383,37 @@ mod tests {
         probe.hit(BranchId::from_index(290));
         assert_eq!(map.absorb_new(&mut acc), 1);
         assert_eq!(acc, map.snapshot());
+    }
+
+    #[test]
+    fn restore_from_reproduces_feedback_signal() {
+        let map = CoverageMap::new(200);
+        let probe = map.probe();
+        for i in [0usize, 63, 64, 130, 199] {
+            probe.hit(BranchId::from_index(i as u32));
+            probe.hit(BranchId::from_index(i as u32));
+        }
+        let snap = map.snapshot();
+
+        let fresh = CoverageMap::new(200);
+        fresh.restore_from(&snap);
+        assert_eq!(fresh.covered_count(), 5);
+        assert_eq!(fresh.snapshot(), snap);
+        // Restored branches are not first hits: re-hitting one yields no
+        // new coverage, while a genuinely new branch still does.
+        let probe = fresh.probe();
+        probe.hit(BranchId::from_index(63));
+        let mut acc = snap.clone();
+        assert_eq!(fresh.absorb_new(&mut acc), 0);
+        probe.hit(BranchId::from_index(7));
+        assert_eq!(fresh.absorb_new(&mut acc), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different branch ID spaces")]
+    fn restore_from_rejects_capacity_mismatch() {
+        let map = CoverageMap::new(10);
+        map.restore_from(&CoverageSnapshot::empty(11));
     }
 
     #[test]

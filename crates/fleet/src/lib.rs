@@ -1,0 +1,560 @@
+//! `cmfuzz-fleet`: multiplexing hundreds of campaigns over one CPU budget.
+//!
+//! The paper's evaluation runs one campaign at a time, each owning the
+//! whole machine for its budget. Real audits look different: a fleet of
+//! subjects — six protocols × relation-aware configuration partitions,
+//! easily hundreds of campaigns — competes for a fixed CPU allowance, and
+//! giving every campaign an equal share wastes most of it on subjects
+//! whose coverage saturated hours ago.
+//!
+//! This crate schedules that fleet. It builds on two core primitives:
+//!
+//! - **Checkpointable campaigns** ([`cmfuzz::campaign::run_campaign_slice`]):
+//!   a campaign runs in bounded *slices* and pauses into a
+//!   [`CampaignCheckpoint`] that resumes byte-identically, so the
+//!   scheduler can preempt any campaign at a round boundary without
+//!   changing what it would eventually find.
+//! - **The bench worker pool** ([`cmfuzz_bench::grid`]): each wave of
+//!   leased slices runs as independent grid cells on a bounded pool,
+//!   with results returned in lease order regardless of thread timing.
+//!
+//! A pluggable [`SchedulingPolicy`] decides which campaigns lease the
+//! next wave of worker slots: [`RoundRobin`] (the fair baseline),
+//! [`CoverageGradient`] (EWMA of new branches per executed session —
+//! slots chase the coverage gradient), and [`UcbBandit`] (UCB1 over the
+//! same reward, hedging against late coverage bursts). Everything is
+//! deterministic: same fleet, same seeds, same policy → the same
+//! [`FleetResult`], bit for bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmfuzz::campaign::{CampaignOptions, InstanceSetup};
+//! use cmfuzz_coverage::Ticks;
+//! use cmfuzz_fleet::{run_fleet, CoverageGradient, FleetCampaign, FleetOptions};
+//! use cmfuzz_protocols::spec_by_name;
+//!
+//! let mut options = CampaignOptions::default();
+//! options.budget = Ticks::new(300);
+//! options.sample_interval = Ticks::new(100);
+//! let fleet = vec![FleetCampaign {
+//!     id: "mosquitto/part-0".into(),
+//!     spec: spec_by_name("mosquitto").expect("subject exists"),
+//!     fuzzer: "cmfuzz".into(),
+//!     setups: vec![InstanceSetup::default()],
+//!     options,
+//! }];
+//! let result = run_fleet(
+//!     &fleet,
+//!     &mut CoverageGradient::new(),
+//!     &FleetOptions {
+//!         slice: Ticks::new(100),
+//!         ..FleetOptions::default()
+//!     },
+//! )
+//! .expect("fleet runs");
+//! assert!(result.all_complete());
+//! assert!(result.total_branches() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+
+pub use policy::{CoverageGradient, RoundRobin, SchedulingPolicy, UcbBandit};
+
+use cmfuzz::campaign::{
+    run_campaign_slice_with_telemetry, CampaignCheckpoint, CampaignOptions, InstanceSetup,
+};
+use cmfuzz::metrics::CampaignResult;
+use cmfuzz::preflight::{analyze_fleet_schedule, FleetEntryView};
+use cmfuzz::CampaignError;
+use cmfuzz_bench::grid;
+use cmfuzz_coverage::{Ticks, VirtualClock};
+use cmfuzz_protocols::ProtocolSpec;
+use cmfuzz_telemetry::Telemetry;
+
+/// One campaign in the fleet: a subject, its instance setups, and the
+/// campaign options (whose `budget` is this campaign's own total).
+#[derive(Debug, Clone)]
+pub struct FleetCampaign {
+    /// Unique label within the fleet; doubles as the telemetry `campaign`
+    /// field on every event the campaign emits.
+    pub id: String,
+    /// Subject to fuzz.
+    pub spec: ProtocolSpec,
+    /// Fuzzer to run (`"cmfuzz"`, `"peach"`, `"spfuzz"` semantics come
+    /// from the setups; the runner treats this as a label).
+    pub fuzzer: String,
+    /// Per-instance setups (partition configurations, session plans).
+    pub setups: Vec<InstanceSetup>,
+    /// Campaign options; `options.budget` caps this campaign's total
+    /// virtual-tick consumption across all its slices.
+    pub options: CampaignOptions,
+}
+
+/// Knobs for one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Worker slots leased per wave (also the grid's thread count).
+    pub slots: usize,
+    /// Virtual-tick budget per lease; slices pause at the next round
+    /// boundary at or below this.
+    pub slice: Ticks,
+    /// Fleet-wide virtual-tick allowance summed over every executed
+    /// slice; `None` runs every campaign to its own budget.
+    pub total_budget: Option<Ticks>,
+    /// Skip the fleet-level static preflight
+    /// ([`cmfuzz::preflight::analyze_fleet_schedule`]).
+    pub skip_preflight: bool,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            slots: 4,
+            slice: Ticks::new(200),
+            total_budget: None,
+            skip_preflight: false,
+        }
+    }
+}
+
+/// Final state of one fleet campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The campaign's fleet id.
+    pub id: String,
+    /// Slices this campaign leased.
+    pub leases: u64,
+    /// Virtual ticks the campaign consumed across its slices.
+    pub consumed: Ticks,
+    /// Whether the campaign exhausted its own budget.
+    pub completed: bool,
+    /// The campaign's final checkpoint — resumable in a later fleet run
+    /// when `completed` is false.
+    pub checkpoint: CampaignCheckpoint,
+}
+
+impl CampaignOutcome {
+    /// Union branch coverage the campaign reached so far.
+    #[must_use]
+    pub fn branches(&self) -> usize {
+        self.checkpoint.union_branches()
+    }
+
+    /// Assembles the campaign result from the checkpoint (partial when
+    /// the fleet budget ran out first).
+    #[must_use]
+    pub fn result(&self) -> CampaignResult {
+        self.checkpoint.clone().into_result()
+    }
+}
+
+/// What a fleet run produced: scheduling totals plus per-campaign
+/// outcomes in fleet order.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Name of the scheduling policy that ran the fleet.
+    pub policy: String,
+    /// Scheduling waves executed.
+    pub waves: u64,
+    /// Slices leased in total.
+    pub leases: u64,
+    /// Virtual ticks consumed across every slice.
+    pub spent: Ticks,
+    /// Per-campaign outcomes, in the order the fleet was given.
+    pub campaigns: Vec<CampaignOutcome>,
+}
+
+impl FleetResult {
+    /// Sum of final union branch counts across the fleet — the number a
+    /// scheduling policy is trying to maximize under a fixed budget.
+    #[must_use]
+    pub fn total_branches(&self) -> usize {
+        self.campaigns.iter().map(CampaignOutcome::branches).sum()
+    }
+
+    /// How many campaigns ran to their own budget.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.campaigns.iter().filter(|c| c.completed).count()
+    }
+
+    /// Whether every campaign exhausted its own budget.
+    #[must_use]
+    pub fn all_complete(&self) -> bool {
+        self.campaigns.iter().all(|c| c.completed)
+    }
+}
+
+/// Runs the fleet to completion (or until `options.total_budget` runs
+/// out) under `policy`, without observability.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Preflight`] when the fleet schedule fails
+/// static verification, and propagates the first [`CampaignError`] any
+/// slice reports.
+pub fn run_fleet(
+    fleet: &[FleetCampaign],
+    policy: &mut dyn SchedulingPolicy,
+    options: &FleetOptions,
+) -> Result<FleetResult, CampaignError> {
+    run_fleet_with_telemetry(fleet, policy, options, &Telemetry::disabled())
+}
+
+/// [`run_fleet`] with an observability pipeline attached.
+///
+/// Each leased slice runs inside its own telemetry scope (committed in
+/// lease order), every event it emits carries the campaign's id as its
+/// `campaign` label, and the fleet maintains `fleet.waves`,
+/// `fleet.leases`, and `fleet.ticks` counters. Instrumentation never
+/// perturbs scheduling: a disabled pipeline produces the identical
+/// [`FleetResult`].
+///
+/// # Errors
+///
+/// As [`run_fleet`].
+#[allow(clippy::too_many_lines)]
+pub fn run_fleet_with_telemetry(
+    fleet: &[FleetCampaign],
+    policy: &mut dyn SchedulingPolicy,
+    options: &FleetOptions,
+    telemetry: &Telemetry,
+) -> Result<FleetResult, CampaignError> {
+    if !options.skip_preflight {
+        let entries: Vec<FleetEntryView<'_>> = fleet
+            .iter()
+            .map(|campaign| FleetEntryView {
+                id: &campaign.id,
+                spec: &campaign.spec,
+                budget: campaign.options.budget,
+                setups: &campaign.setups,
+            })
+            .collect();
+        let report = analyze_fleet_schedule(&entries);
+        if report.has_errors() {
+            return Err(CampaignError::Preflight(report.into_diagnostics()));
+        }
+    }
+
+    // Per-campaign options as the slices will actually run them: labelled
+    // with the fleet id, and inline execution — the wave grid supplies the
+    // parallelism, so a per-campaign worker pool would only oversubscribe
+    // (results are identical either way).
+    let prepared: Vec<CampaignOptions> = fleet
+        .iter()
+        .map(|campaign| {
+            let mut opts = campaign.options.clone();
+            opts.campaign_id = Some(campaign.id.clone());
+            opts.worker_pool = false;
+            opts
+        })
+        .collect();
+
+    let waves_counter = telemetry.counter("fleet.waves");
+    let leases_counter = telemetry.counter("fleet.leases");
+    let ticks_counter = telemetry.counter("fleet.ticks");
+
+    let mut checkpoints: Vec<Option<CampaignCheckpoint>> = vec![None; fleet.len()];
+    let mut lease_counts: Vec<u64> = vec![0; fleet.len()];
+    let mut waves: u64 = 0;
+    let mut leases: u64 = 0;
+    let mut spent: u64 = 0;
+
+    loop {
+        let eligible: Vec<usize> = (0..fleet.len())
+            .filter(|&i| checkpoints[i].as_ref().is_none_or(|c| !c.is_complete()))
+            .collect();
+        if eligible.is_empty() {
+            break;
+        }
+        let remaining = options
+            .total_budget
+            .map(|total| total.get().saturating_sub(spent));
+        if remaining == Some(0) {
+            break;
+        }
+
+        let slots = options.slots.max(1).min(eligible.len());
+        let picked = policy.pick(&eligible, slots);
+        // Defensive sanitation: keep only eligible, distinct picks.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut wave: Vec<usize> = picked
+            .into_iter()
+            .filter(|i| eligible.contains(i) && seen.insert(*i))
+            .collect();
+        wave.truncate(slots);
+        if wave.is_empty() {
+            // A policy that refuses to schedule ends the fleet run.
+            break;
+        }
+
+        // Split the remaining fleet allowance across this wave's leases.
+        let mut lease_budgets = Vec::with_capacity(wave.len());
+        let mut left = remaining.unwrap_or(u64::MAX);
+        for _ in &wave {
+            let granted = options.slice.get().min(left);
+            if left != u64::MAX {
+                left -= granted;
+            }
+            lease_budgets.push(granted);
+        }
+        while lease_budgets.last() == Some(&0) {
+            lease_budgets.pop();
+            wave.pop();
+        }
+        if wave.is_empty() {
+            break;
+        }
+
+        let cells: Vec<_> = wave
+            .iter()
+            .zip(&lease_budgets)
+            .map(|(&index, &granted)| {
+                let campaign = &fleet[index];
+                let opts = &prepared[index];
+                let resume = checkpoints[index].take();
+                let telemetry = telemetry.clone();
+                move || {
+                    let scope = telemetry.scoped(VirtualClock::new());
+                    let outcome = run_campaign_slice_with_telemetry(
+                        &campaign.spec,
+                        &campaign.fuzzer,
+                        &campaign.setups,
+                        opts,
+                        resume,
+                        Ticks::new(granted),
+                        scope.telemetry(),
+                    );
+                    scope.commit();
+                    outcome
+                }
+            })
+            .collect();
+        let results = grid::run_cells(wave.len(), cells);
+
+        let mut wave_progress = false;
+        for (&index, outcome) in wave.iter().zip(results) {
+            let (checkpoint, report) = outcome?;
+            policy.observe(index, &report);
+            lease_counts[index] += 1;
+            leases += 1;
+            let executed = report.rounds * fleet[index].options.sample_interval.get().max(1);
+            spent += executed;
+            ticks_counter.add(executed);
+            if report.rounds > 0 || report.done {
+                wave_progress = true;
+            }
+            checkpoints[index] = Some(checkpoint);
+        }
+        waves += 1;
+        waves_counter.incr();
+        leases_counter.add(wave.len() as u64);
+
+        if !wave_progress {
+            // Every lease was too small to execute a round and nothing
+            // completed; granting more identical leases cannot help.
+            break;
+        }
+    }
+
+    let campaigns = fleet
+        .iter()
+        .enumerate()
+        .zip(checkpoints)
+        .zip(lease_counts)
+        .map(|(((index, campaign), checkpoint), leases)| {
+            // A campaign the policy never scheduled still gets a (zero
+            // progress) checkpoint so the outcome row exists.
+            let checkpoint = match checkpoint {
+                Some(checkpoint) => checkpoint,
+                None => {
+                    let (checkpoint, _) = run_campaign_slice_with_telemetry(
+                        &campaign.spec,
+                        &campaign.fuzzer,
+                        &campaign.setups,
+                        &prepared[index],
+                        None,
+                        Ticks::ZERO,
+                        &Telemetry::disabled(),
+                    )?;
+                    checkpoint
+                }
+            };
+            Ok(CampaignOutcome {
+                id: campaign.id.clone(),
+                leases,
+                consumed: checkpoint.consumed(),
+                completed: checkpoint.is_complete(),
+                checkpoint,
+            })
+        })
+        .collect::<Result<Vec<_>, CampaignError>>()?;
+
+    telemetry.drain();
+    Ok(FleetResult {
+        policy: policy.name().to_owned(),
+        waves,
+        leases,
+        spent: Ticks::new(spent),
+        campaigns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz::campaign::try_run_campaign;
+    use cmfuzz_protocols::spec_by_name;
+    use cmfuzz_telemetry::RingBufferSink;
+
+    fn small_options(seed: u64, budget: u64) -> CampaignOptions {
+        CampaignOptions {
+            instances: 2,
+            budget: Ticks::new(budget),
+            sample_interval: Ticks::new(100),
+            saturation_window: Ticks::new(200),
+            seed,
+            worker_pool: false,
+            ..CampaignOptions::default()
+        }
+    }
+
+    fn small_fleet() -> Vec<FleetCampaign> {
+        [("mosquitto", 3_u64), ("dnsmasq", 7)]
+            .iter()
+            .map(|&(name, seed)| FleetCampaign {
+                id: format!("{name}/part-0"),
+                spec: spec_by_name(name).expect("subject exists"),
+                fuzzer: "cmfuzz".into(),
+                setups: vec![InstanceSetup::default(); 2],
+                options: small_options(seed, 400),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_reproduces_each_campaign_exactly() {
+        let fleet = small_fleet();
+        let result = run_fleet(
+            &fleet,
+            &mut RoundRobin::new(),
+            &FleetOptions {
+                slots: 2,
+                slice: Ticks::new(100),
+                ..FleetOptions::default()
+            },
+        )
+        .expect("fleet runs");
+        assert!(result.all_complete());
+        assert_eq!(result.leases, 8, "4 rounds per campaign, 100-tick leases");
+        for (campaign, outcome) in fleet.iter().zip(&result.campaigns) {
+            let mut reference_options = campaign.options.clone();
+            reference_options.campaign_id = Some(campaign.id.clone());
+            let reference = try_run_campaign(
+                &campaign.spec,
+                &campaign.fuzzer,
+                &campaign.setups,
+                &reference_options,
+            )
+            .expect("reference runs");
+            assert_eq!(
+                format!("{:?}", outcome.result()),
+                format!("{reference:?}"),
+                "{} sliced run must equal the uninterrupted run",
+                campaign.id
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_budget_caps_total_consumption() {
+        let fleet = small_fleet();
+        let result = run_fleet(
+            &fleet,
+            &mut RoundRobin::new(),
+            &FleetOptions {
+                slots: 1,
+                slice: Ticks::new(100),
+                total_budget: Some(Ticks::new(300)),
+                ..FleetOptions::default()
+            },
+        )
+        .expect("fleet runs");
+        assert_eq!(result.spent, Ticks::new(300));
+        assert!(!result.all_complete(), "800 ticks of work, 300 allowed");
+        // Unfinished campaigns come back as resumable checkpoints.
+        let unfinished = result.campaigns.iter().find(|c| !c.completed).unwrap();
+        assert!(unfinished.checkpoint.consumed() < Ticks::new(400));
+    }
+
+    #[test]
+    fn same_seed_fleets_are_identical() {
+        let run = || {
+            run_fleet(
+                &small_fleet(),
+                &mut CoverageGradient::new(),
+                &FleetOptions {
+                    slots: 2,
+                    slice: Ticks::new(100),
+                    total_budget: Some(Ticks::new(600)),
+                    ..FleetOptions::default()
+                },
+            )
+            .expect("fleet runs")
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+
+    #[test]
+    fn duplicate_ids_fail_fleet_preflight() {
+        let mut fleet = small_fleet();
+        let clash = fleet[0].id.clone();
+        fleet[1].id = clash;
+        let err = run_fleet(&fleet, &mut RoundRobin::new(), &FleetOptions::default())
+            .expect_err("duplicate ids rejected");
+        let CampaignError::Preflight(diagnostics) = err else {
+            panic!("expected preflight error, got {err:?}");
+        };
+        assert!(diagnostics.iter().any(|d| d.code() == "CM050"));
+    }
+
+    #[test]
+    fn fleet_telemetry_labels_events_per_campaign() {
+        let ring = RingBufferSink::new(4096);
+        let telemetry = Telemetry::builder(VirtualClock::new())
+            .sink(Box::new(ring.clone()))
+            .build();
+        let fleet = small_fleet();
+        run_fleet_with_telemetry(
+            &fleet,
+            &mut RoundRobin::new(),
+            &FleetOptions {
+                slots: 2,
+                slice: Ticks::new(200),
+                ..FleetOptions::default()
+            },
+            &telemetry,
+        )
+        .expect("fleet runs");
+        telemetry.flush();
+        let records = ring.records();
+        assert!(!records.is_empty());
+        let labels: std::collections::BTreeSet<String> = records
+            .iter()
+            .filter_map(|r| r.campaign.as_deref().map(str::to_owned))
+            .collect();
+        assert_eq!(
+            labels.into_iter().collect::<Vec<_>>(),
+            vec!["dnsmasq/part-0".to_owned(), "mosquitto/part-0".to_owned()],
+            "every campaign labelled its own event stream"
+        );
+        let snapshot = telemetry.metrics_snapshot();
+        assert_eq!(snapshot.counter("fleet.waves"), Some(2));
+        assert_eq!(snapshot.counter("fleet.leases"), Some(4));
+        assert_eq!(snapshot.counter("fleet.ticks"), Some(800));
+    }
+}

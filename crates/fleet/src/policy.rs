@@ -1,0 +1,339 @@
+//! Scheduling policies: which campaigns get the next wave of worker slots.
+//!
+//! A policy sees only scheduling signals — the [`SliceReport`]s that come
+//! back from executed slices — never campaign internals, so policies are
+//! trivially pluggable and deterministic: same reports in, same picks out.
+//! The fleet runner calls [`SchedulingPolicy::pick`] once per wave and
+//! [`SchedulingPolicy::observe`] once per completed lease, in lease order.
+
+use cmfuzz::campaign::SliceReport;
+
+/// Picks which eligible campaigns lease the next wave of worker slots.
+///
+/// Implementations must be deterministic functions of the observation
+/// history: the fleet's reproducibility guarantee (same seed, same
+/// schedule) rests on it. `eligible` is always sorted ascending and
+/// non-empty; `pick` returns up to `slots` *distinct* indices drawn from
+/// it (the runner drops anything else defensively).
+pub trait SchedulingPolicy: Send {
+    /// Short stable name, recorded in [`crate::FleetResult`] and bench
+    /// output.
+    fn name(&self) -> &'static str;
+
+    /// Chooses up to `slots` distinct campaign indices from `eligible`.
+    fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize>;
+
+    /// Feeds back the slice result for campaign `index` after a lease.
+    fn observe(&mut self, index: usize, report: &SliceReport);
+}
+
+/// Fair rotation: every eligible campaign gets a slot in turn.
+///
+/// This is the fleet's baseline (and the honest comparison point for the
+/// smarter policies): it encodes no beliefs about which campaign is
+/// productive, so a saturated campaign burns exactly as much budget as a
+/// fresh one.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    /// Next campaign index the rotation would like to serve.
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A rotation starting from campaign 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl SchedulingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
+        // Rotate the eligible list so it starts at the cursor (or the
+        // first index after it, if the cursor's campaign completed).
+        let start = eligible.iter().position(|&i| i >= self.cursor).unwrap_or(0);
+        let picked: Vec<usize> = (0..eligible.len().min(slots))
+            .map(|off| eligible[(start + off) % eligible.len()])
+            .collect();
+        if let Some(&last) = picked.last() {
+            self.cursor = last + 1;
+        }
+        picked
+    }
+
+    fn observe(&mut self, _index: usize, _report: &SliceReport) {}
+}
+
+/// Coverage-gradient scheduling: slots go to the campaigns whose recent
+/// slices discovered the most new branches per executed session.
+///
+/// Each observed slice yields a reward `new_branches / sessions` which is
+/// folded into a per-campaign EWMA (`score = alpha * reward +
+/// (1 - alpha) * score`). Unplayed campaigns always outrank played ones —
+/// every campaign gets probed before any is starved — and among played
+/// campaigns, higher EWMA wins with lowest index as the deterministic
+/// tie-break. Saturated campaigns decay toward zero and naturally stop
+/// leasing slots while any campaign still shows a gradient.
+#[derive(Debug, Clone)]
+pub struct CoverageGradient {
+    alpha: f64,
+    scores: Vec<Option<f64>>,
+}
+
+impl CoverageGradient {
+    /// EWMA smoothing used by [`CoverageGradient::new`].
+    pub const DEFAULT_ALPHA: f64 = 0.5;
+
+    /// A gradient scheduler with the default smoothing factor.
+    #[must_use]
+    pub fn new() -> Self {
+        CoverageGradient::with_alpha(CoverageGradient::DEFAULT_ALPHA)
+    }
+
+    /// A gradient scheduler smoothing rewards with `alpha` in `(0, 1]`
+    /// (1 keeps only the latest slice, small values average many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        CoverageGradient {
+            alpha,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Current EWMA score for campaign `index` (`None` until first
+    /// observed).
+    #[must_use]
+    pub fn score(&self, index: usize) -> Option<f64> {
+        self.scores.get(index).copied().flatten()
+    }
+}
+
+impl Default for CoverageGradient {
+    fn default() -> Self {
+        CoverageGradient::new()
+    }
+}
+
+impl SchedulingPolicy for CoverageGradient {
+    fn name(&self) -> &'static str {
+        "coverage-gradient"
+    }
+
+    fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
+        let mut ranked: Vec<usize> = eligible.to_vec();
+        // Unplayed first (by index), then descending EWMA, index tie-break.
+        ranked.sort_by(|&a, &b| match (self.score(a), self.score(b)) {
+            (None, None) => a.cmp(&b),
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(sa), Some(sb)) => sb.total_cmp(&sa).then(a.cmp(&b)),
+        });
+        ranked.truncate(slots);
+        ranked
+    }
+
+    fn observe(&mut self, index: usize, report: &SliceReport) {
+        if self.scores.len() <= index {
+            self.scores.resize(index + 1, None);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let reward = report.new_branches as f64 / report.sessions.max(1) as f64;
+        let prev = self.scores[index];
+        self.scores[index] = Some(match prev {
+            Some(old) => self.alpha * reward + (1.0 - self.alpha) * old,
+            None => reward,
+        });
+    }
+}
+
+/// UCB1-style bandit: balances exploiting high-yield campaigns against
+/// re-probing ones that looked dry early.
+///
+/// Each campaign is an arm; the reward per play is new branches per
+/// session, tracked as a running mean. Picks maximize
+/// `mean + c * sqrt(ln(total_plays) / plays)`, so rarely-played arms keep
+/// a widening exploration bonus and a campaign that saturates early still
+/// gets revisited occasionally — the classic hedge against a subject whose
+/// coverage comes in late bursts. Unplayed arms always go first.
+#[derive(Debug, Clone)]
+pub struct UcbBandit {
+    exploration: f64,
+    plays: Vec<u64>,
+    means: Vec<f64>,
+    total_plays: u64,
+}
+
+impl UcbBandit {
+    /// Exploration constant used by [`UcbBandit::new`].
+    pub const DEFAULT_EXPLORATION: f64 = 2.0;
+
+    /// A bandit with the default exploration constant.
+    #[must_use]
+    pub fn new() -> Self {
+        UcbBandit::with_exploration(UcbBandit::DEFAULT_EXPLORATION)
+    }
+
+    /// A bandit weighting the exploration bonus by `c >= 0` (0 is pure
+    /// greedy exploitation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or not finite.
+    #[must_use]
+    pub fn with_exploration(c: f64) -> Self {
+        assert!(
+            c.is_finite() && c >= 0.0,
+            "exploration must be finite and >= 0"
+        );
+        UcbBandit {
+            exploration: c,
+            plays: Vec::new(),
+            means: Vec::new(),
+            total_plays: 0,
+        }
+    }
+
+    fn priority(&self, index: usize) -> f64 {
+        let plays = self.plays.get(index).copied().unwrap_or(0);
+        if plays == 0 {
+            return f64::INFINITY;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let bonus =
+            self.exploration * ((self.total_plays.max(1) as f64).ln() / plays as f64).sqrt();
+        self.means[index] + bonus
+    }
+}
+
+impl Default for UcbBandit {
+    fn default() -> Self {
+        UcbBandit::new()
+    }
+}
+
+impl SchedulingPolicy for UcbBandit {
+    fn name(&self) -> &'static str {
+        "ucb-bandit"
+    }
+
+    fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
+        let mut ranked: Vec<usize> = eligible.to_vec();
+        ranked.sort_by(|&a, &b| {
+            self.priority(b)
+                .total_cmp(&self.priority(a))
+                .then(a.cmp(&b))
+        });
+        ranked.truncate(slots);
+        ranked
+    }
+
+    fn observe(&mut self, index: usize, report: &SliceReport) {
+        if self.plays.len() <= index {
+            self.plays.resize(index + 1, 0);
+            self.means.resize(index + 1, 0.0);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let reward = report.new_branches as f64 / report.sessions.max(1) as f64;
+        self.plays[index] += 1;
+        self.total_plays += 1;
+        #[allow(clippy::cast_precision_loss)]
+        let n = self.plays[index] as f64;
+        self.means[index] += (reward - self.means[index]) / n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(new_branches: usize, sessions: u64) -> SliceReport {
+        SliceReport {
+            rounds: 1,
+            sessions,
+            new_branches,
+            union_branches: new_branches,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_through_eligible_campaigns() {
+        let mut rr = RoundRobin::new();
+        let eligible: Vec<usize> = (0..5).collect();
+        assert_eq!(rr.pick(&eligible, 2), vec![0, 1]);
+        assert_eq!(rr.pick(&eligible, 2), vec![2, 3]);
+        assert_eq!(rr.pick(&eligible, 2), vec![4, 0]);
+        // Campaign 1 completes; the rotation skips it without stalling.
+        assert_eq!(rr.pick(&[0, 2, 3, 4], 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn gradient_prefers_unplayed_then_highest_ewma() {
+        let mut grad = CoverageGradient::new();
+        let eligible: Vec<usize> = (0..3).collect();
+        assert_eq!(grad.pick(&eligible, 3), vec![0, 1, 2], "probe order");
+        grad.observe(0, &report(2, 100)); // 0.02 per session
+        grad.observe(1, &report(40, 100)); // 0.40 per session
+        grad.observe(2, &report(10, 100)); // 0.10 per session
+        assert_eq!(grad.pick(&eligible, 2), vec![1, 2]);
+        // Campaign 1 dries up; its EWMA halves toward zero and campaign 2
+        // overtakes it.
+        grad.observe(1, &report(0, 100));
+        grad.observe(1, &report(0, 100));
+        grad.observe(1, &report(0, 100));
+        assert_eq!(grad.pick(&eligible, 1), vec![2]);
+    }
+
+    #[test]
+    fn gradient_tie_breaks_on_lowest_index() {
+        let mut grad = CoverageGradient::new();
+        grad.observe(0, &report(5, 10));
+        grad.observe(1, &report(5, 10));
+        assert_eq!(grad.pick(&[0, 1], 1), vec![0]);
+    }
+
+    #[test]
+    fn bandit_explores_every_arm_then_exploits_with_a_bonus() {
+        let mut ucb = UcbBandit::new();
+        let eligible: Vec<usize> = (0..3).collect();
+        assert_eq!(ucb.pick(&eligible, 3), vec![0, 1, 2], "unplayed first");
+        ucb.observe(0, &report(1, 100));
+        ucb.observe(1, &report(50, 100));
+        ucb.observe(2, &report(5, 100));
+        assert_eq!(ucb.pick(&eligible, 1), vec![1], "exploit the best arm");
+        // Keep playing arm 1 with zero reward: its mean and bonus shrink
+        // while the others' exploration bonuses grow.
+        for _ in 0..12 {
+            ucb.observe(1, &report(0, 100));
+        }
+        let next = ucb.pick(&eligible, 1)[0];
+        assert_ne!(next, 1, "starved arms are re-probed eventually");
+    }
+
+    #[test]
+    fn policies_are_deterministic_replays() {
+        let run = || {
+            let mut grad = CoverageGradient::new();
+            let mut picks = Vec::new();
+            for round in 0..10_usize {
+                let eligible: Vec<usize> = (0..4).collect();
+                let picked = grad.pick(&eligible, 2);
+                for &idx in &picked {
+                    grad.observe(idx, &report((idx * round) % 7, 50));
+                }
+                picks.push(picked);
+            }
+            picks
+        };
+        assert_eq!(run(), run());
+    }
+}

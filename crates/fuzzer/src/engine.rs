@@ -88,6 +88,42 @@ pub struct IterationOutcome {
     pub messages_sent: usize,
 }
 
+/// Everything a paused [`FuzzEngine`] needs to resume byte-identically:
+/// the accumulated coverage, both RNG stream positions, the retained
+/// corpus and outbox (seed bytes shared by `Arc`, so a checkpoint of a
+/// large corpus is cheap), the fault log, execution counters and the
+/// target's exported cross-session state.
+///
+/// Produced by [`FuzzEngine::checkpoint`], consumed by
+/// [`FuzzEngine::restore`]. Deliberately *not* tied to the engine's
+/// compiled artifacts (render programs, interned model tables): those are
+/// pure functions of the Pit and session plans, so a restored engine
+/// rebuilds them from scratch and the ids line up.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    /// Union coverage at checkpoint time.
+    pub accumulated: CoverageSnapshot,
+    /// Engine RNG stream position.
+    pub rng: [u64; 4],
+    /// Mutator RNG stream position.
+    pub mutator_rng: [u64; 4],
+    /// Retained seeds, oldest first (re-adding in order reproduces corpus
+    /// pick behavior exactly — only relative order matters to picks).
+    pub corpus: Vec<Seed>,
+    /// Seeds retained since the last synchronization drain.
+    pub outbox: Vec<Seed>,
+    /// Deduplicated faults, in discovery order.
+    pub faults: FaultLog,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Cumulative statistics.
+    pub stats: EngineStats,
+    /// Next fixed session plan to replay (SPFuzz-style pinned plans).
+    pub next_plan: usize,
+    /// Opaque target state from [`Target::export_state`].
+    pub target_state: Vec<u8>,
+}
+
 /// One fuzzing instance: a target, the shared Pit models, a coverage map
 /// and the mutation/corpus machinery (the paper's per-instance Peach
 /// process).
@@ -308,6 +344,69 @@ impl<T: Target> FuzzEngine<T> {
                 .filter(|id| !before.is_covered(*id))
                 .map(|id| id.index() as usize),
         ))
+    }
+
+    /// Captures everything needed to resume this engine byte-identically
+    /// in a freshly built twin (same target kind, Pit, config and session
+    /// plans).
+    ///
+    /// Takes `&mut self` because [`Target::export_state`] may be
+    /// destructive (e.g. draining in-flight transport queues); treat the
+    /// engine as consumed once checkpointed.
+    pub fn checkpoint(&mut self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            accumulated: self.accumulated.clone(),
+            rng: self.rng.state(),
+            mutator_rng: self.mutator.rng_state(),
+            corpus: self.corpus.iter().cloned().collect(),
+            outbox: self.outbox.clone(),
+            faults: self.faults.clone(),
+            iterations: self.iterations,
+            stats: self.stats,
+            next_plan: self.next_plan,
+            target_state: self.target.export_state(),
+        }
+    }
+
+    /// Resumes a checkpointed instance into this freshly built engine:
+    /// restores the coverage map and accumulated set, boots the target
+    /// under `config`, imports the target's cross-session state, rebuilds
+    /// the corpus in retention order and rewinds both RNG streams.
+    ///
+    /// The engine must have been built with the same target kind, Pit,
+    /// [`EngineConfig`] and session plans as the checkpointed one; the
+    /// compiled model tables are pure functions of those inputs, so the
+    /// interned ids inside checkpointed seeds stay valid.
+    ///
+    /// Re-booting under `config` re-hits startup branches the checkpoint
+    /// already covers, so the restored map reports no first hits and the
+    /// feedback signal continues exactly where it left off.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the target's [`StartError`]; the engine is left
+    /// partially restored and must be discarded.
+    pub fn restore(
+        &mut self,
+        config: &ResolvedConfig,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<(), StartError> {
+        self.map.restore_from(&checkpoint.accumulated);
+        self.accumulated = checkpoint.accumulated.clone();
+        self.start(config)?;
+        self.target.import_state(&checkpoint.target_state);
+        self.corpus = Corpus::new(self.config.corpus_capacity);
+        for seed in &checkpoint.corpus {
+            self.corpus.add(seed.clone());
+        }
+        self.outbox = checkpoint.outbox.clone();
+        self.faults = checkpoint.faults.clone();
+        self.rng = StdRng::from_state(checkpoint.rng);
+        self.mutator.restore_rng(checkpoint.mutator_rng);
+        self.iterations = checkpoint.iterations;
+        self.stats = checkpoint.stats;
+        self.next_plan = checkpoint.next_plan;
+        Ok(())
     }
 
     /// Runs one fuzzing iteration: walks a session through the state model,
@@ -748,6 +847,55 @@ mod tests {
         }
         assert_eq!(engine.covered_count(), 3, "coverage still found");
         assert_eq!(engine.corpus_len(), 1, "capacity 1 evicts to one seed");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let build = || {
+            FuzzEngine::new(
+                ToyTarget::new(),
+                toy_pit(),
+                EngineConfig {
+                    seed: 11,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let config = ResolvedConfig::new();
+
+        // Uninterrupted reference: 120 iterations straight through.
+        let mut reference = build();
+        reference.start(&config).unwrap();
+        let mut expected = Vec::new();
+        for _ in 0..120 {
+            expected.push(reference.run_iteration());
+        }
+
+        // Checkpoint after 50, resume into a fresh engine, run the rest.
+        let mut first = build();
+        first.start(&config).unwrap();
+        let mut observed = Vec::new();
+        for _ in 0..50 {
+            observed.push(first.run_iteration());
+        }
+        let cp = first.checkpoint();
+        drop(first);
+        let mut resumed = build();
+        resumed.restore(&config, &cp).unwrap();
+        assert_eq!(resumed.iterations(), 50);
+        for _ in 0..70 {
+            observed.push(resumed.run_iteration());
+        }
+
+        assert_eq!(observed, expected);
+        assert_eq!(resumed.stats(), reference.stats());
+        assert_eq!(resumed.coverage(), reference.coverage());
+        assert_eq!(resumed.covered_count(), reference.covered_count());
+        assert_eq!(
+            format!("{:?}", resumed.fault_log()),
+            format!("{:?}", reference.fault_log())
+        );
+        assert_eq!(resumed.corpus_len(), reference.corpus_len());
     }
 
     #[test]

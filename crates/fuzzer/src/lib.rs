@@ -44,12 +44,13 @@ mod intern;
 mod mutate;
 pub mod pit;
 mod render_program;
+pub mod state_codec;
 mod state_model;
 mod target;
 
 pub use corpus::{Corpus, Seed};
 pub use data_model::{DataModel, Endian, Field, FieldKind, FieldValue, Generator};
-pub use engine::{EngineConfig, FuzzEngine, IterationOutcome};
+pub use engine::{EngineCheckpoint, EngineConfig, FuzzEngine, IterationOutcome};
 pub use fault::{Fault, FaultKind, FaultLog};
 pub use intern::{ModelId, ModelTable};
 pub use mutate::{MutationOp, Mutator};

@@ -106,6 +106,18 @@ impl Mutator {
         self
     }
 
+    /// The mutator's RNG stream position, for checkpointing.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rewinds the mutator's RNG to a position captured by
+    /// [`Mutator::rng_state`].
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Applies between 1 and `max_stack` randomly chosen byte-level
     /// operators to `data` (AFL-style havoc stacking). With a dictionary
     /// attached, each slot has a 1-in-8 chance of splicing a token instead.

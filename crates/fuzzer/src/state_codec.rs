@@ -1,0 +1,258 @@
+//! Tiny byte codec for target-state checkpoints.
+//!
+//! Targets and transports export their mutable session state as an opaque
+//! `Vec<u8>` (see [`Target::export_state`](crate::Target::export_state));
+//! this module provides the little-endian writer/reader pair they encode
+//! it with. The format is internal — the only producer of these bytes is
+//! the matching `export_state`, and the only consumer the matching
+//! `import_state` — so the reader panics on malformed input instead of
+//! threading `Result`s through every target: a truncated buffer here is a
+//! checkpointing bug, not a recoverable condition.
+
+/// Appends primitive values to a growing byte buffer, little-endian.
+///
+/// # Examples
+///
+/// ```
+/// use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
+///
+/// let mut w = StateWriter::new();
+/// w.u32(7);
+/// w.bytes(b"held");
+/// w.bool(true);
+/// let buf = w.finish();
+///
+/// let mut r = StateReader::new(&buf);
+/// assert_eq!(r.u32(), 7);
+/// assert_eq!(r.bytes(), b"held");
+/// assert!(r.bool());
+/// r.finish();
+/// ```
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends an optional value: a presence byte, then the value written
+    /// by `write` when present.
+    pub fn option<T>(&mut self, v: Option<&T>, write: impl FnOnce(&mut Self, &T)) {
+        match v {
+            None => self.bool(false),
+            Some(value) => {
+                self.bool(true);
+                write(self, value);
+            }
+        }
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads values back in the order a [`StateWriter`] appended them.
+///
+/// # Panics
+///
+/// Every accessor panics on truncated or malformed input; see the module
+/// docs for why that is the right failure mode here.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let end = self.at.checked_add(n).expect("state offset overflow");
+        assert!(
+            end <= self.buf.len(),
+            "truncated state: need {n} bytes at offset {}, have {}",
+            self.at,
+            self.buf.len() - self.at
+        );
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        slice
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a `u16`, little-endian.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("two bytes"))
+    }
+
+    /// Reads a `u32`, little-endian.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("four bytes"))
+    }
+
+    /// Reads a `u64`, little-endian.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("eight bytes"))
+    }
+
+    /// Reads an `i64`, little-endian.
+    pub fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("eight bytes"))
+    }
+
+    /// Reads a `usize` written by [`StateWriter::usize`].
+    pub fn usize(&mut self) -> usize {
+        usize::try_from(self.u64()).expect("state length fits usize")
+    }
+
+    /// Reads a `bool` written by [`StateWriter::bool`].
+    pub fn bool(&mut self) -> bool {
+        match self.u8() {
+            0 => false,
+            1 => true,
+            other => panic!("malformed state: bool byte {other}"),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let len = self.usize();
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> String {
+        String::from_utf8(self.bytes().to_vec()).expect("state strings are UTF-8")
+    }
+
+    /// Reads an optional value written by [`StateWriter::option`].
+    pub fn option<T>(&mut self, read: impl FnOnce(&mut Self) -> T) -> Option<T> {
+        if self.bool() {
+            Some(read(self))
+        } else {
+            None
+        }
+    }
+
+    /// Asserts the whole buffer was consumed — catches writer/reader
+    /// drift the moment a field is added on only one side.
+    pub fn finish(self) {
+        assert_eq!(
+            self.at,
+            self.buf.len(),
+            "state has {} unread trailing bytes",
+            self.buf.len() - self.at
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = StateWriter::new();
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.usize(123_456);
+        w.bool(false);
+        w.bytes(&[1, 2, 3]);
+        w.str("héllo");
+        w.option(None::<&u64>, |w, v| w.u64(*v));
+        w.option(Some(&7u64), |w, v| w.u64(*v));
+        let buf = w.finish();
+
+        let mut r = StateReader::new(&buf);
+        assert_eq!(r.u8(), 0xAB);
+        assert_eq!(r.u16(), 0xBEEF);
+        assert_eq!(r.u32(), 0xDEAD_BEEF);
+        assert_eq!(r.u64(), u64::MAX - 1);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.usize(), 123_456);
+        assert!(!r.bool());
+        assert_eq!(r.bytes(), &[1, 2, 3]);
+        assert_eq!(r.string(), "héllo");
+        assert_eq!(r.option(StateReader::u64), None);
+        assert_eq!(r.option(StateReader::u64), Some(7));
+        r.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated state")]
+    fn truncation_panics() {
+        let mut r = StateReader::new(&[1, 0]);
+        let _ = r.u32();
+    }
+
+    #[test]
+    #[should_panic(expected = "unread trailing bytes")]
+    fn trailing_bytes_panic() {
+        StateReader::new(&[0]).finish();
+    }
+}

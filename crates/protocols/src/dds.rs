@@ -10,6 +10,7 @@ use cmfuzz_config_model::{
     Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
+use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 
 use crate::common::{be16, Cov};
@@ -303,6 +304,23 @@ impl Target for Dds {
 
     fn begin_session(&mut self) {
         // DDS sessions are participant-scoped; keep discovery state.
+    }
+
+    fn export_state(&mut self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.usize(self.history.len());
+        for &sample in &self.history {
+            w.u32(sample);
+        }
+        w.usize(self.participants);
+        w.finish()
+    }
+
+    fn import_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.history = (0..r.usize()).map(|_| r.u32()).collect();
+        self.participants = r.usize();
+        r.finish();
     }
 
     fn handle(&mut self, input: &[u8]) -> TargetResponse {

@@ -149,6 +149,26 @@ impl<T: Target, L: Transport> Target for NetworkedTarget<T, L> {
         }
         response
     }
+
+    fn export_state(&mut self) -> Vec<u8> {
+        // Length-prefixed inner bytes, then the link's; either side may be
+        // destructive, so the exporting instance is done afterwards.
+        let mut w = cmfuzz_fuzzer::state_codec::StateWriter::new();
+        w.bytes(&self.inner.export_state());
+        w.bytes(&self.link.export_state());
+        w.finish()
+    }
+
+    fn import_state(&mut self, state: &[u8]) {
+        // Called after `start`, so both the server and the link are up;
+        // importing overlays the checkpointed session state on top.
+        let mut r = cmfuzz_fuzzer::state_codec::StateReader::new(state);
+        let inner = r.bytes().to_vec();
+        let link = r.bytes().to_vec();
+        r.finish();
+        self.inner.import_state(&inner);
+        self.link.import_state(&link);
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,9 @@ struct BusInner {
     /// Events discarded because the queue was full.
     dropped: AtomicU64,
     clock: VirtualClock,
+    /// Label stamped onto every emitted record while set (see
+    /// [`EventBus::set_campaign`]).
+    campaign: Mutex<Option<Arc<str>>>,
 }
 
 /// Bounded multi-producer event queue.
@@ -69,6 +72,7 @@ impl EventBus {
                 emitted: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
                 clock,
+                campaign: Mutex::new(None),
             }),
         }
     }
@@ -84,6 +88,12 @@ impl EventBus {
     /// current virtual time. Returns `false` if the queue was full and the
     /// event was dropped (still counted in [`EventBus::emitted`]).
     pub fn emit(&self, event: Event) -> bool {
+        let campaign = self
+            .inner
+            .campaign
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         let mut queue = self.locked();
         // Sequence numbers are assigned under the queue lock so drained
         // records always appear in seq order.
@@ -95,9 +105,21 @@ impl EventBus {
         queue.push_back(EventRecord {
             seq,
             emitted_at: Ticks::new(self.inner.clock.now().get()),
+            campaign,
             event,
         });
         true
+    }
+
+    /// Labels every subsequently emitted record with `campaign` (`None`
+    /// clears the label). Fleet runs set this per campaign slice so one
+    /// JSONL stream multiplexing hundreds of campaigns stays attributable.
+    pub fn set_campaign(&self, campaign: Option<&str>) {
+        *self
+            .inner
+            .campaign
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = campaign.map(Arc::from);
     }
 
     /// Removes and returns every queued record, oldest first.

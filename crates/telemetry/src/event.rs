@@ -4,6 +4,8 @@
 //! fault kinds) so this crate stays below `cmfuzz-fuzzer` and
 //! `cmfuzz-core` in the dependency graph.
 
+use std::sync::Arc;
+
 use cmfuzz_coverage::Ticks;
 
 use crate::json::ObjectWriter;
@@ -127,6 +129,9 @@ pub struct EventRecord {
     pub seq: u64,
     /// Virtual clock reading when the event was emitted.
     pub emitted_at: Ticks,
+    /// Campaign label active on the bus at emission time (fleet runs label
+    /// each campaign so multiplexed JSONL streams stay attributable).
+    pub campaign: Option<Arc<str>>,
     /// The event payload.
     pub event: Event,
 }
@@ -142,6 +147,9 @@ impl EventRecord {
         obj.u64_field("seq", self.seq);
         obj.u64_field("emitted_at", self.emitted_at.get());
         obj.str_field("kind", self.event.kind());
+        if let Some(campaign) = &self.campaign {
+            obj.str_field("campaign", campaign);
+        }
         match &self.event {
             Event::CampaignStarted {
                 fuzzer,
@@ -293,6 +301,7 @@ mod tests {
             let record = EventRecord {
                 seq: seq as u64,
                 emitted_at: Ticks::new(1000 + seq as u64),
+                campaign: None,
                 event,
             };
             let line = record.to_json_line();
@@ -303,6 +312,24 @@ mod tests {
             );
             assert!(!line.contains('\n'), "JSONL line must be single-line");
         }
+    }
+
+    #[test]
+    fn campaign_label_renders_after_kind() {
+        let record = EventRecord {
+            seq: 3,
+            emitted_at: Ticks::new(7),
+            campaign: Some(Arc::from("mosquitto/part-0")),
+            event: Event::Progress {
+                message: "hi".into(),
+            },
+        };
+        let line = record.to_json_line();
+        assert!(is_valid(&line), "invalid JSON: {line}");
+        assert!(
+            line.contains("\"kind\":\"progress\",\"campaign\":\"mosquitto/part-0\""),
+            "{line}"
+        );
     }
 
     #[test]

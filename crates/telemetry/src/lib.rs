@@ -151,6 +151,15 @@ impl Telemetry {
         }
     }
 
+    /// Labels every subsequently emitted event with `campaign` (`None`
+    /// clears the label); JSONL sinks render it as a `campaign` field
+    /// right after `kind`. No-op when disabled.
+    pub fn set_campaign(&self, campaign: Option<&str>) {
+        if let Some(inner) = &self.inner {
+            inner.bus.set_campaign(campaign);
+        }
+    }
+
     /// Emits a human-oriented [`Event::Progress`] message.
     pub fn progress(&self, message: impl Into<String>) {
         if self.is_enabled() {

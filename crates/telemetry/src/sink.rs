@@ -36,6 +36,7 @@ pub trait EventSink: Send {
 /// writer.accept(&[EventRecord {
 ///     seq: 0,
 ///     emitted_at: Ticks::ZERO,
+///     campaign: None,
 ///     event: Event::Progress { message: "hello".into() },
 /// }]);
 /// assert_eq!(sink.records().len(), 1);
@@ -255,6 +256,7 @@ mod tests {
         EventRecord {
             seq,
             emitted_at: Ticks::new(seq),
+            campaign: None,
             event,
         }
     }

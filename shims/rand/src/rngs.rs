@@ -26,6 +26,22 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state, for checkpointing. Feeding it back
+    /// through [`StdRng::from_state`] resumes the stream exactly where
+    /// this generator left off.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::state`].
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]
