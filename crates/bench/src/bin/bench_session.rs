@@ -1,39 +1,63 @@
-//! Measures the session hot loop before and after the allocation-free
-//! rework and records both in `BENCH_session.json`.
+//! Measures the session loop two ways and records both in
+//! `BENCH_session.json`.
 //!
-//! For every protocol subject, the same workload — identical Pit, config
-//! and RNG seed against the non-allocating [`NullTarget`] — runs once
-//! through [`LegacyEngine`] (the faithful replica of the pre-rework loop)
-//! and once through the current [`FuzzEngine`]. Coverage and corpus state
-//! are asserted identical afterwards, so the sessions/sec and
-//! messages/sec ratios compare the same work, not different work. Exits
-//! non-zero if the geometric-mean sessions/sec speedup falls below 1.5×,
-//! so CI can gate on the optimization staying real.
+//! **Hot loop** — for every protocol subject, the same workload
+//! (identical Pit, config and RNG seed against the non-allocating
+//! [`NullTarget`]) runs once through [`LegacyEngine`] (the faithful
+//! replica of the pre-rework loop) and once through the current
+//! [`FuzzEngine`]. Coverage and corpus state are asserted identical
+//! afterwards, so the sessions/sec ratios compare the same work.
+//!
+//! **Batched wire path** — the same subjects run behind a real
+//! [`NetworkedTarget`] over a perfect datagram link, once with the
+//! per-session [`FuzzEngine::run_iteration`] loop and once through
+//! [`FuzzEngine::run_batch`]: arena-rendered sessions, burst sends, one
+//! word-parallel coverage diff per batch. Batching is bit-identical by
+//! construction (asserted again here), so the ratio isolates the wire
+//! and diff overhead the batch amortizes.
+//!
+//! Exits non-zero if either geometric-mean speedup falls below 1.5x, so
+//! CI can gate on both optimizations staying real. `--smoke` runs a
+//! shortened measurement that keeps every identity assertion but skips
+//! the throughput gates (CI runners are too noisy for short timings).
 
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Instant;
 
-use cmfuzz_bench::{LegacyEngine, NullTarget};
+use cmfuzz_bench::{report, LegacyEngine, NullTarget};
 use cmfuzz_config_model::ResolvedConfig;
 use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine};
-use cmfuzz_protocols::all_specs;
+use cmfuzz_protocols::{all_specs, NetworkedTarget};
 
 const THRESHOLD: f64 = 1.5;
 const BRANCHES: usize = 64;
+/// Sessions per [`FuzzEngine::run_batch`] call in the batched wire runs.
+const BATCH: usize = 64;
 
 struct SubjectResult {
     name: &'static str,
-    legacy_sessions_per_sec: f64,
-    legacy_messages_per_sec: f64,
-    optimized_sessions_per_sec: f64,
-    optimized_messages_per_sec: f64,
+    baseline_sessions_per_sec: f64,
+    baseline_messages_per_sec: f64,
+    contender_sessions_per_sec: f64,
+    contender_messages_per_sec: f64,
     speedup: f64,
+}
+
+struct Experiment {
+    key: &'static str,
+    target: String,
+    baseline_label: &'static str,
+    contender_label: &'static str,
+    results: Vec<SubjectResult>,
+    geomean: f64,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale_label = "quick";
+    let mut smoke = false;
+    let mut sessions_override: Option<u64> = None;
     let mut out = PathBuf::from("BENCH_session.json");
 
     let mut iter = args.iter();
@@ -44,6 +68,13 @@ fn main() {
                 Some("paper") => scale_label = "paper",
                 other => usage_error(&format!("--scale expects quick|paper, got {other:?}")),
             },
+            "--sessions" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => sessions_override = Some(n),
+                other => usage_error(&format!(
+                    "--sessions expects a positive count, got {other:?}"
+                )),
+            },
+            "--smoke" => smoke = true,
             "--out" => match iter.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => usage_error("--out expects a file path"),
@@ -56,16 +87,70 @@ fn main() {
         }
     }
 
-    let (warmup, iterations) = match scale_label {
-        "paper" => (5_000u64, 200_000u64),
-        _ => (2_000u64, 30_000u64),
+    let (warmup, mut iterations) = if smoke {
+        (200u64, 2_000u64)
+    } else {
+        match scale_label {
+            "paper" => (5_000u64, 200_000u64),
+            _ => (2_000u64, 30_000u64),
+        }
     };
+    if let Some(n) = sessions_override {
+        iterations = n;
+    }
     let config = EngineConfig {
         seed: 7,
         ..EngineConfig::default()
     };
 
-    eprintln!("[bench_session] {scale_label} scale: {iterations} sessions per engine per subject");
+    eprintln!(
+        "[bench_session] {scale_label} scale{}: {iterations} sessions per engine per subject",
+        if smoke { " (smoke)" } else { "" },
+    );
+    let hot_loop = run_hot_loop(warmup, iterations, &config);
+    let batched = run_batched_wire(warmup, iterations, &config);
+
+    let mut sections = String::new();
+    for experiment in [&hot_loop, &batched] {
+        sections.push_str(&render_experiment(experiment));
+        sections.push_str(",\n");
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"session_throughput\",\n  \"scale\": \"{scale_label}\",\n  \"smoke\": {smoke},\n  \"sessions_per_engine\": {iterations},\n  \"machine\": {machine},\n{sections}  \"threshold\": {THRESHOLD},\n  \"gated\": {gated}\n}}\n",
+        machine = report::machine_info_json(),
+        gated = !smoke,
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("[bench_session] cannot write {}: {err}", out.display());
+        exit(2);
+    }
+    eprintln!(
+        "[bench_session] hot loop geomean {:.2}x, batched wire geomean {:.2}x (threshold {THRESHOLD}x{})",
+        hot_loop.geomean,
+        batched.geomean,
+        if smoke { ", not gated under --smoke" } else { "" },
+    );
+    print!("{json}");
+
+    if !smoke {
+        let mut failed = false;
+        for experiment in [&hot_loop, &batched] {
+            if experiment.geomean < THRESHOLD {
+                eprintln!(
+                    "[bench_session] FAIL: {} geomean speedup {:.2}x below the {THRESHOLD}x gate",
+                    experiment.key, experiment.geomean,
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            exit(1);
+        }
+    }
+}
+
+/// Legacy replica vs the current engine over the non-allocating target.
+fn run_hot_loop(warmup: u64, iterations: u64, config: &EngineConfig) -> Experiment {
     let mut results = Vec::new();
     for spec in all_specs() {
         let parsed = pit::parse(spec.pit_document).expect("pit parses");
@@ -118,60 +203,166 @@ fn main() {
 
         let result = SubjectResult {
             name: spec.name,
-            legacy_sessions_per_sec: iterations as f64 / legacy_elapsed,
-            legacy_messages_per_sec: legacy_messages / legacy_elapsed,
-            optimized_sessions_per_sec: iterations as f64 / optimized_elapsed,
-            optimized_messages_per_sec: optimized_messages / optimized_elapsed,
+            baseline_sessions_per_sec: iterations as f64 / legacy_elapsed,
+            baseline_messages_per_sec: legacy_messages / legacy_elapsed,
+            contender_sessions_per_sec: iterations as f64 / optimized_elapsed,
+            contender_messages_per_sec: optimized_messages / optimized_elapsed,
             speedup: legacy_elapsed / optimized_elapsed,
         };
         eprintln!(
-            "[bench_session] {:>10}: legacy {:>9.0} sess/s, optimized {:>9.0} sess/s, speedup {:.2}x",
-            result.name, result.legacy_sessions_per_sec, result.optimized_sessions_per_sec,
+            "[bench_session] hot loop {:>10}: legacy {:>9.0} sess/s, optimized {:>9.0} sess/s, speedup {:.2}x",
+            result.name, result.baseline_sessions_per_sec, result.contender_sessions_per_sec,
             result.speedup,
         );
         results.push(result);
     }
+    finish(Experiment {
+        key: "hot_loop",
+        target: format!("null (non-allocating, {BRANCHES} branches)"),
+        baseline_label: "legacy",
+        contender_label: "optimized",
+        results,
+        geomean: 0.0,
+    })
+}
 
-    let geomean =
-        (results.iter().map(|r| r.speedup.ln()).sum::<f64>() / results.len() as f64).exp();
+/// Per-session iteration loop vs [`FuzzEngine::run_batch`] behind a real
+/// datagram transport on a perfect link.
+fn run_batched_wire(warmup: u64, iterations: u64, config: &EngineConfig) -> Experiment {
+    let mut results = Vec::new();
+    for spec in all_specs() {
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let target = NetworkedTarget::new(
+            (spec.build)(),
+            &format!("bench-session-unbatched-{}", spec.name),
+        );
+        let mut unbatched = FuzzEngine::new(target, parsed, config.clone());
+        unbatched
+            .start(&ResolvedConfig::new())
+            .expect("subject boots on defaults");
+        for _ in 0..warmup {
+            unbatched.run_iteration();
+        }
+        let messages_before = unbatched.stats().messages;
+        let started = Instant::now();
+        for _ in 0..iterations {
+            unbatched.run_iteration();
+        }
+        let unbatched_elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let unbatched_messages = (unbatched.stats().messages - messages_before) as f64;
 
+        let parsed = pit::parse(spec.pit_document).expect("pit parses");
+        let target = NetworkedTarget::new(
+            (spec.build)(),
+            &format!("bench-session-batched-{}", spec.name),
+        );
+        let mut batched = FuzzEngine::new(target, parsed, config.clone());
+        batched
+            .start(&ResolvedConfig::new())
+            .expect("subject boots on defaults");
+        let mut remaining = warmup;
+        while remaining > 0 {
+            let n = remaining.min(BATCH as u64) as usize;
+            batched.run_batch(n);
+            remaining -= n as u64;
+        }
+        let messages_before = batched.stats().messages;
+        let started = Instant::now();
+        let mut remaining = iterations;
+        while remaining > 0 {
+            let n = remaining.min(BATCH as u64) as usize;
+            batched.run_batch(n);
+            remaining -= n as u64;
+        }
+        let batched_elapsed = started.elapsed().as_secs_f64().max(1e-9);
+        let batched_messages = (batched.stats().messages - messages_before) as f64;
+
+        // run_batch is bit-identical to the iteration loop; a divergence
+        // here means the ratio compares different work.
+        assert_eq!(
+            unbatched.covered_count(),
+            batched.covered_count(),
+            "{}: batching changed coverage",
+            spec.name
+        );
+        assert_eq!(
+            unbatched.corpus_len(),
+            batched.corpus_len(),
+            "{}: batching changed retention",
+            spec.name
+        );
+        assert_eq!(unbatched.stats().messages, batched.stats().messages);
+        assert_eq!(unbatched.stats().sessions, batched.stats().sessions);
+
+        let result = SubjectResult {
+            name: spec.name,
+            baseline_sessions_per_sec: iterations as f64 / unbatched_elapsed,
+            baseline_messages_per_sec: unbatched_messages / unbatched_elapsed,
+            contender_sessions_per_sec: iterations as f64 / batched_elapsed,
+            contender_messages_per_sec: batched_messages / batched_elapsed,
+            speedup: unbatched_elapsed / batched_elapsed,
+        };
+        eprintln!(
+            "[bench_session] batched  {:>10}: unbatched {:>9.0} sess/s, batch({BATCH}) {:>9.0} sess/s, speedup {:.2}x",
+            result.name, result.baseline_sessions_per_sec, result.contender_sessions_per_sec,
+            result.speedup,
+        );
+        results.push(result);
+    }
+    finish(Experiment {
+        key: "batched_wire",
+        target: "networked (datagram link, perfect conditions)".to_owned(),
+        baseline_label: "unbatched",
+        contender_label: "batched",
+        results,
+        geomean: 0.0,
+    })
+}
+
+fn finish(mut experiment: Experiment) -> Experiment {
+    experiment.geomean = (experiment
+        .results
+        .iter()
+        .map(|r| r.speedup.ln())
+        .sum::<f64>()
+        / experiment.results.len() as f64)
+        .exp();
+    experiment
+}
+
+fn render_experiment(experiment: &Experiment) -> String {
     let mut subjects = String::new();
-    for (i, r) in results.iter().enumerate() {
+    for (i, r) in experiment.results.iter().enumerate() {
         if i > 0 {
             subjects.push_str(",\n");
         }
         subjects.push_str(&format!(
-            "    {{\n      \"name\": \"{}\",\n      \"legacy_sessions_per_sec\": {:.0},\n      \"legacy_messages_per_sec\": {:.0},\n      \"optimized_sessions_per_sec\": {:.0},\n      \"optimized_messages_per_sec\": {:.0},\n      \"speedup\": {:.2}\n    }}",
+            "      {{\n        \"name\": \"{}\",\n        \"{base}_sessions_per_sec\": {:.0},\n        \"{base}_messages_per_sec\": {:.0},\n        \"{cont}_sessions_per_sec\": {:.0},\n        \"{cont}_messages_per_sec\": {:.0},\n        \"speedup\": {:.2}\n      }}",
             r.name,
-            r.legacy_sessions_per_sec,
-            r.legacy_messages_per_sec,
-            r.optimized_sessions_per_sec,
-            r.optimized_messages_per_sec,
+            r.baseline_sessions_per_sec,
+            r.baseline_messages_per_sec,
+            r.contender_sessions_per_sec,
+            r.contender_messages_per_sec,
             r.speedup,
+            base = experiment.baseline_label,
+            cont = experiment.contender_label,
         ));
     }
-    let json = format!(
-        "{{\n  \"experiment\": \"session_hot_loop\",\n  \"scale\": \"{scale_label}\",\n  \"sessions_per_engine\": {iterations},\n  \"target\": \"null (non-allocating, {BRANCHES} branches)\",\n  \"subjects\": [\n{subjects}\n  ],\n  \"geomean_speedup\": {geomean:.2},\n  \"threshold\": {THRESHOLD}\n}}\n"
-    );
-    if let Err(err) = std::fs::write(&out, &json) {
-        eprintln!("[bench_session] cannot write {}: {err}", out.display());
-        exit(2);
-    }
-    eprintln!("[bench_session] geomean speedup {geomean:.2}x (threshold {THRESHOLD}x)");
-    print!("{json}");
-
-    if geomean < THRESHOLD {
-        eprintln!(
-            "[bench_session] FAIL: geomean speedup {geomean:.2}x below the {THRESHOLD}x gate"
-        );
-        exit(1);
-    }
+    format!(
+        "  \"{key}\": {{\n    \"target\": \"{target}\",\n    \"subjects\": [\n{subjects}\n    ],\n    \"geomean_speedup\": {geomean:.2}\n  }}",
+        key = experiment.key,
+        target = experiment.target,
+        geomean = experiment.geomean,
+    )
 }
 
-const USAGE: &str = "usage: bench_session [--scale quick|paper] [--out <path>]\n\
+const USAGE: &str =
+    "usage: bench_session [--scale quick|paper] [--sessions N] [--smoke] [--out <path>]\n\
     \n\
-    --scale  measurement length (default: quick)\n\
-    --out    where to write the JSON record (default: BENCH_session.json)";
+    --scale     measurement length (default: quick)\n\
+    --sessions  override the per-engine session count\n\
+    --smoke     shortened run: identity asserts only, no throughput gates\n\
+    --out       where to write the JSON record (default: BENCH_session.json)";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}\n{USAGE}");

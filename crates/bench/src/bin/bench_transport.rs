@@ -22,6 +22,7 @@ use std::time::Instant;
 use cmfuzz::baseline::try_run_cmfuzz_with;
 use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::schedule::ScheduleOptions;
+use cmfuzz_bench::report;
 use cmfuzz_config_model::ResolvedConfig;
 use cmfuzz_coverage::Ticks;
 use cmfuzz_fuzzer::{pit, EngineConfig, FuzzEngine, Target};
@@ -118,7 +119,8 @@ fn main() {
     eprintln!("[bench_transport] impaired campaign deterministic: {deterministic}");
 
     let json = format!(
-        "{{\n  \"experiment\": \"transport_dispatch\",\n  \"iterations_per_subject\": {iterations},\n  \"subjects\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"dispatch_results_identical\": true,\n  \"lossy_link\": {{\"loss\": 0.1, \"duplicate\": 0.05, \"reorder\": 0.05}},\n  \"lossy_link_deterministic\": {deterministic}\n}}\n",
+        "{{\n  \"experiment\": \"transport_dispatch\",\n  \"machine\": {},\n  \"iterations_per_subject\": {iterations},\n  \"subjects\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3},\n  \"dispatch_results_identical\": true,\n  \"lossy_link\": {{\"loss\": 0.1, \"duplicate\": 0.05, \"reorder\": 0.05}},\n  \"lossy_link_deterministic\": {deterministic}\n}}\n",
+        report::machine_info_json(),
         rows.join(",\n"),
     );
     if let Err(err) = std::fs::write(&out, &json) {

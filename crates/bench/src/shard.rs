@@ -1,0 +1,304 @@
+//! Text wire protocol between a sharded bench parent and its workers.
+//!
+//! `bench_grid --shard N` and `bench_fleet --shard N` fork `N` worker
+//! processes (the same binary with a hidden `--shard-worker i/N` flag);
+//! each worker runs the cells it owns and prints one report block per
+//! cell to stdout. Everything the parent gates on — coverage curves,
+//! coverage bitsets, fleet digests — crosses the boundary as exact
+//! integer text (hex words for bitsets), so reassembly is byte-identical
+//! to an in-process run. Wall-clock seconds are the only floats and are
+//! informational.
+//!
+//! Lines that do not start with a protocol tag are ignored when parsing,
+//! so stray diagnostics on a worker's stdout cannot corrupt a report.
+
+use cmfuzz::metrics::CoverageCurve;
+use cmfuzz_coverage::{CoverageSnapshot, Ticks};
+
+/// One Table I grid cell as a worker reports it: the cell's coverage
+/// curve (all a Table I row needs) plus the final union coverage bitset
+/// (what the parent merges per subject via [`CoverageSnapshot::merge`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCellReport {
+    /// Cell index in grid order (subject × fuzzer × repetition).
+    pub index: usize,
+    /// Wall-clock seconds the cell took on its worker.
+    pub seconds: f64,
+    /// Union branch coverage over time.
+    pub curve: CoverageCurve,
+    /// Final union coverage bitset across the campaign's instances.
+    pub coverage: CoverageSnapshot,
+}
+
+/// Appends one grid cell report block to `out`.
+pub fn write_grid_cell(out: &mut String, report: &GridCellReport) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "CELL {} {:.6}", report.index, report.seconds);
+    let _ = writeln!(out, "CURVE {}", report.curve.points().len());
+    for &(time, branches) in report.curve.points() {
+        let _ = writeln!(out, "P {} {branches}", time.get());
+    }
+    let _ = writeln!(out, "COV {}", report.coverage.to_hex());
+    let _ = writeln!(out, "END");
+}
+
+/// Parses every grid cell report block in `text`, in print order.
+///
+/// # Errors
+///
+/// A description of the first malformed protocol line.
+pub fn parse_grid_cells(text: &str) -> Result<Vec<GridCellReport>, String> {
+    let mut cells = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let Some(rest) = line.strip_prefix("CELL ") else {
+            continue;
+        };
+        let mut head = rest.split_whitespace();
+        let index: usize = head
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("bad CELL line: {line:?}"))?;
+        let seconds: f64 = head
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("bad CELL line: {line:?}"))?;
+        let points: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("CURVE "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("cell {index}: missing CURVE header"))?;
+        let mut curve = CoverageCurve::new();
+        for _ in 0..points {
+            let point = lines
+                .next()
+                .and_then(|l| l.strip_prefix("P "))
+                .ok_or_else(|| format!("cell {index}: truncated curve"))?;
+            let (time, branches) = point
+                .split_once(' ')
+                .and_then(|(t, b)| Some((t.parse().ok()?, b.parse().ok()?)))
+                .ok_or_else(|| format!("cell {index}: bad curve point {point:?}"))?;
+            curve
+                .push(Ticks::new(time), branches)
+                .map_err(|e| format!("cell {index}: {e}"))?;
+        }
+        let coverage = lines
+            .next()
+            .and_then(|l| l.strip_prefix("COV "))
+            .and_then(CoverageSnapshot::from_hex)
+            .ok_or_else(|| format!("cell {index}: missing or malformed COV line"))?;
+        if lines.next() != Some("END") {
+            return Err(format!("cell {index}: missing END marker"));
+        }
+        cells.push(GridCellReport {
+            index,
+            seconds,
+            curve,
+            coverage,
+        });
+    }
+    Ok(cells)
+}
+
+/// One fleet policy run as a worker reports it: the determinism digest
+/// and headline numbers the parent gates on, plus the rendered policy
+/// JSON block it splices into `BENCH_fleet.json` verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCellReport {
+    /// Cell index in policy order.
+    pub index: usize,
+    /// Wall-clock seconds the run took on its worker.
+    pub seconds: f64,
+    /// Deterministic fingerprint of everything scheduling influenced.
+    pub digest: String,
+    /// Union branches across the fleet's campaigns.
+    pub total_branches: usize,
+    /// Campaigns that ran to completion.
+    pub completed: usize,
+    /// Pre-rendered policy JSON block (line count framed on the wire).
+    pub policy_json: String,
+}
+
+/// Appends one fleet cell report block to `out`.
+pub fn write_fleet_cell(out: &mut String, report: &FleetCellReport) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "FLEETCELL {} {:.6}", report.index, report.seconds);
+    let _ = writeln!(out, "DIGEST {}", report.digest);
+    let _ = writeln!(out, "BRANCHES {}", report.total_branches);
+    let _ = writeln!(out, "COMPLETED {}", report.completed);
+    let _ = writeln!(out, "JSON {}", report.policy_json.lines().count());
+    for line in report.policy_json.lines() {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "END");
+}
+
+/// Parses every fleet cell report block in `text`, in print order.
+///
+/// # Errors
+///
+/// A description of the first malformed protocol line.
+pub fn parse_fleet_cells(text: &str) -> Result<Vec<FleetCellReport>, String> {
+    let mut cells = Vec::new();
+    let mut lines = text.lines();
+    while let Some(line) = lines.next() {
+        let Some(rest) = line.strip_prefix("FLEETCELL ") else {
+            continue;
+        };
+        let mut head = rest.split_whitespace();
+        let index: usize = head
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("bad FLEETCELL line: {line:?}"))?;
+        let seconds: f64 = head
+            .next()
+            .and_then(|f| f.parse().ok())
+            .ok_or_else(|| format!("bad FLEETCELL line: {line:?}"))?;
+        let digest = lines
+            .next()
+            .and_then(|l| l.strip_prefix("DIGEST "))
+            .ok_or_else(|| format!("cell {index}: missing DIGEST"))?
+            .to_owned();
+        let total_branches: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("BRANCHES "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("cell {index}: missing BRANCHES"))?;
+        let completed: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("COMPLETED "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("cell {index}: missing COMPLETED"))?;
+        let json_lines: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("JSON "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("cell {index}: missing JSON header"))?;
+        let mut policy_json = String::new();
+        for _ in 0..json_lines {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("cell {index}: truncated JSON block"))?;
+            if !policy_json.is_empty() {
+                policy_json.push('\n');
+            }
+            policy_json.push_str(line);
+        }
+        if lines.next() != Some("END") {
+            return Err(format!("cell {index}: missing END marker"));
+        }
+        cells.push(FleetCellReport {
+            index,
+            seconds,
+            digest,
+            total_branches,
+            completed,
+            policy_json,
+        });
+    }
+    Ok(cells)
+}
+
+/// The cell indices shard `shard` of `shards` owns: every index congruent
+/// to `shard` modulo `shards`. Together the shards tile `0..cells`
+/// exactly once.
+#[must_use]
+pub fn owned_indices(shard: usize, shards: usize, cells: usize) -> Vec<usize> {
+    assert!(shards > 0 && shard < shards, "shard {shard} of {shards}");
+    (shard..cells).step_by(shards).collect()
+}
+
+/// Parses the hidden `--shard-worker i/N` operand.
+#[must_use]
+pub fn parse_worker_spec(spec: &str) -> Option<(usize, usize)> {
+    let (shard, shards) = spec.split_once('/')?;
+    let shard: usize = shard.parse().ok()?;
+    let shards: usize = shards.parse().ok()?;
+    (shards > 0 && shard < shards).then_some((shard, shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(u64, usize)]) -> CoverageCurve {
+        let mut c = CoverageCurve::new();
+        for &(t, b) in points {
+            c.push(Ticks::new(t), b).expect("ordered");
+        }
+        c
+    }
+
+    #[test]
+    fn grid_cells_round_trip_exactly() {
+        let cells = vec![
+            GridCellReport {
+                index: 3,
+                seconds: 0.25,
+                curve: curve(&[(0, 1), (100, 17), (200, 17)]),
+                coverage: CoverageSnapshot::from_hits(130, [0, 64, 129]),
+            },
+            GridCellReport {
+                index: 0,
+                seconds: 1.5,
+                curve: curve(&[]),
+                coverage: CoverageSnapshot::empty(64),
+            },
+        ];
+        let mut wire = String::from("stray diagnostic line\n");
+        for cell in &cells {
+            write_grid_cell(&mut wire, cell);
+        }
+        let parsed = parse_grid_cells(&wire).expect("parses");
+        assert_eq!(parsed, cells);
+    }
+
+    #[test]
+    fn grid_parse_rejects_truncation() {
+        let mut wire = String::new();
+        write_grid_cell(
+            &mut wire,
+            &GridCellReport {
+                index: 1,
+                seconds: 0.1,
+                curve: curve(&[(0, 2)]),
+                coverage: CoverageSnapshot::empty(10),
+            },
+        );
+        let cut = wire.len() - "END\n".len();
+        assert!(parse_grid_cells(&wire[..cut]).is_err(), "missing END");
+        assert!(parse_grid_cells("CELL x y\n").is_err(), "bad header");
+    }
+
+    #[test]
+    fn fleet_cells_round_trip_exactly() {
+        let cells = vec![FleetCellReport {
+            index: 1,
+            seconds: 2.0,
+            digest: "gradient|4|12|3000|a:1:2:3:true".into(),
+            total_branches: 412,
+            completed: 7,
+            policy_json: "    {\n      \"policy\": \"gradient\"\n    }".into(),
+        }];
+        let mut wire = String::new();
+        write_fleet_cell(&mut wire, &cells[0]);
+        assert_eq!(parse_fleet_cells(&wire).expect("parses"), cells);
+    }
+
+    #[test]
+    fn owned_indices_tile_the_grid() {
+        let mut seen: Vec<usize> = (0..3).flat_map(|s| owned_indices(s, 3, 10)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(owned_indices(0, 1, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_spec_parses_and_rejects() {
+        assert_eq!(parse_worker_spec("0/2"), Some((0, 2)));
+        assert_eq!(parse_worker_spec("3/4"), Some((3, 4)));
+        assert_eq!(parse_worker_spec("2/2"), None, "shard out of range");
+        assert_eq!(parse_worker_spec("0/0"), None);
+        assert_eq!(parse_worker_spec("junk"), None);
+    }
+}

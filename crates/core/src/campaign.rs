@@ -27,6 +27,13 @@ pub struct CampaignOptions {
     pub budget: Ticks,
     /// Coverage-curve sampling interval (also the round length).
     pub sample_interval: Ticks,
+    /// Sessions executed per [`FuzzEngine::run_batch`] call inside a
+    /// round. Purely a throughput knob: batching renders sessions into one
+    /// arena and defers the coverage diff, but results are bit-identical
+    /// at every batch size (including 1). Clamped to at least 1.
+    ///
+    /// [`FuzzEngine::run_batch`]: cmfuzz_fuzzer::FuzzEngine::run_batch
+    pub batch: usize,
     /// Stagnation window before adaptive configuration mutation fires.
     pub saturation_window: Ticks,
     /// Campaign RNG seed; repetitions use different seeds.
@@ -68,6 +75,7 @@ impl Default for CampaignOptions {
             instances: 4,
             budget: Ticks::new(20_000),
             sample_interval: Ticks::new(100),
+            batch: 16,
             saturation_window: Ticks::new(600),
             seed: 0,
             seed_sync_every_rounds: None,
@@ -182,12 +190,16 @@ impl CampaignCheckpoint {
             stats.messages += instance.engine.stats.messages;
             stats.crashes_observed += instance.engine.stats.crashes_observed;
         }
+        let coverage =
+            CoverageSnapshot::merge(self.instances.iter().map(|i| &i.engine.accumulated))
+                .unwrap_or_else(|| CoverageSnapshot::empty(0));
         CampaignResult {
             fuzzer: self.fuzzer,
             target: self.target,
             instances: self.instances.len(),
             budget: self.budget,
             curve: self.curve,
+            coverage,
             faults,
             config_mutations: self.config_mutations,
             stats,
@@ -469,6 +481,7 @@ pub fn run_campaign_slice_with_telemetry(
     let syncs_counter = telemetry.counter("campaign.seed_syncs");
 
     let iterations_per_round = options.sample_interval.get().max(1);
+    let batch = options.batch.max(1) as u64;
     let rounds_total = options.budget.get() / iterations_per_round;
 
     let clock = VirtualClock::new();
@@ -531,8 +544,11 @@ pub fn run_campaign_slice_with_telemetry(
                         return;
                     }
                     let mut instance = lock(slot);
-                    for _ in 0..iterations_per_round {
-                        instance.engine.run_iteration();
+                    let mut remaining = iterations_per_round;
+                    while remaining > 0 {
+                        let n = remaining.min(batch) as usize;
+                        instance.engine.run_batch(n);
+                        remaining -= n as u64;
                     }
                     drop(instance);
                     round_done.wait();
@@ -547,8 +563,11 @@ pub fn run_campaign_slice_with_telemetry(
             } else {
                 for slot in &slots {
                     let mut instance = lock(slot);
-                    for _ in 0..iterations_per_round {
-                        instance.engine.run_iteration();
+                    let mut remaining = iterations_per_round;
+                    while remaining > 0 {
+                        let n = remaining.min(batch) as usize;
+                        instance.engine.run_batch(n);
+                        remaining -= n as u64;
                     }
                 }
             }
@@ -844,6 +863,58 @@ mod tests {
         let c = run_campaign(&spec, "peach", &setups, &small_options(10));
         // Different seed virtually always walks a different curve.
         assert!(a.curve != c.curve || a.final_branches() == c.final_branches());
+    }
+
+    #[test]
+    fn batch_size_does_not_change_campaign_results() {
+        let spec = spec_by_name("libcoap").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let reference = run_campaign(
+            &spec,
+            "cmfuzz",
+            &setups,
+            &CampaignOptions {
+                batch: 1,
+                ..small_options(21)
+            },
+        );
+        // Batch size is a throughput knob: every size must walk the exact
+        // same campaign, including one larger than a whole round.
+        for batch in [7, 16, 64, 1000] {
+            let options = CampaignOptions {
+                batch,
+                ..small_options(21)
+            };
+            let result = run_campaign(&spec, "cmfuzz", &setups, &options);
+            assert_eq!(result.curve, reference.curve, "batch {batch}");
+            assert_eq!(result.coverage, reference.coverage, "batch {batch}");
+            assert_eq!(result.stats, reference.stats, "batch {batch}");
+            assert_eq!(
+                result.faults.unique_count(),
+                reference.faults.unique_count(),
+                "batch {batch}"
+            );
+            // The full Debug render covers every field, including ones
+            // future changes add — batch size must be invisible in all of
+            // them.
+            assert_eq!(
+                format!("{result:?}"),
+                format!("{reference:?}"),
+                "batch {batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_coverage_bitset_matches_final_curve_point() {
+        let spec = spec_by_name("dnsmasq").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let result = run_campaign(&spec, "peach", &setups, &small_options(5));
+        assert_eq!(
+            result.coverage.covered_count(),
+            result.final_branches(),
+            "the mergeable bitset and the curve must agree on final union coverage"
+        );
     }
 
     #[test]

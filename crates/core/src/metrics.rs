@@ -1,7 +1,7 @@
 //! Campaign result types and the paper's evaluation metrics.
 
 use cmfuzz_config_model::ConfigValue;
-use cmfuzz_coverage::Ticks;
+use cmfuzz_coverage::{CoverageSnapshot, Ticks};
 use cmfuzz_fuzzer::FaultLog;
 use serde::{Deserialize, Serialize};
 
@@ -134,6 +134,9 @@ pub struct CampaignResult {
     pub budget: Ticks,
     /// Union branch coverage over time, across all instances.
     pub curve: CoverageCurve,
+    /// Final union coverage bitset across all instances — the mergeable
+    /// form shard workers serialize back to the parent process.
+    pub coverage: CoverageSnapshot,
     /// Deduplicated faults across all instances.
     pub faults: FaultLog,
     /// Adaptive configuration mutations, in application order.

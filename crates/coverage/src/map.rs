@@ -14,17 +14,33 @@ struct MapShared {
     /// Branches hit at least once; bumped exactly once per cell, on its
     /// first hit, so [`CoverageMap::covered_count`] is a single load.
     covered: AtomicUsize,
+    /// One bit per cell, set on the cell's first hit ever. The covered
+    /// *set* as a wide bitset: snapshots and the feedback diff read 64
+    /// branches per atomic load instead of walking 64 hit counters.
+    covered_bits: Vec<AtomicU64>,
     /// One bit per 64-cell word of the map, set when a cell in that word
     /// records its *first* hit and cleared when
     /// [`CoverageMap::absorb_new`] rescans the word. Lets the fuzzing
     /// feedback loop skip every word untouched since the last session.
     dirty: Vec<AtomicU64>,
+    /// Skip list over `dirty`: the index of every dirty-bitmap word that
+    /// went empty → non-empty since the last drain, pushed in transition
+    /// order. Bounds the drain to O(words actually dirtied) — a large map
+    /// that found three new branches rescans three entries, not the whole
+    /// bitmap.
+    dirty_queue: Vec<AtomicU32>,
+    /// Number of `dirty_queue` entries pushed since the last drain. A
+    /// value beyond the queue's length means the queue overflowed and the
+    /// drain must fall back to scanning the whole dirty bitmap.
+    dirty_pending: AtomicUsize,
 }
 
 impl MapShared {
     /// Recomputes the coverage bitset word holding cells
-    /// `[word * 64, word * 64 + 64)` from the live counters.
-    fn coverage_word(&self, word: usize) -> u64 {
+    /// `[word * 64, word * 64 + 64)` from the live counters — the slow
+    /// reference for what `covered_bits[word]` maintains incrementally.
+    #[cfg(test)]
+    fn recount_word(&self, word: usize) -> u64 {
         let start = word * 64;
         let end = (start + 64).min(self.cells.len());
         let mut bits = 0u64;
@@ -34,6 +50,39 @@ impl MapShared {
             }
         }
         bits
+    }
+
+    /// The covered bitset word for cells `[word * 64, word * 64 + 64)`,
+    /// one atomic load.
+    fn coverage_word(&self, word: usize) -> u64 {
+        self.covered_bits[word].load(Ordering::Acquire)
+    }
+
+    /// Drains one dirty-bitmap word: merges every coverage word it flags
+    /// into `words` and returns how many covered branches were new to
+    /// `words`.
+    fn absorb_bitmap_word(&self, d: usize, words: &mut [u64]) -> usize {
+        // Acquire pairs with the Release in `CoverageProbe::hit`: a dirty
+        // bit observed here implies the first-hit `covered_bits` store
+        // that preceded it is visible to the loads below.
+        let mut bits = self.dirty[d].swap(0, Ordering::Acquire);
+        let mut new = 0usize;
+        while bits != 0 {
+            let w = d * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            // A set dirty bit can only come from a first hit on an
+            // in-range cell, so the word index it decodes to must lie
+            // inside the snapshot's word buffer.
+            debug_assert!(
+                w < words.len(),
+                "dirty bit decodes to word {w} beyond the {} snapshot words",
+                words.len()
+            );
+            let word = self.coverage_word(w);
+            new += (word & !words[w]).count_ones() as usize;
+            words[w] |= word;
+        }
+        new
     }
 }
 
@@ -67,11 +116,19 @@ impl CoverageMap {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         let words = capacity.div_ceil(64);
+        let dirty_words = words.div_ceil(64);
         CoverageMap {
             shared: Arc::new(MapShared {
                 cells: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
                 covered: AtomicUsize::new(0),
-                dirty: (0..words.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+                covered_bits: (0..words).map(|_| AtomicU64::new(0)).collect(),
+                dirty: (0..dirty_words).map(|_| AtomicU64::new(0)).collect(),
+                // One slot per dirty-bitmap word: each word pushes at most
+                // once per drain cycle, so the queue cannot overflow while
+                // the map is quiescent during drains (the `absorb_new`
+                // contract).
+                dirty_queue: (0..dirty_words).map(|_| AtomicU32::new(0)).collect(),
+                dirty_pending: AtomicUsize::new(0),
             }),
         }
     }
@@ -138,12 +195,16 @@ impl CoverageMap {
     /// Merges every branch covered since the last call into `accumulated`
     /// and returns how many of them `accumulated` had not seen before.
     ///
-    /// This is the allocation-free fuzzing feedback signal: only words
-    /// with a first-hit since the last drain (tracked by a dirty bitmap)
-    /// are rescanned, so a session that reaches nothing new costs a scan
-    /// of the dirty bitmap and nothing else. Equivalent to
+    /// This is the allocation-free fuzzing feedback signal: the dirty
+    /// bitmap flags every coverage word with a first-hit since the last
+    /// drain, and a skip list over that bitmap records which of *its*
+    /// words went non-empty — so a drain touches O(words actually
+    /// dirtied), not O(map), and a session (or a whole batch) that reached
+    /// nothing new costs a single atomic swap. Equivalent to
     /// `snapshot().newly_covered(&accumulated)` followed by
-    /// `accumulated.union_with(&snapshot)` when the map is quiescent.
+    /// `accumulated.union_with(&snapshot)` when the map is quiescent; the
+    /// caller must not race this drain against live probes (every in-tree
+    /// engine absorbs between sessions, on the thread that ran them).
     ///
     /// # Panics
     ///
@@ -154,31 +215,28 @@ impl CoverageMap {
             self.capacity(),
             "snapshots from different branch ID spaces"
         );
-        let mut new = 0usize;
+        let pending = self.shared.dirty_pending.swap(0, Ordering::AcqRel);
+        if pending == 0 {
+            return 0;
+        }
         let words = accumulated.words_mut();
-        for (d, dirty) in self.shared.dirty.iter().enumerate() {
-            if dirty.load(Ordering::Relaxed) == 0 {
-                continue;
+        let queue = &self.shared.dirty_queue;
+        if pending > queue.len() {
+            // Overflowed skip list (possible only if probes raced a
+            // drain): scan the whole dirty bitmap instead. Same result,
+            // just not O(dirty words).
+            let mut new = 0usize;
+            for d in 0..self.shared.dirty.len() {
+                if self.shared.dirty[d].load(Ordering::Relaxed) != 0 {
+                    new += self.shared.absorb_bitmap_word(d, words);
+                }
             }
-            // Acquire pairs with the Release in `CoverageProbe::hit`: a
-            // dirty bit observed here implies the first-hit increment that
-            // set it is visible to the rescan below.
-            let mut bits = dirty.swap(0, Ordering::Acquire);
-            while bits != 0 {
-                let w = d * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                // A set dirty bit can only come from a first hit on an
-                // in-range cell, so the word index it decodes to must lie
-                // inside the snapshot's word buffer.
-                debug_assert!(
-                    w < words.len(),
-                    "dirty bit decodes to word {w} beyond the {} snapshot words",
-                    words.len()
-                );
-                let word = self.shared.coverage_word(w);
-                new += (word & !words[w]).count_ones() as usize;
-                words[w] |= word;
-            }
+            return new;
+        }
+        let mut new = 0usize;
+        for entry in &queue[..pending] {
+            let d = entry.load(Ordering::Acquire) as usize;
+            new += self.shared.absorb_bitmap_word(d, words);
         }
         new
     }
@@ -209,6 +267,9 @@ impl CoverageMap {
             self.shared.cells[id.index() as usize].store(1, Ordering::Relaxed);
             covered += 1;
         }
+        for (bits, word) in self.shared.covered_bits.iter().zip(snapshot.words()) {
+            bits.store(*word, Ordering::Relaxed);
+        }
         self.shared.covered.store(covered, Ordering::Relaxed);
     }
 
@@ -217,9 +278,15 @@ impl CoverageMap {
         for cell in &self.shared.cells {
             cell.store(0, Ordering::Relaxed);
         }
+        for bits in &self.shared.covered_bits {
+            bits.store(0, Ordering::Relaxed);
+        }
         for dirty in &self.shared.dirty {
             dirty.store(0, Ordering::Relaxed);
         }
+        // Pushed-but-undrained queue entries die with the pending count;
+        // slots themselves need no clearing (only `[0..pending)` is read).
+        self.shared.dirty_pending.store(0, Ordering::Relaxed);
         self.shared.covered.store(0, Ordering::Relaxed);
     }
 }
@@ -264,13 +331,24 @@ impl CoverageProbe {
         let index = id.index() as usize;
         if let Some(cell) = self.shared.cells.get(index) {
             if cell.fetch_add(1, Ordering::Relaxed) == 0 {
-                // First hit ever for this branch: bump the covered count
-                // and mark the branch's bitset word dirty so the next
-                // `absorb_new` rescans it. Release so the rescan that
-                // observes the dirty bit also observes the increment.
+                // First hit ever for this branch: bump the covered count,
+                // set the branch's covered bit, and mark its bitset word
+                // dirty so the next `absorb_new` rescans it. Release on
+                // the dirty bit so the drain that observes it also
+                // observes the covered-bit store.
                 self.shared.covered.fetch_add(1, Ordering::Relaxed);
                 let word = index / 64;
-                self.shared.dirty[word / 64].fetch_or(1u64 << (word % 64), Ordering::Release);
+                self.shared.covered_bits[word].fetch_or(1u64 << (index % 64), Ordering::Relaxed);
+                let d = word / 64;
+                if self.shared.dirty[d].fetch_or(1u64 << (word % 64), Ordering::Release) == 0 {
+                    // The dirty-bitmap word just went empty → non-empty:
+                    // record it on the skip list so the drain can jump
+                    // straight to it.
+                    let slot = self.shared.dirty_pending.fetch_add(1, Ordering::AcqRel);
+                    if let Some(entry) = self.shared.dirty_queue.get(slot) {
+                        entry.store(d as u32, Ordering::Release);
+                    }
+                }
             }
         }
     }
@@ -422,6 +500,47 @@ mod tests {
         let map = CoverageMap::new(10);
         let mut acc = CoverageSnapshot::empty(11);
         let _ = map.absorb_new(&mut acc);
+    }
+
+    #[test]
+    fn covered_bits_track_recounted_cells() {
+        let map = CoverageMap::new(200);
+        let probe = map.probe();
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            probe.hit(BranchId::from_index(i as u32));
+            probe.hit(BranchId::from_index(i as u32));
+        }
+        for w in 0..200usize.div_ceil(64) {
+            assert_eq!(
+                map.shared.coverage_word(w),
+                map.shared.recount_word(w),
+                "word {w}"
+            );
+        }
+        map.reset();
+        probe.hit(BranchId::from_index(70));
+        assert_eq!(map.shared.coverage_word(1), map.shared.recount_word(1));
+    }
+
+    #[test]
+    fn absorb_after_restore_skips_known_branches() {
+        // A restored map starts with an empty skip list; only genuinely
+        // new first hits repopulate it.
+        let map = CoverageMap::new(130);
+        let probe = map.probe();
+        probe.hit(BranchId::from_index(3));
+        probe.hit(BranchId::from_index(100));
+        let snap = map.snapshot();
+
+        let fresh = CoverageMap::new(130);
+        fresh.restore_from(&snap);
+        let mut acc = snap.clone();
+        assert_eq!(fresh.absorb_new(&mut acc), 0);
+        let probe = fresh.probe();
+        probe.hit(BranchId::from_index(3)); // known: no dirty push
+        probe.hit(BranchId::from_index(64)); // new: dirty push
+        assert_eq!(fresh.absorb_new(&mut acc), 1);
+        assert_eq!(acc, fresh.snapshot());
     }
 
     #[test]

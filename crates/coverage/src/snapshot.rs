@@ -77,6 +77,39 @@ impl CoverageSnapshot {
         &mut self.words
     }
 
+    /// Read-only view of the raw coverage bitset, 64 branches per word.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Serializes the snapshot as `<capacity>:<word>:<word>:...` with each
+    /// bitset word in lowercase hex — a text-exact wire form for shard
+    /// workers reporting coverage across a process boundary.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.capacity.to_string();
+        for word in &self.words {
+            let _ = write!(out, ":{word:x}");
+        }
+        out
+    }
+
+    /// Parses [`CoverageSnapshot::to_hex`] output; `None` on malformed
+    /// text or a word count that does not match the declared capacity.
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<CoverageSnapshot> {
+        let mut parts = text.split(':');
+        let capacity: usize = parts.next()?.parse().ok()?;
+        let words = parts
+            .map(|w| u64::from_str_radix(w, 16).ok())
+            .collect::<Option<Vec<u64>>>()?;
+        if words.len() != capacity.div_ceil(64) {
+            return None;
+        }
+        Some(CoverageSnapshot { capacity, words })
+    }
+
     /// Whether branch `id` was covered.
     #[must_use]
     pub fn is_covered(&self, id: BranchId) -> bool {
@@ -162,6 +195,27 @@ impl CoverageSnapshot {
         out
     }
 
+    /// Unions any number of snapshots into one — the shard-merge half of
+    /// multi-process execution: every worker serializes its final coverage
+    /// and the parent folds them back together here. Returns `None` for an
+    /// empty iterator (there is no capacity to build an empty set from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots have differing capacities, as for
+    /// [`CoverageSnapshot::union_with`].
+    pub fn merge<'a, I>(snapshots: I) -> Option<CoverageSnapshot>
+    where
+        I: IntoIterator<Item = &'a CoverageSnapshot>,
+    {
+        let mut iter = snapshots.into_iter();
+        let mut merged = iter.next()?.clone();
+        for snapshot in iter {
+            merged.union_with(snapshot);
+        }
+        Some(merged)
+    }
+
     /// Iterates over the covered branch IDs in ascending order.
     pub fn covered_ids(&self) -> impl Iterator<Item = BranchId> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &word)| {
@@ -242,6 +296,25 @@ mod tests {
     }
 
     #[test]
+    fn merge_folds_many_snapshots() {
+        let parts = vec![snap(130, &[1, 64]), snap(130, &[64, 129]), snap(130, &[2])];
+        let merged = CoverageSnapshot::merge(&parts).expect("non-empty");
+        assert_eq!(merged, snap(130, &[1, 2, 64, 129]));
+        assert_eq!(CoverageSnapshot::merge([]), None);
+        assert_eq!(
+            CoverageSnapshot::merge(std::iter::once(&parts[2])),
+            Some(parts[2].clone())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different branch ID spaces")]
+    fn merge_rejects_capacity_mismatch() {
+        let parts = vec![snap(64, &[1]), snap(65, &[1])];
+        let _ = CoverageSnapshot::merge(&parts);
+    }
+
+    #[test]
     #[should_panic(expected = "different branch ID spaces")]
     fn capacity_mismatch_panics() {
         let a = snap(64, &[1]);
@@ -254,5 +327,34 @@ mod tests {
         let s = snap(10, &[9]);
         assert!(!s.is_covered(BranchId::from_index(10)));
         assert!(!s.is_covered(BranchId::from_index(1000)));
+    }
+
+    #[test]
+    fn hex_round_trip_is_exact() {
+        for snapshot in [
+            snap(0, &[]),
+            snap(1, &[0]),
+            snap(130, &[0, 63, 64, 127, 129]),
+            snap(4096, &[17, 1000, 4095]),
+        ] {
+            let text = CoverageSnapshot::from_hex(&snapshot.to_hex()).expect("round-trips");
+            assert_eq!(text, snapshot);
+            assert_eq!(text.covered_count(), snapshot.covered_count());
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed_text() {
+        assert!(CoverageSnapshot::from_hex("").is_none());
+        assert!(CoverageSnapshot::from_hex("nope").is_none());
+        assert!(
+            CoverageSnapshot::from_hex("128:ff").is_none(),
+            "one word short"
+        );
+        assert!(
+            CoverageSnapshot::from_hex("64:ff:ff").is_none(),
+            "extra word"
+        );
+        assert!(CoverageSnapshot::from_hex("64:xyzzy").is_none(), "bad hex");
     }
 }

@@ -1,0 +1,161 @@
+//! Differential gate for the word-parallel coverage diff.
+//!
+//! `CoverageMap::absorb_new` merges coverage 64 branches at a time through
+//! a dirty-word skip list; this test drives it against a scalar reference
+//! that tracks every branch individually, over seeded pseudo-random hit
+//! patterns, word-boundary branches (bits 63/64), and the all-dirty /
+//! no-dirty edge cases. Any divergence in either the returned new-branch
+//! count or the accumulated set is a bug in the wide path.
+
+use cmfuzz_coverage::{BranchId, CoverageMap, CoverageSnapshot};
+
+/// Deterministic 64-bit LCG (MMIX constants); high bits are the output.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+/// The scalar model: one bool per branch, absorbed branch by branch.
+struct ScalarReference {
+    covered: Vec<bool>,
+    accumulated: Vec<bool>,
+}
+
+impl ScalarReference {
+    fn new(capacity: usize) -> Self {
+        ScalarReference {
+            covered: vec![false; capacity],
+            accumulated: vec![false; capacity],
+        }
+    }
+
+    fn hit(&mut self, index: usize) {
+        self.covered[index] = true;
+    }
+
+    fn absorb_new(&mut self) -> usize {
+        let mut new = 0;
+        for (acc, &cov) in self.accumulated.iter_mut().zip(&self.covered) {
+            if cov && !*acc {
+                *acc = true;
+                new += 1;
+            }
+        }
+        new
+    }
+
+    fn accumulated_snapshot(&self) -> CoverageSnapshot {
+        CoverageSnapshot::from_hits(
+            self.accumulated.len(),
+            self.accumulated
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| c.then_some(i)),
+        )
+    }
+}
+
+/// Applies the same hits to map and reference, then checks the absorbed
+/// delta and the accumulated sets stay identical.
+fn absorb_and_compare(
+    map: &CoverageMap,
+    acc: &mut CoverageSnapshot,
+    reference: &mut ScalarReference,
+    context: &str,
+) {
+    let wide = map.absorb_new(acc);
+    let scalar = reference.absorb_new();
+    assert_eq!(wide, scalar, "new-branch count diverged ({context})");
+    assert_eq!(
+        *acc,
+        reference.accumulated_snapshot(),
+        "accumulated set diverged ({context})"
+    );
+    assert_eq!(
+        acc.covered_count(),
+        map.covered_count(),
+        "accumulated lags the map after a drain ({context})"
+    );
+}
+
+#[test]
+fn wide_absorb_matches_scalar_reference_on_random_patterns() {
+    // Capacities straddling every interesting boundary: sub-word, exact
+    // word, word+1, multi-word, and beyond one dirty-bitmap bit per word.
+    for &capacity in &[1usize, 2, 63, 64, 65, 127, 128, 129, 300, 4096, 5000] {
+        let map = CoverageMap::new(capacity);
+        let probe = map.probe();
+        let mut acc = CoverageSnapshot::empty(capacity);
+        let mut reference = ScalarReference::new(capacity);
+        let mut rng = Lcg(0x5EED ^ capacity as u64);
+
+        for round in 0..8 {
+            // Rounds draw 0..31 hits; an empty draw exercises the
+            // no-dirty path (the drain must return 0 without scanning).
+            let hits = (rng.next() % 32) as usize * usize::from(round != 3);
+            for _ in 0..hits {
+                let index = (rng.next() as usize) % capacity;
+                probe.hit(BranchId::from_index(index as u32));
+                reference.hit(index);
+            }
+            absorb_and_compare(
+                &map,
+                &mut acc,
+                &mut reference,
+                &format!("capacity {capacity}, round {round}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_absorb_matches_scalar_reference_at_word_boundaries() {
+    let capacity = 130;
+    let map = CoverageMap::new(capacity);
+    let probe = map.probe();
+    let mut acc = CoverageSnapshot::empty(capacity);
+    let mut reference = ScalarReference::new(capacity);
+
+    // Bits 63 and 64 land in different coverage words; 127/128 repeat the
+    // pattern one word later, and 129 is the last valid branch.
+    for &index in &[63usize, 64, 127, 128, 129, 0] {
+        probe.hit(BranchId::from_index(index as u32));
+        reference.hit(index);
+        absorb_and_compare(&map, &mut acc, &mut reference, &format!("branch {index}"));
+    }
+}
+
+#[test]
+fn wide_absorb_matches_scalar_reference_all_dirty_and_no_dirty() {
+    for &capacity in &[64usize, 100, 4096] {
+        let map = CoverageMap::new(capacity);
+        let probe = map.probe();
+        let mut acc = CoverageSnapshot::empty(capacity);
+        let mut reference = ScalarReference::new(capacity);
+
+        // No-dirty on a fresh map.
+        absorb_and_compare(&map, &mut acc, &mut reference, "fresh map");
+
+        // All-dirty: every branch first-hit in one batch.
+        for index in 0..capacity {
+            probe.hit(BranchId::from_index(index as u32));
+            reference.hit(index);
+        }
+        absorb_and_compare(&map, &mut acc, &mut reference, "all dirty");
+        assert_eq!(acc.covered_count(), capacity);
+
+        // Saturated map: re-hitting everything dirties nothing.
+        for index in 0..capacity {
+            probe.hit(BranchId::from_index(index as u32));
+            reference.hit(index);
+        }
+        absorb_and_compare(&map, &mut acc, &mut reference, "saturated");
+    }
+}

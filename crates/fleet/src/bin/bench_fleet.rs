@@ -8,8 +8,13 @@
 //! decisions matter. Every policy runs the same fleet under the same
 //! seeds; the coverage-gradient policy must match or beat round-robin's
 //! total coverage at equal budget, and a same-seed repeat must reproduce
-//! the run exactly. Exits non-zero if either gate fails, so CI can hold
-//! the scheduler to its claim.
+//! the run exactly. With `--shard N` the four policy runs (the three
+//! policies plus the determinism repeat) are distributed over `N` worker
+//! *processes* — the same binary re-invoked with a hidden
+//! `--shard-worker i/N` flag — and the gates compare digests that crossed
+//! a process boundary, which is a strictly stronger reproducibility claim
+//! than an in-process repeat. Exits non-zero if either gate fails, so CI
+//! can hold the scheduler to its claim.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -18,7 +23,7 @@ use std::time::Instant;
 use cmfuzz::baseline::cmfuzz_setups;
 use cmfuzz::campaign::CampaignOptions;
 use cmfuzz::schedule::{build_schedule, ScheduleOptions};
-use cmfuzz_bench::report;
+use cmfuzz_bench::{report, shard};
 use cmfuzz_coverage::Ticks;
 use cmfuzz_fleet::{
     run_fleet, CoverageGradient, FleetCampaign, FleetOptions, FleetResult, RoundRobin,
@@ -28,6 +33,10 @@ use cmfuzz_protocols::all_specs;
 
 /// Partitions per subject (relation-aware groups, one campaign each).
 const PARTITIONS: usize = 3;
+
+/// Policy runs per bench: round-robin, coverage-gradient, UCB bandit,
+/// plus the coverage-gradient determinism repeat.
+const CELLS: usize = 4;
 
 struct BenchScale {
     label: &'static str,
@@ -67,6 +76,8 @@ fn main() {
     let mut scale = BenchScale::default();
     let mut out = PathBuf::from("BENCH_fleet.json");
     let mut seed: u64 = 0xF1EE7;
+    let mut shards: Option<usize> = None;
+    let mut worker: Option<(usize, usize)> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -92,6 +103,14 @@ fn main() {
                 Some(n) if n > 0 => scale.slots = n,
                 _ => usage_error("--slots expects a positive worker count"),
             },
+            "--shard" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => usage_error("--shard expects a positive worker-process count"),
+            },
+            "--shard-worker" => match iter.next().and_then(|s| shard::parse_worker_spec(s)) {
+                Some(spec) => worker = Some(spec),
+                None => usage_error("--shard-worker expects i/N with i < N"),
+            },
             "--out" => match iter.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => usage_error("--out expects a file path"),
@@ -111,6 +130,11 @@ fn main() {
         total_budget: Some(Ticks::new(scale.total_budget)),
         skip_preflight: false,
     };
+
+    if let Some((index, of)) = worker {
+        run_shard_worker(&fleet, &fleet_options, index, of);
+    }
+
     eprintln!(
         "[bench_fleet] {} campaigns, {} ticks each, {} total ({} scale)",
         fleet.len(),
@@ -119,49 +143,11 @@ fn main() {
         scale.label,
     );
 
-    let mut policies: Vec<Box<dyn SchedulingPolicy>> = vec![
-        Box::new(RoundRobin::new()),
-        Box::new(CoverageGradient::new()),
-        Box::new(UcbBandit::new()),
-    ];
-    let mut runs = Vec::new();
-    for policy in &mut policies {
-        eprintln!("[bench_fleet] scheduling with {}...", policy.name());
-        let started = Instant::now();
-        let result = match run_fleet(&fleet, policy.as_mut(), &fleet_options) {
-            Ok(result) => result,
-            Err(error) => {
-                eprintln!(
-                    "[bench_fleet] fleet failed under {}: {error}",
-                    policy.name()
-                );
-                exit(2);
-            }
-        };
-        let wall = started.elapsed().as_secs_f64();
-        eprintln!(
-            "[bench_fleet]   {} branches across {} campaigns ({} completed), {} waves, {:.3}s",
-            result.total_branches(),
-            result.campaigns.len(),
-            result.completed_count(),
-            result.waves,
-            wall,
-        );
-        runs.push((result, wall));
-    }
-
-    eprintln!("[bench_fleet] determinism: re-running coverage-gradient with the same seed...");
-    let repeat = match run_fleet(&fleet, &mut CoverageGradient::new(), &fleet_options) {
-        Ok(result) => result,
-        Err(error) => {
-            eprintln!("[bench_fleet] determinism re-run failed: {error}");
-            exit(2);
-        }
+    let (deterministic, round_robin, gradient, policy_blocks, shard_json) = match shards {
+        Some(n) => run_sharded(&scale, seed, n),
+        None => run_in_process(&fleet, &fleet_options),
     };
-    let deterministic = fleet_digest(&repeat) == fleet_digest(&runs[1].0);
 
-    let round_robin = runs[0].0.total_branches();
-    let gradient = runs[1].0.total_branches();
     #[allow(clippy::cast_precision_loss)]
     let improvement_pct = if round_robin == 0 {
         0.0
@@ -169,13 +155,8 @@ fn main() {
         (gradient as f64 - round_robin as f64) / round_robin as f64 * 100.0
     };
 
-    let policy_blocks = runs
-        .iter()
-        .map(|(result, wall)| policy_json(result, *wall))
-        .collect::<Vec<_>>()
-        .join(",\n");
     let json = format!(
-        "{{\n  \"experiment\": \"fleet\",\n  \"scale\": \"{}\",\n  \"machine\": {},\n  \"campaigns\": {},\n  \"seed\": {seed},\n  \"slots\": {},\n  \"slice_ticks\": {},\n  \"campaign_budget_ticks\": {},\n  \"total_budget_ticks\": {},\n  \"deterministic\": {deterministic},\n  \"gradient_vs_round_robin_pct\": {improvement_pct:.2},\n  \"policies\": [\n{policy_blocks}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"fleet\",\n  \"scale\": \"{}\",\n  \"machine\": {},\n  \"campaigns\": {},\n  \"seed\": {seed},\n  \"slots\": {},\n  \"slice_ticks\": {},\n  \"campaign_budget_ticks\": {},\n  \"total_budget_ticks\": {},\n  \"deterministic\": {deterministic},\n  \"gradient_vs_round_robin_pct\": {improvement_pct:.2},\n  \"policies\": [\n{policy_blocks}\n  ]{shard_json}\n}}\n",
         scale.label,
         report::machine_info_json(),
         fleet.len(),
@@ -205,6 +186,208 @@ fn main() {
     if failed {
         exit(1);
     }
+}
+
+/// The policy a cell index runs: cells 1 and 3 are both coverage-gradient
+/// (3 is the determinism repeat).
+fn cell_policy(cell: usize) -> Box<dyn SchedulingPolicy> {
+    match cell {
+        0 => Box::new(RoundRobin::new()),
+        2 => Box::new(UcbBandit::new()),
+        _ => Box::new(CoverageGradient::new()),
+    }
+}
+
+/// Runs all four policy cells in this process and returns the gate
+/// inputs plus the rendered policy JSON blocks.
+fn run_in_process(
+    fleet: &[FleetCampaign],
+    options: &FleetOptions,
+) -> (bool, usize, usize, String, String) {
+    let mut runs = Vec::new();
+    for cell in 0..CELLS {
+        let mut policy = cell_policy(cell);
+        if cell == 3 {
+            eprintln!(
+                "[bench_fleet] determinism: re-running coverage-gradient with the same seed..."
+            );
+        } else {
+            eprintln!("[bench_fleet] scheduling with {}...", policy.name());
+        }
+        let started = Instant::now();
+        let result = match run_fleet(fleet, policy.as_mut(), options) {
+            Ok(result) => result,
+            Err(error) => {
+                eprintln!(
+                    "[bench_fleet] fleet failed under {}: {error}",
+                    policy.name()
+                );
+                exit(2);
+            }
+        };
+        let wall = started.elapsed().as_secs_f64();
+        eprintln!(
+            "[bench_fleet]   {} branches across {} campaigns ({} completed), {} waves, {:.3}s",
+            result.total_branches(),
+            result.campaigns.len(),
+            result.completed_count(),
+            result.waves,
+            wall,
+        );
+        runs.push((result, wall));
+    }
+
+    let deterministic = fleet_digest(&runs[3].0) == fleet_digest(&runs[1].0);
+    let round_robin = runs[0].0.total_branches();
+    let gradient = runs[1].0.total_branches();
+    let policy_blocks = runs[..3]
+        .iter()
+        .map(|(result, wall)| policy_json(result, *wall))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    (
+        deterministic,
+        round_robin,
+        gradient,
+        policy_blocks,
+        String::new(),
+    )
+}
+
+/// Runs the cells this worker owns and prints their reports to stdout.
+fn run_shard_worker(fleet: &[FleetCampaign], options: &FleetOptions, index: usize, of: usize) -> ! {
+    let indices = shard::owned_indices(index, of, CELLS);
+    eprintln!(
+        "[bench_fleet] shard worker {index}/{of}: {} cells",
+        indices.len()
+    );
+    let mut wire = String::new();
+    for cell in indices {
+        let mut policy = cell_policy(cell);
+        let started = Instant::now();
+        let result = match run_fleet(fleet, policy.as_mut(), options) {
+            Ok(result) => result,
+            Err(error) => {
+                eprintln!(
+                    "[bench_fleet] shard worker {index}/{of} failed under {}: {error}",
+                    policy.name()
+                );
+                exit(2);
+            }
+        };
+        let wall = started.elapsed().as_secs_f64();
+        shard::write_fleet_cell(
+            &mut wire,
+            &shard::FleetCellReport {
+                index: cell,
+                seconds: wall,
+                digest: fleet_digest(&result),
+                total_branches: result.total_branches(),
+                completed: result.completed_count(),
+                policy_json: policy_json(&result, wall),
+            },
+        );
+    }
+    print!("{wire}");
+    exit(0);
+}
+
+/// Forks `shards` worker processes over the four policy cells and
+/// reassembles the gate inputs from their reports. The scale is forwarded
+/// to every worker as explicit flag values so each rebuilds the exact
+/// same fleet.
+fn run_sharded(
+    scale: &BenchScale,
+    seed: u64,
+    shards: usize,
+) -> (bool, usize, usize, String, String) {
+    eprintln!("[bench_fleet] sharded run ({shards} worker processes)...");
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            eprintln!("[bench_fleet] cannot locate own executable: {err}");
+            exit(2);
+        }
+    };
+    let started = Instant::now();
+    let children: Vec<_> = (0..shards.min(CELLS))
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .arg("--seed")
+                .arg(seed.to_string())
+                .arg("--campaign-budget")
+                .arg(scale.campaign_budget.to_string())
+                .arg("--total-budget")
+                .arg(scale.total_budget.to_string())
+                .arg("--slice")
+                .arg(scale.slice.to_string())
+                .arg("--slots")
+                .arg(scale.slots.to_string())
+                .arg("--shard-worker")
+                .arg(format!("{i}/{}", shards.min(CELLS)))
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|err| {
+                    eprintln!("[bench_fleet] cannot spawn shard worker {i}: {err}");
+                    exit(2);
+                })
+        })
+        .collect();
+    let mut cells: Vec<shard::FleetCellReport> = Vec::new();
+    for (i, child) in children.into_iter().enumerate() {
+        let output = child.wait_with_output().unwrap_or_else(|err| {
+            eprintln!("[bench_fleet] shard worker {i} vanished: {err}");
+            exit(2);
+        });
+        if !output.status.success() {
+            eprintln!(
+                "[bench_fleet] shard worker {i} exited with {}",
+                output.status
+            );
+            exit(2);
+        }
+        let text = String::from_utf8_lossy(&output.stdout);
+        match shard::parse_fleet_cells(&text) {
+            Ok(reports) => cells.extend(reports),
+            Err(err) => {
+                eprintln!("[bench_fleet] shard worker {i} protocol error: {err}");
+                exit(2);
+            }
+        }
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    cells.sort_by_key(|c| c.index);
+    if cells.len() != CELLS || cells.iter().enumerate().any(|(i, c)| c.index != i) {
+        eprintln!(
+            "[bench_fleet] shard reports do not tile the policy cells: got {} of {CELLS}",
+            cells.len()
+        );
+        exit(2);
+    }
+
+    let deterministic = cells[3].digest == cells[1].digest;
+    let round_robin = cells[0].total_branches;
+    let gradient = cells[1].total_branches;
+    let policy_blocks = cells[..3]
+        .iter()
+        .map(|c| c.policy_json.clone())
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let shard_json = format!(
+        ",\n  \"shard\": {{\"shards\": {}, \"wall_seconds\": {wall_seconds:.3}, \"cross_process_deterministic\": {deterministic}}}",
+        shards.min(CELLS),
+    );
+    eprintln!(
+        "[bench_fleet] sharded {wall_seconds:.3}s, cross-process deterministic: {deterministic}"
+    );
+    (
+        deterministic,
+        round_robin,
+        gradient,
+        policy_blocks,
+        shard_json,
+    )
 }
 
 /// Six subjects × their relation-aware partitions, one single-instance
@@ -290,10 +473,12 @@ fn policy_json(result: &FleetResult, wall_seconds: f64) -> String {
     )
 }
 
-const USAGE: &str = "usage: bench_fleet [--smoke] [--seed <n>] [--out <path>]\n\
+const USAGE: &str = "usage: bench_fleet [--smoke] [--seed <n>] [--shard <n>] [--out <path>]\n\
     \n\
     --smoke            small budgets for CI smoke runs (default: the full bench scale)\n\
     --seed             base campaign seed (default: 0xF1EE7)\n\
+    --shard            distribute the policy runs over <n> worker processes and gate\n\
+                       determinism across the process boundary\n\
     --out              where to write the JSON record (default: BENCH_fleet.json)\n\
     --campaign-budget  per-campaign budget in ticks (overrides the scale)\n\
     --total-budget     fleet-wide allowance in ticks (overrides the scale)\n\

@@ -8,8 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::pit::PitDefinition;
 use crate::{
-    CompiledStateModel, Corpus, DataModel, FaultLog, FieldNameTable, ModelId, ModelTable, Mutator,
-    RenderProgram, Seed, StartError, Target,
+    CompiledStateModel, Corpus, DataModel, Fault, FaultLog, FieldNameTable, ModelId, ModelTable,
+    Mutator, RenderProgram, Seed, StartError, Target,
 };
 
 /// Tunables of a fuzzing instance.
@@ -170,6 +170,14 @@ pub struct FuzzEngine<T: Target> {
     /// Reusable per-message byte buffers; capacities stabilize at each
     /// position's high-water message length.
     sent_bufs: Vec<Vec<u8>>,
+    /// Batch arena: every message of a [`FuzzEngine::run_batch`] call,
+    /// rendered back to back; capacity stabilizes at the high-water batch
+    /// footprint.
+    arena: Vec<u8>,
+    /// `(offset, len)` of each arena message, in send order.
+    arena_ranges: Vec<(u32, u32)>,
+    /// Scratch for faults reported by [`Target::handle_batch`].
+    batch_faults: Vec<(usize, Fault)>,
     corpus: Corpus,
     mutator: Mutator,
     faults: FaultLog,
@@ -256,6 +264,9 @@ impl<T: Target> FuzzEngine<T> {
             compiled_state,
             plan_scratch: Vec::new(),
             sent_bufs: Vec::new(),
+            arena: Vec::new(),
+            arena_ranges: Vec::new(),
+            batch_faults: Vec::new(),
             corpus,
             mutator,
             faults: FaultLog::new(),
@@ -440,46 +451,7 @@ impl<T: Target> FuzzEngine<T> {
         for (i, &model_id) in plan.iter().enumerate() {
             let buf = &mut bufs[i];
             buf.clear();
-
-            // Generation-side mutation perturbs a persistent scratch twin
-            // of the model, so the pristine structure survives —
-            // interesting variants persist through the corpus instead.
-            let mutate_fields = self.rng.random::<f64>() < self.config.model_mutation_rate;
-
-            if !mutate_fields && self.rng.random::<f64>() < self.config.seed_reuse_rate {
-                match self.corpus.pick_for_model(&mut self.rng, model_id) {
-                    Some(seed) => {
-                        self.stats.seed_reuses += 1;
-                        self.telemetry.seed_reuses.incr();
-                        buf.extend_from_slice(&seed.bytes);
-                    }
-                    None => self.render_into(model_id, buf),
-                }
-            } else if mutate_fields {
-                self.stats.model_mutations += 1;
-                self.telemetry.model_mutations.incr();
-                if let Some(slot) = self.model_slot(model_id) {
-                    let scratch = &mut self.scratch_models[slot];
-                    scratch.restore_values_from(&self.working_models[slot]);
-                    self.mutator.mutate_model(scratch);
-                    self.scratch_program.compile_into(
-                        scratch,
-                        &self.name_tables[slot],
-                        &mut self.lengths_scratch,
-                    );
-                    self.scratch_program.render_into(buf);
-                }
-                // Unknown model: empty message, no mutator draw — same as
-                // the name-lookup implementation.
-            } else {
-                self.render_into(model_id, buf);
-            }
-
-            if self.rng.random::<f64>() < self.config.byte_mutation_rate {
-                self.stats.byte_mutations += 1;
-                self.telemetry.byte_mutations.incr();
-                self.mutator.mutate(buf, self.config.mutation_stack);
-            }
+            self.generate_message_into(model_id, buf, 0);
 
             let response = self.target.handle(buf);
             outcome.messages_sent += 1;
@@ -516,6 +488,154 @@ impl<T: Target> FuzzEngine<T> {
             .session_messages
             .record(outcome.messages_sent as u64);
         outcome
+    }
+
+    /// Runs `sessions` fuzzing iterations as one batch: every session is
+    /// planned and rendered into the shared byte arena, its messages cross
+    /// the target as one burst ([`Target::handle_batch`]), and the whole
+    /// batch is settled with a single word-parallel coverage diff.
+    ///
+    /// Batching is purely a throughput knob — `run_batch(n)` is
+    /// bit-identical to `n` [`FuzzEngine::run_iteration`] calls, for every
+    /// `n`: generation draws the same RNG sequence (mutations are confined
+    /// to each message's arena tail), per-session retention decisions come
+    /// from the map's first-hit counter (exactly what the per-session
+    /// absorb would have returned, since the accumulated set tracks the
+    /// map at batch boundaries), and faults bisect back to their session
+    /// in send order. The returned outcome aggregates the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was never successfully [`start`](Self::start)ed.
+    pub fn run_batch(&mut self, sessions: usize) -> IterationOutcome {
+        assert!(self.started, "run_batch before successful start");
+        let mut outcome = IterationOutcome::default();
+        if sessions == 0 {
+            return outcome;
+        }
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        let mut arena = std::mem::take(&mut self.arena);
+        let mut ranges = std::mem::take(&mut self.arena_ranges);
+        let mut faults = std::mem::take(&mut self.batch_faults);
+        arena.clear();
+        ranges.clear();
+
+        for _ in 0..sessions {
+            self.target.begin_session();
+            plan.clear();
+            if !self.session_plans.is_empty() {
+                plan.extend_from_slice(
+                    &self.session_plans[self.next_plan % self.session_plans.len()],
+                );
+                self.next_plan = self.next_plan.wrapping_add(1);
+            } else {
+                self.plan_random_session_into(&mut plan);
+            }
+
+            // The first-hit counter before the session: retention below
+            // compares against it instead of absorbing per session.
+            let covered_before = self.map.covered_count();
+            let first_message = ranges.len();
+            for &model_id in &plan {
+                let start = arena.len();
+                self.generate_message_into(model_id, &mut arena, start);
+                ranges.push((start as u32, (arena.len() - start) as u32));
+            }
+
+            faults.clear();
+            self.target
+                .handle_batch(&arena, &ranges[first_message..], &mut faults);
+            for (_, fault) in faults.drain(..) {
+                self.stats.crashes_observed += 1;
+                self.telemetry.faults_observed.incr();
+                if self.faults.record(fault) {
+                    outcome.new_faults += 1;
+                }
+            }
+            outcome.messages_sent += plan.len();
+            self.stats.messages += plan.len() as u64;
+            self.telemetry.messages.add(plan.len() as u64);
+
+            // Retention must be decided now (the next session's corpus
+            // picks depend on it), but without draining the dirty words:
+            // the map's first-hit counter delta over the session equals
+            // what a per-session absorb would have returned, because the
+            // accumulated set matches the map at batch boundaries.
+            if self.map.covered_count() > covered_before {
+                for (&model_id, &(start, len)) in plan.iter().zip(&ranges[first_message..]) {
+                    let seed = Seed::new(&arena[start as usize..(start + len) as usize], model_id);
+                    self.outbox.push(seed.clone());
+                    self.corpus.add(seed);
+                }
+            }
+            self.iterations += 1;
+            self.stats.sessions += 1;
+            self.telemetry.sessions.incr();
+            self.telemetry.session_messages.record(plan.len() as u64);
+        }
+
+        // One word-parallel diff settles the whole batch's coverage.
+        outcome.new_branches = self.map.absorb_new(&mut self.accumulated);
+        debug_assert_eq!(
+            self.accumulated.covered_count(),
+            self.map.covered_count(),
+            "accumulated set lost sync with the map across a batch"
+        );
+        self.telemetry.batches.incr();
+        self.telemetry.batch_sessions.record(sessions as u64);
+        self.plan_scratch = plan;
+        self.arena = arena;
+        self.arena_ranges = ranges;
+        self.batch_faults = faults;
+        outcome
+    }
+
+    /// Generates one message for `model_id` into `data[from..]` — the one
+    /// generation path shared by [`FuzzEngine::run_iteration`] (a cleared
+    /// per-message buffer, `from == 0`) and [`FuzzEngine::run_batch`] (the
+    /// arena tail). Mutations are confined to the appended tail, so the
+    /// draw sequence and resulting bytes are independent of `from`.
+    fn generate_message_into(&mut self, model_id: ModelId, data: &mut Vec<u8>, from: usize) {
+        // Generation-side mutation perturbs a persistent scratch twin
+        // of the model, so the pristine structure survives —
+        // interesting variants persist through the corpus instead.
+        let mutate_fields = self.rng.random::<f64>() < self.config.model_mutation_rate;
+
+        if !mutate_fields && self.rng.random::<f64>() < self.config.seed_reuse_rate {
+            match self.corpus.pick_for_model(&mut self.rng, model_id) {
+                Some(seed) => {
+                    self.stats.seed_reuses += 1;
+                    self.telemetry.seed_reuses.incr();
+                    data.extend_from_slice(&seed.bytes);
+                }
+                None => self.render_into(model_id, data),
+            }
+        } else if mutate_fields {
+            self.stats.model_mutations += 1;
+            self.telemetry.model_mutations.incr();
+            if let Some(slot) = self.model_slot(model_id) {
+                let scratch = &mut self.scratch_models[slot];
+                scratch.restore_values_from(&self.working_models[slot]);
+                self.mutator.mutate_model(scratch);
+                self.scratch_program.compile_into(
+                    scratch,
+                    &self.name_tables[slot],
+                    &mut self.lengths_scratch,
+                );
+                self.scratch_program.render_into(data);
+            }
+            // Unknown model: empty message, no mutator draw — same as
+            // the name-lookup implementation.
+        } else {
+            self.render_into(model_id, data);
+        }
+
+        if self.rng.random::<f64>() < self.config.byte_mutation_rate {
+            self.stats.byte_mutations += 1;
+            self.telemetry.byte_mutations.incr();
+            self.mutator
+                .mutate_tail(data, from, self.config.mutation_stack);
+        }
     }
 
     fn plan_random_session_into(&mut self, plan: &mut Vec<ModelId>) {
@@ -801,9 +921,11 @@ mod tests {
         );
         engine.attach_telemetry(EngineTelemetry::for_pipeline(&telemetry));
         engine.start(&ResolvedConfig::new()).unwrap();
-        for _ in 0..50 {
+        for _ in 0..25 {
             engine.run_iteration();
         }
+        // Batched execution must flush into the same counters.
+        engine.run_batch(25);
         let stats = engine.stats();
         let snap = telemetry.metrics_snapshot();
         assert_eq!(snap.counter("engine.sessions"), Some(stats.sessions));
@@ -821,10 +943,19 @@ mod tests {
             snap.counter("engine.faults_observed"),
             Some(stats.crashes_observed)
         );
-        let (name, hist) = &snap.histograms[0];
-        assert_eq!(name, "engine.session_messages");
+        let histogram = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        let (_, hist) = histogram("engine.session_messages");
         assert_eq!(hist.count, stats.sessions);
         assert_eq!(hist.sum, stats.messages);
+        assert_eq!(snap.counter("engine.batches"), Some(1));
+        let (_, batches) = histogram("engine.batch_sessions");
+        assert_eq!(batches.count, 1);
+        assert_eq!(batches.sum, 25);
     }
 
     #[test]
@@ -896,6 +1027,198 @@ mod tests {
             format!("{:?}", reference.fault_log())
         );
         assert_eq!(resumed.corpus_len(), reference.corpus_len());
+    }
+
+    /// Faults deterministically on the first message of one known session
+    /// (0-based), for pinning mid-batch fault bisection.
+    struct FaultAtSession {
+        probe: Option<CoverageProbe>,
+        fault_session: u64,
+        sessions_begun: u64,
+        fired: bool,
+    }
+
+    impl FaultAtSession {
+        fn new(fault_session: u64) -> Self {
+            FaultAtSession {
+                probe: None,
+                fault_session,
+                sessions_begun: 0,
+                fired: false,
+            }
+        }
+    }
+
+    impl Target for FaultAtSession {
+        fn name(&self) -> &str {
+            "fault-at"
+        }
+        fn branch_count(&self) -> usize {
+            2
+        }
+        fn config_space(&self) -> ConfigSpace {
+            ConfigSpace::default()
+        }
+        fn start(&mut self, _: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
+            probe.hit(BranchId::from_index(0));
+            self.probe = Some(probe);
+            Ok(())
+        }
+        fn begin_session(&mut self) {
+            self.sessions_begun += 1;
+        }
+        fn handle(&mut self, _input: &[u8]) -> TargetResponse {
+            self.probe
+                .as_ref()
+                .expect("started")
+                .hit(BranchId::from_index(1));
+            if self.sessions_begun == self.fault_session + 1 && !self.fired {
+                self.fired = true;
+                return TargetResponse::crash(Fault::new(
+                    FaultKind::HeapUseAfterFree,
+                    "session_trap",
+                ));
+            }
+            TargetResponse::empty()
+        }
+        fn export_state(&mut self) -> Vec<u8> {
+            let mut state = self.sessions_begun.to_le_bytes().to_vec();
+            state.push(u8::from(self.fired));
+            state
+        }
+        fn import_state(&mut self, state: &[u8]) {
+            self.sessions_begun = u64::from_le_bytes(state[..8].try_into().expect("8 bytes"));
+            self.fired = state[8] != 0;
+        }
+    }
+
+    /// Debug-formatted full engine state, for byte-identity comparisons
+    /// across execution strategies.
+    fn state_digest<T: Target>(engine: &mut FuzzEngine<T>) -> String {
+        format!("{:?}", engine.checkpoint())
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_iteration_loop() {
+        let total = 126;
+        let run = |batch: usize| -> (Vec<usize>, String) {
+            let mut engine = FuzzEngine::new(
+                ToyTarget::new(),
+                toy_pit(),
+                EngineConfig {
+                    seed: 23,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.start(&ResolvedConfig::new()).unwrap();
+            let mut news = Vec::new();
+            let mut remaining = total;
+            while remaining > 0 {
+                let n = batch.min(remaining);
+                let outcome = if batch == 0 {
+                    engine.run_iteration()
+                } else {
+                    engine.run_batch(n)
+                };
+                news.push(outcome.new_branches);
+                remaining -= if batch == 0 { 1 } else { n };
+            }
+            (news, state_digest(&mut engine))
+        };
+        let (reference_news, reference_state) = run(0);
+        for batch in [1usize, 7, 64, 256] {
+            let (news, state) = run(batch);
+            assert_eq!(
+                state, reference_state,
+                "batch size {batch} diverged from the iteration loop"
+            );
+            assert_eq!(
+                news.iter().sum::<usize>(),
+                reference_news.iter().sum::<usize>(),
+                "batch size {batch} found different total coverage"
+            );
+        }
+        // Batch size 1 also matches outcome-for-outcome, not just in sum.
+        assert_eq!(run(1).0, reference_news);
+    }
+
+    #[test]
+    fn run_batch_zero_is_a_no_op() {
+        let mut engine = FuzzEngine::new(ToyTarget::new(), toy_pit(), EngineConfig::default());
+        engine.start(&ResolvedConfig::new()).unwrap();
+        assert_eq!(engine.run_batch(0), IterationOutcome::default());
+        assert_eq!(engine.iterations(), 0);
+    }
+
+    #[test]
+    fn mid_batch_faults_bisect_to_the_same_session_at_every_batch_size() {
+        // Satellite gate: a subject faulting at a known session index must
+        // produce the same fault log, stats, and full engine state no
+        // matter how sessions are grouped into batches.
+        let total = 96;
+        let fault_session = 41;
+        let run = |batches: &[usize]| -> String {
+            assert_eq!(batches.iter().sum::<usize>(), total);
+            let mut engine = FuzzEngine::new(
+                FaultAtSession::new(fault_session),
+                toy_pit(),
+                EngineConfig {
+                    seed: 31,
+                    ..EngineConfig::default()
+                },
+            );
+            engine.start(&ResolvedConfig::new()).unwrap();
+            for &n in batches {
+                engine.run_batch(n);
+            }
+            assert_eq!(engine.fault_log().unique_count(), 1);
+            assert!(engine
+                .fault_log()
+                .contains(FaultKind::HeapUseAfterFree, "session_trap"));
+            assert_eq!(engine.stats().crashes_observed, 1);
+            state_digest(&mut engine)
+        };
+        let by_ones = run(&vec![1; total]);
+        let mut by_sevens = vec![7; 12];
+        by_sevens.push(12);
+        assert_eq!(run(&by_sevens), by_ones);
+        assert_eq!(run(&[64, 32]), by_ones);
+        assert_eq!(run(&[96]), by_ones);
+    }
+
+    #[test]
+    fn fault_bisection_survives_a_checkpoint_cut_inside_the_batch() {
+        // A checkpoint/resume cut that splits a 64-session batch right
+        // before the faulting session must report the identical fault log
+        // and final state as the uncut batch.
+        let fault_session = 40;
+        let build = || {
+            FuzzEngine::new(
+                FaultAtSession::new(fault_session),
+                toy_pit(),
+                EngineConfig {
+                    seed: 31,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let config = ResolvedConfig::new();
+
+        let mut reference = build();
+        reference.start(&config).unwrap();
+        reference.run_batch(64);
+        let expected = state_digest(&mut reference);
+
+        let mut first = build();
+        first.start(&config).unwrap();
+        first.run_batch(37);
+        let cp = first.checkpoint();
+        drop(first);
+        let mut resumed = build();
+        resumed.restore(&config, &cp).unwrap();
+        resumed.run_batch(27);
+        assert_eq!(resumed.fault_log().unique_count(), 1);
+        assert_eq!(state_digest(&mut resumed), expected);
     }
 
     #[test]

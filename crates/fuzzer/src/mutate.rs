@@ -122,26 +122,45 @@ impl Mutator {
     /// operators to `data` (AFL-style havoc stacking). With a dictionary
     /// attached, each slot has a 1-in-8 chance of splicing a token instead.
     pub fn mutate(&mut self, data: &mut Vec<u8>, max_stack: u32) {
+        self.mutate_tail(data, 0, max_stack);
+    }
+
+    /// As [`Mutator::mutate`], but confined to `data[from..]`: the tail is
+    /// mutated exactly as if it were a standalone buffer — same RNG draws,
+    /// same resulting bytes — while `data[..from]` stays untouched. This
+    /// is the arena entry point for batched execution, where the message
+    /// under mutation is the final segment of a shared byte arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > data.len()`.
+    pub fn mutate_tail(&mut self, data: &mut Vec<u8>, from: usize, max_stack: u32) {
+        assert!(
+            from <= data.len(),
+            "mutation tail starts at {from}, buffer holds {}",
+            data.len()
+        );
         let stack = self.rng.random_range(1..=max_stack.max(1));
         for _ in 0..stack {
             if !self.dictionary.is_empty() && self.rng.random_range(0..8u8) == 0 {
-                self.splice_token(data);
+                self.splice_token(data, from);
                 continue;
             }
             let op = *MutationOp::ALL.choose(&mut self.rng).expect("non-empty");
-            self.apply(op, data);
+            self.apply_tail(op, data, from);
         }
     }
 
     /// Overwrites (or, at the end, appends) a random dictionary token at a
-    /// random position. Splices by slice — overwrite the overlap, append
-    /// the tail — instead of cloning the token into a temporary `Vec`;
-    /// RNG draws and resulting bytes are identical to the cloning
-    /// implementation.
-    fn splice_token(&mut self, data: &mut Vec<u8>) {
+    /// random position in `data[from..]`. Splices by slice — overwrite the
+    /// overlap, append the tail — instead of cloning the token into a
+    /// temporary `Vec`; RNG draws and resulting bytes are identical to the
+    /// cloning implementation.
+    fn splice_token(&mut self, data: &mut Vec<u8>, from: usize) {
         let Mutator { rng, dictionary } = self;
+        let len = data.len() - from;
         let token = &dictionary[rng.random_range(0..dictionary.len())];
-        let at = rng.random_range(0..=data.len());
+        let at = from + rng.random_range(0..=len);
         let overlap = token.len().min(data.len() - at);
         data[at..at + overlap].copy_from_slice(&token[..overlap]);
         data.extend_from_slice(&token[overlap..]);
@@ -149,50 +168,58 @@ impl Mutator {
 
     /// Applies one specific operator to `data`.
     pub fn apply(&mut self, op: MutationOp, data: &mut Vec<u8>) {
+        self.apply_tail(op, data, 0);
+    }
+
+    /// Applies one specific operator to `data[from..]`, as if the tail
+    /// were a standalone buffer. Growth and shrink happen at the `Vec`'s
+    /// end or inside the tail, so bytes before `from` never move.
+    fn apply_tail(&mut self, op: MutationOp, data: &mut Vec<u8>, from: usize) {
+        let len = data.len() - from;
         match op {
             MutationOp::BitFlip => {
-                if let Some(i) = self.offset(data) {
-                    data[i] ^= 1u8 << self.rng.random_range(0..8u32);
+                if let Some(i) = self.offset(len) {
+                    data[from + i] ^= 1u8 << self.rng.random_range(0..8u32);
                 }
             }
             MutationOp::ByteReplace => {
-                if let Some(i) = self.offset(data) {
-                    data[i] = self.rng.random();
+                if let Some(i) = self.offset(len) {
+                    data[from + i] = self.rng.random();
                 }
             }
             MutationOp::Interesting8 => {
-                if let Some(i) = self.offset(data) {
-                    data[i] = *INTERESTING8.choose(&mut self.rng).expect("non-empty");
+                if let Some(i) = self.offset(len) {
+                    data[from + i] = *INTERESTING8.choose(&mut self.rng).expect("non-empty");
                 }
             }
             MutationOp::Interesting16 => {
-                if data.len() >= 2 {
-                    let i = self.rng.random_range(0..=data.len() - 2);
+                if len >= 2 {
+                    let i = from + self.rng.random_range(0..=len - 2);
                     let v = *INTERESTING16.choose(&mut self.rng).expect("non-empty");
                     data[i..i + 2].copy_from_slice(&v.to_be_bytes());
                 }
             }
             MutationOp::Interesting32 => {
-                if data.len() >= 4 {
-                    let i = self.rng.random_range(0..=data.len() - 4);
+                if len >= 4 {
+                    let i = from + self.rng.random_range(0..=len - 4);
                     let v = *INTERESTING32.choose(&mut self.rng).expect("non-empty");
                     data[i..i + 4].copy_from_slice(&v.to_be_bytes());
                 }
             }
             MutationOp::Arith => {
-                if let Some(i) = self.offset(data) {
+                if let Some(i) = self.offset(len) {
                     let delta = self.rng.random_range(1..=16u8);
-                    data[i] = if self.rng.random() {
-                        data[i].wrapping_add(delta)
+                    data[from + i] = if self.rng.random() {
+                        data[from + i].wrapping_add(delta)
                     } else {
-                        data[i].wrapping_sub(delta)
+                        data[from + i].wrapping_sub(delta)
                     };
                 }
             }
             MutationOp::Truncate => {
-                if data.len() > 1 {
-                    let keep = self.rng.random_range(1..data.len());
-                    data.truncate(keep);
+                if len > 1 {
+                    let keep = self.rng.random_range(1..len);
+                    data.truncate(from + keep);
                 }
             }
             MutationOp::Extend => {
@@ -202,24 +229,23 @@ impl Mutator {
                 }
             }
             MutationOp::DuplicateChunk => {
-                if !data.is_empty() {
-                    let start = self.rng.random_range(0..data.len());
-                    let len = self.rng.random_range(1..=(data.len() - start).min(8));
-                    let at = self.rng.random_range(0..=data.len());
+                if len > 0 {
+                    let start = from + self.rng.random_range(0..len);
+                    let chunk = self.rng.random_range(1..=(data.len() - start).min(8));
+                    let at = from + self.rng.random_range(0..=len);
                     // Insert without a temporary chunk Vec: append the
                     // chunk in place, then rotate it back to `at`. Byte
                     // result identical to `splice(at..at, chunk)`.
-                    data.extend_from_within(start..start + len);
-                    data[at..].rotate_right(len);
+                    data.extend_from_within(start..start + chunk);
+                    data[at..].rotate_right(chunk);
                 }
             }
             MutationOp::RemoveChunk => {
-                if data.len() > 1 {
-                    let start = self.rng.random_range(0..data.len() - 1);
-                    let len = self
-                        .rng
-                        .random_range(1..=(data.len() - 1 - start).clamp(1, 8));
-                    data.drain(start..start + len);
+                if len > 1 {
+                    let start = self.rng.random_range(0..len - 1);
+                    let chunk = self.rng.random_range(1..=(len - 1 - start).clamp(1, 8));
+                    let at = from + start;
+                    data.drain(at..at + chunk);
                 }
             }
         }
@@ -314,8 +340,8 @@ impl Mutator {
         Some(field.name())
     }
 
-    fn offset(&mut self, data: &[u8]) -> Option<usize> {
-        (!data.is_empty()).then(|| self.rng.random_range(0..data.len()))
+    fn offset(&mut self, len: usize) -> Option<usize> {
+        (len > 0).then(|| self.rng.random_range(0..len))
     }
 }
 
@@ -454,6 +480,41 @@ mod tests {
             m.mutate(&mut data, 2);
         }
         // Must not panic; empty tokens were filtered.
+    }
+
+    #[test]
+    fn mutate_tail_matches_standalone_mutate() {
+        // The arena path must be invisible to determinism: mutating the
+        // tail of a prefixed buffer draws the same RNG sequence and
+        // produces the same bytes as mutating the tail alone, and never
+        // disturbs the prefix.
+        for seed in 0..32u64 {
+            let prefix: Vec<u8> = (0..(seed as usize % 9) * 7).map(|i| i as u8).collect();
+            let message: Vec<u8> = (0..16 + seed as usize % 40)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed as u8))
+                .collect();
+
+            let mut standalone = Mutator::new(seed).with_dictionary([b"$SYS".to_vec()]);
+            let mut expected = message.clone();
+            for _ in 0..8 {
+                standalone.mutate(&mut expected, 6);
+            }
+
+            let mut tailed = Mutator::new(seed).with_dictionary([b"$SYS".to_vec()]);
+            let mut arena = prefix.clone();
+            arena.extend_from_slice(&message);
+            for _ in 0..8 {
+                tailed.mutate_tail(&mut arena, prefix.len(), 6);
+            }
+
+            assert_eq!(&arena[..prefix.len()], &prefix[..], "prefix disturbed");
+            assert_eq!(&arena[prefix.len()..], &expected[..], "tail bytes diverge");
+            assert_eq!(
+                tailed.rng_state(),
+                standalone.rng_state(),
+                "RNG draw sequences diverge"
+            );
+        }
     }
 
     #[test]

@@ -195,6 +195,30 @@ pub trait Target {
     /// Processes one protocol message.
     fn handle(&mut self, input: &[u8]) -> TargetResponse;
 
+    /// Processes a burst of messages stored back-to-back in `arena`, each
+    /// addressed by an `(offset, len)` range. Faults are appended to
+    /// `faults` as `(message index, fault)` pairs in send order.
+    ///
+    /// The contract with [`Target::handle`]: the target's state after the
+    /// batch, and the faults reported, must be identical to calling
+    /// `handle` once per range in order — batching is purely a throughput
+    /// optimization and must be invisible to determinism. The default does
+    /// exactly that per-message loop; transports that can amortize
+    /// per-message framing (see `NetworkedTarget`) override it.
+    fn handle_batch(
+        &mut self,
+        arena: &[u8],
+        ranges: &[(u32, u32)],
+        faults: &mut Vec<(usize, Fault)>,
+    ) {
+        for (i, &(start, len)) in ranges.iter().enumerate() {
+            let message = &arena[start as usize..(start + len) as usize];
+            if let Some(fault) = self.handle(message).fault {
+                faults.push((i, fault));
+            }
+        }
+    }
+
     /// Exports the target's mutable cross-session state as opaque bytes
     /// for checkpointing.
     ///
@@ -242,6 +266,14 @@ impl<T: Target + ?Sized> Target for Box<T> {
     }
     fn handle(&mut self, input: &[u8]) -> TargetResponse {
         (**self).handle(input)
+    }
+    fn handle_batch(
+        &mut self,
+        arena: &[u8],
+        ranges: &[(u32, u32)],
+        faults: &mut Vec<(usize, Fault)>,
+    ) {
+        (**self).handle_batch(arena, ranges, faults)
     }
     fn export_state(&mut self) -> Vec<u8> {
         (**self).export_state()

@@ -82,6 +82,42 @@ impl Inner {
         }
         Ok(())
     }
+
+    /// Transmits a burst of datagrams stored back-to-back in `arena`, each
+    /// addressed by an `(offset, len)` range from `src` to `dst`.
+    ///
+    /// On a perfect link this resolves the destination's channel once and
+    /// pushes every payload under a single bindings lock; on an impaired
+    /// link it falls back to per-datagram [`Inner::transmit`] so the
+    /// impairment RNG draws in exactly the order sequential sends would.
+    fn transmit_many(
+        &self,
+        src: Addr,
+        dst: Addr,
+        arena: &[u8],
+        ranges: &[(u32, u32)],
+    ) -> Result<(), NetError> {
+        if !self.link.lock().conditions.is_perfect() {
+            for &(start, len) in ranges {
+                self.transmit(Datagram {
+                    src,
+                    dst,
+                    payload: arena[start as usize..(start + len) as usize].to_vec(),
+                })?;
+            }
+            return Ok(());
+        }
+        let bindings = self.datagram_bindings.lock();
+        let sender = bindings.get(&dst).ok_or(NetError::Unreachable(dst))?;
+        sender
+            .send_many(ranges.iter().map(|&(start, len)| Datagram {
+                src,
+                dst,
+                payload: arena[start as usize..(start + len) as usize].to_vec(),
+            }))
+            .map_err(|_| NetError::Disconnected)?;
+        Ok(())
+    }
 }
 
 /// One isolated network namespace.
@@ -282,10 +318,38 @@ impl DatagramSocket {
         })
     }
 
+    /// Sends a burst of payloads stored back-to-back in `arena`, each
+    /// addressed by an `(offset, len)` range, to `dst` — observably
+    /// identical to calling [`DatagramSocket::send_to`] once per range in
+    /// order (same delivery sequence, same impairment RNG draws), but on a
+    /// perfect link the whole burst crosses under one bindings lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unreachable`] if no socket is bound at `dst`;
+    /// on an impaired link the error surfaces at the first failing send,
+    /// leaving earlier datagrams delivered, exactly as a sequential loop
+    /// would.
+    pub fn send_many_to(
+        &self,
+        dst: Addr,
+        arena: &[u8],
+        ranges: &[(u32, u32)],
+    ) -> Result<(), NetError> {
+        self.net.transmit_many(self.addr, dst, arena, ranges)
+    }
+
     /// Receives the next pending datagram, if any.
     #[must_use]
     pub fn try_recv(&self) -> Option<Datagram> {
         self.rx.try_recv().ok()
+    }
+
+    /// Drains up to `max` pending datagrams into `out` under one queue
+    /// lock. Returns how many were moved — the same datagrams, in the
+    /// same order, as that many [`DatagramSocket::try_recv`] calls.
+    pub fn recv_many(&self, out: &mut Vec<Datagram>, max: usize) -> usize {
+        self.rx.try_recv_many(out, max)
     }
 
     /// Number of datagrams waiting in the receive queue.
@@ -533,6 +597,54 @@ mod tests {
             got.push(d.payload[0]);
         }
         assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn send_many_matches_sequential_sends() {
+        // The burst path must be observably identical to a send_to loop on
+        // perfect and impaired links alike: same payloads, same order,
+        // same impairment RNG draws.
+        let arena: Vec<u8> = (0u8..64).collect();
+        let ranges: Vec<(u32, u32)> = (0..16).map(|i| (i * 4, 4)).collect();
+        let deliveries = |conditions: LinkConditions, burst: bool| -> Vec<Vec<u8>> {
+            let net = Network::with_conditions("t", conditions, 42);
+            let a = net.bind_datagram(Addr::new(1, 1)).unwrap();
+            let b = net.bind_datagram(Addr::new(2, 2)).unwrap();
+            if burst {
+                a.send_many_to(b.addr(), &arena, &ranges).unwrap();
+            } else {
+                for &(start, len) in &ranges {
+                    a.send_to(b.addr(), &arena[start as usize..(start + len) as usize])
+                        .unwrap();
+                }
+            }
+            let mut got = Vec::new();
+            while let Some(d) = b.try_recv() {
+                assert_eq!((d.src, d.dst), (Addr::new(1, 1), Addr::new(2, 2)));
+                got.push(d.payload);
+            }
+            got
+        };
+        for conditions in [
+            LinkConditions::perfect(),
+            LinkConditions::new(0.2, 0.3, 0.3),
+        ] {
+            assert_eq!(
+                deliveries(conditions, true),
+                deliveries(conditions, false),
+                "burst diverged from sequential sends under {conditions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn send_many_to_unbound_is_unreachable() {
+        let net = Network::new("t");
+        let a = net.bind_datagram(Addr::new(1, 10)).unwrap();
+        assert!(matches!(
+            a.send_many_to(Addr::new(5, 5), b"xy", &[(0, 2)]),
+            Err(NetError::Unreachable(_))
+        ));
     }
 
     #[test]

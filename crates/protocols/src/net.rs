@@ -2,7 +2,7 @@
 
 use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
-use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
+use cmfuzz_fuzzer::{Fault, StartError, Target, TargetResponse};
 use cmfuzz_netsim::{LinkConditions, Network};
 
 use crate::transport::{DatagramLink, Transport};
@@ -148,6 +148,42 @@ impl<T: Target, L: Transport> Target for NetworkedTarget<T, L> {
             }
         }
         response
+    }
+
+    fn handle_batch(
+        &mut self,
+        arena: &[u8],
+        ranges: &[(u32, u32)],
+        faults: &mut Vec<(usize, Fault)>,
+    ) {
+        // Impaired links draw impairment RNG per datagram in both
+        // directions, so only the exact per-message path keeps the draw
+        // order (and thus every recorded digest) intact.
+        if !self.link.is_lossless() {
+            for (i, &(start, len)) in ranges.iter().enumerate() {
+                let message = &arena[start as usize..(start + len) as usize];
+                if let Some(fault) = self.handle(message).fault {
+                    faults.push((i, fault));
+                }
+            }
+            return;
+        }
+        // Lossless burst: every message crosses the wire under one send,
+        // then the server drains them in order. Replies are not echoed
+        // back — on a lossless link the reply round-trip consumes no RNG
+        // and leaves both queues empty, and batch callers discard reply
+        // bytes, so skipping it is state-identical to `handle`.
+        if !self.link.client_send_batch(arena, ranges) {
+            return; // closed link: inert, like per-message sends failing
+        }
+        let NetworkedTarget { inner, link } = self;
+        let mut index = 0;
+        link.server_recv_many(ranges.len(), &mut |payload| {
+            if let Some(fault) = inner.handle(payload).fault {
+                faults.push((index, fault));
+            }
+            index += 1;
+        });
     }
 
     fn export_state(&mut self) -> Vec<u8> {
@@ -313,6 +349,55 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "impairment pattern follows the seed");
+    }
+
+    #[test]
+    fn batch_reports_faults_at_their_message_indices() {
+        let mut t = started(Echo::new(Some(0xFF)));
+        let arena = [1u8, 2, 0xFF, 9, 3, 4, 0xFF, 8];
+        let ranges = [(0u32, 2u32), (2, 2), (4, 2), (6, 2)];
+        let mut faults = Vec::new();
+        t.handle_batch(&arena, &ranges, &mut faults);
+        let indices: Vec<usize> = faults.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, [1, 3]);
+        // The wire is drained: nothing lingers between batches.
+        assert!(t.handle(b"ok").bytes == b"ok");
+    }
+
+    #[test]
+    fn impaired_batch_matches_per_message_handling() {
+        // On a lossy link the batch path must fall back to exact
+        // per-message handling: same impairment RNG draws, so the same
+        // datagrams survive and the link ends in the same state. The
+        // exported state captures the RNG position, held datagram, and
+        // both queues, so byte-equality here is full state-equality.
+        let final_state = |batched: bool| -> Vec<u8> {
+            let mut t = NetworkedTarget::with_conditions(
+                Echo::new(None),
+                "ns",
+                LinkConditions::new(0.3, 0.1, 0.1),
+                9,
+            );
+            let map = CoverageMap::new(1);
+            t.start(&ResolvedConfig::new(), map.probe())
+                .expect("starts");
+            let arena: Vec<u8> = (0u8..32).collect();
+            let ranges: Vec<(u32, u32)> = (0..16).map(|i| (i * 2, 2)).collect();
+            if batched {
+                let mut faults = Vec::new();
+                t.handle_batch(&arena, &ranges, &mut faults);
+            } else {
+                for &(start, len) in &ranges {
+                    let _ = t.handle(&arena[start as usize..(start + len) as usize]);
+                }
+            }
+            t.export_state()
+        };
+        assert_eq!(
+            final_state(true),
+            final_state(false),
+            "impaired fallback diverged"
+        );
     }
 
     #[test]

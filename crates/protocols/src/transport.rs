@@ -45,8 +45,46 @@ pub trait Transport: fmt::Debug + Send {
     /// `true`, like UDP.
     fn client_send(&mut self, payload: &[u8]) -> bool;
 
+    /// Whether every datagram crossing this link arrives exactly once, in
+    /// order, without consuming impairment RNG. Batch execution uses this
+    /// to decide when a burst of sends is observably identical to
+    /// interleaved send/recv — the default says `false`, which is always
+    /// safe (batching simply falls back to the sequential path).
+    fn is_lossless(&self) -> bool {
+        false
+    }
+
+    /// Client → wire → server for a burst of payloads stored back-to-back
+    /// in `arena`, each addressed by an `(offset, len)` range. Returns
+    /// `false` on the first hard failure, after which no further ranges
+    /// are sent — exactly what a [`Transport::client_send`] loop that
+    /// stops on failure observes. The default is that loop; links with a
+    /// cheaper bulk path override it.
+    fn client_send_batch(&mut self, arena: &[u8], ranges: &[(u32, u32)]) -> bool {
+        ranges
+            .iter()
+            .all(|&(start, len)| self.client_send(&arena[start as usize..(start + len) as usize]))
+    }
+
     /// Next datagram pending at the server, if any.
     fn server_recv(&mut self) -> Option<Vec<u8>>;
+
+    /// Delivers up to `max` pending server-side datagrams to `each`, in
+    /// arrival order, stopping early when the queue runs dry. Returns how
+    /// many were delivered — the same payloads, in the same order, as
+    /// that many [`Transport::server_recv`] calls. Links with a cheaper
+    /// bulk path (one queue lock for the whole drain) override this.
+    fn server_recv_many(&mut self, max: usize, each: &mut dyn FnMut(&[u8])) -> usize {
+        let mut received = 0;
+        while received < max {
+            let Some(payload) = self.server_recv() else {
+                break;
+            };
+            each(&payload);
+            received += 1;
+        }
+        received
+    }
 
     /// Server → wire → client. Same contract as
     /// [`Transport::client_send`].
@@ -136,8 +174,20 @@ impl Transport for DirectLink {
         true
     }
 
+    fn is_lossless(&self) -> bool {
+        true
+    }
+
     fn server_recv(&mut self) -> Option<Vec<u8>> {
         self.to_server.pop_front()
+    }
+
+    fn server_recv_many(&mut self, max: usize, each: &mut dyn FnMut(&[u8])) -> usize {
+        let take = self.to_server.len().min(max);
+        for payload in self.to_server.drain(..take) {
+            each(&payload);
+        }
+        take
     }
 
     fn server_send(&mut self, payload: &[u8]) -> bool {
@@ -234,6 +284,13 @@ pub struct DatagramLink {
     network: Network,
     server: Option<DatagramSocket>,
     client: Option<DatagramSocket>,
+    /// Fixed at construction: perfect links never draw impairment RNG, so
+    /// burst sends are safe; impaired links must send datagram by
+    /// datagram to keep the RNG stream aligned.
+    lossless: bool,
+    /// Reused across [`Transport::server_recv_many`] drains so a batch
+    /// drain costs one queue lock and no fresh allocation.
+    recv_scratch: Vec<Datagram>,
 }
 
 impl DatagramLink {
@@ -244,6 +301,8 @@ impl DatagramLink {
             network: Network::new(namespace),
             server: None,
             client: None,
+            lossless: true,
+            recv_scratch: Vec::new(),
         }
     }
 
@@ -255,6 +314,8 @@ impl DatagramLink {
             network: Network::with_conditions(namespace, conditions, seed),
             server: None,
             client: None,
+            lossless: conditions.is_perfect(),
+            recv_scratch: Vec::new(),
         }
     }
 
@@ -299,11 +360,35 @@ impl Transport for DatagramLink {
         }
     }
 
+    fn is_lossless(&self) -> bool {
+        self.lossless
+    }
+
+    fn client_send_batch(&mut self, arena: &[u8], ranges: &[(u32, u32)]) -> bool {
+        match &self.client {
+            Some(client) => client.send_many_to(SERVER_ADDR, arena, ranges).is_ok(),
+            None => false,
+        }
+    }
+
     fn server_recv(&mut self) -> Option<Vec<u8>> {
         self.server
             .as_ref()
             .and_then(DatagramSocket::try_recv)
             .map(|datagram| datagram.payload)
+    }
+
+    fn server_recv_many(&mut self, max: usize, each: &mut dyn FnMut(&[u8])) -> usize {
+        let Some(server) = &self.server else {
+            return 0;
+        };
+        self.recv_scratch.clear();
+        let received = server.recv_many(&mut self.recv_scratch, max);
+        for datagram in &self.recv_scratch {
+            each(&datagram.payload);
+        }
+        self.recv_scratch.clear();
+        received
     }
 
     fn server_send(&mut self, payload: &[u8]) -> bool {
@@ -435,6 +520,8 @@ mod tests {
             network: link_net.network().clone(),
             server: None,
             client: None,
+            lossless: true,
+            recv_scratch: Vec::new(),
         };
         let err = link.open().unwrap_err();
         assert_eq!(err.kind(), StartErrorKind::Transport);
@@ -505,6 +592,41 @@ mod tests {
         resumed.import_state(&state);
         observed.extend(drive(&mut resumed, 12, 24));
         assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn losslessness_reflects_link_conditions() {
+        assert!(DirectLink::new().is_lossless());
+        assert!(DatagramLink::new("t").is_lossless());
+        assert!(DatagramLink::with_conditions("t", LinkConditions::perfect(), 1).is_lossless());
+        assert!(
+            !DatagramLink::with_conditions("t", LinkConditions::new(0.1, 0.0, 0.0), 1)
+                .is_lossless()
+        );
+    }
+
+    #[test]
+    fn batch_send_matches_sequential_sends() {
+        let arena = b"reqAreqBreqC";
+        let ranges = [(0u32, 4u32), (4, 4), (8, 4)];
+        let drain = |link: &mut dyn Transport| -> Vec<Vec<u8>> {
+            let mut got = Vec::new();
+            while let Some(d) = link.server_recv() {
+                got.push(d);
+            }
+            got
+        };
+        let direct: &mut dyn Transport = &mut DirectLink::new();
+        let datagram: &mut dyn Transport = &mut DatagramLink::new("t");
+        for link in [direct, datagram] {
+            assert!(!link.client_send_batch(arena, &ranges), "closed link");
+            link.open().unwrap();
+            assert!(link.client_send_batch(arena, &ranges));
+            assert_eq!(
+                drain(link),
+                vec![b"reqA".to_vec(), b"reqB".to_vec(), b"reqC".to_vec()]
+            );
+        }
     }
 
     #[test]

@@ -367,6 +367,9 @@ impl TelemetryScope {
 /// Default bucket bounds for the messages-per-session histogram.
 pub const SESSION_MESSAGES_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
 
+/// Default bucket bounds for the sessions-per-batch histogram.
+pub const BATCH_SESSIONS_BOUNDS: &[u64] = &[1, 4, 16, 64, 256];
+
 /// Pre-resolved metric handles for the fuzz-engine hot loop.
 ///
 /// The engine records into these on every iteration; with a disabled
@@ -388,6 +391,10 @@ pub struct EngineTelemetry {
     pub faults_observed: Counter,
     /// Messages-per-session distribution.
     pub session_messages: Histogram,
+    /// Batches executed via `run_batch` (one per arena flush).
+    pub batches: Counter,
+    /// Sessions-per-batch distribution.
+    pub batch_sessions: Histogram,
 }
 
 impl EngineTelemetry {
@@ -404,6 +411,8 @@ impl EngineTelemetry {
             faults_observed: telemetry.counter("engine.faults_observed"),
             session_messages: telemetry
                 .histogram("engine.session_messages", SESSION_MESSAGES_BOUNDS),
+            batches: telemetry.counter("engine.batches"),
+            batch_sessions: telemetry.histogram("engine.batch_sessions", BATCH_SESSIONS_BOUNDS),
         }
     }
 
@@ -548,10 +557,19 @@ mod tests {
         let handles = EngineTelemetry::for_pipeline(&telemetry);
         handles.sessions.incr();
         handles.session_messages.record(3);
+        handles.batches.incr();
+        handles.batch_sessions.record(16);
         let snap = telemetry.metrics_snapshot();
         assert_eq!(snap.counter("engine.sessions"), Some(1));
-        assert_eq!(snap.histograms[0].0, "engine.session_messages");
-        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.counter("engine.batches"), Some(1));
+        let histogram = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(histogram("engine.session_messages").1.count, 1);
+        assert_eq!(histogram("engine.batch_sessions").1.count, 1);
 
         // Detached handles record without panicking and stay unread.
         let detached = EngineTelemetry::default();

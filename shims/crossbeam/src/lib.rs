@@ -87,6 +87,33 @@ pub mod channel {
             self.shared.available.notify_one();
             Ok(())
         }
+
+        /// Enqueues every value from `values` under a single queue lock
+        /// with one wakeup — FIFO-equivalent to sending them one by one,
+        /// minus the per-item lock and notify traffic.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError<()>`] — enqueuing nothing — if every
+        /// receiver was dropped (the same all-or-nothing outcome as a
+        /// send-loop, which would fail on its first item).
+        pub fn send_many<I>(&self, values: I) -> Result<(), SendError<()>>
+        where
+            I: IntoIterator<Item = T>,
+        {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(()));
+            }
+            let mut queue = self.shared.queue();
+            let before = queue.len();
+            queue.extend(values);
+            let pushed = queue.len() - before;
+            drop(queue);
+            if pushed > 0 {
+                self.shared.available.notify_all();
+            }
+            Ok(())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -129,6 +156,16 @@ pub mod channel {
                 }
                 None => Err(TryRecvError::Empty),
             }
+        }
+
+        /// Dequeues up to `max` values into `out` under a single queue
+        /// lock, without blocking. Returns how many were moved —
+        /// equivalent to calling [`Receiver::try_recv`] that many times.
+        pub fn try_recv_many(&self, out: &mut Vec<T>, max: usize) -> usize {
+            let mut queue = self.shared.queue();
+            let take = queue.len().min(max);
+            out.extend(queue.drain(..take));
+            take
         }
 
         /// Dequeues the next value, blocking while the channel is empty.

@@ -28,13 +28,20 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Captured from the pre-optimization reference implementation; see module
 /// docs. Regenerate only when a change is *supposed* to alter campaign
 /// results, and say so in the changelog.
+///
+/// Digests regenerated once since capture: `CampaignResult` gained the
+/// `coverage` bitset field (the mergeable form shard workers report), which
+/// is Debug-visible. Branches, faults, curves, and all pre-existing fields
+/// were unchanged — `batch_size_does_not_change_campaign_results` pins the
+/// full Debug render across batch sizes, and the batch-1 render equals the
+/// pre-batching per-iteration loop's by construction.
 const EXPECTED: [(&str, usize, usize, u64); 6] = [
-    ("mosquitto", 46, 0, 0x90c0_b1ed_4d9a_9cbc),
-    ("libcoap", 58, 0, 0x9079_2012_11f2_81f9),
-    ("cyclonedds", 28, 0, 0x65dd_42ae_8b49_caca),
-    ("openssl", 38, 0, 0x1233_2e4f_84d1_50b5),
-    ("qpid", 28, 0, 0x5bfd_fad8_606a_7e85),
-    ("dnsmasq", 40, 1, 0xf7f9_100c_d457_dfa6),
+    ("mosquitto", 46, 0, 0x70b2_6e29_afd5_d1a4),
+    ("libcoap", 58, 0, 0x711f_236a_edd9_3e83),
+    ("cyclonedds", 28, 0, 0x2434_235b_1b23_2aa7),
+    ("openssl", 38, 0, 0x9af7_3367_16ce_b136),
+    ("qpid", 28, 0, 0x245b_cda2_4c60_89af),
+    ("dnsmasq", 40, 1, 0x5ead_b7e1_4d92_52a7),
 ];
 
 fn campaign_digest(subject: &str) -> (usize, usize, u64) {

@@ -87,6 +87,38 @@ fn worker_pool_campaigns_match_inline_reference() {
 }
 
 #[test]
+fn batch_size_is_invisible_across_the_worker_pool() {
+    // Batched execution (FuzzEngine::run_batch via CampaignOptions::batch)
+    // and the worker pool are independent throughput knobs; every
+    // combination must reproduce the inline batch-1 reference exactly.
+    let spec = spec_by_name("libcoap").expect("subject exists");
+    let reference_options = CampaignOptions {
+        instances: 3,
+        budget: Ticks::new(1_200),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(300),
+        seed: 7,
+        worker_pool: false,
+        batch: 1,
+        ..CampaignOptions::default()
+    };
+    let reference = run_cmfuzz(&spec, &ScheduleOptions::default(), &reference_options);
+    for (worker_pool, batch) in [(true, 1), (false, 64), (true, 64)] {
+        let options = CampaignOptions {
+            worker_pool,
+            batch,
+            ..reference_options.clone()
+        };
+        let result = run_cmfuzz(&spec, &ScheduleOptions::default(), &options);
+        assert_eq!(
+            format!("{result:?}"),
+            format!("{reference:?}"),
+            "diverged at worker_pool {worker_pool}, batch {batch}"
+        );
+    }
+}
+
+#[test]
 fn impaired_campaigns_match_inline_reference() {
     // The execution layer's lossy-link acceptance gate: a campaign run
     // over an impaired link (loss, duplication, reordering) must stay
