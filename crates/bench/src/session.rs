@@ -13,9 +13,10 @@
 //! before the allocation-free rework — `String` session plans cloned from
 //! a fresh [`StateWalker`] walk, `Generator::render` building a new `Vec`
 //! per message, model mutation on a full model clone, and a `Vec`-backed
-//! corpus with `remove(0)` eviction and a filter-collect pick. It exists
-//! so `bench_session` can report an honest before/after on identical
-//! workloads; it is not used by any production path.
+//! corpus with `remove(0)` eviction, a filter-collect pick and a
+//! linear-scan exact-duplicate drop. It exists so `bench_session` can
+//! report an honest before/after on identical workloads; it is not used
+//! by any production path.
 
 use cmfuzz_config_model::{ConfigSpace, ResolvedConfig};
 use cmfuzz_coverage::{BranchId, CoverageMap, CoverageProbe, CoverageSnapshot};
@@ -226,6 +227,18 @@ impl<T: Target> LegacyEngine<T> {
         if new_branches > 0 {
             for (model, bytes) in sent {
                 let seed = LegacySeed { bytes, model };
+                // Exact-duplicate drop, naive-style: a full linear scan
+                // (the optimized engine uses a hash index). Keeps the
+                // retained corpus — and therefore the work measured by
+                // the throughput comparison — identical to the
+                // optimized engine's.
+                if self
+                    .seeds
+                    .iter()
+                    .any(|s| s.model == seed.model && s.bytes == seed.bytes)
+                {
+                    continue;
+                }
                 self.outbox.push(seed.clone());
                 if self.config.corpus_capacity > 0
                     && self.seeds.len() >= self.config.corpus_capacity

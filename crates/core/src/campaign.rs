@@ -3,8 +3,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 
-use cmfuzz_config_model::{ConfigValue, ResolvedConfig};
+use cmfuzz_config_model::{ConfigValue, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
+use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
 use cmfuzz_fuzzer::{pit, EngineCheckpoint, EngineConfig, FaultLog, FuzzEngine, Seed, StartError};
 use cmfuzz_netsim::LinkConditions;
 use cmfuzz_protocols::{NetworkedTarget, ProtocolSpec, ProtocolTarget};
@@ -12,7 +13,7 @@ use cmfuzz_telemetry::{EngineTelemetry, Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{CampaignResult, ConfigMutationEvent, CoverageCurve};
+use crate::metrics::{CampaignResult, ConfigMutationEvent, CorpusOccupancy, CoverageCurve};
 
 pub use crate::error::CampaignError;
 
@@ -189,7 +190,13 @@ impl CampaignCheckpoint {
             stats.sessions += instance.engine.stats.sessions;
             stats.messages += instance.engine.stats.messages;
             stats.crashes_observed += instance.engine.stats.crashes_observed;
+            stats.seeds_retained += instance.engine.stats.seeds_retained;
+            stats.seeds_deduped_exact += instance.engine.stats.seeds_deduped_exact;
+            stats.seeds_deduped_near += instance.engine.stats.seeds_deduped_near;
+            stats.seeds_evicted += instance.engine.stats.seeds_evicted;
+            stats.seeds_imported += instance.engine.stats.seeds_imported;
         }
+        let corpus = self.corpus_occupancy();
         let coverage =
             CoverageSnapshot::merge(self.instances.iter().map(|i| &i.engine.accumulated))
                 .unwrap_or_else(|| CoverageSnapshot::empty(0));
@@ -203,8 +210,120 @@ impl CampaignCheckpoint {
             faults,
             config_mutations: self.config_mutations,
             stats,
+            corpus,
         }
     }
+
+    /// Corpus occupancy at pause time, summed over instances — the
+    /// memory-cap evidence fleet benchmarks report per campaign.
+    #[must_use]
+    pub fn corpus_occupancy(&self) -> CorpusOccupancy {
+        let mut occupancy = CorpusOccupancy::default();
+        for instance in &self.instances {
+            occupancy.seeds += instance.engine.corpus.len();
+            occupancy.approx_bytes += instance
+                .engine
+                .corpus
+                .iter()
+                .map(|s| s.bytes.len())
+                .sum::<usize>();
+        }
+        occupancy
+    }
+
+    /// Serializes up to `max` of this campaign's rarest retained seeds
+    /// into a portable seed pack for fleet-wide sharing.
+    ///
+    /// Candidates are drawn from every instance corpus, ordered by rarity
+    /// score ascending (lower = rarer coverage; unscored seeds carry 0 and
+    /// sort first) with ties broken by instance order then retention
+    /// order, and deduplicated by content hash so one campaign never
+    /// donates the same input twice. The pack is self-describing:
+    /// [`CampaignCheckpoint::import_seed_pack`] on any campaign of the
+    /// same subject can decode it.
+    #[must_use]
+    pub fn export_rare_seeds(&self, max: usize) -> Vec<u8> {
+        let mut candidates: Vec<&Seed> = Vec::new();
+        for instance in &self.instances {
+            candidates.extend(instance.engine.corpus.iter());
+        }
+        // Stable sort: equal rarities keep (instance, retention) order.
+        candidates.sort_by_key(|s| s.rarity);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut selected: Vec<&Seed> = Vec::new();
+        for seed in candidates {
+            if selected.len() >= max {
+                break;
+            }
+            if seen.insert(seed.content_hash()) {
+                selected.push(seed);
+            }
+        }
+        let mut writer = StateWriter::new();
+        writer.usize(selected.len());
+        for seed in selected {
+            seed.encode(&mut writer);
+        }
+        writer.finish()
+    }
+
+    /// Imports a seed pack produced by
+    /// [`CampaignCheckpoint::export_rare_seeds`] into every instance whose
+    /// current resolved configuration satisfies `constraints`, returning
+    /// `(accepted, rejected)` transfer counts.
+    ///
+    /// Instances whose running configuration violates the constraint set
+    /// (adaptive mutation may have moved it into a region the subject's
+    /// models declare unreachable) reject the whole pack; each rejected
+    /// seed counts once per rejecting instance. Accepted seeds are
+    /// appended to the instance's checkpointed corpus — the next
+    /// [`run_campaign_slice`] restore replays them through the engine's
+    /// normal retention path, so exact and near duplicates of seeds the
+    /// recipient already holds are still dropped there; seeds already
+    /// present verbatim are skipped here without counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pack` is not a well-formed seed pack.
+    pub fn import_seed_pack(&mut self, pack: &[u8], constraints: &ConstraintSet) -> (u64, u64) {
+        let mut reader = StateReader::new(pack);
+        let count = reader.usize();
+        let seeds: Vec<Seed> = (0..count).map(|_| Seed::decode(&mut reader)).collect();
+        reader.finish();
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for instance in &mut self.instances {
+            if !constraints.violations(&instance.config).is_empty() {
+                rejected += seeds.len() as u64;
+                continue;
+            }
+            for seed in &seeds {
+                let duplicate = instance
+                    .engine
+                    .corpus
+                    .iter()
+                    .any(|s| s.content_hash() == seed.content_hash() && s.bytes == seed.bytes);
+                if duplicate {
+                    continue;
+                }
+                instance.engine.corpus.push(seed.clone());
+                instance.engine.stats.seeds_imported += 1;
+                accepted += 1;
+            }
+        }
+        (accepted, rejected)
+    }
+}
+
+/// Number of seeds in a pack produced by
+/// [`CampaignCheckpoint::export_rare_seeds`], without importing it.
+///
+/// # Panics
+///
+/// Panics if `pack` is shorter than the count prefix.
+#[must_use]
+pub fn seed_pack_len(pack: &[u8]) -> usize {
+    StateReader::new(pack).usize()
 }
 
 /// What one [`run_campaign_slice`] call actually executed — the scheduling

@@ -118,6 +118,33 @@ pub struct CampaignStats {
     pub messages: u64,
     /// Fault events observed (duplicates included).
     pub crashes_observed: u64,
+    /// Seeds retained into instance corpora, summed over instances.
+    pub seeds_retained: u64,
+    /// Seeds dropped as exact duplicates (same model, same bytes).
+    pub seeds_deduped_exact: u64,
+    /// Seeds dropped as MinHash near-duplicates (only when
+    /// [`CorpusConfig::near_dedup`] is on).
+    ///
+    /// [`CorpusConfig::near_dedup`]: cmfuzz_fuzzer::CorpusConfig
+    pub seeds_deduped_near: u64,
+    /// Seeds evicted from full corpora to make room.
+    pub seeds_evicted: u64,
+    /// Seeds imported from other instances or campaigns (intra-campaign
+    /// sync plus fleet-wide sharing).
+    pub seeds_imported: u64,
+}
+
+/// Final corpus occupancy of one campaign, summed over its instances —
+/// the evidence that corpus memory stays capped no matter how long the
+/// campaign runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusOccupancy {
+    /// Seeds resident across all instance corpora.
+    pub seeds: usize,
+    /// Approximate resident payload bytes. Seed buffers are `Arc`-shared
+    /// between the corpus and in-flight outboxes, so each corpus entry is
+    /// counted once at its payload length; index overhead is excluded.
+    pub approx_bytes: usize,
 }
 
 /// The outcome of one parallel fuzzing campaign (one Table I cell for one
@@ -143,6 +170,8 @@ pub struct CampaignResult {
     pub config_mutations: Vec<ConfigMutationEvent>,
     /// Aggregate execution statistics.
     pub stats: CampaignStats,
+    /// Final corpus occupancy across instances.
+    pub corpus: CorpusOccupancy,
 }
 
 impl CampaignResult {
@@ -158,7 +187,8 @@ impl CampaignResult {
     pub fn summary(&self) -> String {
         let mut out = format!(
             "{} on {}: {} branches, {} unique faults ({} observed), \
-             {} sessions / {} messages over {} x {} instances\n",
+             {} sessions / {} messages over {} x {} instances, \
+             corpus {} seeds / ~{} bytes\n",
             self.fuzzer,
             self.target,
             self.final_branches(),
@@ -168,6 +198,8 @@ impl CampaignResult {
             self.stats.messages,
             self.budget,
             self.instances,
+            self.corpus.seeds,
+            self.corpus.approx_bytes,
         );
         for fault in self.faults.faults() {
             out.push_str(&format!("  fault: {fault}\n"));

@@ -1,0 +1,361 @@
+//! Measures the corpus-intelligence layer and records the evidence in
+//! `BENCH_corpus.json`.
+//!
+//! Three experiments back the claims from DESIGN.md §13:
+//!
+//! 1. **Coverage uplift** — every evaluation subject runs two campaigns
+//!    at the same seed and budget, one with the default uniform corpus
+//!    and one with [`CorpusConfig::intelligent`] (near-dedup +
+//!    rarity-weighted picking + rarity eviction). The intelligent corpus
+//!    must match or beat the uniform picker's final branch count on at
+//!    least four of the six subjects.
+//! 2. **Hot-path allocations** — a counting global allocator proves that
+//!    computing a [`SeedSketch`] and picking from a rarity-weighted
+//!    corpus at steady state (alias tables at their high-water size)
+//!    perform zero heap allocations.
+//! 3. **Fleet sharing** — two same-subject campaigns in one
+//!    [`FleetCampaign::share_group`] must actually exchange seeds
+//!    (`seeds_shared > 0`) and reproduce bit-identically on a same-seed
+//!    repeat.
+//!
+//! Exits non-zero if any gate fails, so CI holds the corpus layer to its
+//! claims.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cmfuzz::campaign::{try_run_campaign, CampaignOptions, InstanceSetup};
+use cmfuzz_bench::report;
+use cmfuzz_coverage::Ticks;
+use cmfuzz_fleet::{run_fleet, FleetCampaign, FleetOptions, RoundRobin};
+use cmfuzz_fuzzer::{Corpus, CorpusConfig, EngineConfig, ModelId, Seed, SeedSketch};
+use cmfuzz_protocols::{all_specs, ProtocolSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `routine` `iters` times and returns heap allocations performed.
+fn count_allocs<F: FnMut()>(iters: u64, mut routine: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        routine();
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+struct BenchScale {
+    label: &'static str,
+    /// Per-campaign budget in virtual ticks for the uplift comparison.
+    budget: u64,
+    /// Instances per campaign.
+    instances: usize,
+}
+
+impl BenchScale {
+    fn smoke() -> Self {
+        BenchScale {
+            label: "smoke",
+            budget: 400,
+            instances: 1,
+        }
+    }
+
+    fn default() -> Self {
+        BenchScale {
+            label: "default",
+            budget: 1_200,
+            instances: 2,
+        }
+    }
+}
+
+/// Subjects the intelligent corpus must match-or-beat out of the six.
+const UPLIFT_GATE: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = BenchScale::default();
+    let mut out = PathBuf::from("BENCH_corpus.json");
+    let mut seed: u64 = 0xC0095;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => scale = BenchScale::smoke(),
+            "--seed" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => seed = n,
+                None => usage_error("--seed expects an unsigned integer"),
+            },
+            "--budget" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => scale.budget = n,
+                _ => usage_error("--budget expects a positive tick count"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => usage_error("--out expects a file path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "[bench_corpus] uniform vs intelligent corpus, {} ticks x {} instances ({} scale)",
+        scale.budget, scale.instances, scale.label,
+    );
+
+    let (sketch_allocs, pick_allocs, pick_for_model_allocs) = measure_hot_path();
+    eprintln!(
+        "[bench_corpus] hot path: sketch {sketch_allocs} allocs, pick {pick_allocs}, \
+         pick_for_model {pick_for_model_allocs} (over 2000 iterations each)"
+    );
+
+    let mut subject_blocks = Vec::new();
+    let mut wins = 0usize;
+    let started = Instant::now();
+    for spec in all_specs() {
+        let uniform = run_subject(&spec, &scale, seed, CorpusConfig::default());
+        let intelligent = run_subject(&spec, &scale, seed, CorpusConfig::intelligent());
+        let win = intelligent.0 >= uniform.0;
+        wins += usize::from(win);
+        eprintln!(
+            "[bench_corpus]   {}: uniform {} branches, intelligent {} ({}), \
+             dedup {}+{} near, {} evicted, corpus {} seeds / {} bytes",
+            spec.name,
+            uniform.0,
+            intelligent.0,
+            if win { "ok" } else { "regressed" },
+            intelligent.1,
+            intelligent.2,
+            intelligent.3,
+            intelligent.4,
+            intelligent.5,
+        );
+        subject_blocks.push(format!(
+            "    {{\"subject\": \"{}\", \"uniform_branches\": {}, \
+             \"intelligent_branches\": {}, \"deduped_exact\": {}, \"deduped_near\": {}, \
+             \"evicted\": {}, \"corpus_seeds\": {}, \"corpus_bytes\": {}}}",
+            spec.name,
+            uniform.0,
+            intelligent.0,
+            intelligent.1,
+            intelligent.2,
+            intelligent.3,
+            intelligent.4,
+            intelligent.5,
+        ));
+    }
+    let uplift_seconds = started.elapsed().as_secs_f64();
+
+    let (seeds_shared, share_rejected, share_deterministic) = run_sharing(seed);
+    eprintln!(
+        "[bench_corpus] sharing: {seeds_shared} seeds exchanged, {share_rejected} rejected, \
+         deterministic: {share_deterministic}"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"corpus\",\n  \"scale\": \"{}\",\n  \"machine\": {},\n  \
+         \"seed\": {seed},\n  \"budget_ticks\": {},\n  \"instances\": {},\n  \
+         \"uplift_wall_seconds\": {uplift_seconds:.3},\n  \
+         \"subjects_matched_or_beat\": {wins},\n  \"uplift_gate\": {UPLIFT_GATE},\n  \
+         \"sketch_allocs\": {sketch_allocs},\n  \"pick_allocs\": {pick_allocs},\n  \
+         \"pick_for_model_allocs\": {pick_for_model_allocs},\n  \
+         \"seeds_shared\": {seeds_shared},\n  \"seeds_share_rejected\": {share_rejected},\n  \
+         \"sharing_deterministic\": {share_deterministic},\n  \"subjects\": [\n{}\n  ]\n}}\n",
+        scale.label,
+        report::machine_info_json(),
+        scale.budget,
+        scale.instances,
+        subject_blocks.join(",\n"),
+    );
+    if let Err(err) = std::fs::write(&out, &json) {
+        eprintln!("[bench_corpus] cannot write {}: {err}", out.display());
+        exit(2);
+    }
+    print!("{json}");
+
+    let mut failed = false;
+    if wins < UPLIFT_GATE {
+        eprintln!(
+            "[bench_corpus] FAIL: intelligent corpus matched-or-beat uniform on only \
+             {wins}/6 subjects (gate: {UPLIFT_GATE})"
+        );
+        failed = true;
+    }
+    if sketch_allocs + pick_allocs + pick_for_model_allocs > 0 {
+        eprintln!(
+            "[bench_corpus] FAIL: corpus hot path allocated (sketch {sketch_allocs}, \
+             pick {pick_allocs}, pick_for_model {pick_for_model_allocs})"
+        );
+        failed = true;
+    }
+    if seeds_shared == 0 {
+        eprintln!("[bench_corpus] FAIL: fleet sharing exchanged no seeds");
+        failed = true;
+    }
+    if !share_deterministic {
+        eprintln!("[bench_corpus] FAIL: same-seed sharing fleets diverged");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+/// Runs one campaign over `spec` with the given corpus configuration and
+/// returns `(branches, deduped_exact, deduped_near, evicted, corpus_seeds,
+/// corpus_bytes)`.
+fn run_subject(
+    spec: &ProtocolSpec,
+    scale: &BenchScale,
+    seed: u64,
+    corpus: CorpusConfig,
+) -> (usize, u64, u64, u64, usize, usize) {
+    let options = CampaignOptions {
+        instances: scale.instances,
+        budget: Ticks::new(scale.budget),
+        sample_interval: Ticks::new(100),
+        saturation_window: Ticks::new(200),
+        seed,
+        worker_pool: false,
+        engine: EngineConfig {
+            corpus,
+            ..EngineConfig::default()
+        },
+        ..CampaignOptions::default()
+    };
+    let setups = vec![InstanceSetup::default(); scale.instances];
+    let result = match try_run_campaign(spec, "cmfuzz", &setups, &options) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("[bench_corpus] campaign over {} failed: {error}", spec.name);
+            exit(2);
+        }
+    };
+    (
+        result.final_branches(),
+        result.stats.seeds_deduped_exact,
+        result.stats.seeds_deduped_near,
+        result.stats.seeds_evicted,
+        result.corpus.seeds,
+        result.corpus.approx_bytes,
+    )
+}
+
+/// Allocation gate: sketch computation and rarity-weighted picks at
+/// steady state. Returns allocation counts over 2000 iterations each.
+fn measure_hot_path() -> (u64, u64, u64) {
+    let payload: Vec<u8> = (0..256u32)
+        .map(|i| (i.wrapping_mul(37) % 251) as u8)
+        .collect();
+    let sketch_allocs = count_allocs(2_000, || {
+        black_box(SeedSketch::compute(black_box(&payload)));
+    });
+
+    // A corpus at its high-water mark: every alias-table buffer reached
+    // its final capacity during the adds, so steady-state picks are pure
+    // table lookups.
+    let mut corpus = Corpus::with_config(64, CorpusConfig::intelligent());
+    for i in 0..64u32 {
+        let bytes: Vec<u8> = (0..64u32)
+            .map(|j| (i.wrapping_mul(131).wrapping_add(j * 17) % 251) as u8)
+            .collect();
+        corpus.add(Seed::with_rarity(bytes, ModelId::from_raw(i % 3), i % 11));
+    }
+    assert!(corpus.len() > 1, "hot-path corpus retained seeds");
+
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let pick_allocs = count_allocs(2_000, || {
+        black_box(corpus.pick(&mut rng));
+    });
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let pick_for_model_allocs = count_allocs(2_000, || {
+        black_box(corpus.pick_for_model(&mut rng, ModelId::from_raw(1)));
+    });
+    (sketch_allocs, pick_allocs, pick_for_model_allocs)
+}
+
+/// Fleet-sharing gate: two same-subject campaigns in one share group
+/// must exchange seeds, and a same-seed repeat must reproduce the run.
+/// Returns `(seeds_shared, seeds_share_rejected, deterministic)`.
+fn run_sharing(seed: u64) -> (u64, u64, bool) {
+    let spec = all_specs().into_iter().next().expect("subjects exist");
+    let fleet: Vec<FleetCampaign> = (0..2)
+        .map(|i| FleetCampaign {
+            id: format!("{}/share-{i}", spec.name),
+            spec,
+            fuzzer: "cmfuzz".into(),
+            setups: vec![InstanceSetup::default(); 2],
+            options: CampaignOptions {
+                instances: 2,
+                budget: Ticks::new(400),
+                sample_interval: Ticks::new(100),
+                saturation_window: Ticks::new(200),
+                seed: seed.wrapping_add(i),
+                worker_pool: false,
+                ..CampaignOptions::default()
+            },
+            share_group: Some("bench".into()),
+        })
+        .collect();
+    let run = || match run_fleet(
+        &fleet,
+        &mut RoundRobin::new(),
+        &FleetOptions {
+            slots: 2,
+            slice: Ticks::new(100),
+            share_rare_seeds: 4,
+            ..FleetOptions::default()
+        },
+    ) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("[bench_corpus] sharing fleet failed: {error}");
+            exit(2);
+        }
+    };
+    let first = run();
+    let second = run();
+    let deterministic = format!("{first:?}") == format!("{second:?}");
+    (
+        first.seeds_shared,
+        first.seeds_share_rejected,
+        deterministic,
+    )
+}
+
+const USAGE: &str = "usage: bench_corpus [--smoke] [--seed <n>] [--out <path>]\n\
+    \n\
+    --smoke   small budgets for CI smoke runs (default: the full bench scale)\n\
+    --seed    campaign seed (default: 0xC0095)\n\
+    --budget  per-campaign budget in ticks (overrides the scale)\n\
+    --out     where to write the JSON record (default: BENCH_corpus.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    exit(2);
+}

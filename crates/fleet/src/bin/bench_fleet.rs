@@ -129,6 +129,7 @@ fn main() {
         slice: Ticks::new(scale.slice),
         total_budget: Some(Ticks::new(scale.total_budget)),
         skip_preflight: false,
+        share_rare_seeds: 0,
     };
 
     if let Some((index, of)) = worker {
@@ -414,6 +415,7 @@ fn build_fleet(scale: &BenchScale, seed: u64) -> Vec<FleetCampaign> {
                 fuzzer: "cmfuzz".into(),
                 setups: vec![setup],
                 options,
+                share_group: None,
             });
         }
     }
@@ -448,14 +450,18 @@ fn policy_json(result: &FleetResult, wall_seconds: f64) -> String {
         .campaigns
         .iter()
         .map(|outcome| {
+            let occupancy = outcome.checkpoint.corpus_occupancy();
             format!(
                 "        {{\"id\": \"{}\", \"branches\": {}, \"consumed_ticks\": {}, \
-                 \"leases\": {}, \"completed\": {}}}",
+                 \"leases\": {}, \"completed\": {}, \"corpus_seeds\": {}, \
+                 \"corpus_bytes\": {}}}",
                 outcome.id,
                 outcome.branches(),
                 outcome.consumed.get(),
                 outcome.leases,
                 outcome.completed,
+                occupancy.seeds,
+                occupancy.approx_bytes,
             )
         })
         .collect::<Vec<_>>()

@@ -43,6 +43,7 @@
 //!     fuzzer: "cmfuzz".into(),
 //!     setups: vec![InstanceSetup::default()],
 //!     options,
+//!     share_group: None,
 //! }];
 //! let result = run_fleet(
 //!     &fleet,
@@ -65,13 +66,15 @@ pub mod policy;
 pub use policy::{CoverageGradient, RoundRobin, SchedulingPolicy, UcbBandit};
 
 use cmfuzz::campaign::{
-    run_campaign_slice_with_telemetry, CampaignCheckpoint, CampaignOptions, InstanceSetup,
+    run_campaign_slice_with_telemetry, seed_pack_len, CampaignCheckpoint, CampaignOptions,
+    InstanceSetup,
 };
 use cmfuzz::metrics::CampaignResult;
 use cmfuzz::preflight::{analyze_fleet_schedule, FleetEntryView};
 use cmfuzz::CampaignError;
 use cmfuzz_bench::grid;
 use cmfuzz_coverage::{Ticks, VirtualClock};
+use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::ProtocolSpec;
 use cmfuzz_telemetry::Telemetry;
 
@@ -92,6 +95,12 @@ pub struct FleetCampaign {
     /// Campaign options; `options.budget` caps this campaign's total
     /// virtual-tick consumption across all its slices.
     pub options: CampaignOptions,
+    /// Rare-seed sharing group (typically the relation-aware partition
+    /// family, e.g. `"mqtt"`). At every wave boundary, campaigns in the
+    /// same group exchange their rarest retained seeds when
+    /// [`FleetOptions::share_rare_seeds`] is non-zero. `None` keeps the
+    /// campaign out of every exchange.
+    pub share_group: Option<String>,
 }
 
 /// Knobs for one fleet run.
@@ -108,6 +117,11 @@ pub struct FleetOptions {
     /// Skip the fleet-level static preflight
     /// ([`cmfuzz::preflight::analyze_fleet_schedule`]).
     pub skip_preflight: bool,
+    /// Rare seeds each campaign donates per wave boundary to the other
+    /// members of its [`FleetCampaign::share_group`]; `0` (the default)
+    /// disables sharing entirely and reproduces the historical fleet
+    /// results bit-for-bit.
+    pub share_rare_seeds: usize,
 }
 
 impl Default for FleetOptions {
@@ -117,6 +131,7 @@ impl Default for FleetOptions {
             slice: Ticks::new(200),
             total_budget: None,
             skip_preflight: false,
+            share_rare_seeds: 0,
         }
     }
 }
@@ -164,6 +179,13 @@ pub struct FleetResult {
     pub leases: u64,
     /// Virtual ticks consumed across every slice.
     pub spent: Ticks,
+    /// Seeds accepted across all wave-boundary rare-seed exchanges (0
+    /// when [`FleetOptions::share_rare_seeds`] is 0).
+    pub seeds_shared: u64,
+    /// Seed transfers rejected during exchanges: subject mismatches and
+    /// recipient instances whose running configuration violates the
+    /// subject's declared startup constraints.
+    pub seeds_share_rejected: u64,
     /// Per-campaign outcomes, in the order the fleet was given.
     pub campaigns: Vec<CampaignOutcome>,
 }
@@ -257,12 +279,16 @@ pub fn run_fleet_with_telemetry(
     let waves_counter = telemetry.counter("fleet.waves");
     let leases_counter = telemetry.counter("fleet.leases");
     let ticks_counter = telemetry.counter("fleet.ticks");
+    let shared_in_counter = telemetry.counter("corpus.shared_in");
+    let shared_rejected_counter = telemetry.counter("corpus.shared_rejected");
 
     let mut checkpoints: Vec<Option<CampaignCheckpoint>> = vec![None; fleet.len()];
     let mut lease_counts: Vec<u64> = vec![0; fleet.len()];
     let mut waves: u64 = 0;
     let mut leases: u64 = 0;
     let mut spent: u64 = 0;
+    let mut seeds_shared: u64 = 0;
+    let mut seeds_share_rejected: u64 = 0;
 
     loop {
         let eligible: Vec<usize> = (0..fleet.len())
@@ -354,6 +380,15 @@ pub fn run_fleet_with_telemetry(
         waves_counter.incr();
         leases_counter.add(wave.len() as u64);
 
+        if options.share_rare_seeds > 0 {
+            let (accepted, rejected) =
+                exchange_rare_seeds(fleet, &mut checkpoints, options.share_rare_seeds);
+            seeds_shared += accepted;
+            seeds_share_rejected += rejected;
+            shared_in_counter.add(accepted);
+            shared_rejected_counter.add(rejected);
+        }
+
         if !wave_progress {
             // Every lease was too small to execute a round and nothing
             // completed; granting more identical leases cannot help.
@@ -400,8 +435,85 @@ pub fn run_fleet_with_telemetry(
         waves,
         leases,
         spent: Ticks::new(spent),
+        seeds_shared,
+        seeds_share_rejected,
         campaigns,
     })
+}
+
+/// One wave boundary's fleet-wide rare-seed exchange: every checkpointed
+/// campaign in a [`FleetCampaign::share_group`] donates its
+/// `max_per_donor` rarest seeds to every other member of the group.
+///
+/// All packs are exported before any import, so a seed accepted this wave
+/// propagates further only at the next boundary — the exchange is
+/// order-independent within a wave apart from the deterministic fleet
+/// ordering of the recipients themselves. Donations across subjects are
+/// rejected wholesale (seed model ids index the donor's Pit model table,
+/// which only campaigns of the same subject share); within a subject,
+/// [`CampaignCheckpoint::import_seed_pack`] additionally rejects
+/// instances whose running configuration violates the subject's declared
+/// startup constraints. Returns `(accepted, rejected)` transfer totals.
+fn exchange_rare_seeds(
+    fleet: &[FleetCampaign],
+    checkpoints: &mut [Option<CampaignCheckpoint>],
+    max_per_donor: usize,
+) -> (u64, u64) {
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (index, campaign) in fleet.iter().enumerate() {
+        let Some(group) = campaign.share_group.as_deref() else {
+            continue;
+        };
+        // A campaign the policy has not scheduled yet has no corpus to
+        // donate and no checkpoint to import into; skip it this wave.
+        if checkpoints[index].is_none() {
+            continue;
+        }
+        match groups.iter_mut().find(|(name, _)| *name == group) {
+            Some((_, members)) => members.push(index),
+            None => groups.push((group, vec![index])),
+        }
+    }
+
+    let mut accepted_total = 0u64;
+    let mut rejected_total = 0u64;
+    for (_, members) in &groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let packs: Vec<Vec<u8>> = members
+            .iter()
+            .map(|&i| {
+                checkpoints[i]
+                    .as_ref()
+                    .expect("grouped members are checkpointed")
+                    .export_rare_seeds(max_per_donor)
+            })
+            .collect();
+        let constraints: Vec<_> = members
+            .iter()
+            .map(|&i| (fleet[i].spec.build)().config_constraints())
+            .collect();
+        for (donor_slot, &donor) in members.iter().enumerate() {
+            for (recipient_slot, &recipient) in members.iter().enumerate() {
+                if recipient == donor {
+                    continue;
+                }
+                if fleet[donor].spec.name != fleet[recipient].spec.name {
+                    rejected_total += seed_pack_len(&packs[donor_slot]) as u64;
+                    continue;
+                }
+                let checkpoint = checkpoints[recipient]
+                    .as_mut()
+                    .expect("grouped members are checkpointed");
+                let (accepted, rejected) =
+                    checkpoint.import_seed_pack(&packs[donor_slot], &constraints[recipient_slot]);
+                accepted_total += accepted;
+                rejected_total += rejected;
+            }
+        }
+    }
+    (accepted_total, rejected_total)
 }
 
 #[cfg(test)]
@@ -432,6 +544,7 @@ mod tests {
                 fuzzer: "cmfuzz".into(),
                 setups: vec![InstanceSetup::default(); 2],
                 options: small_options(seed, 400),
+                share_group: None,
             })
             .collect()
     }
@@ -507,6 +620,84 @@ mod tests {
             .expect("fleet runs")
         };
         assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+
+    #[test]
+    fn rare_seed_sharing_exchanges_within_groups_and_rejects_cross_subject() {
+        // Two mosquitto campaigns and one dnsmasq campaign all share one
+        // group: the mosquitto pair exchanges seeds, while every donation
+        // between mosquitto and dnsmasq is rejected (their Pit model
+        // tables differ) and counted.
+        let fleet: Vec<FleetCampaign> = [("mosquitto", 3_u64), ("mosquitto", 5), ("dnsmasq", 7)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, seed))| FleetCampaign {
+                id: format!("{name}/share-{i}"),
+                spec: spec_by_name(name).expect("subject exists"),
+                fuzzer: "cmfuzz".into(),
+                setups: vec![InstanceSetup::default(); 2],
+                options: small_options(seed, 400),
+                share_group: Some("iot".into()),
+            })
+            .collect();
+        let run = || {
+            run_fleet(
+                &fleet,
+                &mut RoundRobin::new(),
+                &FleetOptions {
+                    slots: 3,
+                    slice: Ticks::new(100),
+                    share_rare_seeds: 4,
+                    ..FleetOptions::default()
+                },
+            )
+            .expect("fleet runs")
+        };
+        let result = run();
+        assert!(result.seeds_shared > 0, "same-subject transfers happen");
+        assert!(
+            result.seeds_share_rejected > 0,
+            "cross-subject donations are rejected and counted"
+        );
+        let imported: u64 = result
+            .campaigns
+            .iter()
+            .map(|c| c.result().stats.seeds_imported)
+            .sum();
+        assert!(
+            imported >= result.seeds_shared,
+            "accepted transfers surface in campaign stats"
+        );
+        assert_eq!(
+            format!("{:?}", run()),
+            format!("{result:?}"),
+            "sharing fleets stay deterministic"
+        );
+    }
+
+    #[test]
+    fn sharing_disabled_leaves_campaigns_untouched() {
+        // share_rare_seeds: 0 must reproduce the no-sharing fleet even
+        // when groups are declared — the historical digests depend on it.
+        let mut grouped = small_fleet();
+        for campaign in &mut grouped {
+            campaign.share_group = Some("iot".into());
+        }
+        let opts = FleetOptions {
+            slots: 2,
+            slice: Ticks::new(100),
+            ..FleetOptions::default()
+        };
+        let with_groups = run_fleet(&grouped, &mut RoundRobin::new(), &opts).expect("fleet runs");
+        let without = run_fleet(&small_fleet(), &mut RoundRobin::new(), &opts).expect("fleet runs");
+        assert_eq!(with_groups.seeds_shared, 0);
+        for (a, b) in with_groups.campaigns.iter().zip(&without.campaigns) {
+            assert_eq!(
+                format!("{:?}", a.result()),
+                format!("{:?}", b.result()),
+                "campaign outcomes identical with sharing off"
+            );
+        }
     }
 
     #[test]

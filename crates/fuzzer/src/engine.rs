@@ -8,8 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::pit::PitDefinition;
 use crate::{
-    CompiledStateModel, Corpus, DataModel, Fault, FaultLog, FieldNameTable, ModelId, ModelTable,
-    Mutator, RenderProgram, Seed, StartError, Target,
+    AddOutcome, CompiledStateModel, Corpus, CorpusConfig, DataModel, Fault, FaultLog,
+    FieldNameTable, ModelId, ModelTable, Mutator, RenderProgram, Seed, StartError, Target,
 };
 
 /// Tunables of a fuzzing instance.
@@ -43,6 +43,11 @@ pub struct EngineConfig {
     /// Optional token dictionary spliced into havoc stacks (AFL-style);
     /// empty by default, leaving mutation behaviour unchanged.
     pub dictionary: Vec<Vec<u8>>,
+    /// Corpus intelligence switches (near-dedup, rarity-weighted pick,
+    /// rarity eviction). The default disables all three, preserving the
+    /// historical uniform-pick FIFO corpus byte-for-byte; exact
+    /// duplicates are dropped regardless.
+    pub corpus: CorpusConfig,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +61,7 @@ impl Default for EngineConfig {
             seed_reuse_rate: 0.5,
             byte_mutation_rate: 0.6,
             dictionary: Vec::new(),
+            corpus: CorpusConfig::default(),
         }
     }
 }
@@ -75,6 +81,16 @@ pub struct EngineStats {
     pub byte_mutations: u64,
     /// Fault events observed, duplicates included.
     pub crashes_observed: u64,
+    /// Seeds retained by the corpus.
+    pub seeds_retained: u64,
+    /// Seeds dropped as byte-identical duplicates of retained seeds.
+    pub seeds_deduped_exact: u64,
+    /// Seeds dropped as MinHash near-duplicates of retained seeds.
+    pub seeds_deduped_near: u64,
+    /// Seeds evicted to respect the corpus capacity.
+    pub seeds_evicted: u64,
+    /// Seeds accepted from sibling instances or fleet-wide sharing.
+    pub seeds_imported: u64,
 }
 
 /// What one fuzzing iteration (one protocol session) produced.
@@ -245,7 +261,7 @@ impl<T: Target> FuzzEngine<T> {
         let mutator = Mutator::new(config.seed ^ 0x006d_7574_6174_6f72)
             .with_dictionary(config.dictionary.clone());
         let rng = StdRng::seed_from_u64(config.seed);
-        let corpus = Corpus::new(config.corpus_capacity);
+        let corpus = Corpus::with_config(config.corpus_capacity, config.corpus);
         FuzzEngine {
             target,
             pit,
@@ -325,10 +341,16 @@ impl<T: Target> FuzzEngine<T> {
     }
 
     /// Imports seeds shared by sibling instances (they do not re-enter the
-    /// outbox, so synchronization does not echo).
+    /// outbox, so synchronization does not echo). Seeds the corpus
+    /// already holds — the common case when synchronization echoes a
+    /// seed back through a third instance — are dropped silently; only
+    /// actually-retained imports count toward `seeds_imported`.
     pub fn import_seeds(&mut self, seeds: &[Seed]) {
         for seed in seeds {
-            self.corpus.add(seed.clone());
+            if self.corpus.add(seed.clone()).retained() {
+                self.stats.seeds_imported += 1;
+                self.telemetry.seeds_shared_in.incr();
+            }
         }
     }
 
@@ -406,7 +428,12 @@ impl<T: Target> FuzzEngine<T> {
         self.accumulated = checkpoint.accumulated.clone();
         self.start(config)?;
         self.target.import_state(&checkpoint.target_state);
-        self.corpus = Corpus::new(self.config.corpus_capacity);
+        // Re-adding the survivors in retention order reproduces pick
+        // behavior exactly: live seeds are pairwise non-duplicate and
+        // within capacity, so no add below dedups or evicts, and the
+        // weighted-pick tables rebuild from the same (rarity, order)
+        // sequence the checkpointed corpus held.
+        self.corpus = Corpus::with_config(self.config.corpus_capacity, self.config.corpus);
         for seed in &checkpoint.corpus {
             self.corpus.add(seed.clone());
         }
@@ -470,13 +497,18 @@ impl<T: Target> FuzzEngine<T> {
         // new was reached. The map merges first-hit words straight into the
         // accumulated set, so sessions that find nothing new never touch
         // the heap here; seed bytes are copied into shared `Arc` buffers
-        // only on this cold path.
+        // only on this cold path. Rarity must be peeked before the absorb
+        // drains the dirty words it is computed from.
+        let rarity = self.pending_rarity();
         outcome.new_branches = self.map.absorb_new(&mut self.accumulated);
         if outcome.new_branches > 0 {
             for (i, &model_id) in plan.iter().enumerate() {
-                let seed = Seed::new(bufs[i].as_slice(), model_id);
-                self.outbox.push(seed.clone());
-                self.corpus.add(seed);
+                let seed = Seed::with_rarity(bufs[i].as_slice(), model_id, rarity);
+                let added = self.corpus.add(seed.clone());
+                self.record_add(added);
+                if added.retained() {
+                    self.outbox.push(seed);
+                }
             }
         }
         self.plan_scratch = plan;
@@ -562,10 +594,24 @@ impl<T: Target> FuzzEngine<T> {
             // what a per-session absorb would have returned, because the
             // accumulated set matches the map at batch boundaries.
             if self.map.covered_count() > covered_before {
+                // In batch mode the un-drained dirty words accumulate
+                // across the batch's sessions, so the peeked score covers
+                // everything new since the batch began — a coarser
+                // measurement than per-iteration scoring, which is why
+                // rarity scoring is opt-in rather than free with
+                // batching.
+                let rarity = self.pending_rarity();
                 for (&model_id, &(start, len)) in plan.iter().zip(&ranges[first_message..]) {
-                    let seed = Seed::new(&arena[start as usize..(start + len) as usize], model_id);
-                    self.outbox.push(seed.clone());
-                    self.corpus.add(seed);
+                    let seed = Seed::with_rarity(
+                        &arena[start as usize..(start + len) as usize],
+                        model_id,
+                        rarity,
+                    );
+                    let added = self.corpus.add(seed.clone());
+                    self.record_add(added);
+                    if added.retained() {
+                        self.outbox.push(seed);
+                    }
                 }
             }
             self.iterations += 1;
@@ -653,6 +699,40 @@ impl<T: Target> FuzzEngine<T> {
         }
     }
 
+    /// Rarity score for seeds about to be retained: the hit-count mass of
+    /// the rarest coverage word flagged dirty since the last absorb.
+    /// Constant 0 unless the corpus configuration actually consumes
+    /// scores, so default-config engines never touch the peek path.
+    fn pending_rarity(&self) -> u32 {
+        if self.config.corpus.scores_rarity() {
+            self.map.peek_new_rarity().unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Folds a corpus add outcome into stats and telemetry.
+    fn record_add(&mut self, outcome: AddOutcome) {
+        match outcome {
+            AddOutcome::Added { evicted } => {
+                self.stats.seeds_retained += 1;
+                self.telemetry.seeds_retained.incr();
+                if evicted {
+                    self.stats.seeds_evicted += 1;
+                    self.telemetry.seeds_evicted.incr();
+                }
+            }
+            AddOutcome::DuplicateExact => {
+                self.stats.seeds_deduped_exact += 1;
+                self.telemetry.seeds_deduped_exact.incr();
+            }
+            AddOutcome::DuplicateNear => {
+                self.stats.seeds_deduped_near += 1;
+                self.telemetry.seeds_deduped_near.incr();
+            }
+        }
+    }
+
     /// Slot of the first working model interned as `model`, if any.
     fn model_slot(&self, model: ModelId) -> Option<usize> {
         self.model_index.get(model.index()).copied().flatten()
@@ -697,6 +777,13 @@ impl<T: Target> FuzzEngine<T> {
     #[must_use]
     pub fn corpus_len(&self) -> usize {
         self.corpus.len()
+    }
+
+    /// Approximate bytes resident in the seed corpus (see
+    /// [`Corpus::approx_bytes`]).
+    #[must_use]
+    pub fn corpus_bytes(&self) -> usize {
+        self.corpus.approx_bytes()
     }
 
     /// The target, for inspection.

@@ -44,17 +44,19 @@ mod intern;
 mod mutate;
 pub mod pit;
 mod render_program;
+pub mod sketch;
 pub mod state_codec;
 mod state_model;
 mod target;
 
-pub use corpus::{Corpus, Seed};
+pub use corpus::{AddOutcome, Corpus, CorpusConfig, Seed};
 pub use data_model::{DataModel, Endian, Field, FieldKind, FieldValue, Generator};
 pub use engine::{EngineCheckpoint, EngineConfig, FuzzEngine, IterationOutcome};
 pub use fault::{Fault, FaultKind, FaultLog};
 pub use intern::{ModelId, ModelTable};
 pub use mutate::{MutationOp, Mutator};
 pub use render_program::{FieldNameTable, RenderProgram};
+pub use sketch::SeedSketch;
 pub use state_model::{
     CompiledStateModel, ResponseClass, State, StateModel, StateWalker, Transition,
 };

@@ -395,6 +395,18 @@ pub struct EngineTelemetry {
     pub batches: Counter,
     /// Sessions-per-batch distribution.
     pub batch_sessions: Histogram,
+    /// Seeds retained by the corpus.
+    pub seeds_retained: Counter,
+    /// Seeds dropped as byte-identical duplicates.
+    pub seeds_deduped_exact: Counter,
+    /// Seeds dropped as MinHash near-duplicates.
+    pub seeds_deduped_near: Counter,
+    /// Seeds evicted to respect the corpus capacity.
+    pub seeds_evicted: Counter,
+    /// Seeds accepted from sibling instances or fleet sharing.
+    pub seeds_shared_in: Counter,
+    /// Shared seeds rejected (constraint violations, wrong subject).
+    pub seeds_shared_rejected: Counter,
 }
 
 impl EngineTelemetry {
@@ -413,6 +425,12 @@ impl EngineTelemetry {
                 .histogram("engine.session_messages", SESSION_MESSAGES_BOUNDS),
             batches: telemetry.counter("engine.batches"),
             batch_sessions: telemetry.histogram("engine.batch_sessions", BATCH_SESSIONS_BOUNDS),
+            seeds_retained: telemetry.counter("corpus.retained"),
+            seeds_deduped_exact: telemetry.counter("corpus.deduped_exact"),
+            seeds_deduped_near: telemetry.counter("corpus.deduped_near"),
+            seeds_evicted: telemetry.counter("corpus.evicted"),
+            seeds_shared_in: telemetry.counter("corpus.shared_in"),
+            seeds_shared_rejected: telemetry.counter("corpus.shared_rejected"),
         }
     }
 

@@ -147,6 +147,7 @@ fn same_seed_fleet_runs_are_bit_identical() {
             fuzzer: "cmfuzz".into(),
             setups: vec![InstanceSetup::default(); 2],
             options: campaign_options(seed, link),
+            share_group: None,
         })
         .collect();
     let run = || {
