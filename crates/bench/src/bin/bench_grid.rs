@@ -91,7 +91,7 @@ fn main() {
             Ok(timed) => timed,
             Err(error) => {
                 eprintln!("[bench_grid] grid failed: {error}");
-                exit(2);
+                exit(error.exit_code());
             }
         };
     let parallel = started.elapsed();
@@ -177,7 +177,7 @@ fn run_shard_worker(scale: &ExperimentScale, index: usize, of: usize) -> ! {
         }
         Err(error) => {
             eprintln!("[bench_grid] shard worker {index}/{of} failed: {error}");
-            exit(2);
+            exit(error.exit_code());
         }
     }
 }

@@ -110,7 +110,7 @@ fn main() {
         )
         .unwrap_or_else(|error| {
             eprintln!("[bench_transport] lossy campaign failed: {error}");
-            exit(1);
+            exit(error.exit_code());
         })
     };
     let pooled = format!("{:?}", run(true));

@@ -8,7 +8,7 @@ fn main() {
         try_figure4_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(|error| {
             args.telemetry.flush();
             eprintln!("figure4: {error}");
-            std::process::exit(1);
+            std::process::exit(error.exit_code());
         });
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_figure4(&series));

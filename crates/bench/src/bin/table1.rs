@@ -8,7 +8,7 @@ fn main() {
         try_table1_with_jobs(&args.scale, &args.telemetry, args.jobs).unwrap_or_else(|error| {
             args.telemetry.flush();
             eprintln!("table1: {error}");
-            std::process::exit(1);
+            std::process::exit(error.exit_code());
         });
     args.telemetry.flush();
     print!("{}", cmfuzz_bench::report::render_table1(&rows));

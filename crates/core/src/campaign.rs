@@ -1,7 +1,7 @@
 //! The parallel campaign runner.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 
 use cmfuzz_config_model::{ConfigValue, ConstraintSet, ResolvedConfig};
 use cmfuzz_coverage::{CoverageSnapshot, SaturationDetector, Ticks, VirtualClock};
@@ -341,6 +341,76 @@ pub struct SliceReport {
     pub union_branches: usize,
     /// Whether the campaign's whole budget is now exhausted.
     pub done: bool,
+    /// Whether a [`CampaignControl`] signal stopped the slice at a round
+    /// boundary before its budget ran out (the checkpoint resumes exactly
+    /// where the interruption landed).
+    pub interrupted: bool,
+}
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    paused: AtomicBool,
+    killed: AtomicBool,
+}
+
+/// Live control signals for a running campaign.
+///
+/// A control handle is shared between an operator (the control plane) and
+/// the slice runner: [`run_campaign_slice_with_control`] checks it at
+/// every round boundary and stops the slice early — never mid-round — when
+/// a pause or kill is requested, returning a resumable checkpoint with
+/// [`SliceReport::interrupted`] set. The handle carries no RNG and is
+/// consulted strictly *between* rounds, so control actions change how much
+/// work a slice does but never what any executed round computes: resuming
+/// an interrupted checkpoint reproduces the uninterrupted campaign
+/// byte-for-byte.
+///
+/// Cloning shares the signal. Pause is reversible ([`CampaignControl::resume`]);
+/// kill is permanent.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignControl {
+    inner: Arc<ControlInner>,
+}
+
+impl CampaignControl {
+    /// Creates a handle with no signal raised.
+    #[must_use]
+    pub fn new() -> Self {
+        CampaignControl::default()
+    }
+
+    /// Requests a stop at the next round boundary; reversible.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Release);
+    }
+
+    /// Clears a pause request (a kill stays in force).
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::Release);
+    }
+
+    /// Permanently requests a stop at the next round boundary.
+    pub fn kill(&self) {
+        self.inner.killed.store(true, Ordering::Release);
+    }
+
+    /// Whether a pause is currently requested.
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.inner.paused.load(Ordering::Acquire)
+    }
+
+    /// Whether the campaign has been killed.
+    #[must_use]
+    pub fn is_killed(&self) -> bool {
+        self.inner.killed.load(Ordering::Acquire)
+    }
+
+    /// Whether the runner should stop at the next round boundary.
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        self.is_paused() || self.is_killed()
+    }
 }
 
 /// Runs one parallel fuzzing campaign: `setups.len()` isolated instances
@@ -489,7 +559,6 @@ pub fn run_campaign_slice(
 /// # Errors
 ///
 /// As [`run_campaign_slice`].
-#[allow(clippy::too_many_lines)]
 pub fn run_campaign_slice_with_telemetry(
     spec: &ProtocolSpec,
     fuzzer: &str,
@@ -498,6 +567,40 @@ pub fn run_campaign_slice_with_telemetry(
     checkpoint: Option<CampaignCheckpoint>,
     slice_budget: Ticks,
     telemetry: &Telemetry,
+) -> Result<(CampaignCheckpoint, SliceReport), CampaignError> {
+    run_campaign_slice_with_control(
+        spec,
+        fuzzer,
+        setups,
+        options,
+        checkpoint,
+        slice_budget,
+        telemetry,
+        None,
+    )
+}
+
+/// [`run_campaign_slice_with_telemetry`] that additionally honours live
+/// [`CampaignControl`] signals: the handle is checked at every round
+/// boundary, and a raised pause/kill stops the slice there with
+/// [`SliceReport::interrupted`] set. `None` behaves exactly like the
+/// uncontrolled variant. Control never touches engine RNG — an interrupted
+/// checkpoint resumed later reproduces the uninterrupted campaign
+/// byte-for-byte.
+///
+/// # Errors
+///
+/// As [`run_campaign_slice`].
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn run_campaign_slice_with_control(
+    spec: &ProtocolSpec,
+    fuzzer: &str,
+    setups: &[InstanceSetup],
+    options: &CampaignOptions,
+    checkpoint: Option<CampaignCheckpoint>,
+    slice_budget: Ticks,
+    telemetry: &Telemetry,
+    control: Option<&CampaignControl>,
 ) -> Result<(CampaignCheckpoint, SliceReport), CampaignError> {
     if setups.is_empty() {
         return Err(CampaignError::NoInstances);
@@ -653,6 +756,10 @@ pub fn run_campaign_slice_with_telemetry(
     // scope (workers must observe `stop` through the barrier protocol
     // first), so it is carried out here.
     let mut failure: Option<CampaignError> = None;
+    // Rounds actually executed; falls short of `end_round` when a control
+    // signal interrupts the slice at a round boundary.
+    let mut executed_through = start_round;
+    let mut interrupted = false;
 
     std::thread::scope(|scope| {
         if pool {
@@ -676,6 +783,14 @@ pub fn run_campaign_slice_with_telemetry(
         }
 
         'rounds: for round in start_round..end_round {
+            // Control signals are honoured strictly between rounds, while
+            // the workers are parked on `round_start`: no instance state
+            // is in flight, so stopping here is as clean as never having
+            // scheduled the round.
+            if control.is_some_and(CampaignControl::should_stop) {
+                interrupted = true;
+                break 'rounds;
+            }
             if pool {
                 round_start.wait();
                 round_done.wait();
@@ -796,6 +911,7 @@ pub fn run_campaign_slice_with_telemetry(
                 });
                 telemetry.drain();
             }
+            executed_through = round + 1;
         }
 
         if pool {
@@ -828,7 +944,7 @@ pub fn run_campaign_slice_with_telemetry(
         })
         .collect();
 
-    let done = end_round >= rounds_total;
+    let done = executed_through >= rounds_total;
     if done {
         let mut faults = FaultLog::new();
         for instance in &saved {
@@ -845,18 +961,19 @@ pub fn run_campaign_slice_with_telemetry(
 
     let sessions_after: u64 = saved.iter().map(|i| i.engine.stats.sessions).sum();
     let report = SliceReport {
-        rounds: slice_rounds,
+        rounds: executed_through - start_round,
         sessions: sessions_after - sessions_before,
         new_branches: curve.final_branches().saturating_sub(branches_before),
         union_branches: curve.final_branches(),
         done,
+        interrupted,
     };
     let checkpoint = CampaignCheckpoint {
         fuzzer: fuzzer.to_owned(),
         target: spec.name.to_owned(),
         budget: options.budget,
         rounds_total,
-        rounds_done: end_round,
+        rounds_done: executed_through,
         consumed: clock.now(),
         curve,
         config_mutations,
@@ -1222,6 +1339,66 @@ mod tests {
         assert_eq!(idle.rounds, 0);
         assert!(idle.done);
         assert_eq!(done.rounds_done(), 6);
+    }
+
+    #[test]
+    fn control_signals_interrupt_at_round_boundaries_without_drift() {
+        let spec = spec_by_name("dnsmasq").unwrap();
+        let setups = vec![InstanceSetup::default(); 2];
+        let options = small_options(3);
+        let reference = run_campaign(&spec, "peach", &setups, &options);
+
+        // A raised pause stops the very first slice before any round runs.
+        let control = CampaignControl::new();
+        control.pause();
+        assert!(control.is_paused());
+        let telemetry = Telemetry::disabled();
+        let (paused, report) = run_campaign_slice_with_control(
+            &spec,
+            "peach",
+            &setups,
+            &options,
+            None,
+            Ticks::new(10_000),
+            &telemetry,
+            Some(&control),
+        )
+        .expect("paused slice");
+        assert!(report.interrupted, "pause must interrupt the slice");
+        assert_eq!(report.rounds, 0);
+        assert!(!report.done);
+        assert_eq!(paused.rounds_done(), 0);
+
+        // Resume mid-slice: raise the pause again after boot, run one
+        // slice that covers the whole budget — it still stops at the first
+        // boundary check it sees the signal at.
+        control.resume();
+        assert!(!control.should_stop());
+        let (finished, rest) = run_campaign_slice_with_control(
+            &spec,
+            "peach",
+            &setups,
+            &options,
+            Some(paused),
+            Ticks::new(10_000),
+            &telemetry,
+            Some(&control),
+        )
+        .expect("resumed slice");
+        assert!(rest.done);
+        assert!(!rest.interrupted);
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{:?}", finished.into_result()),
+            "an interrupted-then-resumed campaign must not drift"
+        );
+
+        // Kill is permanent: resume does not clear it.
+        let control = CampaignControl::new();
+        control.kill();
+        control.resume();
+        assert!(control.is_killed());
+        assert!(control.should_stop());
     }
 
     #[test]

@@ -69,6 +69,24 @@ pub enum CampaignError {
     },
 }
 
+impl CampaignError {
+    /// Process exit code for this failure under the repo-wide convention
+    /// (see the "Exit codes" table in README.md): `3` for model-level
+    /// preflight rejections — aligning with `cmfuzz-lint`'s error
+    /// severity — and `2` for every operational failure (broken Pit
+    /// document, boot/restart refusal, empty instance set).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CampaignError::Preflight(_) => 3,
+            CampaignError::NoInstances
+            | CampaignError::PitParse { .. }
+            | CampaignError::TargetBoot { .. }
+            | CampaignError::Restart { .. } => 2,
+        }
+    }
+}
+
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -153,6 +171,18 @@ mod tests {
         assert_ne!(restart, CampaignError::NoInstances);
         assert!(restart.to_string().contains("could not restore"));
         assert!(CampaignError::NoInstances.source().is_none());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_readme_convention() {
+        assert_eq!(CampaignError::NoInstances.exit_code(), 2);
+        let boot = CampaignError::TargetBoot {
+            target: "mosquitto".into(),
+            instance: 0,
+            error: StartError::new("no listener"),
+        };
+        assert_eq!(boot.exit_code(), 2);
+        assert_eq!(CampaignError::Preflight(Vec::new()).exit_code(), 3);
     }
 
     #[test]

@@ -253,7 +253,7 @@ fn run_subject(
         Ok(result) => result,
         Err(error) => {
             eprintln!("[bench_corpus] campaign over {} failed: {error}", spec.name);
-            exit(2);
+            exit(error.exit_code());
         }
     };
     (
@@ -335,7 +335,7 @@ fn run_sharing(seed: u64) -> (u64, u64, bool) {
         Ok(result) => result,
         Err(error) => {
             eprintln!("[bench_corpus] sharing fleet failed: {error}");
-            exit(2);
+            exit(error.exit_code());
         }
     };
     let first = run();

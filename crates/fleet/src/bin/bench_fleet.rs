@@ -223,7 +223,7 @@ fn run_in_process(
                     "[bench_fleet] fleet failed under {}: {error}",
                     policy.name()
                 );
-                exit(2);
+                exit(error.exit_code());
             }
         };
         let wall = started.elapsed().as_secs_f64();
@@ -273,7 +273,7 @@ fn run_shard_worker(fleet: &[FleetCampaign], options: &FleetOptions, index: usiz
                     "[bench_fleet] shard worker {index}/{of} failed under {}: {error}",
                     policy.name()
                 );
-                exit(2);
+                exit(error.exit_code());
             }
         };
         let wall = started.elapsed().as_secs_f64();

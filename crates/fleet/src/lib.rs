@@ -61,20 +61,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manager;
 pub mod policy;
 
+pub use manager::{CampaignState, CampaignStatus, FleetManager, IdleReason, WaveOutcome};
 pub use policy::{CoverageGradient, RoundRobin, SchedulingPolicy, UcbBandit};
 
-use cmfuzz::campaign::{
-    run_campaign_slice_with_telemetry, seed_pack_len, CampaignCheckpoint, CampaignOptions,
-    InstanceSetup,
-};
+use cmfuzz::campaign::{CampaignCheckpoint, CampaignOptions, InstanceSetup};
 use cmfuzz::metrics::CampaignResult;
-use cmfuzz::preflight::{analyze_fleet_schedule, FleetEntryView};
 use cmfuzz::CampaignError;
-use cmfuzz_bench::grid;
-use cmfuzz_coverage::{Ticks, VirtualClock};
-use cmfuzz_fuzzer::Target;
+use cmfuzz_coverage::Ticks;
 use cmfuzz_protocols::ProtocolSpec;
 use cmfuzz_telemetry::Telemetry;
 
@@ -236,290 +232,33 @@ pub fn run_fleet(
 /// perturbs scheduling: a disabled pipeline produces the identical
 /// [`FleetResult`].
 ///
+/// This is a thin driver over [`FleetManager`]: the whole fleet is
+/// admitted up front and waves are stepped until the fleet is done. A
+/// control plane wanting live admission, pause/resume, or kill uses the
+/// manager directly.
+///
 /// # Errors
 ///
 /// As [`run_fleet`].
-#[allow(clippy::too_many_lines)]
 pub fn run_fleet_with_telemetry(
     fleet: &[FleetCampaign],
     policy: &mut dyn SchedulingPolicy,
     options: &FleetOptions,
     telemetry: &Telemetry,
 ) -> Result<FleetResult, CampaignError> {
-    if !options.skip_preflight {
-        let entries: Vec<FleetEntryView<'_>> = fleet
-            .iter()
-            .map(|campaign| FleetEntryView {
-                id: &campaign.id,
-                spec: &campaign.spec,
-                budget: campaign.options.budget,
-                setups: &campaign.setups,
-            })
-            .collect();
-        let report = analyze_fleet_schedule(&entries);
-        if report.has_errors() {
-            return Err(CampaignError::Preflight(report.into_diagnostics()));
-        }
-    }
-
-    // Per-campaign options as the slices will actually run them: labelled
-    // with the fleet id, and inline execution — the wave grid supplies the
-    // parallelism, so a per-campaign worker pool would only oversubscribe
-    // (results are identical either way).
-    let prepared: Vec<CampaignOptions> = fleet
-        .iter()
-        .map(|campaign| {
-            let mut opts = campaign.options.clone();
-            opts.campaign_id = Some(campaign.id.clone());
-            opts.worker_pool = false;
-            opts
-        })
-        .collect();
-
-    let waves_counter = telemetry.counter("fleet.waves");
-    let leases_counter = telemetry.counter("fleet.leases");
-    let ticks_counter = telemetry.counter("fleet.ticks");
-    let shared_in_counter = telemetry.counter("corpus.shared_in");
-    let shared_rejected_counter = telemetry.counter("corpus.shared_rejected");
-
-    let mut checkpoints: Vec<Option<CampaignCheckpoint>> = vec![None; fleet.len()];
-    let mut lease_counts: Vec<u64> = vec![0; fleet.len()];
-    let mut waves: u64 = 0;
-    let mut leases: u64 = 0;
-    let mut spent: u64 = 0;
-    let mut seeds_shared: u64 = 0;
-    let mut seeds_share_rejected: u64 = 0;
-
-    loop {
-        let eligible: Vec<usize> = (0..fleet.len())
-            .filter(|&i| checkpoints[i].as_ref().is_none_or(|c| !c.is_complete()))
-            .collect();
-        if eligible.is_empty() {
-            break;
-        }
-        let remaining = options
-            .total_budget
-            .map(|total| total.get().saturating_sub(spent));
-        if remaining == Some(0) {
-            break;
-        }
-
-        let slots = options.slots.max(1).min(eligible.len());
-        let picked = policy.pick(&eligible, slots);
-        // Defensive sanitation: keep only eligible, distinct picks.
-        let mut seen = std::collections::BTreeSet::new();
-        let mut wave: Vec<usize> = picked
-            .into_iter()
-            .filter(|i| eligible.contains(i) && seen.insert(*i))
-            .collect();
-        wave.truncate(slots);
-        if wave.is_empty() {
-            // A policy that refuses to schedule ends the fleet run.
-            break;
-        }
-
-        // Split the remaining fleet allowance across this wave's leases.
-        let mut lease_budgets = Vec::with_capacity(wave.len());
-        let mut left = remaining.unwrap_or(u64::MAX);
-        for _ in &wave {
-            let granted = options.slice.get().min(left);
-            if left != u64::MAX {
-                left -= granted;
-            }
-            lease_budgets.push(granted);
-        }
-        while lease_budgets.last() == Some(&0) {
-            lease_budgets.pop();
-            wave.pop();
-        }
-        if wave.is_empty() {
-            break;
-        }
-
-        let cells: Vec<_> = wave
-            .iter()
-            .zip(&lease_budgets)
-            .map(|(&index, &granted)| {
-                let campaign = &fleet[index];
-                let opts = &prepared[index];
-                let resume = checkpoints[index].take();
-                let telemetry = telemetry.clone();
-                move || {
-                    let scope = telemetry.scoped(VirtualClock::new());
-                    let outcome = run_campaign_slice_with_telemetry(
-                        &campaign.spec,
-                        &campaign.fuzzer,
-                        &campaign.setups,
-                        opts,
-                        resume,
-                        Ticks::new(granted),
-                        scope.telemetry(),
-                    );
-                    scope.commit();
-                    outcome
-                }
-            })
-            .collect();
-        let results = grid::run_cells(wave.len(), cells);
-
-        let mut wave_progress = false;
-        for (&index, outcome) in wave.iter().zip(results) {
-            let (checkpoint, report) = outcome?;
-            policy.observe(index, &report);
-            lease_counts[index] += 1;
-            leases += 1;
-            let executed = report.rounds * fleet[index].options.sample_interval.get().max(1);
-            spent += executed;
-            ticks_counter.add(executed);
-            if report.rounds > 0 || report.done {
-                wave_progress = true;
-            }
-            checkpoints[index] = Some(checkpoint);
-        }
-        waves += 1;
-        waves_counter.incr();
-        leases_counter.add(wave.len() as u64);
-
-        if options.share_rare_seeds > 0 {
-            let (accepted, rejected) =
-                exchange_rare_seeds(fleet, &mut checkpoints, options.share_rare_seeds);
-            seeds_shared += accepted;
-            seeds_share_rejected += rejected;
-            shared_in_counter.add(accepted);
-            shared_rejected_counter.add(rejected);
-        }
-
-        if !wave_progress {
-            // Every lease was too small to execute a round and nothing
-            // completed; granting more identical leases cannot help.
-            break;
-        }
-    }
-
-    let campaigns = fleet
-        .iter()
-        .enumerate()
-        .zip(checkpoints)
-        .zip(lease_counts)
-        .map(|(((index, campaign), checkpoint), leases)| {
-            // A campaign the policy never scheduled still gets a (zero
-            // progress) checkpoint so the outcome row exists.
-            let checkpoint = match checkpoint {
-                Some(checkpoint) => checkpoint,
-                None => {
-                    let (checkpoint, _) = run_campaign_slice_with_telemetry(
-                        &campaign.spec,
-                        &campaign.fuzzer,
-                        &campaign.setups,
-                        &prepared[index],
-                        None,
-                        Ticks::ZERO,
-                        &Telemetry::disabled(),
-                    )?;
-                    checkpoint
-                }
-            };
-            Ok(CampaignOutcome {
-                id: campaign.id.clone(),
-                leases,
-                consumed: checkpoint.consumed(),
-                completed: checkpoint.is_complete(),
-                checkpoint,
-            })
-        })
-        .collect::<Result<Vec<_>, CampaignError>>()?;
-
-    telemetry.drain();
-    Ok(FleetResult {
-        policy: policy.name().to_owned(),
-        waves,
-        leases,
-        spent: Ticks::new(spent),
-        seeds_shared,
-        seeds_share_rejected,
-        campaigns,
-    })
-}
-
-/// One wave boundary's fleet-wide rare-seed exchange: every checkpointed
-/// campaign in a [`FleetCampaign::share_group`] donates its
-/// `max_per_donor` rarest seeds to every other member of the group.
-///
-/// All packs are exported before any import, so a seed accepted this wave
-/// propagates further only at the next boundary — the exchange is
-/// order-independent within a wave apart from the deterministic fleet
-/// ordering of the recipients themselves. Donations across subjects are
-/// rejected wholesale (seed model ids index the donor's Pit model table,
-/// which only campaigns of the same subject share); within a subject,
-/// [`CampaignCheckpoint::import_seed_pack`] additionally rejects
-/// instances whose running configuration violates the subject's declared
-/// startup constraints. Returns `(accepted, rejected)` transfer totals.
-fn exchange_rare_seeds(
-    fleet: &[FleetCampaign],
-    checkpoints: &mut [Option<CampaignCheckpoint>],
-    max_per_donor: usize,
-) -> (u64, u64) {
-    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
-    for (index, campaign) in fleet.iter().enumerate() {
-        let Some(group) = campaign.share_group.as_deref() else {
-            continue;
-        };
-        // A campaign the policy has not scheduled yet has no corpus to
-        // donate and no checkpoint to import into; skip it this wave.
-        if checkpoints[index].is_none() {
-            continue;
-        }
-        match groups.iter_mut().find(|(name, _)| *name == group) {
-            Some((_, members)) => members.push(index),
-            None => groups.push((group, vec![index])),
-        }
-    }
-
-    let mut accepted_total = 0u64;
-    let mut rejected_total = 0u64;
-    for (_, members) in &groups {
-        if members.len() < 2 {
-            continue;
-        }
-        let packs: Vec<Vec<u8>> = members
-            .iter()
-            .map(|&i| {
-                checkpoints[i]
-                    .as_ref()
-                    .expect("grouped members are checkpointed")
-                    .export_rare_seeds(max_per_donor)
-            })
-            .collect();
-        let constraints: Vec<_> = members
-            .iter()
-            .map(|&i| (fleet[i].spec.build)().config_constraints())
-            .collect();
-        for (donor_slot, &donor) in members.iter().enumerate() {
-            for (recipient_slot, &recipient) in members.iter().enumerate() {
-                if recipient == donor {
-                    continue;
-                }
-                if fleet[donor].spec.name != fleet[recipient].spec.name {
-                    rejected_total += seed_pack_len(&packs[donor_slot]) as u64;
-                    continue;
-                }
-                let checkpoint = checkpoints[recipient]
-                    .as_mut()
-                    .expect("grouped members are checkpointed");
-                let (accepted, rejected) =
-                    checkpoint.import_seed_pack(&packs[donor_slot], &constraints[recipient_slot]);
-                accepted_total += accepted;
-                rejected_total += rejected;
-            }
-        }
-    }
-    (accepted_total, rejected_total)
+    let mut manager = FleetManager::new(options.clone(), telemetry);
+    manager.admit_batch(fleet.to_vec())?;
+    // An unproductive wave (every lease too small to execute a round,
+    // nothing completed) or an idle fleet ends a batch run.
+    while let WaveOutcome::Ran { progress: true, .. } = manager.step_wave(policy)? {}
+    manager.finish(policy.name())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cmfuzz::campaign::try_run_campaign;
+    use cmfuzz_coverage::VirtualClock;
     use cmfuzz_protocols::spec_by_name;
     use cmfuzz_telemetry::RingBufferSink;
 

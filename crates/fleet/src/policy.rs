@@ -262,6 +262,7 @@ mod tests {
             new_branches,
             union_branches: new_branches,
             done: false,
+            interrupted: false,
         }
     }
 

@@ -1,0 +1,221 @@
+//! `cmfuzz-serve`: the campaign-as-a-service daemon.
+//!
+//! Serving mode binds a loopback TCP address and runs the control plane
+//! until a client sends `{"cmd":"shutdown"}` or the operator engages the
+//! `CMFUZZ_KILL` switch. `--smoke` instead runs the CI soak gate — ~1000
+//! concurrent telemetry subscribers over a live server, every control
+//! verb exercised, zero digest drift tolerated — and exits accordingly.
+//!
+//! Exit codes follow the repo convention (README "Exit codes"): 0
+//! success, 1 gate failure (`--smoke` soak verdict), 2 operational
+//! errors (bad flags, bind failures), 3 preflight/model rejections (not
+//! produced here: submissions are validated per-request over the wire).
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use cmfuzz_coverage::Ticks;
+use cmfuzz_fleet::FleetOptions;
+use cmfuzz_server::plane::{build_policy, ControlPlane, PlaneOptions};
+use cmfuzz_server::rate::RateLimits;
+use cmfuzz_server::soak::{run_soak, SoakOptions};
+use cmfuzz_server::{serve, ServerOptions, StopReason};
+use cmfuzz_telemetry::FanoutOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut listen = String::from("127.0.0.1:7070");
+    let mut policy = String::from("round-robin");
+    let mut slots: usize = 4;
+    let mut slice: u64 = 100;
+    let mut total_budget: Option<u64> = None;
+    let mut rate: u64 = 100;
+    let mut burst: u64 = 200;
+    let mut subscribers: usize = 1000;
+    let mut jsonl_out: Option<PathBuf> = None;
+    let mut report_out = PathBuf::from("BENCH_serve_soak.json");
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--listen" => match iter.next() {
+                Some(addr) => listen = addr.clone(),
+                None => usage_error("--listen expects host:port"),
+            },
+            "--policy" => match iter.next() {
+                Some(name) if build_policy(name).is_some() => policy = name.clone(),
+                _ => usage_error("--policy expects round-robin|coverage-gradient|ucb-bandit"),
+            },
+            "--slots" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => slots = n,
+                _ => usage_error("--slots expects a positive worker count"),
+            },
+            "--slice" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => slice = n,
+                _ => usage_error("--slice expects a positive tick count"),
+            },
+            "--total-budget" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => total_budget = Some(n),
+                _ => usage_error("--total-budget expects a positive tick count"),
+            },
+            "--rate" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) => rate = n,
+                None => usage_error("--rate expects requests/sec (0 disables limiting)"),
+            },
+            "--burst" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n > 0 => burst = n,
+                _ => usage_error("--burst expects a positive request count"),
+            },
+            "--subscribers" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => subscribers = n,
+                _ => usage_error("--subscribers expects a positive count"),
+            },
+            "--jsonl-out" => match iter.next() {
+                Some(path) => jsonl_out = Some(PathBuf::from(path)),
+                None => usage_error("--jsonl-out expects a file path"),
+            },
+            "--out" => match iter.next() {
+                Some(path) => report_out = PathBuf::from(path),
+                None => usage_error("--out expects a file path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if smoke {
+        run_smoke(subscribers, jsonl_out, &report_out);
+    }
+
+    let plane = match ControlPlane::start(PlaneOptions {
+        fleet: FleetOptions {
+            slots,
+            slice: Ticks::new(slice),
+            total_budget: total_budget.map(Ticks::new),
+            ..FleetOptions::default()
+        },
+        policy,
+        fanout: FanoutOptions::default(),
+        jsonl_out,
+    }) {
+        Ok(plane) => plane,
+        Err(message) => {
+            eprintln!("[cmfuzz-serve] {message}");
+            exit(2);
+        }
+    };
+
+    let listener = match std::net::TcpListener::bind(&listen) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("[cmfuzz-serve] cannot bind {listen}: {error}");
+            exit(2);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("cmfuzz-serve listening on {addr}"),
+        Err(_) => println!("cmfuzz-serve listening on {listen}"),
+    }
+
+    let options = ServerOptions {
+        limits: RateLimits {
+            requests_per_sec: rate,
+            burst,
+        },
+        ..ServerOptions::default()
+    };
+    match serve(&listener, &plane, &options) {
+        Ok(summary) => {
+            eprintln!(
+                "[cmfuzz-serve] stopped ({}): {} requests over {} connections, \
+                 {} rate-limited, {} slow consumers dropped",
+                match summary.reason {
+                    StopReason::Requested => "shutdown requested",
+                    StopReason::KillSwitch => "kill switch",
+                },
+                summary.requests,
+                summary.connections,
+                summary.rate_limited,
+                summary.slow_dropped,
+            );
+            plane.shutdown();
+        }
+        Err(error) => {
+            eprintln!("[cmfuzz-serve] serve loop failed: {error}");
+            plane.shutdown();
+            exit(2);
+        }
+    }
+}
+
+/// Runs the soak gate and exits with its verdict.
+fn run_smoke(subscribers: usize, jsonl_out: Option<PathBuf>, report_out: &PathBuf) -> ! {
+    eprintln!("[cmfuzz-serve] soak smoke: {subscribers} subscribers...");
+    let report = match run_soak(&SoakOptions {
+        subscribers,
+        jsonl_out,
+        deadline: Duration::from_secs(300),
+        ..SoakOptions::default()
+    }) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("[cmfuzz-serve] soak harness failed: {message}");
+            exit(2);
+        }
+    };
+    let json = report.to_json();
+    if let Err(error) = std::fs::write(report_out, format!("{json}\n")) {
+        eprintln!(
+            "[cmfuzz-serve] cannot write {}: {error}",
+            report_out.display()
+        );
+        exit(2);
+    }
+    println!("{json}");
+    eprintln!(
+        "[cmfuzz-serve] soak: {}/{} digests matched, {} events to {} subscribers \
+         ({} dropped, {} evicted), tail {} lines, {:.3}s",
+        report.digest_matches,
+        report.digest_total,
+        report.events_delivered,
+        report.subscribers,
+        report.events_dropped,
+        report.subscribers_evicted,
+        report.tail_lines,
+        report.wall.as_secs_f64(),
+    );
+    if report.passed() {
+        exit(0);
+    }
+    eprintln!("[cmfuzz-serve] FAIL: soak gate did not pass");
+    exit(1);
+}
+
+const USAGE: &str = "usage: cmfuzz-serve [--smoke] [--listen <host:port>] [--policy <name>]\n\
+    \n\
+    --smoke          run the CI soak gate (live server, ~1000 subscribers,\n\
+                     digest drift check) and exit 0/1 on its verdict\n\
+    --listen         serving address (default: 127.0.0.1:7070; use port 0 for ephemeral)\n\
+    --policy         scheduling policy: round-robin|coverage-gradient|ucb-bandit\n\
+    --slots          worker slots per wave (default: 4)\n\
+    --slice          per-lease slice budget in ticks (default: 100)\n\
+    --total-budget   fleet-wide tick allowance (default: unlimited)\n\
+    --rate           per-connection requests/sec, 0 = unlimited (default: 100)\n\
+    --burst          per-connection burst allowance (default: 200)\n\
+    --subscribers    soak subscriber count for --smoke (default: 1000)\n\
+    --jsonl-out      append all telemetry to this JSONL file (schema header first)\n\
+    --out            --smoke report path (default: BENCH_serve_soak.json)\n\
+    \n\
+    The CMFUZZ_KILL environment variable, when set non-empty, kills every\n\
+    campaign and stops the server.";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    exit(2);
+}

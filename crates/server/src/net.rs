@@ -1,0 +1,453 @@
+//! Line-delimited TCP front end over the control plane.
+//!
+//! A single-threaded readiness loop over non-blocking `std::net` sockets
+//! (the offline-shims build policy rules out tokio/mio, and the protocol
+//! does not need them): each iteration accepts pending connections, reads
+//! whatever bytes are available, answers complete request lines, pumps
+//! telemetry to tailing connections, and flushes bounded per-connection
+//! output buffers. Slow consumers are handled at two layers — the
+//! [`FanoutHub`](cmfuzz_telemetry::FanoutHub) drops and eventually evicts
+//! subscribers that stop polling, and the socket layer drops connections
+//! whose unsent output exceeds [`ServerOptions::max_out_buffer`] — so one
+//! wedged client can never stall the fleet or the other subscribers.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cmfuzz_coverage::Ticks;
+use cmfuzz_telemetry::json::ObjectWriter;
+use cmfuzz_telemetry::{schema_header_line, FanoutSubscriber};
+
+use crate::plane::ControlPlane;
+use crate::proto::{error_response, ok_response, Request};
+use crate::rate::{kill_switch_engaged, RateLimits, TokenBucket};
+
+/// Knobs for one serving loop.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Per-connection request rate limits.
+    pub limits: RateLimits,
+    /// Unsent output bytes a connection may accumulate before the server
+    /// drops it as a slow consumer.
+    pub max_out_buffer: usize,
+    /// Extra kill-switch input OR-ed with the `CMFUZZ_KILL` environment
+    /// check — lets embedding code (and tests) engage the switch without
+    /// touching process-global state.
+    pub kill_override: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            limits: RateLimits::default(),
+            max_out_buffer: 4 * 1024 * 1024,
+            kill_override: None,
+        }
+    }
+}
+
+/// Why [`serve`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A client sent `{"cmd":"shutdown"}`.
+    Requested,
+    /// The global kill switch was engaged; every campaign was killed.
+    KillSwitch,
+}
+
+/// What one serving loop did, for operator logs and exit codes.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// Requests answered (tail streaming excluded).
+    pub requests: u64,
+    /// Connections accepted over the loop's lifetime.
+    pub connections: u64,
+    /// Requests refused by the per-connection rate limiter.
+    pub rate_limited: u64,
+    /// Connections dropped for exceeding the output buffer bound.
+    pub slow_dropped: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    bucket: Option<TokenBucket>,
+    tail: Option<FanoutSubscriber>,
+    open: bool,
+}
+
+impl Conn {
+    fn push_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+}
+
+/// Serves the control plane on `listener` until a shutdown request or the
+/// kill switch. Runs on the calling thread.
+///
+/// # Errors
+///
+/// Only setup-level I/O failures (the listener refusing non-blocking
+/// mode); per-connection errors close that connection and keep serving.
+pub fn serve(
+    listener: &TcpListener,
+    plane: &ControlPlane,
+    options: &ServerOptions,
+) -> io::Result<ServeSummary> {
+    listener.set_nonblocking(true)?;
+    let started = Instant::now();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut summary = ServeSummary {
+        reason: StopReason::Requested,
+        requests: 0,
+        connections: 0,
+        rate_limited: 0,
+        slow_dropped: 0,
+    };
+    let mut shutdown = false;
+
+    loop {
+        let now = started.elapsed();
+        let mut activity = false;
+
+        if kill_switch_engaged()
+            || options
+                .kill_override
+                .as_ref()
+                .is_some_and(|flag| flag.load(Ordering::Acquire))
+        {
+            plane.kill_all();
+            let notice = error_response(2, "kill switch engaged; all campaigns killed");
+            for conn in &mut conns {
+                conn.push_line(&notice);
+            }
+            flush_all(&mut conns, &mut summary, options);
+            summary.reason = StopReason::KillSwitch;
+            return Ok(summary);
+        }
+
+        // Admit pending connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    summary.connections += 1;
+                    activity = true;
+                    conns.push(Conn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        bucket: options.limits.bucket(),
+                        tail: None,
+                        open: true,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                Err(_) => break,
+            }
+        }
+
+        // Read and answer.
+        for conn in &mut conns {
+            if !conn.open {
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&chunk[..n]);
+                        activity = true;
+                        if conn.inbuf.len() > 1024 * 1024 {
+                            // A megabyte without a newline is not a
+                            // request line; drop the flooder.
+                            conn.open = false;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                    Err(_) => {
+                        conn.open = false;
+                        break;
+                    }
+                }
+            }
+            while let Some(newline) = conn.inbuf.iter().position(|&b| b == b'\n') {
+                let line_bytes: Vec<u8> = conn.inbuf.drain(..=newline).collect();
+                let line = String::from_utf8_lossy(&line_bytes);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if conn.tail.is_some() {
+                    // Tailing connections are send-only.
+                    continue;
+                }
+                if let Some(bucket) = &mut conn.bucket {
+                    if !bucket.try_acquire_at(now) {
+                        summary.rate_limited += 1;
+                        conn.push_line(&error_response(2, "rate limited"));
+                        continue;
+                    }
+                }
+                summary.requests += 1;
+                activity = true;
+                match handle_request(line, plane, conn) {
+                    Action::Continue => {}
+                    Action::Shutdown => shutdown = true,
+                }
+            }
+        }
+
+        // Pump telemetry into tailing connections.
+        for conn in &mut conns {
+            let Some(tail) = &conn.tail else { continue };
+            let records = tail.poll();
+            if !records.is_empty() {
+                activity = true;
+            }
+            for record in &records {
+                let line = record.to_json_line();
+                conn.outbuf.extend_from_slice(line.as_bytes());
+                conn.outbuf.push(b'\n');
+            }
+            if tail.is_evicted() {
+                conn.push_line(&error_response(
+                    2,
+                    "tail evicted: subscriber lagged too far",
+                ));
+                conn.open = false;
+            }
+        }
+
+        flush_all(&mut conns, &mut summary, options);
+
+        if shutdown {
+            // Best-effort grace period so the final responses reach
+            // their sockets before the listener goes away.
+            for _ in 0..200 {
+                if conns.iter().all(|conn| conn.outbuf.is_empty()) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                flush_all(&mut conns, &mut summary, options);
+            }
+            summary.reason = StopReason::Requested;
+            return Ok(summary);
+        }
+        if !activity {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// A simple blocking client for the wire protocol — the other half of
+/// [`serve`], shared by `cmfuzz-client` and the soak harness.
+#[derive(Debug)]
+pub struct BlockingClient {
+    stream: TcpStream,
+    reader: io::BufReader<TcpStream>,
+}
+
+impl BlockingClient {
+    /// Connects to a serving address with a read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Connection and socket-option failures.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        Ok(BlockingClient { stream, reader })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Reads one response line (without the newline).
+    ///
+    /// # Errors
+    ///
+    /// Socket read failures, timeouts, and a closed peer.
+    pub fn read_line(&mut self) -> io::Result<String> {
+        use io::BufRead;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request and returns the single response line.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockingClient::send`] and [`BlockingClient::read_line`].
+    pub fn request(&mut self, request: &Request) -> io::Result<String> {
+        self.send(&request.to_line())?;
+        self.read_line()
+    }
+}
+
+enum Action {
+    Continue,
+    Shutdown,
+}
+
+fn handle_request(line: &str, plane: &ControlPlane, conn: &mut Conn) -> Action {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(message) => {
+            conn.push_line(&error_response(2, &message));
+            return Action::Continue;
+        }
+    };
+    match request {
+        Request::Submit(submission) => match plane.submit(&submission) {
+            Ok(ids) => {
+                let ids = ids
+                    .iter()
+                    .map(|id| {
+                        let mut s = String::new();
+                        cmfuzz_telemetry::json::push_escaped(&mut s, id);
+                        s
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                conn.push_line(&ok_response(&[("admitted", format!("[{ids}]"))]));
+            }
+            Err((code, message)) => conn.push_line(&error_response(code, &message)),
+        },
+        Request::Status => {
+            let rows = plane
+                .status()
+                .iter()
+                .map(|row| {
+                    let mut obj = ObjectWriter::new();
+                    obj.str_field("id", &row.id);
+                    obj.str_field("state", row.state.label());
+                    obj.u64_field("leases", row.leases);
+                    obj.u64_field("consumed", row.consumed.get());
+                    obj.u64_field("rounds", row.rounds_done);
+                    obj.u64_field("branches", row.branches as u64);
+                    obj.finish()
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            conn.push_line(&ok_response(&[("campaigns", format!("[{rows}]"))]));
+        }
+        Request::Pause { id } => push_applied(conn, plane.pause(&id), &id),
+        Request::Resume { id } => push_applied(conn, plane.resume(&id), &id),
+        Request::Kill { id } => push_applied(conn, plane.kill(&id), &id),
+        Request::Extend { id, budget } => {
+            push_applied(conn, plane.extend_budget(&id, Ticks::new(budget)), &id);
+        }
+        Request::Result { id } => match plane.result_digest(&id) {
+            Some(digest) => {
+                let mut rendered = String::new();
+                cmfuzz_telemetry::json::push_escaped(&mut rendered, &digest);
+                conn.push_line(&ok_response(&[("digest", rendered)]));
+            }
+            None => conn.push_line(&error_response(2, "campaign has no result yet")),
+        },
+        Request::Metrics => {
+            conn.push_line(&ok_response(&[("metrics", plane.metrics_json())]));
+        }
+        Request::Tail => {
+            conn.push_line(&ok_response(&[("streaming", "true".into())]));
+            conn.push_line(&schema_header_line());
+            let name = conn
+                .stream
+                .peer_addr()
+                .map_or_else(|_| "tail".to_owned(), |addr| format!("tail:{addr}"));
+            conn.tail = Some(plane.subscribe(&name));
+        }
+        Request::Shutdown => {
+            conn.push_line(&ok_response(&[]));
+            return Action::Shutdown;
+        }
+    }
+    Action::Continue
+}
+
+fn push_applied(conn: &mut Conn, applied: bool, id: &str) {
+    if applied {
+        conn.push_line(&ok_response(&[]));
+    } else {
+        conn.push_line(&error_response(
+            2,
+            &format!("no controllable campaign {id:?}"),
+        ));
+    }
+}
+
+/// Writes what the sockets will take; drops slow consumers past the
+/// output bound and disconnects closed conns once drained.
+fn flush_all(conns: &mut Vec<Conn>, summary: &mut ServeSummary, options: &ServerOptions) {
+    for conn in conns.iter_mut() {
+        if conn.outbuf.is_empty() {
+            continue;
+        }
+        if conn.outbuf.len() > options.max_out_buffer {
+            summary.slow_dropped += 1;
+            conn.outbuf.clear();
+            conn.open = false;
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        loop {
+            match conn.stream.write(&conn.outbuf) {
+                Ok(0) => {
+                    conn.open = false;
+                    conn.outbuf.clear();
+                    break;
+                }
+                Ok(n) => {
+                    conn.outbuf.drain(..n);
+                    if conn.outbuf.is_empty() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.open = false;
+                    conn.outbuf.clear();
+                    break;
+                }
+            }
+        }
+    }
+    conns.retain(|conn| conn.open || !conn.outbuf.is_empty());
+}

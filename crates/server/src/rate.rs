@@ -1,0 +1,174 @@
+//! Client-side abuse controls: per-connection token buckets and the
+//! global kill switch.
+//!
+//! Modeled on the fuzzfox exemplar's operator controls: a classic token
+//! bucket (capacity = burst, refilled continuously at the configured
+//! rate) in front of every client connection, plus an environment kill
+//! switch an operator can flip to stop all fuzzing without reaching the
+//! protocol. The bucket is driven by caller-supplied timestamps rather
+//! than reading a clock itself, so its behaviour is exactly testable —
+//! and trivially outside the engine's deterministic core.
+
+use std::time::Duration;
+
+/// Environment variable engaging the global kill switch. Any non-empty
+/// value stops admission, kills every running campaign, and shuts the
+/// server down.
+pub const KILL_SWITCH_ENV: &str = "CMFUZZ_KILL";
+
+/// Whether the operator engaged the global kill switch.
+#[must_use]
+pub fn kill_switch_engaged() -> bool {
+    std::env::var_os(KILL_SWITCH_ENV).is_some_and(|value| !value.is_empty())
+}
+
+/// A token bucket admitting `rate` requests per second with bursts up to
+/// `burst`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Steady refill rate in tokens per second.
+    rate_per_sec: u64,
+    /// Bucket capacity in fill units (one token = `UNITS_PER_TOKEN`).
+    capacity_units: u128,
+    /// Current fill, in the same units. Refilling one nanosecond of
+    /// elapsed time adds exactly `rate_per_sec` units, so the math is
+    /// exact integer arithmetic with no rounding drift.
+    tokens_units: u128,
+    /// Timestamp of the last acquire, in nanoseconds.
+    last_nanos: u64,
+}
+
+/// Fill units per whole token: the nanoseconds in a second, so that
+/// `elapsed_nanos * rate_per_sec` is exactly the refill in units.
+const UNITS_PER_TOKEN: u128 = 1_000_000_000;
+
+impl TokenBucket {
+    /// A bucket admitting `rate_per_sec` requests per second, with up to
+    /// `burst` back-to-back. A zero rate disables limiting entirely.
+    #[must_use]
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let capacity_units = u128::from(burst.max(1)) * UNITS_PER_TOKEN;
+        TokenBucket {
+            rate_per_sec,
+            capacity_units,
+            tokens_units: capacity_units,
+            last_nanos: 0,
+        }
+    }
+
+    /// Tries to take one token at time `now` (monotonic, from any epoch —
+    /// only deltas matter). Returns false when the bucket is empty.
+    pub fn try_acquire_at(&mut self, now: Duration) -> bool {
+        let now_nanos = u64::try_from(now.as_nanos()).unwrap_or(u64::MAX);
+        let elapsed = now_nanos.saturating_sub(self.last_nanos);
+        self.last_nanos = self.last_nanos.max(now_nanos);
+        self.tokens_units = self
+            .tokens_units
+            .saturating_add(u128::from(elapsed).saturating_mul(u128::from(self.rate_per_sec)))
+            .min(self.capacity_units);
+        if self.tokens_units >= UNITS_PER_TOKEN {
+            self.tokens_units -= UNITS_PER_TOKEN;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-client limits the server applies to every connection.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimits {
+    /// Requests per second each client may issue; 0 disables limiting.
+    pub requests_per_sec: u64,
+    /// Burst allowance on top of the steady rate.
+    pub burst: u64,
+}
+
+impl Default for RateLimits {
+    fn default() -> Self {
+        RateLimits {
+            requests_per_sec: 100,
+            burst: 200,
+        }
+    }
+}
+
+impl RateLimits {
+    /// A fresh bucket enforcing these limits (`None` when disabled).
+    #[must_use]
+    pub fn bucket(&self) -> Option<TokenBucket> {
+        if self.requests_per_sec == 0 {
+            None
+        } else {
+            Some(TokenBucket::new(self.requests_per_sec, self.burst))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_steady_rate() {
+        // 2/s with a burst of 3: three immediate acquires pass, the
+        // fourth fails, and half a second later one token is back.
+        let mut bucket = TokenBucket::new(2, 3);
+        let t0 = Duration::from_secs(5);
+        assert!(bucket.try_acquire_at(t0));
+        assert!(bucket.try_acquire_at(t0));
+        assert!(bucket.try_acquire_at(t0));
+        assert!(!bucket.try_acquire_at(t0));
+        assert!(!bucket.try_acquire_at(t0 + Duration::from_millis(100)));
+        assert!(bucket.try_acquire_at(t0 + Duration::from_millis(500)));
+        assert!(!bucket.try_acquire_at(t0 + Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn refill_caps_at_burst_capacity() {
+        let mut bucket = TokenBucket::new(1000, 2);
+        let t0 = Duration::from_secs(1);
+        assert!(bucket.try_acquire_at(t0));
+        // An hour idle still refills to exactly the burst capacity.
+        let later = t0 + Duration::from_secs(3600);
+        assert!(bucket.try_acquire_at(later));
+        assert!(bucket.try_acquire_at(later));
+        assert!(!bucket.try_acquire_at(later));
+    }
+
+    #[test]
+    fn time_going_backwards_never_mints_tokens() {
+        let mut bucket = TokenBucket::new(1, 1);
+        let t0 = Duration::from_secs(100);
+        assert!(bucket.try_acquire_at(t0));
+        assert!(!bucket.try_acquire_at(Duration::from_secs(1)));
+        assert!(!bucket.try_acquire_at(t0 + Duration::from_millis(500)));
+        assert!(bucket.try_acquire_at(t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn zero_rate_means_no_bucket() {
+        assert!(RateLimits {
+            requests_per_sec: 0,
+            burst: 5
+        }
+        .bucket()
+        .is_none());
+        let mut bucket = RateLimits::default().bucket().expect("limited");
+        assert!(bucket.try_acquire_at(Duration::ZERO));
+    }
+
+    #[test]
+    fn kill_switch_reads_the_environment() {
+        // Process-global env: use a scoped unique check via the public
+        // predicate against the documented variable semantics.
+        let engaged_before = kill_switch_engaged();
+        std::env::set_var(KILL_SWITCH_ENV, "1");
+        assert!(kill_switch_engaged());
+        std::env::set_var(KILL_SWITCH_ENV, "");
+        assert!(!kill_switch_engaged(), "empty value means disengaged");
+        std::env::remove_var(KILL_SWITCH_ENV);
+        assert!(!kill_switch_engaged());
+        let _ = engaged_before;
+    }
+}

@@ -10,6 +10,20 @@ use cmfuzz_coverage::Ticks;
 
 use crate::json::ObjectWriter;
 
+/// Version tag of the JSONL event format; external subscribers key their
+/// parsers off this value. Bump on any breaking change to field names,
+/// field order guarantees, or event kinds' payloads.
+pub const JSONL_SCHEMA: &str = "cmfuzz.telemetry.v1";
+
+/// The header line opening every versioned JSONL stream (no trailing
+/// newline): a one-field object carrying [`JSONL_SCHEMA`].
+#[must_use]
+pub fn schema_header_line() -> String {
+    let mut obj = ObjectWriter::new();
+    obj.str_field("schema", JSONL_SCHEMA);
+    obj.finish()
+}
+
 /// One structured occurrence inside a fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {

@@ -43,13 +43,15 @@
 
 pub mod bus;
 pub mod event;
+pub mod fanout;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
 pub use bus::{EventBus, DEFAULT_CAPACITY};
-pub use event::{Event, EventRecord};
+pub use event::{schema_header_line, Event, EventRecord, JSONL_SCHEMA};
+pub use fanout::{FanoutHub, FanoutOptions, FanoutSink, FanoutSubscriber};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use sink::{EventSink, JsonlSink, ProgressSink, RingBufferSink, ScopedBufferSink};
 pub use span::SpanTracker;
@@ -300,10 +302,34 @@ impl Telemetry {
     }
 
     /// Snapshot of all registered metrics (empty when disabled).
+    ///
+    /// The bus's own accounting is overlaid as `bus.events_emitted` /
+    /// `bus.events_dropped` counters and a `bus.subscriber_lag` gauge
+    /// (records queued but not yet drained), added into any same-named
+    /// entries absorbed from scoped child pipelines — so overflow is never
+    /// silent in a metrics dump.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
-            Some(inner) => inner.metrics.snapshot(),
+            Some(inner) => {
+                let mut snap = inner.metrics.snapshot();
+                merge_counter(
+                    &mut snap.counters,
+                    "bus.events_emitted",
+                    inner.bus.emitted(),
+                );
+                merge_counter(
+                    &mut snap.counters,
+                    "bus.events_dropped",
+                    inner.bus.dropped(),
+                );
+                merge_gauge(
+                    &mut snap.gauges,
+                    "bus.subscriber_lag",
+                    inner.bus.len() as u64,
+                );
+                snap
+            }
             None => MetricsSnapshot::default(),
         }
     }
@@ -318,6 +344,22 @@ impl Telemetry {
     #[must_use]
     pub fn emitted_events(&self) -> u64 {
         self.inner.as_ref().map_or(0, |inner| inner.bus.emitted())
+    }
+}
+
+/// Adds `value` into the name-sorted counter list, inserting if absent.
+fn merge_counter(counters: &mut Vec<(String, u64)>, name: &str, value: u64) {
+    match counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        Ok(idx) => counters[idx].1 += value,
+        Err(idx) => counters.insert(idx, (name.to_owned(), value)),
+    }
+}
+
+/// Sets `value` in the name-sorted gauge list (last write wins).
+fn merge_gauge(gauges: &mut Vec<(String, u64)>, name: &str, value: u64) {
+    match gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+        Ok(idx) => gauges[idx].1 = value,
+        Err(idx) => gauges.insert(idx, (name.to_owned(), value)),
     }
 }
 
@@ -567,6 +609,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn snapshot_surfaces_bus_overflow_and_lag() {
+        let telemetry = Telemetry::builder(VirtualClock::new()).capacity(2).build();
+        for n in 0..5 {
+            telemetry.progress(format!("event {n}"));
+        }
+        // Two queued (undrained), three dropped by the bounded bus.
+        let snap = telemetry.metrics_snapshot();
+        assert_eq!(snap.counter("bus.events_emitted"), Some(5));
+        assert_eq!(snap.counter("bus.events_dropped"), Some(3));
+        assert_eq!(
+            snap.gauges,
+            vec![("bus.subscriber_lag".to_owned(), 2)],
+            "lag gauge reports undrained records"
+        );
+        telemetry.drain();
+        let drained = telemetry.metrics_snapshot();
+        assert_eq!(drained.gauges, vec![("bus.subscriber_lag".to_owned(), 0)]);
+
+        // Bus accounting absorbed from a scoped child adds into the
+        // parent's own overlay instead of colliding with it.
+        let scope = telemetry.scoped(VirtualClock::new());
+        scope.telemetry().progress("from the child");
+        scope.commit();
+        let merged = telemetry.metrics_snapshot();
+        assert_eq!(merged.counter("bus.events_emitted"), Some(6));
+        assert_eq!(merged.counter("bus.events_dropped"), Some(3));
     }
 
     #[test]

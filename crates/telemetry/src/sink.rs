@@ -102,7 +102,9 @@ impl EventSink for RingBufferSink {
     }
 }
 
-/// Writes each record as one JSON line to a file.
+/// Writes each record as one JSON line to a file, opening the stream with
+/// a [`crate::event::schema_header_line`] header so external consumers can
+/// detect the format version before parsing any event.
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: BufWriter<std::fs::File>,
@@ -111,16 +113,23 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates (truncating) the file at `path`.
+    /// Creates (truncating) the file at `path` and writes the schema
+    /// header line.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error if the file cannot be created.
     pub fn create(path: &Path) -> io::Result<Self> {
-        Ok(JsonlSink {
+        let mut sink = JsonlSink {
             writer: BufWriter::new(std::fs::File::create(path)?),
             error: None,
-        })
+        };
+        let mut header = crate::event::schema_header_line();
+        header.push('\n');
+        if let Err(err) = sink.writer.write_all(header.as_bytes()) {
+            sink.error = Some(err);
+        }
+        Ok(sink)
     }
 }
 
@@ -310,10 +319,14 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         std::fs::remove_file(&path).ok();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3, "schema header + two event lines");
         for line in &lines {
             assert!(crate::json::is_valid(line), "{line}");
         }
-        assert!(lines[1].contains("\"kind\":\"fault_found\""));
+        assert_eq!(
+            lines[0],
+            format!("{{\"schema\":\"{}\"}}", crate::event::JSONL_SCHEMA)
+        );
+        assert!(lines[2].contains("\"kind\":\"fault_found\""));
     }
 }
