@@ -2,6 +2,10 @@
 
 use std::fmt;
 
+/// Version discriminator opening every JSON diagnostics document, so
+/// downstream consumers can dispatch on shape before parsing findings.
+pub const DIAGNOSTICS_SCHEMA: &str = "cmfuzz.diagnostics.v1";
+
 /// How bad a finding is; the ordering drives exit codes and campaign
 /// preflight (`Error` aborts, the rest report).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -255,8 +259,10 @@ impl Report {
         out
     }
 
-    /// Renders the report as a JSON array of finding objects (machine
-    /// consumption; `cmfuzz-lint --format json`).
+    /// Renders the report as a versioned JSON document (machine
+    /// consumption; `cmfuzz-lint --format json`): a top-level object
+    /// opening with a `"schema"` discriminator — the diagnostics analogue
+    /// of the telemetry v1 envelope — followed by the findings array.
     #[must_use]
     pub fn render_json(&self) -> String {
         fn escape(s: &str) -> String {
@@ -288,7 +294,11 @@ impl Report {
                 )
             })
             .collect();
-        format!("[{}]", rendered.join(","))
+        format!(
+            "{{\"schema\":\"{}\",\"findings\":[{}]}}",
+            DIAGNOSTICS_SCHEMA,
+            rendered.join(",")
+        )
     }
 }
 
@@ -374,10 +384,16 @@ mod tests {
             "h",
         ));
         let json = report.render_json();
-        assert!(json.starts_with('['));
+        assert!(
+            json.starts_with("{\"schema\":\"cmfuzz.diagnostics.v1\",\"findings\":["),
+            "{json}"
+        );
         assert!(json.contains("\"model\":\"m\\\"x\""));
         assert!(json.contains("line\\nbreak"));
-        assert_eq!(Report::new().render_json(), "[]");
+        assert_eq!(
+            Report::new().render_json(),
+            "{\"schema\":\"cmfuzz.diagnostics.v1\",\"findings\":[]}"
+        );
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! Finite-domain constraint propagation over configuration spaces.
+//!
+//! The reachability analyzer (`reach.rs`) asks one question per branch
+//! guard: *is there a bootable configuration, inside a given finite
+//! configuration space, under which every guard condition holds?* This
+//! module supplies the propagation half of the answer: enumerated-set
+//! domains per config item, arc-consistency over the one cross-item
+//! predicate ([`Predicate::IntAboveItem`]), and unit propagation over the
+//! target's negated startup [`ConstraintSet`] (a bootable config must
+//! *avoid* every declared conflict).
+//!
+//! Design notes, in soundness order:
+//!
+//! * Domains are **enumerated candidate sets** (`{unbound, v1, v2, …}`).
+//!   Every filtering step evaluates the real [`Condition::matches`] against
+//!   a probe [`ResolvedConfig`], so the solver inherits the exact lenient
+//!   coercions the servers use — there is no second, subtly different,
+//!   predicate semantics to drift.
+//! * Propagation only ever *removes* candidates that support no solution,
+//!   so an emptied domain is a proof of unsatisfiability within the space,
+//!   and the recorded [`Solver::chain`] is a human-checkable replay of the
+//!   refutation.
+//! * List predicates (`ListHasOrEmpty`/`ListLacks`) span indexed slots and
+//!   are never propagated (always [`Status::Unknown`]) — the enumeration
+//!   pass in `reach.rs` decides them concretely, keeping every claim here
+//!   conservative.
+//!
+//! Propagation is deliberately incomplete (arc consistency does not decide
+//! conjunctions across keys); `reach.rs` pairs it with exhaustive
+//! enumeration of the propagated domains, which *is* complete for the
+//! finite space.
+
+use std::collections::BTreeMap;
+
+use cmfuzz_config_model::{Condition, ConfigValue, ConstraintSet, Predicate, ResolvedConfig};
+
+/// Highest indexed-list slot the solver expands for list predicates,
+/// mirroring the (private) scan bound of `cmfuzz_config_model`'s list
+/// predicates; kept in lockstep by `list_scan_matches_config_model`.
+pub(crate) const LIST_SCAN: usize = 8;
+
+/// Tri-valued truth of a condition over a domain product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Every configuration in the space satisfies the condition.
+    True,
+    /// No configuration in the space satisfies the condition.
+    False,
+    /// Some do, some don't (or the predicate is not propagatable).
+    Unknown,
+}
+
+/// The candidate set for one configuration item: an optional *unbound*
+/// marker (the item is absent, predicates see their defaults) plus an
+/// ordered list of concrete values.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Domain {
+    /// Whether the item may be left unset.
+    pub can_unbound: bool,
+    /// Concrete candidate values, in declaration order.
+    pub values: Vec<ConfigValue>,
+}
+
+impl Domain {
+    /// A domain holding exactly the given candidates.
+    pub(crate) fn new(can_unbound: bool, values: Vec<ConfigValue>) -> Self {
+        Domain {
+            can_unbound,
+            values,
+        }
+    }
+
+    /// Number of candidates including the unbound marker.
+    pub(crate) fn size(&self) -> usize {
+        self.values.len() + usize::from(self.can_unbound)
+    }
+
+    /// Whether no candidate survives (the refutation terminal).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// Canonical rendering for propagation chains: `{unbound, 1, 2}`.
+    pub(crate) fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::with_capacity(self.size());
+        if self.can_unbound {
+            parts.push("unbound".to_owned());
+        }
+        parts.extend(self.values.iter().map(ConfigValue::render));
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    /// Iterates candidates as `Option<&ConfigValue>` (None = unbound).
+    fn candidates(&self) -> impl Iterator<Item = Option<&ConfigValue>> {
+        self.can_unbound
+            .then_some(None)
+            .into_iter()
+            .chain(self.values.iter().map(Some))
+    }
+}
+
+/// Evaluates a single-key condition against one candidate value, using the
+/// owning crate's real coercion semantics.
+fn eval_single(cond: &Condition, value: Option<&ConfigValue>) -> bool {
+    let mut probe = ResolvedConfig::new();
+    if let Some(v) = value {
+        probe.set(cond.key(), v.clone());
+    }
+    cond.matches(&probe)
+}
+
+/// The integer a candidate coerces to under `int_or(key, default)`.
+fn int_view(key: &str, value: Option<&ConfigValue>, default: i64) -> i64 {
+    let mut probe = ResolvedConfig::new();
+    if let Some(v) = value {
+        probe.set(key, v.clone());
+    }
+    probe.int_or(key, default)
+}
+
+/// `(min, max)` of a domain's integer views; `None` for an empty domain.
+fn int_bounds(domain: &Domain, key: &str, default: i64) -> Option<(i64, i64)> {
+    domain
+        .candidates()
+        .map(|v| int_view(key, v, default))
+        .fold(None, |acc, v| match acc {
+            None => Some((v, v)),
+            Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+        })
+}
+
+/// Arc-consistency solver over a finite configuration space.
+///
+/// Keys absent from the domain map are treated as permanently unbound
+/// (single-candidate domains); the caller is responsible for seeding a
+/// domain for every key it wants reasoned about.
+#[derive(Debug, Clone)]
+pub(crate) struct Solver {
+    domains: BTreeMap<String, Domain>,
+    chain: Vec<String>,
+    unsat: bool,
+}
+
+impl Solver {
+    /// Builds a solver over the given per-item domains.
+    pub(crate) fn new(domains: BTreeMap<String, Domain>) -> Self {
+        Solver {
+            domains,
+            chain: Vec::new(),
+            unsat: false,
+        }
+    }
+
+    /// The propagation chain recorded so far (deterministic replay).
+    pub(crate) fn chain(&self) -> &[String] {
+        &self.chain
+    }
+
+    /// Whether propagation proved the space unsatisfiable.
+    pub(crate) fn is_unsat(&self) -> bool {
+        self.unsat
+    }
+
+    /// The current (possibly narrowed) domains.
+    pub(crate) fn domains(&self) -> &BTreeMap<String, Domain> {
+        &self.domains
+    }
+
+    fn domain_or_unbound(&self, key: &str) -> Domain {
+        self.domains
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| Domain::new(true, Vec::new()))
+    }
+
+    fn record_shrink(&mut self, prefix: &str, cond: &Condition, key: &str) {
+        let domain = self.domain_or_unbound(key);
+        self.chain.push(format!(
+            "{prefix} {cond}; domain({key}) = {}",
+            domain.render()
+        ));
+        if domain.is_empty() {
+            self.chain
+                .push(format!("domain({key}) is empty -> unsatisfiable"));
+            self.unsat = true;
+        }
+    }
+
+    /// Restricts domains so the condition *can* hold; returns whether any
+    /// domain shrank. `prefix` tags the chain entry (`"require"` for guard
+    /// conditions).
+    fn narrow(&mut self, cond: &Condition, keep_matching: bool, prefix: &str) -> bool {
+        if self.unsat {
+            return false;
+        }
+        match cond.predicate() {
+            // List predicates span indexed slots; enumeration decides them.
+            Predicate::ListHasOrEmpty { .. } | Predicate::ListLacks { .. } => false,
+            Predicate::IntAboveItem {
+                other,
+                default,
+                other_default,
+            } => {
+                if !keep_matching {
+                    // Refuting `key > other` (i.e. requiring `key <= other`)
+                    // is the mirror pruning; both directions share the
+                    // bounds logic below.
+                }
+                let key = cond.key().to_owned();
+                let other = other.clone();
+                let mut changed = false;
+                // Prune the left side against the right side's bounds, then
+                // the right side against the (possibly narrowed) left.
+                for _ in 0..2 {
+                    let other_bounds =
+                        int_bounds(&self.domain_or_unbound(&other), &other, *other_default);
+                    let key_domain = self.domain_or_unbound(&key);
+                    let narrowed =
+                        filter_by_int(&key_domain, &key, *default, |v| match other_bounds {
+                            // `key > other` needs a partner below it; `key <= other`
+                            // needs a partner at or above it.
+                            Some((lo, hi)) => {
+                                if keep_matching {
+                                    v > lo
+                                } else {
+                                    v <= hi
+                                }
+                            }
+                            None => false,
+                        });
+                    if narrowed.size() < key_domain.size() {
+                        self.domains.insert(key.clone(), narrowed);
+                        self.record_shrink(prefix, cond, &key);
+                        changed = true;
+                        if self.unsat {
+                            return changed;
+                        }
+                    }
+                    let key_bounds = int_bounds(&self.domain_or_unbound(&key), &key, *default);
+                    let other_domain = self.domain_or_unbound(&other);
+                    let narrowed =
+                        filter_by_int(
+                            &other_domain,
+                            &other,
+                            *other_default,
+                            |v| match key_bounds {
+                                Some((lo, hi)) => {
+                                    if keep_matching {
+                                        v < hi
+                                    } else {
+                                        v >= lo
+                                    }
+                                }
+                                None => false,
+                            },
+                        );
+                    if narrowed.size() < other_domain.size() {
+                        self.domains.insert(other.clone(), narrowed);
+                        self.record_shrink(prefix, cond, &other);
+                        changed = true;
+                        if self.unsat {
+                            return changed;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                changed
+            }
+            _ => {
+                let key = cond.key().to_owned();
+                let domain = self.domain_or_unbound(&key);
+                let can_unbound = domain.can_unbound && eval_single(cond, None) == keep_matching;
+                let values: Vec<ConfigValue> = domain
+                    .values
+                    .iter()
+                    .filter(|v| eval_single(cond, Some(v)) == keep_matching)
+                    .cloned()
+                    .collect();
+                let narrowed = Domain::new(can_unbound, values);
+                if narrowed.size() < domain.size() {
+                    self.domains.insert(key.clone(), narrowed);
+                    self.record_shrink(prefix, cond, &key);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Asserts a guard condition: the space keeps only configurations that
+    /// may satisfy it.
+    pub(crate) fn require(&mut self, cond: &Condition) -> bool {
+        self.narrow(cond, true, "require")
+    }
+
+    /// The condition's truth over the current domain product.
+    pub(crate) fn status(&self, cond: &Condition) -> Status {
+        match cond.predicate() {
+            Predicate::ListHasOrEmpty { .. } | Predicate::ListLacks { .. } => Status::Unknown,
+            Predicate::IntAboveItem {
+                other,
+                default,
+                other_default,
+            } => {
+                let key_bounds =
+                    int_bounds(&self.domain_or_unbound(cond.key()), cond.key(), *default);
+                let other_bounds =
+                    int_bounds(&self.domain_or_unbound(other), other, *other_default);
+                match (key_bounds, other_bounds) {
+                    (Some((klo, khi)), Some((olo, ohi))) => {
+                        if klo > ohi {
+                            Status::True
+                        } else if khi <= olo {
+                            Status::False
+                        } else {
+                            Status::Unknown
+                        }
+                    }
+                    _ => Status::False,
+                }
+            }
+            _ => {
+                let domain = self.domain_or_unbound(cond.key());
+                let mut any_true = false;
+                let mut any_false = false;
+                for candidate in domain.candidates() {
+                    if eval_single(cond, candidate) {
+                        any_true = true;
+                    } else {
+                        any_false = true;
+                    }
+                    if any_true && any_false {
+                        return Status::Unknown;
+                    }
+                }
+                match (any_true, any_false) {
+                    (true, false) => Status::True,
+                    (false, true) => Status::False,
+                    // An empty domain satisfies nothing.
+                    _ => Status::False,
+                }
+            }
+        }
+    }
+
+    /// Runs guard-condition assertion and negated-constraint unit
+    /// propagation to fixpoint.
+    ///
+    /// A bootable configuration must avoid *every* startup constraint, so a
+    /// constraint whose conditions are all forced [`Status::True`] proves
+    /// the space unsatisfiable, and one with a single undecided condition
+    /// forces that condition false.
+    pub(crate) fn solve(&mut self, guard: &[Condition], constraints: &ConstraintSet) {
+        for cond in guard {
+            self.require(cond);
+            if self.unsat {
+                return;
+            }
+        }
+        loop {
+            let mut changed = false;
+            // Re-assert guard conditions: IntAboveItem pruning can bite
+            // again after another key's domain narrowed.
+            for cond in guard {
+                changed |= self.require(cond);
+                if self.unsat {
+                    return;
+                }
+            }
+            for constraint in constraints.constraints() {
+                let statuses: Vec<Status> = constraint
+                    .conditions()
+                    .iter()
+                    .map(|c| self.status(c))
+                    .collect();
+                if statuses.contains(&Status::False) {
+                    continue; // The conflict is already avoided.
+                }
+                if statuses.iter().all(|s| *s == Status::True) {
+                    self.chain.push(format!(
+                        "every remaining configuration violates constraint \"{}\" -> unsatisfiable",
+                        constraint.reason()
+                    ));
+                    self.unsat = true;
+                    return;
+                }
+                let undecided: Vec<usize> = statuses
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == Status::Unknown)
+                    .map(|(i, _)| i)
+                    .collect();
+                if let [only] = undecided.as_slice() {
+                    let cond = &constraint.conditions()[*only];
+                    let prefix = format!("constraint \"{}\" forbids", constraint.reason());
+                    changed |= self.narrow(cond, false, &prefix);
+                    if self.unsat {
+                        return;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+}
+
+/// Keeps the candidates whose integer view passes `keep`.
+fn filter_by_int(domain: &Domain, key: &str, default: i64, keep: impl Fn(i64) -> bool) -> Domain {
+    let can_unbound = domain.can_unbound && keep(int_view(key, None, default));
+    let values = domain
+        .values
+        .iter()
+        .filter(|v| keep(int_view(key, Some(v), default)))
+        .cloned()
+        .collect();
+    Domain::new(can_unbound, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmfuzz_config_model::ConfigConstraint;
+
+    fn ints(vals: &[i64]) -> Vec<ConfigValue> {
+        vals.iter().map(|v| ConfigValue::Int(*v)).collect()
+    }
+
+    fn str_val(v: &str) -> ConfigValue {
+        ConfigValue::Str(v.to_owned())
+    }
+
+    fn space(entries: &[(&str, bool, Vec<ConfigValue>)]) -> BTreeMap<String, Domain> {
+        entries
+            .iter()
+            .map(|(k, unbound, vals)| ((*k).to_owned(), Domain::new(*unbound, vals.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn require_filters_candidates_and_unbound() {
+        let mut solver = Solver::new(space(&[("n", true, ints(&[0, 5, 10]))]));
+        solver.require(&Condition::int_within("n", 4, 10, 0));
+        let d = &solver.domains()["n"];
+        assert!(!d.can_unbound, "default 0 fails [4, 10]");
+        assert_eq!(d.values, ints(&[5, 10]));
+        assert!(!solver.is_unsat());
+        assert_eq!(solver.chain().len(), 1);
+        assert!(
+            solver.chain()[0].contains("require"),
+            "{:?}",
+            solver.chain()
+        );
+    }
+
+    #[test]
+    fn emptied_domain_is_unsat_with_chain() {
+        let mut solver = Solver::new(space(&[("mode", false, vec![str_val("a")])]));
+        solver.require(&Condition::str_is("mode", "b", "a"));
+        assert!(solver.is_unsat());
+        assert!(solver
+            .chain()
+            .last()
+            .expect("terminal step")
+            .contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn status_is_tri_valued() {
+        let solver = Solver::new(space(&[("n", false, ints(&[3, 4]))]));
+        assert_eq!(
+            solver.status(&Condition::int_below("n", 10, 0)),
+            Status::True
+        );
+        assert_eq!(
+            solver.status(&Condition::int_below("n", 3, 0)),
+            Status::False
+        );
+        assert_eq!(
+            solver.status(&Condition::int_below("n", 4, 0)),
+            Status::Unknown
+        );
+        assert_eq!(
+            solver.status(&Condition::list_lacks("n", "x")),
+            Status::Unknown,
+            "list predicates are never propagated"
+        );
+    }
+
+    #[test]
+    fn constraint_unit_propagation_forces_the_last_condition_false() {
+        // Constraint: tls && auth=external conflicts. Guard forces tls on,
+        // so auth=external must be refuted out of the domain.
+        let domains = space(&[
+            ("tls", false, vec![ConfigValue::Bool(true)]),
+            ("auth", true, vec![str_val("external"), str_val("plain")]),
+        ]);
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "tls conflicts with external auth",
+            vec![
+                Condition::bool_is("tls", true, false),
+                Condition::str_is("auth", "external", "none"),
+            ],
+        ));
+        let mut solver = Solver::new(domains);
+        solver.solve(&[Condition::bool_is("tls", true, false)], &constraints);
+        assert!(!solver.is_unsat());
+        let auth = &solver.domains()["auth"];
+        assert_eq!(auth.values, vec![str_val("plain")]);
+        assert!(auth.can_unbound, "default \"none\" avoids the conflict");
+        assert!(
+            solver.chain().iter().any(|step| step.contains("forbids")),
+            "{:?}",
+            solver.chain()
+        );
+    }
+
+    #[test]
+    fn fully_forced_constraint_is_unsat() {
+        let domains = space(&[("tls", false, vec![ConfigValue::Bool(true)])]);
+        let constraints = ConstraintSet::new().with(ConfigConstraint::new(
+            "tls unsupported",
+            vec![Condition::bool_is("tls", true, false)],
+        ));
+        let mut solver = Solver::new(domains);
+        solver.solve(&[Condition::bool_is("tls", true, false)], &constraints);
+        assert!(solver.is_unsat());
+        assert!(solver
+            .chain()
+            .last()
+            .expect("terminal")
+            .contains("tls unsupported"));
+    }
+
+    #[test]
+    fn int_above_item_prunes_both_sides() {
+        let domains = space(&[
+            ("frag", true, ints(&[100, 200, 300])),
+            ("max", false, ints(&[150, 250])),
+        ]);
+        let mut solver = Solver::new(domains);
+        // frag (default 100) must exceed max.
+        solver.solve(
+            &[Condition::int_above_item("frag", "max", 100, 0)],
+            &ConstraintSet::new(),
+        );
+        assert!(!solver.is_unsat());
+        let frag = &solver.domains()["frag"];
+        // 100 (bound and unbound) cannot exceed min(max)=150.
+        assert!(!frag.can_unbound);
+        assert_eq!(frag.values, ints(&[200, 300]));
+        // Both 150 and 250 stay: 300 > 250.
+        assert_eq!(solver.domains()["max"].values, ints(&[150, 250]));
+    }
+
+    #[test]
+    fn unknown_key_defaults_to_unbound_only_domain() {
+        let solver = Solver::new(BTreeMap::new());
+        // Unbound "n" sees default 7: below 10 holds everywhere.
+        assert_eq!(
+            solver.status(&Condition::int_below("n", 10, 7)),
+            Status::True
+        );
+        assert_eq!(
+            solver.status(&Condition::int_below("n", 5, 7)),
+            Status::False
+        );
+    }
+
+    #[test]
+    fn domain_render_is_canonical() {
+        let d = Domain::new(true, ints(&[1, 2]));
+        assert_eq!(d.render(), "{unbound, 1, 2}");
+        assert_eq!(Domain::new(false, Vec::new()).render(), "{}");
+    }
+
+    /// Lockstep with the private `LIST_SCAN` in `cmfuzz_config_model`: a
+    /// list member bound at the last scanned slot must still be seen.
+    #[test]
+    fn list_scan_matches_config_model() {
+        let cond = Condition::list_lacks("m", "x");
+        let mut cfg = ResolvedConfig::new();
+        cfg.set(&format!("m[{}]", LIST_SCAN - 1), str_val("x"));
+        assert!(!cond.matches(&cfg), "slot {} is scanned", LIST_SCAN - 1);
+        let mut cfg = ResolvedConfig::new();
+        cfg.set(&format!("m[{LIST_SCAN}]"), str_val("x"));
+        assert!(cond.matches(&cfg), "slot {LIST_SCAN} is beyond the scan");
+    }
+}

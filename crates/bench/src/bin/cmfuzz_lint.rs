@@ -1,20 +1,37 @@
 //! `cmfuzz-lint`: static verification of the registry subjects' models.
 //!
 //! Runs every `cmfuzz-analyze` check — data/state model structure,
-//! configuration model domains, declared startup constraints — over the
-//! named subjects (default: all of them) and prints the findings.
+//! configuration model domains, declared startup constraints, and
+//! configuration-space branch reachability — over the named subjects
+//! (default: all of them) and prints the findings.
 //!
 //! ```text
-//! usage: cmfuzz-lint [--format text|json] [subject...]
+//! usage: cmfuzz-lint [--format text|json] [--fleet [--partitions n]] [subject...]
 //! ```
+//!
+//! Per-subject mode proves reachability over the *whole* configuration
+//! space: a `CM061` error means a declared branch guard is unsatisfiable
+//! under any configuration the server accepts — dead code or a wrong
+//! guard. `--fleet` additionally builds the bench fleet schedule
+//! (relation-aware partitions via `build_schedule` + `cmfuzz_setups`),
+//! validates it with the fleet preflight, and re-proves reachability
+//! inside each partition — `CM060` warnings there enumerate the branches
+//! a partition can never cover, which is expected (that is what makes
+//! partitions disjoint) and informative rather than fatal.
 //!
 //! The exit code is the worst severity found: `0` clean, `1` lint,
 //! `2` warning, `3` error — so CI can gate merges on `cmfuzz-lint`
-//! without parsing its output.
+//! without parsing its output. Fleet lints gate on `< 3`: partition-dead
+//! warnings are part of a healthy schedule.
 
 use std::process::exit;
 
-use cmfuzz_analyze::{analyze_models, Report};
+use cmfuzz::baseline::cmfuzz_setups;
+use cmfuzz::campaign::InstanceSetup;
+use cmfuzz::preflight::{analyze_fleet_schedule, analyze_reachability_for, FleetEntryView};
+use cmfuzz::schedule::{build_schedule, ScheduleOptions};
+use cmfuzz_analyze::{analyze_models, analyze_reachability, ReachSpace, Report};
+use cmfuzz_coverage::Ticks;
 use cmfuzz_fuzzer::pit;
 use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::{all_specs, spec_by_name, ProtocolSpec};
@@ -26,13 +43,16 @@ enum Format {
 }
 
 fn main() {
-    let (format, subjects) = parse_args();
+    let options = parse_args();
     let mut report = Report::new();
-    for spec in &subjects {
+    for spec in &options.subjects {
         report.merge(lint_subject(spec));
     }
+    if options.fleet {
+        report.merge(lint_fleet(&options.subjects, options.partitions));
+    }
     report.sort();
-    match format {
+    match options.format {
         Format::Text => print!("{}", report.render_text()),
         Format::Json => println!("{}", report.render_json()),
     }
@@ -55,12 +75,67 @@ fn lint_subject(spec: &ProtocolSpec) -> Report {
     let target = (spec.build)();
     let model = cmfuzz_config_model::extract_model(&target.config_space());
     let constraints = target.config_constraints();
-    analyze_models(spec.name, &parsed, &model, &constraints)
+    let mut report = analyze_models(spec.name, &parsed, &model, &constraints);
+    // Whole-space reachability: every declared branch guard must be
+    // satisfiable by *some* accepted configuration, or the guard (or the
+    // branch behind it) is statically dead across the entire registry.
+    report.merge(
+        analyze_reachability(
+            spec.name,
+            &target.branch_guards(),
+            &constraints,
+            &model,
+            target.branch_count(),
+            &ReachSpace::Global,
+        )
+        .into_report(),
+    );
+    report
 }
 
-fn parse_args() -> (Format, Vec<ProtocolSpec>) {
+/// Rebuilds the bench fleet schedule (the same `build_schedule` +
+/// `cmfuzz_setups` pipeline `bench_fleet` runs) and lints it: the fleet
+/// preflight over all partitions together, then partition-space
+/// reachability for each campaign.
+fn lint_fleet(subjects: &[ProtocolSpec], partitions: usize) -> Report {
+    let mut report = Report::new();
+    let mut campaigns: Vec<(String, ProtocolSpec, Vec<InstanceSetup>)> = Vec::new();
+    for spec in subjects {
+        let mut scratch = (spec.build)();
+        let schedule = build_schedule(&mut scratch, partitions, &ScheduleOptions::default());
+        let setups = cmfuzz_setups(&schedule, partitions);
+        for (part, setup) in setups.into_iter().enumerate() {
+            campaigns.push((format!("{}/part-{part}", spec.name), *spec, vec![setup]));
+        }
+    }
+    let views: Vec<FleetEntryView<'_>> = campaigns
+        .iter()
+        .map(|(id, spec, setups)| FleetEntryView {
+            id,
+            spec,
+            budget: Ticks::new(600),
+            setups,
+        })
+        .collect();
+    report.merge(analyze_fleet_schedule(&views));
+    for (_, spec, setups) in &campaigns {
+        report.merge(analyze_reachability_for(spec, setups).into_report());
+    }
+    report
+}
+
+struct Options {
+    format: Format,
+    fleet: bool,
+    partitions: usize,
+    subjects: Vec<ProtocolSpec>,
+}
+
+fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = Format::Text;
+    let mut fleet = false;
+    let mut partitions = 3;
     let mut subjects: Vec<ProtocolSpec> = Vec::new();
 
     let mut iter = args.iter();
@@ -70,6 +145,11 @@ fn parse_args() -> (Format, Vec<ProtocolSpec>) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
                 other => usage_error(&format!("--format expects text|json, got {other:?}")),
+            },
+            "--fleet" => fleet = true,
+            "--partitions" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n > 0 => partitions = n,
+                _ => usage_error("--partitions expects a positive count"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -92,13 +172,23 @@ fn parse_args() -> (Format, Vec<ProtocolSpec>) {
     if subjects.is_empty() {
         subjects = all_specs();
     }
-    (format, subjects)
+    Options {
+        format,
+        fleet,
+        partitions,
+        subjects,
+    }
 }
 
-const USAGE: &str = "usage: cmfuzz-lint [--format text|json] [subject...]\n\
+const USAGE: &str =
+    "usage: cmfuzz-lint [--format text|json] [--fleet] [--partitions <n>] [subject...]\n\
 \n\
-  --format  output format (default: text)\n\
-  subject   registry subject names to verify (default: all)\n\
+  --format      output format (default: text)\n\
+  --fleet       also lint the bench fleet schedule: fleet preflight plus\n\
+                partition-space reachability for every campaign (CM060\n\
+                warnings enumerate partition-dead branches)\n\
+  --partitions  relation-aware partitions per subject in --fleet mode (default: 3)\n\
+  subject       registry subject names to verify (default: all)\n\
 \n\
 exit code: 0 clean, 1 lint, 2 warning, 3 error";
 

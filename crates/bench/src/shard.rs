@@ -115,6 +115,9 @@ pub struct FleetCellReport {
     pub total_branches: usize,
     /// Campaigns that ran to completion.
     pub completed: usize,
+    /// Branches covered despite being proven statically dead by the
+    /// reachability analyzer — non-zero fails the parent's soundness gate.
+    pub dead_covered: usize,
     /// Pre-rendered policy JSON block (line count framed on the wire).
     pub policy_json: String,
 }
@@ -126,6 +129,7 @@ pub fn write_fleet_cell(out: &mut String, report: &FleetCellReport) {
     let _ = writeln!(out, "DIGEST {}", report.digest);
     let _ = writeln!(out, "BRANCHES {}", report.total_branches);
     let _ = writeln!(out, "COMPLETED {}", report.completed);
+    let _ = writeln!(out, "DEADCOVERED {}", report.dead_covered);
     let _ = writeln!(out, "JSON {}", report.policy_json.lines().count());
     for line in report.policy_json.lines() {
         let _ = writeln!(out, "{line}");
@@ -169,6 +173,11 @@ pub fn parse_fleet_cells(text: &str) -> Result<Vec<FleetCellReport>, String> {
             .and_then(|l| l.strip_prefix("COMPLETED "))
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| format!("cell {index}: missing COMPLETED"))?;
+        let dead_covered: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("DEADCOVERED "))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("cell {index}: missing DEADCOVERED"))?;
         let json_lines: usize = lines
             .next()
             .and_then(|l| l.strip_prefix("JSON "))
@@ -193,6 +202,7 @@ pub fn parse_fleet_cells(text: &str) -> Result<Vec<FleetCellReport>, String> {
             digest,
             total_branches,
             completed,
+            dead_covered,
             policy_json,
         });
     }
@@ -278,6 +288,7 @@ mod tests {
             digest: "gradient|4|12|3000|a:1:2:3:true".into(),
             total_branches: 412,
             completed: 7,
+            dead_covered: 0,
             policy_json: "    {\n      \"policy\": \"gradient\"\n    }".into(),
         }];
         let mut wire = String::new();

@@ -40,6 +40,7 @@ mod assemble;
 mod constraint;
 mod entity;
 pub mod extract;
+mod guard;
 mod item;
 mod model;
 mod value;
@@ -47,6 +48,7 @@ mod value;
 pub use assemble::{Assembler, ResolvedConfig};
 pub use constraint::{Condition, ConfigConstraint, ConstraintSet, Predicate};
 pub use entity::{ConfigEntity, Mutability};
+pub use guard::{BranchGuard, GuardKind, GuardTable};
 pub use item::{ConfigItem, ItemSource};
 pub use model::{extract_model, ConfigFile, ConfigModel, ConfigSpace};
 pub use value::{ConfigValue, ValueType};

@@ -181,6 +181,20 @@ impl CampaignResult {
         self.curve.final_branches()
     }
 
+    /// Fraction (in `[0, 1]`) of the statically-reachable branch set this
+    /// campaign covered. `reachable` is the upper bound the reachability
+    /// preflight proved (`CampaignReach::reachable_branch_count`) — the
+    /// honest denominator for partitioned campaigns, where raw
+    /// coverage-of-total punishes an instance for branches its partition
+    /// can never open. A zero bound yields `0.0`.
+    #[must_use]
+    pub fn coverage_of_reachable(&self, reachable: usize) -> f64 {
+        if reachable == 0 {
+            return 0.0;
+        }
+        self.final_branches() as f64 / reachable as f64
+    }
+
     /// Renders a human-readable multi-line summary: headline numbers, the
     /// fault list, and the configuration mutations applied.
     #[must_use]

@@ -14,11 +14,14 @@
 //! constraints but never draws from any campaign stream — so enabling it
 //! cannot perturb campaign determinism.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use cmfuzz_analyze::{
-    analyze_graph, analyze_models, analyze_partitions, analyze_resolved, analyze_session_plans,
-    Diagnostic, GraphView, PartitionView, Report, Severity,
+    analyze_graph, analyze_models, analyze_partitions, analyze_reachability, analyze_resolved,
+    analyze_session_plans, Diagnostic, GraphView, PartitionView, ReachAnalysis, ReachSpace, Report,
+    Severity,
 };
-use cmfuzz_config_model::extract_model;
+use cmfuzz_config_model::{extract_model, ConfigValue};
 use cmfuzz_coverage::Ticks;
 use cmfuzz_fuzzer::pit::{self, PitDefinition};
 use cmfuzz_fuzzer::Target;
@@ -79,9 +82,145 @@ pub fn preflight_campaign(
         })
         .collect();
     report.merge(analyze_partitions(spec.name, &partitions, &model));
+    report.merge(analyze_reachability_for(spec, setups).into_report());
     report.sort();
     record(&report, telemetry);
     report
+}
+
+/// A campaign's reachability verdicts: one partition-space analysis per
+/// instance setup, plus the campaign-level dead set.
+///
+/// A branch is dead *for the campaign* only when it is proven dead in
+/// **every** instance's partition — any single instance able to reach it
+/// keeps it in play for the union coverage the campaign reports.
+#[derive(Debug, Clone)]
+pub struct CampaignReach {
+    subject: String,
+    branch_count: usize,
+    instances: Vec<ReachAnalysis>,
+}
+
+impl CampaignReach {
+    /// The subject analyzed.
+    #[must_use]
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The subject's total branch count.
+    #[must_use]
+    pub fn branch_count(&self) -> usize {
+        self.branch_count
+    }
+
+    /// Per-instance analyses, indexed like the campaign's setups.
+    #[must_use]
+    pub fn instances(&self) -> &[ReachAnalysis] {
+        &self.instances
+    }
+
+    /// Branches proven dead in every instance partition (sorted). Empty
+    /// when the campaign has no setups — nothing can be claimed.
+    #[must_use]
+    pub fn dead_branches(&self) -> Vec<u32> {
+        let mut iter = self.instances.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut dead: BTreeSet<u32> = first.dead_branches().into_iter().collect();
+        for analysis in iter {
+            let these: BTreeSet<u32> = analysis.dead_branches().into_iter().collect();
+            dead = dead.intersection(&these).copied().collect();
+        }
+        dead.into_iter().collect()
+    }
+
+    /// Upper bound on the branches this campaign can ever cover.
+    #[must_use]
+    pub fn reachable_branch_count(&self) -> usize {
+        self.branch_count - self.dead_branches().len()
+    }
+
+    /// Of `covered`, the branches this analysis proved dead — any entry
+    /// here is a reachability-soundness violation (a guard or the solver
+    /// claimed something false).
+    #[must_use]
+    pub fn dead_covered(&self, covered: &[u32]) -> Vec<u32> {
+        let dead: BTreeSet<u32> = self.dead_branches().into_iter().collect();
+        let hits: BTreeSet<u32> = covered
+            .iter()
+            .copied()
+            .filter(|b| dead.contains(b))
+            .collect();
+        hits.into_iter().collect()
+    }
+
+    /// All per-instance diagnostics, merged and sorted.
+    #[must_use]
+    pub fn into_report(self) -> Report {
+        let mut report = Report::new();
+        for analysis in self.instances {
+            report.merge(analysis.into_report());
+        }
+        report.sort();
+        report
+    }
+}
+
+/// Proves, per instance setup, which guarded branches the campaign's
+/// partitions can ever reach.
+///
+/// Each instance's space is its `initial_config` plus, for every adaptive
+/// entity, the set of values `mutate_instance_config` can ever set (the
+/// scheduler's typical values, plus the initial binding — or unbound when
+/// the initial configuration leaves the key unset). Like the rest of the
+/// preflight the pass is RNG-free.
+#[must_use]
+pub fn analyze_reachability_for(spec: &ProtocolSpec, setups: &[InstanceSetup]) -> CampaignReach {
+    let target = (spec.build)();
+    let guards = target.branch_guards();
+    let model = extract_model(&target.config_space());
+    let constraints = target.config_constraints();
+    let branch_count = target.branch_count();
+    let instances = setups
+        .iter()
+        .map(|setup| {
+            analyze_reachability(
+                spec.name,
+                &guards,
+                &constraints,
+                &model,
+                branch_count,
+                &partition_space(setup),
+            )
+        })
+        .collect();
+    CampaignReach {
+        subject: spec.name.to_owned(),
+        branch_count,
+        instances,
+    }
+}
+
+/// The reachable configuration space of one instance setup.
+fn partition_space(setup: &InstanceSetup) -> ReachSpace {
+    let mut domains: BTreeMap<String, Vec<Option<ConfigValue>>> = BTreeMap::new();
+    for (name, values) in &setup.adaptive_entities {
+        let mut candidates: Vec<Option<ConfigValue>> = Vec::new();
+        candidates.push(setup.initial_config.get(name).cloned());
+        for value in values {
+            let candidate = Some(value.clone());
+            if !candidates.contains(&candidate) {
+                candidates.push(candidate);
+            }
+        }
+        domains.insert(name.clone(), candidates);
+    }
+    ReachSpace::Partition {
+        base: setup.initial_config.clone(),
+        domains,
+    }
 }
 
 /// Statically verifies a scheduler's output: the relation graph against
@@ -387,6 +526,137 @@ mod tests {
             .collect();
         let report = analyze_fleet_schedule(&entries);
         assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    /// The paper-facing reachability claim, over *real* scheduler
+    /// partitions: on at least two subjects, some instance's partition
+    /// provably cannot open at least one guarded branch, and every dead
+    /// verdict carries a machine-checkable refutation chain ending in an
+    /// unsatisfiability witness.
+    #[test]
+    fn schedule_partitions_prove_dead_branches_on_multiple_subjects() {
+        use cmfuzz_analyze::ReachStatus;
+        let mut subjects_with_dead = 0;
+        for name in ["mosquitto", "cyclonedds", "qpid"] {
+            let spec = spec_by_name(name).expect("subject exists");
+            let mut target = (spec.build)();
+            let schedule = build_schedule(&mut target, 2, &ScheduleOptions::default());
+            let setups = crate::baseline::cmfuzz_setups(&schedule, 2);
+            let reach = analyze_reachability_for(&spec, &setups);
+            let dead_total: usize = reach
+                .instances()
+                .iter()
+                .map(|a| a.dead_branches().len())
+                .sum();
+            if dead_total > 0 {
+                subjects_with_dead += 1;
+            }
+            for analysis in reach.instances() {
+                for row in analysis.branches() {
+                    if let ReachStatus::Dead { chain } = row.status() {
+                        let last = chain.last().expect("chain is never empty");
+                        assert!(
+                            last.contains("unsatisfiable") || last.contains("none satisfies"),
+                            "{name}: `{}` dead verdict lacks a terminal refutation: {chain:?}",
+                            row.region()
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                reach.reachable_branch_count(),
+                reach.branch_count() - reach.dead_branches().len()
+            );
+        }
+        assert!(
+            subjects_with_dead >= 2,
+            "expected partitions with dead branches on >=2 subjects, got {subjects_with_dead}"
+        );
+    }
+
+    /// Soundness gate at the core level: a real campaign over scheduler
+    /// partitions never covers a branch the analyzer called dead for the
+    /// campaign (dead in every instance partition).
+    #[test]
+    fn campaigns_never_cover_campaign_dead_branches() {
+        use crate::campaign::{run_campaign, CampaignOptions};
+        use cmfuzz_coverage::BranchId;
+        let spec = spec_by_name("mosquitto").expect("subject exists");
+        let mut target = (spec.build)();
+        let schedule = build_schedule(&mut target, 2, &ScheduleOptions::default());
+        let setups = crate::baseline::cmfuzz_setups(&schedule, 2);
+        let reach = analyze_reachability_for(&spec, &setups);
+        let options = CampaignOptions {
+            instances: 2,
+            budget: cmfuzz_coverage::Ticks::new(600),
+            sample_interval: cmfuzz_coverage::Ticks::new(100),
+            saturation_window: cmfuzz_coverage::Ticks::new(200),
+            seed: 7,
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign(&spec, "cmfuzz", &setups, &options);
+        let violations: Vec<u32> = reach
+            .dead_branches()
+            .into_iter()
+            .filter(|&b| result.coverage.is_covered(BranchId::from_index(b)))
+            .collect();
+        assert!(
+            violations.is_empty(),
+            "campaign covered statically-dead branches {violations:?}"
+        );
+    }
+
+    /// Partition spaces out of instance setups: an adaptive entity with no
+    /// initial binding keeps `unbound` in its domain; a bound one pins the
+    /// initial value alongside the typical values.
+    #[test]
+    fn reachability_uses_partition_spaces_from_setups() {
+        use cmfuzz_analyze::ReachStatus;
+        let spec = spec_by_name("mosquitto").expect("subject exists");
+        // tls_enabled is adaptive and can reach `true`: start::tls must be
+        // reachable with a witness binding it true.
+        let adaptive = InstanceSetup {
+            adaptive_entities: vec![(
+                "tls_enabled".to_owned(),
+                vec![ConfigValue::Bool(false), ConfigValue::Bool(true)],
+            )],
+            ..InstanceSetup::default()
+        };
+        // A fixed baseline instance can never open it: proven dead.
+        let fixed = InstanceSetup::default();
+        let reach = analyze_reachability_for(&spec, &[adaptive, fixed]);
+        let status_of = |i: usize| {
+            reach.instances()[i]
+                .branches()
+                .iter()
+                .find(|row| row.region() == "start::tls")
+                .expect("start::tls is guarded")
+                .status()
+                .clone()
+        };
+        match status_of(0) {
+            ReachStatus::Reachable { witness } => {
+                assert_eq!(witness.get("tls_enabled"), Some(&ConfigValue::Bool(true)));
+            }
+            other => panic!("adaptive instance should reach start::tls: {other:?}"),
+        }
+        assert!(
+            matches!(status_of(1), ReachStatus::Dead { .. }),
+            "fixed instance should prove start::tls dead"
+        );
+        // Campaign-level dead set is the intersection: instance 0 keeps the
+        // branch alive.
+        let tls_branch = reach.instances()[1]
+            .branches()
+            .iter()
+            .find(|row| row.region() == "start::tls")
+            .unwrap()
+            .branch();
+        assert!(!reach.dead_branches().contains(&tls_branch));
+        assert!(reach.instances()[1].dead_branches().contains(&tls_branch));
+        // And the soundness helper flags exactly the dead ∩ covered set.
+        let fake_covered = reach.dead_branches();
+        assert_eq!(reach.dead_covered(&fake_covered), reach.dead_branches());
     }
 
     #[test]

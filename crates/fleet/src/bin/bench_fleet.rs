@@ -13,8 +13,17 @@
 //! *processes* — the same binary re-invoked with a hidden
 //! `--shard-worker i/N` flag — and the gates compare digests that crossed
 //! a process boundary, which is a strictly stronger reproducibility claim
-//! than an in-process repeat. Exits non-zero if either gate fails, so CI
-//! can hold the scheduler to its claim.
+//! than an in-process repeat.
+//!
+//! Every policy run is additionally audited against the configuration-
+//! space reachability analyzer: each campaign's JSON row reports the
+//! certified-reachable branch ceiling of its partition, the fraction of
+//! that ceiling it covered, and how many *proven-dead* branches it
+//! covered anyway (`dead_covered`). A non-zero fleet-wide
+//! `dead_covered_total` means the analyzer claimed a branch could never
+//! fire under the partition and a campaign fired it — an analyzer
+//! soundness violation. Exits non-zero if any gate fails, so CI can hold
+//! both the scheduler and the analyzer to their claims.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -22,6 +31,7 @@ use std::time::Instant;
 
 use cmfuzz::baseline::cmfuzz_setups;
 use cmfuzz::campaign::CampaignOptions;
+use cmfuzz::preflight::analyze_reachability_for;
 use cmfuzz::schedule::{build_schedule, ScheduleOptions};
 use cmfuzz_bench::{report, shard};
 use cmfuzz_coverage::Ticks;
@@ -144,10 +154,11 @@ fn main() {
         scale.label,
     );
 
-    let (deterministic, round_robin, gradient, policy_blocks, shard_json) = match shards {
-        Some(n) => run_sharded(&scale, seed, n),
-        None => run_in_process(&fleet, &fleet_options),
-    };
+    let (deterministic, round_robin, gradient, dead_covered_total, policy_blocks, shard_json) =
+        match shards {
+            Some(n) => run_sharded(&scale, seed, n),
+            None => run_in_process(&fleet, &fleet_options),
+        };
 
     #[allow(clippy::cast_precision_loss)]
     let improvement_pct = if round_robin == 0 {
@@ -157,7 +168,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"experiment\": \"fleet\",\n  \"scale\": \"{}\",\n  \"machine\": {},\n  \"campaigns\": {},\n  \"seed\": {seed},\n  \"slots\": {},\n  \"slice_ticks\": {},\n  \"campaign_budget_ticks\": {},\n  \"total_budget_ticks\": {},\n  \"deterministic\": {deterministic},\n  \"gradient_vs_round_robin_pct\": {improvement_pct:.2},\n  \"policies\": [\n{policy_blocks}\n  ]{shard_json}\n}}\n",
+        "{{\n  \"experiment\": \"fleet\",\n  \"scale\": \"{}\",\n  \"machine\": {},\n  \"campaigns\": {},\n  \"seed\": {seed},\n  \"slots\": {},\n  \"slice_ticks\": {},\n  \"campaign_budget_ticks\": {},\n  \"total_budget_ticks\": {},\n  \"deterministic\": {deterministic},\n  \"gradient_vs_round_robin_pct\": {improvement_pct:.2},\n  \"dead_covered_total\": {dead_covered_total},\n  \"policies\": [\n{policy_blocks}\n  ]{shard_json}\n}}\n",
         scale.label,
         report::machine_info_json(),
         fleet.len(),
@@ -184,6 +195,13 @@ fn main() {
         eprintln!("[bench_fleet] FAIL: same-seed coverage-gradient runs diverged");
         failed = true;
     }
+    if dead_covered_total > 0 {
+        eprintln!(
+            "[bench_fleet] FAIL: campaigns covered {dead_covered_total} branches the \
+             reachability analyzer proved statically dead — the analyzer is unsound"
+        );
+        failed = true;
+    }
     if failed {
         exit(1);
     }
@@ -204,7 +222,7 @@ fn cell_policy(cell: usize) -> Box<dyn SchedulingPolicy> {
 fn run_in_process(
     fleet: &[FleetCampaign],
     options: &FleetOptions,
-) -> (bool, usize, usize, String, String) {
+) -> (bool, usize, usize, usize, String, String) {
     let mut runs = Vec::new();
     for cell in 0..CELLS {
         let mut policy = cell_policy(cell);
@@ -241,15 +259,21 @@ fn run_in_process(
     let deterministic = fleet_digest(&runs[3].0) == fleet_digest(&runs[1].0);
     let round_robin = runs[0].0.total_branches();
     let gradient = runs[1].0.total_branches();
+    let mut dead_covered_total = 0usize;
     let policy_blocks = runs[..3]
         .iter()
-        .map(|(result, wall)| policy_json(result, *wall))
+        .map(|(result, wall)| {
+            let (block, dead_covered) = policy_json(fleet, result, *wall);
+            dead_covered_total += dead_covered;
+            block
+        })
         .collect::<Vec<_>>()
         .join(",\n");
     (
         deterministic,
         round_robin,
         gradient,
+        dead_covered_total,
         policy_blocks,
         String::new(),
     )
@@ -277,6 +301,7 @@ fn run_shard_worker(fleet: &[FleetCampaign], options: &FleetOptions, index: usiz
             }
         };
         let wall = started.elapsed().as_secs_f64();
+        let (block, dead_covered) = policy_json(fleet, &result, wall);
         shard::write_fleet_cell(
             &mut wire,
             &shard::FleetCellReport {
@@ -285,7 +310,8 @@ fn run_shard_worker(fleet: &[FleetCampaign], options: &FleetOptions, index: usiz
                 digest: fleet_digest(&result),
                 total_branches: result.total_branches(),
                 completed: result.completed_count(),
-                policy_json: policy_json(&result, wall),
+                dead_covered,
+                policy_json: block,
             },
         );
     }
@@ -301,7 +327,7 @@ fn run_sharded(
     scale: &BenchScale,
     seed: u64,
     shards: usize,
-) -> (bool, usize, usize, String, String) {
+) -> (bool, usize, usize, usize, String, String) {
     eprintln!("[bench_fleet] sharded run ({shards} worker processes)...");
     let exe = match std::env::current_exe() {
         Ok(exe) => exe,
@@ -370,6 +396,7 @@ fn run_sharded(
     let deterministic = cells[3].digest == cells[1].digest;
     let round_robin = cells[0].total_branches;
     let gradient = cells[1].total_branches;
+    let dead_covered_total = cells[..3].iter().map(|c| c.dead_covered).sum();
     let policy_blocks = cells[..3]
         .iter()
         .map(|c| c.policy_json.clone())
@@ -386,6 +413,7 @@ fn run_sharded(
         deterministic,
         round_robin,
         gradient,
+        dead_covered_total,
         policy_blocks,
         shard_json,
     )
@@ -445,18 +473,45 @@ fn fleet_digest(result: &FleetResult) -> String {
     digest
 }
 
-fn policy_json(result: &FleetResult, wall_seconds: f64) -> String {
-    let campaigns = result
-        .campaigns
+/// Renders one policy run's JSON block and audits it against the
+/// reachability analyzer: each campaign reports its certified-reachable
+/// ceiling, the fraction of it covered, and how many *proven-dead*
+/// branches it covered anyway. The second return value is the run's total
+/// dead-covered count — any non-zero value is a soundness violation (the
+/// analyzer claimed a branch could never fire and the campaign fired it)
+/// and fails the bench.
+fn policy_json(
+    fleet: &[FleetCampaign],
+    result: &FleetResult,
+    wall_seconds: f64,
+) -> (String, usize) {
+    let mut dead_covered_total = 0usize;
+    let campaigns = fleet
         .iter()
-        .map(|outcome| {
+        .zip(&result.campaigns)
+        .map(|(campaign, outcome)| {
             let occupancy = outcome.checkpoint.corpus_occupancy();
+            let reach = analyze_reachability_for(&campaign.spec, &campaign.setups);
+            let covered: Vec<u32> = outcome
+                .result()
+                .coverage
+                .covered_ids()
+                .map(|id| id.index())
+                .collect();
+            let dead_covered = reach.dead_covered(&covered).len();
+            dead_covered_total += dead_covered;
+            let reachable = outcome
+                .reachable_branches
+                .unwrap_or_else(|| reach.reachable_branch_count());
             format!(
-                "        {{\"id\": \"{}\", \"branches\": {}, \"consumed_ticks\": {}, \
+                "        {{\"id\": \"{}\", \"branches\": {}, \"reachable\": {reachable}, \
+                 \"coverage_of_reachable\": {:.4}, \"dead_covered\": {dead_covered}, \
+                 \"consumed_ticks\": {}, \
                  \"leases\": {}, \"completed\": {}, \"corpus_seeds\": {}, \
                  \"corpus_bytes\": {}}}",
                 outcome.id,
                 outcome.branches(),
+                outcome.coverage_of_reachable(),
                 outcome.consumed.get(),
                 outcome.leases,
                 outcome.completed,
@@ -466,17 +521,18 @@ fn policy_json(result: &FleetResult, wall_seconds: f64) -> String {
         })
         .collect::<Vec<_>>()
         .join(",\n");
-    format!(
+    let block = format!(
         "    {{\n      \"policy\": \"{}\",\n      \"wall_seconds\": {wall_seconds:.3},\n      \
          \"waves\": {},\n      \"leases\": {},\n      \"spent_ticks\": {},\n      \
-         \"total_branches\": {},\n      \"completed\": {},\n      \"campaigns\": [\n{campaigns}\n      ]\n    }}",
+         \"total_branches\": {},\n      \"completed\": {},\n      \"dead_covered\": {dead_covered_total},\n      \"campaigns\": [\n{campaigns}\n      ]\n    }}",
         result.policy,
         result.waves,
         result.leases,
         result.spent.get(),
         result.total_branches(),
         result.completed_count(),
-    )
+    );
+    (block, dead_covered_total)
 }
 
 const USAGE: &str = "usage: bench_fleet [--smoke] [--seed <n>] [--shard <n>] [--out <path>]\n\

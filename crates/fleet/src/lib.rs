@@ -143,6 +143,9 @@ pub struct CampaignOutcome {
     pub consumed: Ticks,
     /// Whether the campaign exhausted its own budget.
     pub completed: bool,
+    /// Branches the reachability analyzer certified this campaign's
+    /// partition can ever cover; `None` when admission skipped preflight.
+    pub reachable_branches: Option<usize>,
     /// The campaign's final checkpoint — resumable in a later fleet run
     /// when `completed` is false.
     pub checkpoint: CampaignCheckpoint,
@@ -153,6 +156,17 @@ impl CampaignOutcome {
     #[must_use]
     pub fn branches(&self) -> usize {
         self.checkpoint.union_branches()
+    }
+
+    /// Fraction of the certified-reachable branch ceiling the campaign
+    /// covered; 0.0 when the ceiling is unknown (preflight skipped).
+    #[must_use]
+    pub fn coverage_of_reachable(&self) -> f64 {
+        match self.reachable_branches {
+            #[allow(clippy::cast_precision_loss)]
+            Some(reachable) if reachable > 0 => self.branches() as f64 / reachable as f64,
+            _ => 0.0,
+        }
     }
 
     /// Assembles the campaign result from the checkpoint (partial when

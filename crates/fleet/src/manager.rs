@@ -21,7 +21,7 @@ use cmfuzz::campaign::{
     CampaignCheckpoint, CampaignControl, CampaignOptions,
 };
 use cmfuzz::metrics::CampaignResult;
-use cmfuzz::preflight::{analyze_fleet_schedule, FleetEntryView};
+use cmfuzz::preflight::{analyze_fleet_schedule, analyze_reachability_for, FleetEntryView};
 use cmfuzz::CampaignError;
 use cmfuzz_bench::grid;
 use cmfuzz_coverage::{Ticks, VirtualClock};
@@ -75,6 +75,9 @@ pub struct CampaignStatus {
     pub rounds_done: u64,
     /// Union branch coverage so far.
     pub branches: usize,
+    /// Branches the reachability analyzer certified this campaign's
+    /// partition can ever cover; `None` when admission skipped preflight.
+    pub reachable_branches: Option<usize>,
 }
 
 /// Why [`FleetManager::step_wave`] ran nothing.
@@ -116,10 +119,15 @@ pub(crate) struct FleetEntry {
     control: CampaignControl,
     paused: bool,
     pub(crate) killed: bool,
+    /// Reachability-certified branch ceiling for this campaign's
+    /// partition, computed once at admission (`None` when preflight was
+    /// skipped). Fed to the scheduling policy as a prior before the
+    /// campaign's first lease.
+    reachable_branches: Option<usize>,
 }
 
 impl FleetEntry {
-    fn new(campaign: FleetCampaign) -> Self {
+    fn new(campaign: FleetCampaign, reachable_branches: Option<usize>) -> Self {
         let mut prepared = campaign.options.clone();
         prepared.campaign_id = Some(campaign.id.clone());
         prepared.worker_pool = false;
@@ -131,6 +139,7 @@ impl FleetEntry {
             control: CampaignControl::new(),
             paused: false,
             killed: false,
+            reachable_branches,
         }
     }
 
@@ -185,6 +194,10 @@ pub struct FleetManager {
     spent: u64,
     seeds_shared: u64,
     seeds_share_rejected: u64,
+    /// Entries `0..primed` have had their reachability prior handed to a
+    /// policy; `step_wave` advances the watermark so every admitted
+    /// campaign is primed exactly once, at its first wave.
+    primed: usize,
 }
 
 impl FleetManager {
@@ -205,6 +218,7 @@ impl FleetManager {
             spent: 0,
             seeds_shared: 0,
             seeds_share_rejected: 0,
+            primed: 0,
         }
     }
 
@@ -252,8 +266,16 @@ impl FleetManager {
             }
         }
         let first = self.entries.len();
-        self.entries
-            .extend(campaigns.into_iter().map(FleetEntry::new));
+        let skip_preflight = self.options.skip_preflight;
+        self.entries.extend(campaigns.into_iter().map(|campaign| {
+            // Reachability is part of admission-time static analysis, so
+            // `skip_preflight` opts out of it too (the entry then carries
+            // no prior and the policy probes in plain index order).
+            let reachable = (!skip_preflight).then(|| {
+                analyze_reachability_for(&campaign.spec, &campaign.setups).reachable_branch_count()
+            });
+            FleetEntry::new(campaign, reachable)
+        }));
         Ok((first..self.entries.len()).collect())
     }
 
@@ -353,6 +375,7 @@ impl FleetManager {
                     .checkpoint
                     .as_ref()
                     .map_or(0, CampaignCheckpoint::union_branches),
+                reachable_branches: entry.reachable_branches,
             })
             .collect()
     }
@@ -415,6 +438,15 @@ impl FleetManager {
         &mut self,
         policy: &mut dyn SchedulingPolicy,
     ) -> Result<WaveOutcome, CampaignError> {
+        // Hand newly admitted campaigns' reachability priors to the
+        // policy before it picks — each entry is primed exactly once, at
+        // the first wave after its admission.
+        while self.primed < self.entries.len() {
+            if let Some(reachable) = self.entries[self.primed].reachable_branches {
+                policy.prime(self.primed, reachable);
+            }
+            self.primed += 1;
+        }
         let eligible: Vec<usize> = (0..self.entries.len())
             .filter(|&i| self.entries[i].eligible())
             .collect();
@@ -567,6 +599,7 @@ impl FleetManager {
                     leases: entry.leases,
                     consumed: checkpoint.consumed(),
                     completed: checkpoint.is_complete(),
+                    reachable_branches: entry.reachable_branches,
                     checkpoint,
                 })
             })
@@ -716,6 +749,93 @@ mod tests {
             .admit(campaign("mosquitto", "m/0", 5, 400))
             .expect("id is free after the kill");
         assert_eq!(manager.len(), 2);
+    }
+
+    #[test]
+    fn admission_records_reachability_and_primes_the_policy_once() {
+        struct Recorder {
+            primed: Vec<(usize, usize)>,
+        }
+        impl SchedulingPolicy for Recorder {
+            fn name(&self) -> &'static str {
+                "recorder"
+            }
+            fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
+                eligible[..slots.min(eligible.len())].to_vec()
+            }
+            fn observe(&mut self, _index: usize, _report: &cmfuzz::campaign::SliceReport) {}
+            fn prime(&mut self, index: usize, reachable_branches: usize) {
+                self.primed.push((index, reachable_branches));
+            }
+        }
+
+        let telemetry = Telemetry::disabled();
+        let mut manager = FleetManager::new(options(), &telemetry);
+        manager
+            .admit_batch(vec![
+                campaign("mosquitto", "m/0", 3, 400),
+                campaign("dnsmasq", "d/0", 7, 400),
+            ])
+            .expect("admission");
+        let status = manager.status();
+        for row in &status {
+            let reachable = row
+                .reachable_branches
+                .expect("admission certifies a ceiling");
+            assert!(
+                reachable > 0,
+                "{}: a bootable partition reaches branches",
+                row.id
+            );
+        }
+
+        let mut policy = Recorder { primed: Vec::new() };
+        manager.step_wave(&mut policy).expect("wave runs");
+        assert_eq!(
+            policy.primed,
+            vec![
+                (0, status[0].reachable_branches.unwrap()),
+                (1, status[1].reachable_branches.unwrap()),
+            ],
+            "every admitted campaign primed at its first wave"
+        );
+        manager.step_wave(&mut policy).expect("wave runs");
+        assert_eq!(policy.primed.len(), 2, "priming happens exactly once");
+
+        // Late admission picks up the watermark.
+        manager
+            .admit(campaign("mosquitto", "m/1", 5, 400))
+            .expect("late admit");
+        manager.step_wave(&mut policy).expect("wave runs");
+        assert_eq!(policy.primed.len(), 3);
+        assert_eq!(policy.primed[2].0, 2);
+
+        // Outcomes carry the ceiling into the final report.
+        while manager.step_wave(&mut policy).expect("wave runs")
+            != WaveOutcome::Idle(IdleReason::NoneEligible)
+        {}
+        let result = manager.finish("recorder").expect("finish");
+        for outcome in &result.campaigns {
+            assert!(outcome.reachable_branches.is_some());
+            assert!(
+                outcome.coverage_of_reachable() > 0.0,
+                "{} covered some of its certified ceiling",
+                outcome.id
+            );
+        }
+
+        // skip_preflight opts out of reachability certification too.
+        let mut skipped = FleetManager::new(
+            FleetOptions {
+                skip_preflight: true,
+                ..options()
+            },
+            &telemetry,
+        );
+        skipped
+            .admit(campaign("mosquitto", "m/0", 3, 400))
+            .expect("admission without preflight");
+        assert_eq!(skipped.status()[0].reachable_branches, None);
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub trait SchedulingPolicy: Send {
 
     /// Feeds back the slice result for campaign `index` after a lease.
     fn observe(&mut self, index: usize, report: &SliceReport);
+
+    /// Seeds the policy with a static prior for campaign `index`: the
+    /// number of branches the reachability analyzer certified the
+    /// campaign's partition can ever cover. The fleet manager calls this
+    /// once per admitted campaign, before its first lease. Policies may
+    /// use the prior *only* to order campaigns that have no observations
+    /// yet — once slice reports arrive, observed rewards take over — so
+    /// an unprimed fleet schedules exactly as it always did. The default
+    /// ignores priors entirely.
+    fn prime(&mut self, _index: usize, _reachable_branches: usize) {}
 }
 
 /// Fair rotation: every eligible campaign gets a slot in turn.
@@ -78,10 +88,17 @@ impl SchedulingPolicy for RoundRobin {
 /// campaigns, higher EWMA wins with lowest index as the deterministic
 /// tie-break. Saturated campaigns decay toward zero and naturally stop
 /// leasing slots while any campaign still shows a gradient.
+///
+/// Reachability priors ([`SchedulingPolicy::prime`]) refine only the
+/// probe order: among unplayed campaigns, the one whose partition can
+/// still reach the most branches is probed first. Played campaigns rank
+/// purely on observed EWMA, so a wrong prior costs at most one wave of
+/// probe ordering.
 #[derive(Debug, Clone)]
 pub struct CoverageGradient {
     alpha: f64,
     scores: Vec<Option<f64>>,
+    priors: Vec<usize>,
 }
 
 impl CoverageGradient {
@@ -106,6 +123,7 @@ impl CoverageGradient {
         CoverageGradient {
             alpha,
             scores: Vec::new(),
+            priors: Vec::new(),
         }
     }
 
@@ -114,6 +132,10 @@ impl CoverageGradient {
     #[must_use]
     pub fn score(&self, index: usize) -> Option<f64> {
         self.scores.get(index).copied().flatten()
+    }
+
+    fn prior(&self, index: usize) -> usize {
+        self.priors.get(index).copied().unwrap_or(0)
     }
 }
 
@@ -130,9 +152,10 @@ impl SchedulingPolicy for CoverageGradient {
 
     fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
         let mut ranked: Vec<usize> = eligible.to_vec();
-        // Unplayed first (by index), then descending EWMA, index tie-break.
+        // Unplayed first (highest reachability prior, then index), then
+        // descending EWMA, index tie-break.
         ranked.sort_by(|&a, &b| match (self.score(a), self.score(b)) {
-            (None, None) => a.cmp(&b),
+            (None, None) => self.prior(b).cmp(&self.prior(a)).then(a.cmp(&b)),
             (None, Some(_)) => std::cmp::Ordering::Less,
             (Some(_), None) => std::cmp::Ordering::Greater,
             (Some(sa), Some(sb)) => sb.total_cmp(&sa).then(a.cmp(&b)),
@@ -153,6 +176,13 @@ impl SchedulingPolicy for CoverageGradient {
             None => reward,
         });
     }
+
+    fn prime(&mut self, index: usize, reachable_branches: usize) {
+        if self.priors.len() <= index {
+            self.priors.resize(index + 1, 0);
+        }
+        self.priors[index] = reachable_branches;
+    }
 }
 
 /// UCB1-style bandit: balances exploiting high-yield campaigns against
@@ -163,13 +193,17 @@ impl SchedulingPolicy for CoverageGradient {
 /// `mean + c * sqrt(ln(total_plays) / plays)`, so rarely-played arms keep
 /// a widening exploration bonus and a campaign that saturates early still
 /// gets revisited occasionally — the classic hedge against a subject whose
-/// coverage comes in late bursts. Unplayed arms always go first.
+/// coverage comes in late bursts. Unplayed arms always go first; among
+/// them, a reachability prior ([`SchedulingPolicy::prime`]) puts the
+/// partition with the most certified-reachable branches first, falling
+/// back to index order. Played arms rank purely on observed rewards.
 #[derive(Debug, Clone)]
 pub struct UcbBandit {
     exploration: f64,
     plays: Vec<u64>,
     means: Vec<f64>,
     total_plays: u64,
+    priors: Vec<usize>,
 }
 
 impl UcbBandit {
@@ -199,11 +233,20 @@ impl UcbBandit {
             plays: Vec::new(),
             means: Vec::new(),
             total_plays: 0,
+            priors: Vec::new(),
         }
     }
 
+    fn played(&self, index: usize) -> u64 {
+        self.plays.get(index).copied().unwrap_or(0)
+    }
+
+    fn prior(&self, index: usize) -> usize {
+        self.priors.get(index).copied().unwrap_or(0)
+    }
+
     fn priority(&self, index: usize) -> f64 {
-        let plays = self.plays.get(index).copied().unwrap_or(0);
+        let plays = self.played(index);
         if plays == 0 {
             return f64::INFINITY;
         }
@@ -228,8 +271,16 @@ impl SchedulingPolicy for UcbBandit {
     fn pick(&mut self, eligible: &[usize], slots: usize) -> Vec<usize> {
         let mut ranked: Vec<usize> = eligible.to_vec();
         ranked.sort_by(|&a, &b| {
+            // Priors break ties only between unplayed arms (all at
+            // infinite priority); played arms rank on observations alone.
+            let by_prior = if self.played(a) == 0 && self.played(b) == 0 {
+                self.prior(b).cmp(&self.prior(a))
+            } else {
+                std::cmp::Ordering::Equal
+            };
             self.priority(b)
                 .total_cmp(&self.priority(a))
+                .then(by_prior)
                 .then(a.cmp(&b))
         });
         ranked.truncate(slots);
@@ -248,6 +299,13 @@ impl SchedulingPolicy for UcbBandit {
         #[allow(clippy::cast_precision_loss)]
         let n = self.plays[index] as f64;
         self.means[index] += (reward - self.means[index]) / n;
+    }
+
+    fn prime(&mut self, index: usize, reachable_branches: usize) {
+        if self.priors.len() <= index {
+            self.priors.resize(index + 1, 0);
+        }
+        self.priors[index] = reachable_branches;
     }
 }
 
@@ -318,6 +376,53 @@ mod tests {
         }
         let next = ucb.pick(&eligible, 1)[0];
         assert_ne!(next, 1, "starved arms are re-probed eventually");
+    }
+
+    #[test]
+    fn priming_reorders_only_unplayed_arms() {
+        // Gradient: the probe wave follows the reachability prior...
+        let mut grad = CoverageGradient::new();
+        let eligible: Vec<usize> = (0..3).collect();
+        grad.prime(0, 10);
+        grad.prime(1, 40);
+        grad.prime(2, 25);
+        assert_eq!(grad.pick(&eligible, 3), vec![1, 2, 0], "prior probe order");
+        // ...but once arms are observed, rewards alone rank them: the
+        // lowest-prior arm with the best gradient wins.
+        grad.observe(0, &report(30, 100));
+        grad.observe(1, &report(5, 100));
+        grad.observe(2, &report(1, 100));
+        assert_eq!(grad.pick(&eligible, 3), vec![0, 1, 2]);
+
+        // UCB: same contract — priors order the mandatory exploration
+        // sweep, observations take over afterwards.
+        let mut ucb = UcbBandit::new();
+        ucb.prime(0, 10);
+        ucb.prime(1, 40);
+        ucb.prime(2, 25);
+        assert_eq!(ucb.pick(&eligible, 3), vec![1, 2, 0], "prior probe order");
+        ucb.observe(0, &report(30, 100));
+        ucb.observe(1, &report(5, 100));
+        ucb.observe(2, &report(1, 100));
+        assert_eq!(ucb.pick(&eligible, 1), vec![0], "rewards outrank priors");
+        // A played arm never outranks an unplayed one regardless of prior.
+        ucb.prime(0, 1000);
+        assert_eq!(ucb.pick(&[0, 3], 1), vec![3], "unplayed still first");
+    }
+
+    #[test]
+    fn unprimed_policies_keep_index_probe_order() {
+        // `prime` never called: behaviour is bit-identical to the
+        // pre-prior policies — the historical fleet digests depend on it.
+        let mut grad = CoverageGradient::new();
+        let mut ucb = UcbBandit::new();
+        let eligible: Vec<usize> = (0..4).collect();
+        assert_eq!(grad.pick(&eligible, 4), vec![0, 1, 2, 3]);
+        assert_eq!(ucb.pick(&eligible, 4), vec![0, 1, 2, 3]);
+        // RoundRobin inherits the default no-op prime.
+        let mut rr = RoundRobin::new();
+        rr.prime(2, 999);
+        assert_eq!(rr.pick(&eligible, 2), vec![0, 1]);
     }
 
     #[test]

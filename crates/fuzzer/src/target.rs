@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, GuardTable, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 
 use crate::Fault;
@@ -180,6 +180,19 @@ pub trait Target {
         ConstraintSet::new()
     }
 
+    /// The target's declared branch guards: for each config-gated coverage
+    /// region, the conditions *necessary* for its branch to fire (exact for
+    /// `Startup` guards). The reachability analyzer uses this table to
+    /// prove branches statically dead within a configuration partition.
+    ///
+    /// The default is the empty table — branches of a target that declares
+    /// nothing are never claimed dead. A correct implementation keeps the
+    /// table in lockstep with the branch probes in `start`/`handle`: a
+    /// guarded branch must be uncoverable whenever its conditions fail.
+    fn branch_guards(&self) -> GuardTable {
+        GuardTable::new()
+    }
+
     /// Boots the target under `config`, recording startup coverage through
     /// `probe`.
     ///
@@ -257,6 +270,9 @@ impl<T: Target + ?Sized> Target for Box<T> {
     }
     fn config_constraints(&self) -> ConstraintSet {
         (**self).config_constraints()
+    }
+    fn branch_guards(&self) -> GuardTable {
+        (**self).branch_guards()
     }
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
         (**self).start(config, probe)

@@ -7,7 +7,8 @@
 //! configured beyond its stack-array capacity.
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -376,6 +377,134 @@ impl Target for Amqp {
                     Condition::list_has_or_empty("auth.mechanisms", "PLAIN"),
                     Condition::list_lacks("auth.mechanisms", "EXTERNAL"),
                 ],
+            ))
+    }
+
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        let durable = || Condition::bool_is("broker.durable_queues", true, false);
+        let flow = || Condition::bool_is("broker.flow_control", true, true);
+        // `sasl_external` depends on "list non-empty and has EXTERNAL",
+        // which no single predicate expresses exactly; its branches stay
+        // unguarded, as do the `!= default` tuned branches.
+        GuardTable::new()
+            .with(startup(Br::StartEntry, "start::entry", vec![]))
+            .with(startup(
+                Br::StartDefaultPort,
+                "start::default-port",
+                vec![Condition::int_equals("port", 5672, 5672)],
+            ))
+            .with(startup(
+                Br::StartThreadsDefault,
+                "start::threads-default",
+                vec![Condition::int_below("threads", 17, 4)],
+            ))
+            .with(startup(
+                Br::StartThreadsMany,
+                "start::threads-many",
+                vec![Condition::int_within("threads", 17, i64::MAX, 4)],
+            ))
+            .with(startup(
+                Br::StartFrameMaxSmall,
+                "start::frame-max-small",
+                vec![Condition::int_below("broker.frame_max", 4096, 65535)],
+            ))
+            .with(startup(
+                Br::StartHeartbeatOff,
+                "start::heartbeat-off",
+                vec![Condition::int_equals("broker.heartbeat", 0, 60)],
+            ))
+            .with(startup(
+                Br::StartHeartbeatFast,
+                "start::heartbeat-fast",
+                vec![
+                    Condition::int_below("broker.heartbeat", 10, 60),
+                    Condition::int_outside("broker.heartbeat", 0, 0, 60),
+                ],
+            ))
+            .with(startup(Br::StartDurable, "start::durable", vec![durable()]))
+            .with(startup(
+                Br::StartDurableFlow,
+                "start::durable-flow",
+                vec![durable(), flow()],
+            ))
+            .with(startup(
+                Br::StartFlowControl,
+                "start::flow-control",
+                vec![flow()],
+            ))
+            .with(startup(
+                Br::StartSaslPlain,
+                "start::sasl-plain",
+                vec![Condition::list_has_or_empty("auth.mechanisms", "PLAIN")],
+            ))
+            .with(startup(
+                Br::StartSaslAnonymous,
+                "start::sasl-anonymous",
+                vec![Condition::list_has_or_empty("auth.mechanisms", "ANONYMOUS")],
+            ))
+            .with(startup(
+                Br::StartEncryptionRequired,
+                "start::encryption-required",
+                vec![Condition::bool_is("auth.require_encryption", true, false)],
+            ))
+            .with(startup(
+                Br::StartLogDebug,
+                "start::log-debug",
+                vec![Condition::str_is("log.level", "debug", "notice")],
+            ))
+            .with(handler(
+                Br::ConnStartOkPlain,
+                "method::start-ok-plain",
+                vec![
+                    Condition::list_has_or_empty("auth.mechanisms", "PLAIN"),
+                    Condition::bool_is("auth.require_encryption", false, false),
+                ],
+            ))
+            .with(handler(
+                Br::ConnStartOkAnon,
+                "method::start-ok-anon",
+                vec![Condition::list_has_or_empty("auth.mechanisms", "ANONYMOUS")],
+            ))
+            .with(handler(
+                Br::ChannelFlow,
+                "method::channel-flow",
+                vec![flow()],
+            ))
+            .with(handler(
+                Br::ChannelFlowIgnored,
+                "method::channel-flow-ignored",
+                vec![Condition::bool_is("broker.flow_control", false, true)],
+            ))
+            .with(handler(
+                Br::QueueDeclareDurable,
+                "method::queue-durable",
+                vec![durable()],
+            ))
+            .with(handler(
+                Br::QueueDeclareDurableRejected,
+                "method::queue-durable-rejected",
+                vec![Condition::bool_is("broker.durable_queues", false, false)],
+            ))
+            .with(handler(
+                Br::FrameHeartbeat,
+                "frame::heartbeat",
+                vec![Condition::int_within("broker.heartbeat", 1, i64::MAX, 60)],
+            ))
+            .with(handler(
+                Br::FrameHeartbeatDisabled,
+                "frame::heartbeat-disabled",
+                vec![Condition::int_below("broker.heartbeat", 1, 60)],
+            ))
+            .with(handler(
+                Br::BasicPublishOversized,
+                "frame::publish-oversized",
+                vec![Condition::int_below("broker.frame_max", 4096, 65535)],
             ))
     }
 

@@ -8,7 +8,8 @@
 //! default-configuration fuzzers cannot reach it.
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -553,6 +554,182 @@ impl Target for Coap {
                     &["none", "block1", "qblock1"],
                     "none",
                 )],
+            ))
+    }
+
+    // Declarative mirror of the config gates in `start`/`handle` below;
+    // startup guards are exact, handler guards necessary-only. `!=`-gated
+    // tuning branches (ack-timeout, max-sessions) are inexpressible and
+    // stay unguarded.
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        let blockwise = || Condition::str_in("block-mode", &["block1", "qblock1"], "none");
+        let qblock = || Condition::str_is("block-mode", "qblock1", "none");
+        let observe = || Condition::bool_is("observe", true, false);
+        GuardTable::new()
+            .with(startup(
+                Br::StartDefaultPort,
+                "start::default-port",
+                vec![Condition::int_equals("port", 5683, 5683)],
+            ))
+            .with(startup(
+                Br::StartBlockNone,
+                "start::block-none",
+                vec![Condition::str_is("block-mode", "none", "none")],
+            ))
+            .with(startup(
+                Br::StartBlock1,
+                "start::block1",
+                vec![Condition::str_is("block-mode", "block1", "none")],
+            ))
+            .with(startup(Br::StartQBlock1, "start::qblock1", vec![qblock()]))
+            .with(startup(
+                Br::StartBlockSmall,
+                "start::block-small",
+                vec![blockwise(), Condition::int_below("max-block-size", 33, 64)],
+            ))
+            .with(startup(
+                Br::StartBlockLarge,
+                "start::block-large",
+                vec![
+                    blockwise(),
+                    Condition::int_within("max-block-size", 512, i64::MAX, 64),
+                ],
+            ))
+            .with(startup(
+                Br::StartBlockQuickLarge,
+                "start::block-quick-large",
+                vec![
+                    qblock(),
+                    Condition::int_within("max-block-size", 512, i64::MAX, 64),
+                ],
+            ))
+            .with(startup(Br::StartObserve, "start::observe", vec![observe()]))
+            .with(startup(
+                Br::StartObserveBlock,
+                "start::observe-block",
+                vec![observe(), blockwise()],
+            ))
+            .with(startup(
+                Br::StartMulticast,
+                "start::multicast",
+                vec![Condition::bool_is("multicast", true, false)],
+            ))
+            .with(startup(
+                Br::StartMulticastObserve,
+                "start::multicast-observe",
+                vec![Condition::bool_is("multicast", true, false), observe()],
+            ))
+            .with(startup(
+                Br::StartDtls,
+                "start::dtls",
+                vec![Condition::bool_is("dtls", true, false)],
+            ))
+            .with(startup(
+                Br::StartDtlsBlock,
+                "start::dtls-block",
+                vec![Condition::bool_is("dtls", true, false), blockwise()],
+            ))
+            .with(startup(
+                Br::StartNstartTuned,
+                "start::nstart-tuned",
+                vec![Condition::int_within("nstart", 2, i64::MAX, 1)],
+            ))
+            .with(startup(
+                Br::StartCacheOff,
+                "start::cache-off",
+                vec![Condition::int_equals("cache-size", 0, 100)],
+            ))
+            .with(startup(
+                Br::StartRd,
+                "start::rd",
+                vec![Condition::bool_is("rd-enable", true, false)],
+            ))
+            .with(startup(
+                Br::StartRdCache,
+                "start::rd-cache",
+                vec![
+                    Condition::bool_is("rd-enable", true, false),
+                    Condition::int_within("cache-size", 101, i64::MAX, 100),
+                ],
+            ))
+            .with(startup(
+                Br::StartRetransmitOff,
+                "start::retransmit-off",
+                vec![Condition::bool_is("retransmit", false, true)],
+            ))
+            .with(startup(
+                Br::StartCongestion,
+                "start::congestion",
+                vec![Condition::bool_is("congestion-control", true, false)],
+            ))
+            .with(startup(
+                Br::StartCongestionNstart,
+                "start::congestion-nstart",
+                vec![
+                    Condition::bool_is("congestion-control", true, false),
+                    Condition::int_within("nstart", 2, i64::MAX, 1),
+                ],
+            ))
+            .with(handler(
+                Br::OptObserveRegister,
+                "option::observe-register",
+                vec![observe()],
+            ))
+            .with(handler(
+                Br::OptObserveDeregister,
+                "option::observe-deregister",
+                vec![observe()],
+            ))
+            .with(handler(
+                Br::OptObserveIgnored,
+                "option::observe-ignored",
+                vec![Condition::bool_is("observe", false, false)],
+            ))
+            .with(handler(Br::OptQBlock1, "option::qblock1", vec![qblock()]))
+            .with(handler(Br::OptBlock1, "option::block1", vec![blockwise()]))
+            .with(handler(Br::OptBlock2, "option::block2", vec![blockwise()]))
+            .with(handler(
+                Br::OptBlockIgnored,
+                "option::block-ignored",
+                vec![Condition::str_not_in("block-mode", &["qblock1"], "none")],
+            ))
+            .with(handler(
+                Br::QBlockFast,
+                "block::qblock-fast",
+                vec![qblock()],
+            ))
+            .with(handler(Br::BlockFirst, "block::first", vec![blockwise()]))
+            .with(handler(
+                Br::BlockContinue,
+                "block::continue",
+                vec![blockwise()],
+            ))
+            .with(handler(Br::BlockFinal, "block::final", vec![blockwise()]))
+            .with(handler(
+                Br::BlockOutOfOrder,
+                "block::out-of-order",
+                vec![blockwise()],
+            ))
+            .with(handler(
+                Br::BlockSzxTooBig,
+                "block::szx-too-big",
+                vec![blockwise()],
+            ))
+            .with(handler(
+                Br::BlockReassembled,
+                "block::reassembled",
+                vec![blockwise()],
+            ))
+            .with(handler(
+                Br::RespCachedServed,
+                "response::cached-served",
+                vec![Condition::int_within("cache-size", 1, i64::MAX, 100)],
             ))
     }
 

@@ -7,7 +7,8 @@
 //! coverage with modest configuration-driven gains.
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -230,6 +231,193 @@ impl Target for Dds {
                 "domain id out of range",
                 vec![Condition::int_outside("CycloneDDS.Domain@id", 0, 232, 0)],
             ))
+    }
+
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        let reliable = || Condition::str_is("reliability", "reliable", "besteffort");
+        let unreliable = || Condition::str_not_in("reliability", &["reliable"], "besteffort");
+        let discovery = || Condition::bool_is("CycloneDDS.Domain.Discovery.Enabled", true, true);
+        // `fragment_size < max_message_size` reads as "max is above frag".
+        let frag_path = || {
+            Condition::int_above_item(
+                "CycloneDDS.Domain.General.MaxMessageSize",
+                "CycloneDDS.Domain.General.FragmentSize",
+                1400,
+                1300,
+            )
+        };
+        // StartHeartbeatFast is a disjunction (`heartbeat == 0 || spdp < 5`)
+        // and the guard vocabulary is conjunctive-only; it stays unguarded.
+        GuardTable::new()
+            .with(startup(Br::StartEntry, "start::entry", vec![]))
+            .with(startup(
+                Br::StartDomainNonZero,
+                "start::domain-nonzero",
+                vec![Condition::int_within("CycloneDDS.Domain@id", 1, 232, 0)],
+            ))
+            .with(startup(
+                Br::StartReliable,
+                "start::reliable",
+                vec![reliable()],
+            ))
+            .with(startup(
+                Br::StartBestEffort,
+                "start::besteffort",
+                vec![unreliable()],
+            ))
+            .with(startup(
+                Br::StartDurVolatile,
+                "start::dur-volatile",
+                vec![Condition::str_not_in(
+                    "durability",
+                    &["transientlocal", "transient"],
+                    "volatile",
+                )],
+            ))
+            .with(startup(
+                Br::StartDurTransientLocal,
+                "start::dur-transientlocal",
+                vec![Condition::str_is(
+                    "durability",
+                    "transientlocal",
+                    "volatile",
+                )],
+            ))
+            .with(startup(
+                Br::StartDurTransient,
+                "start::dur-transient",
+                vec![Condition::str_is("durability", "transient", "volatile")],
+            ))
+            .with(startup(
+                Br::StartDurReliableCombo,
+                "start::dur-reliable-combo",
+                vec![Condition::str_is("durability", "transient", "volatile")],
+            ))
+            .with(startup(
+                Br::StartHistoryKeepAll,
+                "start::history-keep-all",
+                vec![Condition::int_equals("history-depth", 0, 1)],
+            ))
+            .with(startup(
+                Br::StartHistoryDeep,
+                "start::history-deep",
+                vec![Condition::int_within("history-depth", 9, i64::MAX, 1)],
+            ))
+            .with(startup(
+                Br::StartDiscovery,
+                "start::discovery",
+                vec![discovery()],
+            ))
+            .with(startup(
+                Br::StartDiscoveryMany,
+                "start::discovery-many",
+                vec![
+                    discovery(),
+                    Condition::int_within(
+                        "CycloneDDS.Domain.Discovery.MaxParticipants",
+                        101,
+                        i64::MAX,
+                        100,
+                    ),
+                ],
+            ))
+            .with(startup(
+                Br::StartFragPath,
+                "start::frag-path",
+                vec![frag_path()],
+            ))
+            .with(startup(
+                Br::StartFragSmall,
+                "start::frag-small",
+                vec![
+                    frag_path(),
+                    Condition::int_below("CycloneDDS.Domain.General.FragmentSize", 513, 1300),
+                ],
+            ))
+            .with(startup(
+                Br::StartTraceVerbose,
+                "start::trace-verbose",
+                vec![Condition::str_in(
+                    "CycloneDDS.Domain.Tracing.Verbosity",
+                    &["fine", "finer"],
+                    "warning",
+                )],
+            ))
+            .with(startup(
+                Br::StartTraceFinest,
+                "start::trace-finest",
+                vec![Condition::str_is(
+                    "CycloneDDS.Domain.Tracing.Verbosity",
+                    "finest",
+                    "warning",
+                )],
+            ))
+            .with(startup(
+                Br::StartRetransmitMerge,
+                "start::retransmit-merge",
+                vec![Condition::str_not_in(
+                    "CycloneDDS.Domain.Internal.RetransmitMerging",
+                    &["never"],
+                    "never",
+                )],
+            ))
+            .with(handler(
+                Br::SubDataFrag,
+                "sub::data-frag",
+                vec![frag_path()],
+            ))
+            .with(handler(
+                Br::SubHeartbeat,
+                "sub::heartbeat",
+                vec![reliable()],
+            ))
+            .with(handler(
+                Br::SubHeartbeatFinal,
+                "sub::heartbeat-final",
+                vec![reliable()],
+            ))
+            .with(handler(
+                Br::SubHeartbeatIgnored,
+                "sub::heartbeat-ignored",
+                vec![unreliable()],
+            ))
+            .with(handler(Br::SubAcknack, "sub::acknack", vec![reliable()]))
+            .with(handler(
+                Br::SubAcknackIgnored,
+                "sub::acknack-ignored",
+                vec![unreliable()],
+            ))
+            .with(handler(
+                Br::HistoryEvicted,
+                "data::history-evicted",
+                vec![Condition::int_outside("history-depth", 0, 0, 1)],
+            ))
+            .with(handler(
+                Br::DiscoveryAnnounce,
+                "data::discovery-announce",
+                vec![discovery()],
+            ))
+            .with(handler(
+                Br::DiscoveryTableFull,
+                "data::discovery-table-full",
+                vec![discovery()],
+            ))
+            .with(handler(
+                Br::ReaderMatched,
+                "data::reader-matched",
+                vec![Condition::str_not_in(
+                    "durability",
+                    &["volatile"],
+                    "volatile",
+                )],
+            ))
+            .with(handler(Br::AckSent, "flow::ack-sent", vec![reliable()]))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {

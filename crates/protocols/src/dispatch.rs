@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, GuardTable, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{StartError, Target, TargetResponse};
 
@@ -111,6 +111,10 @@ impl Target for ProtocolTarget {
 
     fn config_constraints(&self) -> ConstraintSet {
         each_server!(self, s => s.config_constraints())
+    }
+
+    fn branch_guards(&self) -> GuardTable {
+        each_server!(self, s => s.branch_guards())
     }
 
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {
@@ -260,6 +264,96 @@ mod tests {
                     "{}: `{}` witness {witness} boots anyway",
                     spec.name,
                     constraint.reason()
+                );
+            }
+        }
+    }
+
+    /// Lockstep gate between the declared branch guards and the actual
+    /// coverage behaviour, machine-checked through the reachability
+    /// analyzer:
+    ///
+    /// * global-mode analysis over every subject's extracted model must be
+    ///   diagnostic-free (each guard references known items and every
+    ///   verdict is certified),
+    /// * every startup guard must be proven reachable, and its canonical
+    ///   witness must boot the server *and* cover the guarded branch,
+    /// * on the default configuration, a startup guard's branch must be
+    ///   covered iff its conditions hold — the exactness contract of
+    ///   `GuardKind::Startup`.
+    #[test]
+    fn declared_guards_match_reachability_and_coverage() {
+        use cmfuzz_analyze::{analyze_reachability, ReachSpace, ReachStatus};
+        use cmfuzz_config_model::{extract_model, GuardKind};
+        use cmfuzz_coverage::BranchId;
+
+        for spec in crate::all_specs() {
+            let mut target = (spec.build)();
+            let guards = target.branch_guards();
+            assert!(
+                !guards.is_empty(),
+                "{} declares no branch guards",
+                spec.name
+            );
+            let model = extract_model(&target.config_space());
+            let analysis = analyze_reachability(
+                spec.name,
+                &guards,
+                &target.config_constraints(),
+                &model,
+                target.branch_count(),
+                &ReachSpace::Global,
+            );
+            assert!(
+                analysis.report().diagnostics().is_empty(),
+                "{}: global reachability not clean:\n{}",
+                spec.name,
+                analysis.report().render_text()
+            );
+
+            let defaults = ResolvedConfig::new();
+            let default_map = CoverageMap::new(target.branch_count());
+            target.start(&defaults, default_map.probe()).unwrap();
+            for guard in guards.iter() {
+                if guard.kind() != GuardKind::Startup {
+                    continue;
+                }
+                let holds = guard.conditions().iter().all(|c| c.matches(&defaults));
+                let covered = default_map.hit_count(BranchId::from_index(guard.branch())) > 0;
+                assert_eq!(
+                    covered,
+                    holds,
+                    "{}: default boot covers `{}`={covered} but its guard holds={holds}",
+                    spec.name,
+                    guard.region()
+                );
+            }
+
+            for row in analysis.branches() {
+                if row.kind() != GuardKind::Startup {
+                    continue;
+                }
+                let ReachStatus::Reachable { witness } = row.status() else {
+                    panic!(
+                        "{}: startup guard `{}` not proven reachable: {:?}",
+                        spec.name,
+                        row.region(),
+                        row.status()
+                    );
+                };
+                let map = CoverageMap::new(target.branch_count());
+                target.start(witness, map.probe()).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: witness {witness} for `{}` refuses to boot: {e}",
+                        spec.name,
+                        row.region()
+                    )
+                });
+                assert!(
+                    map.hit_count(BranchId::from_index(row.branch())) > 0,
+                    "{}: witness {witness} boots but does not cover `{}`",
+                    spec.name,
+                    row.region()
                 );
             }
         }

@@ -7,7 +7,8 @@
 //! fires in the configuration parser itself shortly after startup.
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -359,6 +360,174 @@ impl Target for Dns {
                     Condition::bool_is("strict-order", true, false),
                     Condition::bool_is("no-resolv", true, false),
                 ],
+            ))
+    }
+
+    // Declarative mirror of the config gates in `start`/`handle` below;
+    // startup guards are exact, handler guards necessary-only. The
+    // `max-queries != 150` tuning branch is inexpressible and stays
+    // unguarded.
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        let dnssec = || Condition::bool_is("dnssec", true, false);
+        let big_cache = || Condition::int_within("cache-size", 1001, i64::MAX, 150);
+        GuardTable::new()
+            .with(startup(
+                Br::StartDefaultPort,
+                "start::default-port",
+                vec![Condition::int_equals("port", 53, 53)],
+            ))
+            .with(startup(
+                Br::StartCacheDefault,
+                "start::cache-default",
+                vec![Condition::int_within("cache-size", 1, 1000, 150)],
+            ))
+            .with(startup(
+                Br::StartCacheBig,
+                "start::cache-big",
+                vec![big_cache()],
+            ))
+            .with(startup(
+                Br::StartCacheOff,
+                "start::cache-off",
+                vec![Condition::int_equals("cache-size", 0, 150)],
+            ))
+            .with(startup(
+                Br::StartEdnsDefault,
+                "start::edns-default",
+                vec![Condition::int_below("edns-packet-max", 4097, 1232)],
+            ))
+            .with(startup(
+                Br::StartEdnsBig,
+                "start::edns-big",
+                vec![Condition::int_within(
+                    "edns-packet-max",
+                    4097,
+                    i64::MAX,
+                    1232,
+                )],
+            ))
+            .with(startup(
+                Br::StartLogQueries,
+                "start::log-queries",
+                vec![Condition::bool_is("log-queries", true, false)],
+            ))
+            .with(startup(
+                Br::StartNoResolv,
+                "start::no-resolv",
+                vec![Condition::bool_is("no-resolv", true, false)],
+            ))
+            .with(startup(
+                Br::StartDomainNeeded,
+                "start::domain-needed",
+                vec![Condition::bool_is("domain-needed", true, false)],
+            ))
+            .with(startup(
+                Br::StartBogusPriv,
+                "start::bogus-priv",
+                vec![Condition::bool_is("bogus-priv", true, false)],
+            ))
+            .with(startup(
+                Br::StartBogusDomain,
+                "start::bogus-domain",
+                vec![
+                    Condition::bool_is("bogus-priv", true, false),
+                    Condition::bool_is("domain-needed", true, false),
+                ],
+            ))
+            .with(startup(
+                Br::StartStrictOrder,
+                "start::strict-order",
+                vec![Condition::bool_is("strict-order", true, false)],
+            ))
+            .with(startup(
+                Br::StartFilter,
+                "start::filter",
+                vec![Condition::bool_is("filterwin2k", true, false)],
+            ))
+            .with(startup(
+                Br::StartFilterLog,
+                "start::filter-log",
+                vec![
+                    Condition::bool_is("filterwin2k", true, false),
+                    Condition::bool_is("log-queries", true, false),
+                ],
+            ))
+            .with(startup(Br::StartDnssec, "start::dnssec", vec![dnssec()]))
+            .with(startup(
+                Br::StartDnssecCache,
+                "start::dnssec-cache",
+                vec![dnssec(), big_cache()],
+            ))
+            .with(startup(
+                Br::StartDnssecCacheIndex,
+                "start::dnssec-cache-index",
+                vec![dnssec(), big_cache()],
+            ))
+            .with(startup(
+                Br::StartLocalTtl,
+                "start::local-ttl",
+                vec![Condition::int_within("local-ttl", 1, i64::MAX, 0)],
+            ))
+            .with(startup(
+                Br::StartModeTcp,
+                "start::mode-tcp",
+                vec![Condition::str_is("query-mode", "tcp", "udp")],
+            ))
+            .with(startup(
+                Br::StartModeBoth,
+                "start::mode-both",
+                vec![Condition::str_is("query-mode", "both", "udp")],
+            ))
+            .with(handler(
+                Br::LoggedQuery,
+                "query::logged",
+                vec![Condition::bool_is("log-queries", true, false)],
+            ))
+            .with(handler(
+                Br::DomainNeededDrop,
+                "query::domain-needed-drop",
+                vec![Condition::bool_is("domain-needed", true, false)],
+            ))
+            .with(handler(
+                Br::FilteredType,
+                "query::filtered-type",
+                vec![Condition::bool_is("filterwin2k", true, false)],
+            ))
+            .with(handler(
+                Br::BogusPrivReply,
+                "query::bogus-priv-reply",
+                vec![Condition::bool_is("bogus-priv", true, false)],
+            ))
+            .with(handler(
+                Br::DnssecValidated,
+                "query::dnssec-validated",
+                vec![dnssec()],
+            ))
+            .with(handler(
+                Br::DnssecFailed,
+                "query::dnssec-failed",
+                vec![dnssec()],
+            ))
+            .with(handler(
+                Br::CacheHit,
+                "cache::hit",
+                vec![Condition::int_within("cache-size", 1, i64::MAX, 150)],
+            ))
+            .with(handler(
+                Br::CacheMiss,
+                "cache::miss",
+                vec![Condition::int_within("cache-size", 1, i64::MAX, 150)],
+            ))
+            .with(handler(
+                Br::CacheStore,
+                "cache::store",
+                vec![Condition::int_within("cache-size", 1, i64::MAX, 150)],
             ))
     }
 

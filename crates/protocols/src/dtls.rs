@@ -7,7 +7,8 @@
 //! and cipher negotiation.
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -395,6 +396,131 @@ impl Target for Dtls {
                     "aes128-gcm",
                 )],
             ))
+    }
+
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        let v10 = || Condition::str_in("version", &["1", "1.0"], "1.2");
+        let cookie = || Condition::bool_is("cookie-exchange", true, false);
+        let fragment = || Condition::bool_is("fragment", true, false);
+        let psk = || Condition::bool_is("dtls.psk", true, false);
+        // Tuned-away-from-default branches (`mtu != 1400` and friends)
+        // stay unguarded: the table need not be exhaustive, and the
+        // analyzer only reasons about guarded branches.
+        GuardTable::new()
+            .with(startup(Br::StartEntry, "start::entry", vec![]))
+            .with(startup(Br::StartV10, "start::v1.0", vec![v10()]))
+            .with(startup(
+                Br::StartV12,
+                "start::v1.2",
+                vec![Condition::str_not_in("version", &["1", "1.0"], "1.2")],
+            ))
+            .with(startup(
+                Br::StartCipherAes128,
+                "start::cipher-aes128",
+                vec![Condition::str_not_in(
+                    "cipher",
+                    &["aes256-gcm", "chacha20"],
+                    "aes128-gcm",
+                )],
+            ))
+            .with(startup(
+                Br::StartCipherAes256,
+                "start::cipher-aes256",
+                vec![Condition::str_is("cipher", "aes256-gcm", "aes128-gcm")],
+            ))
+            .with(startup(
+                Br::StartCipherChacha,
+                "start::cipher-chacha",
+                vec![Condition::str_is("cipher", "chacha20", "aes128-gcm")],
+            ))
+            .with(startup(Br::StartCookie, "start::cookie", vec![cookie()]))
+            .with(startup(
+                Br::StartCookieMtuSmall,
+                "start::cookie-mtu-small",
+                vec![cookie(), Condition::int_below("mtu", 512, 1400)],
+            ))
+            .with(startup(
+                Br::StartRenegotiation,
+                "start::renegotiation",
+                vec![Condition::bool_is("renegotiation", true, false)],
+            ))
+            .with(startup(
+                Br::StartRenegotiationTickets,
+                "start::renegotiation-tickets",
+                vec![
+                    Condition::bool_is("renegotiation", true, false),
+                    Condition::bool_is("session-tickets", true, false),
+                ],
+            ))
+            .with(startup(
+                Br::StartTickets,
+                "start::tickets",
+                vec![Condition::bool_is("session-tickets", true, false)],
+            ))
+            .with(startup(
+                Br::StartFragment,
+                "start::fragment",
+                vec![fragment()],
+            ))
+            .with(startup(Br::StartPsk, "start::psk", vec![psk()]))
+            .with(startup(
+                Br::StartPskCipher,
+                "start::psk-chacha",
+                vec![psk(), Condition::str_is("cipher", "chacha20", "aes128-gcm")],
+            ))
+            .with(startup(
+                Br::StartVerifyDeep,
+                "start::verify-deep",
+                vec![Condition::int_within("dtls.verify_depth", 5, i64::MAX, 4)],
+            ))
+            .with(handler(
+                Br::ChRenegotiated,
+                "hello::renegotiated",
+                vec![Condition::bool_is("renegotiation", true, false)],
+            ))
+            .with(handler(
+                Br::ChRenegotiationDenied,
+                "hello::renegotiation-denied",
+                vec![Condition::bool_is("renegotiation", false, false)],
+            ))
+            .with(handler(Br::ChNoCookie, "hello::no-cookie", vec![cookie()]))
+            .with(handler(
+                Br::ChCookiePresent,
+                "hello::cookie-present",
+                vec![cookie()],
+            ))
+            .with(handler(
+                Br::ChCookieBad,
+                "hello::cookie-bad",
+                vec![cookie()],
+            ))
+            .with(handler(
+                Br::HelloVerifySent,
+                "flow::hello-verify-sent",
+                vec![cookie()],
+            ))
+            .with(handler(
+                Br::HsFragmented,
+                "handshake::fragmented",
+                vec![fragment()],
+            ))
+            .with(handler(
+                Br::HsFragmentRejected,
+                "handshake::fragment-rejected",
+                vec![Condition::bool_is("fragment", false, false)],
+            ))
+            .with(handler(
+                Br::TicketIssued,
+                "flow::ticket-issued",
+                vec![Condition::bool_is("session-tickets", true, false)],
+            ))
+            .with(handler(Br::PskShortcut, "flow::psk-shortcut", vec![psk()]))
     }
 
     fn start(&mut self, resolved: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {

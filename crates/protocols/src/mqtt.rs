@@ -9,7 +9,8 @@
 //! connections").
 
 use cmfuzz_config_model::{
-    Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, ResolvedConfig,
+    BranchGuard, Condition, ConfigConstraint, ConfigFile, ConfigSpace, ConstraintSet, GuardKind,
+    GuardTable, ResolvedConfig,
 };
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::state_codec::{StateReader, StateWriter};
@@ -572,6 +573,239 @@ impl Target for Mqtt {
             .with(ConfigConstraint::new(
                 "invalid listen port",
                 vec![Condition::int_outside("port", 1, 65535, 1883)],
+            ))
+    }
+
+    // Declarative mirror of the config gates in `start`/`handle` below;
+    // startup guards are exact (the branch fires iff the conditions hold
+    // on a booting config), handler guards are necessary-only. Branches
+    // whose gate is inexpressible in the predicate vocabulary (e.g.
+    // `port != 1883`) are left unguarded rather than approximated.
+    fn branch_guards(&self) -> GuardTable {
+        let startup = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Startup, conditions)
+        };
+        let handler = |branch: Br, region: &str, conditions: Vec<Condition>| {
+            BranchGuard::new(branch as u32, region, GuardKind::Handler, conditions)
+        };
+        // `qos-max` is clamped to [0, 2] after coercion, so the clamped
+        // tiers map to raw ranges: <=0, ==1, >=2.
+        let qos0 = || Condition::int_below("qos-max", 1, 1);
+        let qos2 = || Condition::int_within("qos-max", 2, i64::MAX, 1);
+        let bridged = || Condition::str_not_in("bridge-mode", &["off"], "off");
+        let persist = || Condition::bool_is("persistence", true, false);
+        GuardTable::new()
+            .with(startup(
+                Br::StartDefaultPort,
+                "start::default-port",
+                vec![Condition::int_equals("port", 1883, 1883)],
+            ))
+            .with(startup(
+                Br::StartVerbose,
+                "start::verbose",
+                vec![Condition::bool_is("v", true, false)],
+            ))
+            .with(startup(Br::StartQos0, "start::qos0", vec![qos0()]))
+            .with(startup(
+                Br::StartQos1,
+                "start::qos1",
+                vec![Condition::int_equals("qos-max", 1, 1)],
+            ))
+            .with(startup(Br::StartQos2, "start::qos2", vec![qos2()]))
+            .with(startup(
+                Br::StartAuthNone,
+                "start::auth-none",
+                vec![Condition::str_not_in(
+                    "auth-method",
+                    &["password", "tls"],
+                    "none",
+                )],
+            ))
+            .with(startup(
+                Br::StartAuthPassword,
+                "start::auth-password",
+                vec![Condition::str_is("auth-method", "password", "none")],
+            ))
+            .with(startup(
+                Br::StartAuthPasswordAnon,
+                "start::auth-password-anon",
+                vec![
+                    Condition::str_is("auth-method", "password", "none"),
+                    Condition::bool_is("allow_anonymous", true, true),
+                ],
+            ))
+            .with(startup(
+                Br::StartTls,
+                "start::tls",
+                vec![Condition::bool_is("tls_enabled", true, false)],
+            ))
+            .with(startup(
+                Br::StartTlsAuth,
+                "start::tls-auth",
+                vec![Condition::str_is("auth-method", "tls", "none")],
+            ))
+            .with(startup(
+                Br::StartBridgeIn,
+                "start::bridge-in",
+                vec![Condition::str_is("bridge-mode", "in", "off")],
+            ))
+            .with(startup(
+                Br::StartBridgeOut,
+                "start::bridge-out",
+                vec![Condition::str_is("bridge-mode", "out", "off")],
+            ))
+            .with(startup(
+                Br::StartBridgeBoth,
+                "start::bridge-both",
+                vec![Condition::str_is("bridge-mode", "both", "off")],
+            ))
+            .with(startup(
+                Br::StartBridgePersist,
+                "start::bridge-persist",
+                vec![bridged(), persist()],
+            ))
+            .with(startup(
+                Br::StartBridgeQos2,
+                "start::bridge-qos2",
+                vec![bridged(), qos2()],
+            ))
+            .with(startup(Br::StartPersist, "start::persist", vec![persist()]))
+            .with(startup(
+                Br::StartPersistBigQueue,
+                "start::persist-big-queue",
+                vec![
+                    persist(),
+                    Condition::int_within("max_queued_messages", 101, i64::MAX, 100),
+                ],
+            ))
+            .with(startup(
+                Br::StartRetain,
+                "start::retain",
+                vec![Condition::bool_is("retain_available", true, true)],
+            ))
+            .with(startup(
+                Br::StartNoRetain,
+                "start::no-retain",
+                vec![Condition::bool_is("retain_available", false, true)],
+            ))
+            .with(startup(
+                Br::StartRetainPersist,
+                "start::retain-persist",
+                vec![
+                    Condition::bool_is("retain_available", true, true),
+                    persist(),
+                ],
+            ))
+            .with(startup(
+                Br::StartQueueQos0,
+                "start::queue-qos0",
+                vec![Condition::bool_is("queue_qos0_messages", true, false)],
+            ))
+            .with(startup(
+                Br::StartQueueQos0Only,
+                "start::queue-qos0-only",
+                vec![
+                    Condition::bool_is("queue_qos0_messages", true, false),
+                    qos0(),
+                ],
+            ))
+            .with(startup(
+                Br::StartInflightUnlimited,
+                "start::inflight-unlimited",
+                vec![Condition::int_equals("max_inflight_messages", 0, 20)],
+            ))
+            .with(startup(
+                Br::StartInflightBig,
+                "start::inflight-big",
+                vec![Condition::int_within(
+                    "max_inflight_messages",
+                    21,
+                    i64::MAX,
+                    20,
+                )],
+            ))
+            .with(startup(
+                Br::StartInflightDefault,
+                "start::inflight-default",
+                vec![Condition::int_within("max_inflight_messages", 1, 20, 20)],
+            ))
+            .with(startup(
+                Br::StartKeepaliveLong,
+                "start::keepalive-long",
+                vec![Condition::int_within("max_keepalive", 101, i64::MAX, 65)],
+            ))
+            .with(startup(
+                Br::StartMsgLimit,
+                "start::msg-limit",
+                vec![Condition::int_within("message_size_limit", 1, i64::MAX, 0)],
+            ))
+            .with(startup(
+                Br::StartMsgLimitTls,
+                "start::msg-limit-tls",
+                vec![
+                    Condition::int_within("message_size_limit", 1, i64::MAX, 0),
+                    Condition::bool_is("tls_enabled", true, false),
+                ],
+            ))
+            .with(startup(
+                Br::StartNoConnections,
+                "start::no-connections",
+                vec![Condition::int_equals("max_connections", 0, 100)],
+            ))
+            .with(startup(
+                Br::StartManyConnections,
+                "start::many-connections",
+                vec![Condition::int_within(
+                    "max_connections",
+                    1001,
+                    i64::MAX,
+                    100,
+                )],
+            ))
+            .with(startup(
+                Br::StartAnonDenied,
+                "start::anon-denied",
+                vec![Condition::bool_is("allow_anonymous", false, true)],
+            ))
+            .with(handler(
+                Br::ConnectAnonRejected,
+                "connect::anon-rejected",
+                vec![Condition::bool_is("allow_anonymous", false, true)],
+            ))
+            .with(handler(
+                Br::PublishQueuedQos0,
+                "publish::queued-qos0",
+                vec![Condition::bool_is("queue_qos0_messages", true, false)],
+            ))
+            .with(handler(
+                Br::PublishRetainRejected,
+                "publish::retain-rejected",
+                vec![Condition::bool_is("retain_available", false, true)],
+            ))
+            .with(handler(
+                Br::PublishTooLarge,
+                "publish::too-large",
+                vec![Condition::int_within("message_size_limit", 1, i64::MAX, 0)],
+            ))
+            .with(handler(
+                Br::PubrelPersisted,
+                "pubrel::persisted",
+                vec![persist()],
+            ))
+            .with(handler(
+                Br::SubscribeBridgeTopic,
+                "subscribe::bridge-topic",
+                vec![bridged()],
+            ))
+            .with(handler(
+                Br::PingKeepaliveLong,
+                "ping::keepalive-long",
+                vec![Condition::int_within("max_keepalive", 101, i64::MAX, 65)],
+            ))
+            .with(handler(
+                Br::PersistAutosave,
+                "maintenance::persist-autosave",
+                vec![persist()],
             ))
     }
 

@@ -1,6 +1,6 @@
 //! Network-isolated target wrapper.
 
-use cmfuzz_config_model::{ConfigSpace, ConstraintSet, ResolvedConfig};
+use cmfuzz_config_model::{ConfigSpace, ConstraintSet, GuardTable, ResolvedConfig};
 use cmfuzz_coverage::CoverageProbe;
 use cmfuzz_fuzzer::{Fault, StartError, Target, TargetResponse};
 use cmfuzz_netsim::{LinkConditions, Network};
@@ -110,6 +110,10 @@ impl<T: Target, L: Transport> Target for NetworkedTarget<T, L> {
 
     fn config_constraints(&self) -> ConstraintSet {
         self.inner.config_constraints()
+    }
+
+    fn branch_guards(&self) -> GuardTable {
+        self.inner.branch_guards()
     }
 
     fn start(&mut self, config: &ResolvedConfig, probe: CoverageProbe) -> Result<(), StartError> {

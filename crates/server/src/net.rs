@@ -361,6 +361,9 @@ fn handle_request(line: &str, plane: &ControlPlane, conn: &mut Conn) -> Action {
                     obj.u64_field("consumed", row.consumed.get());
                     obj.u64_field("rounds", row.rounds_done);
                     obj.u64_field("branches", row.branches as u64);
+                    if let Some(reachable) = row.reachable_branches {
+                        obj.u64_field("reachable_branches", reachable as u64);
+                    }
                     obj.finish()
                 })
                 .collect::<Vec<_>>()

@@ -6,10 +6,11 @@
 //! output can be diffed and cached.
 
 use cmfuzz::campaign::{try_run_campaign_with_telemetry, CampaignOptions, InstanceSetup};
+use cmfuzz::preflight::analyze_reachability_for;
 use cmfuzz::CampaignError;
 use cmfuzz_analyze::{
-    analyze_config, analyze_models, analyze_partitions, analyze_pit, PartitionView, Report,
-    Severity,
+    analyze_config, analyze_models, analyze_partitions, analyze_pit, analyze_reachability,
+    PartitionView, ReachSpace, ReachStatus, Report, Severity,
 };
 use cmfuzz_config_model::{
     Condition, ConfigConstraint, ConfigEntity, ConfigModel, ConfigValue, ConstraintSet, Mutability,
@@ -21,13 +22,26 @@ use cmfuzz_fuzzer::Target;
 use cmfuzz_protocols::{all_specs, spec_by_name};
 use cmfuzz_telemetry::Telemetry;
 
-/// Full analysis of one registry subject, as `cmfuzz-lint` runs it.
+/// Full analysis of one registry subject, as `cmfuzz-lint` runs it:
+/// model structure checks plus whole-space branch reachability.
 fn analyze_subject(spec: &cmfuzz_protocols::ProtocolSpec) -> Report {
     let parsed = pit::parse(spec.pit_document).expect("registry pit parses");
     let target = (spec.build)();
     let model = cmfuzz_config_model::extract_model(&target.config_space());
     let constraints = target.config_constraints();
-    analyze_models(spec.name, &parsed, &model, &constraints)
+    let mut report = analyze_models(spec.name, &parsed, &model, &constraints);
+    report.merge(
+        analyze_reachability(
+            spec.name,
+            &target.branch_guards(),
+            &constraints,
+            &model,
+            target.branch_count(),
+            &ReachSpace::Global,
+        )
+        .into_report(),
+    );
+    report
 }
 
 /// The sorted, deduplicated set of codes a report triggered.
@@ -224,6 +238,97 @@ fn rendering_is_byte_identical_across_runs() {
     assert_eq!(json_a, json_b, "json rendering must be deterministic");
     assert!(text_a.contains("error[CM010] fixture/item:port"));
     assert!(json_a.contains("\"code\":\"CM010\""));
+}
+
+#[test]
+fn reachability_witnesses_and_chains_render_byte_identically() {
+    // A default-setup mosquitto partition pins nothing and adapts
+    // nothing, so every conditioned branch guard is partition-dead while
+    // unguarded-entry branches stay reachable — both verdict shapes
+    // (witness configs and unsat propagation chains) flow through one
+    // rendering.
+    let spec = spec_by_name("mosquitto").expect("subject exists");
+    let run = || {
+        let reach = analyze_reachability_for(&spec, &[InstanceSetup::default()]);
+        let analysis = &reach.instances()[0];
+        let mut report = reach.instances()[0].report().clone();
+        report.sort();
+        (
+            analysis.render_text(),
+            report.render_text(),
+            report.render_json(),
+        )
+    };
+    let (rows_a, text_a, json_a) = run();
+    let (rows_b, text_b, json_b) = run();
+    assert_eq!(rows_a, rows_b, "reach rows must render deterministically");
+    assert_eq!(text_a, text_b, "diagnostic text must be deterministic");
+    assert_eq!(json_a, json_b, "diagnostic json must be deterministic");
+    assert!(
+        rows_a.contains("reachable witness="),
+        "some branch certifies with a witness:\n{rows_a}"
+    );
+    assert!(
+        rows_a.contains("dead: "),
+        "some branch dies with a propagation chain:\n{rows_a}"
+    );
+    assert!(text_a.contains("warn[CM060]"), "{text_a}");
+
+    // Witness configs render with canonically sorted keys: for every
+    // reachable row the rendered witness is identical across runs and
+    // its key list is sorted.
+    let reach = analyze_reachability_for(&spec, &[InstanceSetup::default()]);
+    for row in reach.instances()[0].branches() {
+        if let ReachStatus::Reachable { witness } = row.status() {
+            let rendered = format!("{witness}");
+            let keys: Vec<&str> = witness.iter().map(|(key, _)| key).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            assert_eq!(keys, sorted, "witness keys sorted in {rendered}");
+        }
+    }
+}
+
+#[test]
+fn design_doc_catalogue_matches_the_analyzer_catalogue() {
+    // DESIGN.md §10's `| CM0xx | severity | ... |` table and the
+    // machine-readable `cmfuzz_analyze::CATALOGUE` constant must agree on
+    // the exact (code, severity) set: a check cannot be added, removed,
+    // or re-weighted in one place without the other.
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md is at the workspace root");
+    let mut documented: Vec<(String, String)> = design
+        .lines()
+        .filter_map(|line| {
+            let mut cols = line.split('|').map(str::trim);
+            cols.next()?; // leading empty cell
+            let code = cols.next()?;
+            if !(code.starts_with("CM") && code.len() == 5) {
+                return None;
+            }
+            Some((code.to_owned(), cols.next()?.to_owned()))
+        })
+        .collect();
+    documented.sort();
+    documented.dedup();
+
+    let mut expected: Vec<(String, String)> = cmfuzz_analyze::CATALOGUE
+        .iter()
+        .map(|(code, severity, _)| {
+            let label = match severity {
+                Severity::Error => "error",
+                Severity::Warn => "warn",
+                Severity::Lint => "lint",
+            };
+            ((*code).to_owned(), label.to_owned())
+        })
+        .collect();
+    expected.sort();
+
+    assert_eq!(
+        documented, expected,
+        "DESIGN.md catalogue table drifted from cmfuzz_analyze::CATALOGUE"
+    );
 }
 
 #[test]
